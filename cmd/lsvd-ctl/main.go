@@ -1,0 +1,180 @@
+// Command lsvd-ctl administers LSVD volumes on an object store
+// directory: create, info, snapshot, clone, gc, checkpoint, fsck.
+//
+//	lsvd-ctl -store DIR create VOLUME SIZE
+//	lsvd-ctl -store DIR info VOLUME
+//	lsvd-ctl -store DIR snapshot VOLUME NAME
+//	lsvd-ctl -store DIR delete-snapshot VOLUME NAME
+//	lsvd-ctl -store DIR clone BASE SNAPSHOT NEWVOLUME
+//	lsvd-ctl -store DIR gc VOLUME
+//	lsvd-ctl -store DIR checkpoint VOLUME
+//	lsvd-ctl -store DIR fsck VOLUME
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"lsvd/internal/block"
+	"lsvd/internal/blockstore"
+	"lsvd/internal/objstore"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lsvd-ctl -store DIR {create|info|snapshot|delete-snapshot|clone|gc|checkpoint|fsck} ARGS...")
+	os.Exit(2)
+}
+
+func main() {
+	storeDir := flag.String("store", "", "object store directory (required)")
+	flag.Parse()
+	args := flag.Args()
+	if *storeDir == "" || len(args) < 1 {
+		usage()
+	}
+	store, err := objstore.NewDir(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	openVol := func(name string) *blockstore.Store {
+		s, err := blockstore.Open(ctx, blockstore.Config{Volume: name, Store: store})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "create":
+		if len(rest) != 2 {
+			usage()
+		}
+		size, err := parseSize(rest[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := blockstore.Create(ctx, blockstore.Config{
+			Volume: rest[0], Store: store, VolSectors: block.LBAFromBytes(size),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_ = s.Checkpoint()
+		fmt.Printf("created volume %q (%d bytes)\n", rest[0], size)
+
+	case "info":
+		if len(rest) != 1 {
+			usage()
+		}
+		s := openVol(rest[0])
+		st := s.Stats()
+		base, baseSeq := s.BaseImage()
+		fmt.Printf("volume:       %s\n", rest[0])
+		fmt.Printf("size:         %d bytes\n", s.VolSectors().Bytes())
+		fmt.Printf("objects:      %d (next seq %d)\n", st.Objects, st.NextSeq)
+		fmt.Printf("live data:    %d MiB of %d MiB (util %.2f)\n",
+			st.LiveSectors*block.SectorSize/(1<<20), st.DataSectors*block.SectorSize/(1<<20), s.Utilization())
+		fmt.Printf("map extents:  %d\n", st.MapExtents)
+		if base != "" {
+			fmt.Printf("clone of:     %s@%d\n", base, baseSeq)
+		}
+		for _, sn := range s.Snapshots() {
+			fmt.Printf("snapshot:     %s (seq %d)\n", sn.Name, sn.Seq)
+		}
+
+	case "snapshot":
+		if len(rest) != 2 {
+			usage()
+		}
+		s := openVol(rest[0])
+		info, err := s.CreateSnapshot(rest[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot %q at seq %d\n", info.Name, info.Seq)
+
+	case "delete-snapshot":
+		if len(rest) != 2 {
+			usage()
+		}
+		if err := openVol(rest[0]).DeleteSnapshot(rest[1]); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("deleted")
+
+	case "clone":
+		if len(rest) != 3 {
+			usage()
+		}
+		if err := blockstore.Clone(ctx, blockstore.Config{Volume: rest[0], Store: store}, rest[1], rest[2]); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cloned %s@%s -> %s\n", rest[0], rest[1], rest[2])
+
+	case "gc":
+		if len(rest) != 1 {
+			usage()
+		}
+		s := openVol(rest[0])
+		before := s.Stats()
+		if err := s.RunGC(); err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Checkpoint(); err != nil {
+			log.Fatal(err)
+		}
+		after := s.Stats()
+		fmt.Printf("gc: %d objects deleted, utilization %.2f\n",
+			after.ObjectsDeleted-before.ObjectsDeleted, s.Utilization())
+
+	case "checkpoint":
+		if len(rest) != 1 {
+			usage()
+		}
+		if err := openVol(rest[0]).Checkpoint(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("checkpointed")
+
+	case "fsck":
+		if len(rest) != 1 {
+			usage()
+		}
+		// Opening performs full recovery: prefix validation, stranded
+		// object deletion, and map reconstruction. Reaching here means
+		// the volume is consistent.
+		s := openVol(rest[0])
+		st := s.Stats()
+		fmt.Printf("ok: %d objects, %d map extents, durable write seq %d\n",
+			st.Objects, st.MapExtents, st.DurableWriteSeq)
+
+	default:
+		usage()
+	}
+}
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "T"):
+		mult, s = block.TiB, strings.TrimSuffix(s, "T")
+	case strings.HasSuffix(s, "G"):
+		mult, s = block.GiB, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = block.MiB, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = block.KiB, strings.TrimSuffix(s, "K")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
+}

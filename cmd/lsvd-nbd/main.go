@@ -1,0 +1,92 @@
+// Command lsvd-nbd serves an LSVD volume as a Network Block Device
+// export, the deployment path replacing the paper prototype's kernel
+// module (§3.7 / DESIGN.md).
+//
+//	lsvd-nbd -store /var/lib/lsvd/objects -cache /var/lib/lsvd/cache.img \
+//	         -cache-size 10G -volume vm1 -create -size 100G -listen :10809
+//
+// Then on a client: nbd-client <host> 10809 /dev/nbd0 -name vm1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+
+	"lsvd"
+)
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "T"):
+		mult, s = lsvd.TiB, strings.TrimSuffix(s, "T")
+	case strings.HasSuffix(s, "G"):
+		mult, s = lsvd.GiB, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = lsvd.MiB, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = lsvd.KiB, strings.TrimSuffix(s, "K")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	storeDir := flag.String("store", "", "object store directory (required)")
+	cachePath := flag.String("cache", "", "cache device file (required)")
+	cacheSize := flag.String("cache-size", "1G", "cache device size")
+	volume := flag.String("volume", "vol", "volume name")
+	create := flag.Bool("create", false, "create the volume instead of opening it")
+	size := flag.String("size", "10G", "volume size (with -create)")
+	listen := flag.String("listen", "127.0.0.1:10809", "NBD listen address")
+	flag.Parse()
+
+	if *storeDir == "" || *cachePath == "" {
+		log.Fatal("-store and -cache are required")
+	}
+	store, err := lsvd.DirStore(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cb, err := parseSize(*cacheSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache, err := lsvd.FileCacheDevice(*cachePath, cb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := lsvd.VolumeOptions{Name: *volume, Store: store, Cache: cache}
+	ctx := context.Background()
+
+	var disk *lsvd.Disk
+	if *create {
+		if opts.Size, err = parseSize(*size); err != nil {
+			log.Fatal(err)
+		}
+		disk, err = lsvd.Create(ctx, opts)
+	} else {
+		disk, err = lsvd.Open(ctx, opts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer disk.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving volume %q (%d bytes) on %s", *volume, disk.Size(), ln.Addr())
+	if err := lsvd.ServeNBD(ln, *volume, disk); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Command lsvd-tracesim runs the Table 5 garbage-collection
+// simulations: LSVD write batching and greedy GC driven by
+// CloudPhysics-like traces, in no-merge / merge / defrag modes.
+//
+//	lsvd-tracesim [-scale 256] [-trace w66]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"lsvd/internal/gcsim"
+	"lsvd/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 256, "trace scale-down factor")
+	trace := flag.String("trace", "", "run a single trace (default: all)")
+	flag.Parse()
+
+	cfg := gcsim.Defaults(*scale)
+	ctx := context.Background()
+	specs := workload.PaperTraces
+	if *trace != "" {
+		specs = nil
+		for _, s := range workload.PaperTraces {
+			if s.ID == *trace {
+				specs = []workload.TraceSpec{s}
+			}
+		}
+		if specs == nil {
+			log.Fatalf("unknown trace %q", *trace)
+		}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "trace\twrites GB\text(no merge)\text(merge)\text(defrag)\tWAF(nm)\tWAF(m)\tWAF(d)\tmerge ratio")
+	for _, spec := range specs {
+		var row [3]gcsim.Result
+		for i, mode := range []gcsim.Mode{gcsim.NoMerge, gcsim.Merge, gcsim.Defrag} {
+			r, err := gcsim.Simulate(ctx, spec, mode, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row[i] = r
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			spec.ID, row[1].WriteGB,
+			row[0].Extents, row[1].Extents, row[2].Extents,
+			row[0].WAF, row[1].WAF, row[2].WAF, row[1].MergeRat)
+		w.Flush()
+	}
+}

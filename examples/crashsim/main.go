@@ -1,0 +1,105 @@
+// Crashsim: demonstrate LSVD's crash-consistency guarantees (paper
+// §2.2, §3.3-3.4, Table 4). A stamped-write workload runs against a
+// volume; the machine "crashes", losing unflushed device state — or
+// the whole cache SSD — and recovery is audited against the recorded
+// history: the recovered image must be a consistent prefix of the
+// committed writes.
+//
+//	go run ./examples/crashsim
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lsvd"
+	"lsvd/internal/consistency"
+	"lsvd/internal/simdev"
+)
+
+func main() {
+	ctx := context.Background()
+
+	fmt.Println("--- Crash 1: power failure, cache SSD survives ---")
+	{
+		store := lsvd.MemStore()
+		cache := simdev.NewMem(128 * lsvd.MiB)
+		disk, err := lsvd.Create(ctx, lsvd.VolumeOptions{
+			Name: "vol", Store: store, Cache: cache, Size: 128 * lsvd.MiB, BatchBytes: 1 * lsvd.MiB,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, _ := consistency.NewWriter(disk)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 400; i++ {
+			if err := w.Write(rng.Int63n(2000), rng.Intn(4)+1); err != nil {
+				log.Fatal(err)
+			}
+			if i%50 == 49 {
+				_ = w.Barrier()
+			}
+		}
+		fmt.Printf("issued %d writes, committed through v%d\n", w.Version(), w.Committed())
+
+		// Power failure: acknowledged-but-unflushed writes may be lost.
+		cache.Crash(1.0, rand.New(rand.NewSource(2)))
+		disk2, err := lsvd.Open(ctx, lsvd.VolumeOptions{Name: "vol", Store: store, Cache: cache})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := w.Check(disk2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovered to v%d: mountable=%v, all committed writes present=%v\n\n",
+			rep.RecoveredVersion, rep.Mountable, rep.CommittedPreserved)
+		if !rep.Mountable || !rep.CommittedPreserved {
+			log.Fatal("GUARANTEE VIOLATED")
+		}
+	}
+
+	fmt.Println("--- Crash 2: the cache SSD is destroyed entirely ---")
+	{
+		store := lsvd.MemStore()
+		opts := lsvd.VolumeOptions{
+			Name: "vol", Store: store, Cache: lsvd.MemCacheDevice(128 * lsvd.MiB),
+			Size: 128 * lsvd.MiB, BatchBytes: 1 * lsvd.MiB,
+		}
+		disk, err := lsvd.Create(ctx, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, _ := consistency.NewWriter(disk)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 400; i++ {
+			if err := w.Write(rng.Int63n(2000), rng.Intn(4)+1); err != nil {
+				log.Fatal(err)
+			}
+			if i%50 == 49 {
+				_ = w.Barrier()
+			}
+		}
+		// The SSD is gone: reopen with a blank device. The volume
+		// falls back to the backend's consistent prefix (some
+		// committed writes may be lost, but never reordered).
+		opts.Cache = lsvd.MemCacheDevice(128 * lsvd.MiB)
+		disk2, err := lsvd.Open(ctx, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := w.Check(disk2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovered to v%d of v%d: mountable=%v (prefix consistency)\n",
+			rep.RecoveredVersion, w.Version(), rep.Mountable)
+		if !rep.Mountable {
+			log.Fatal("PREFIX CONSISTENCY VIOLATED")
+		}
+		fmt.Println("lost the un-destaged tail, as §3.4 allows — but the image is a")
+		fmt.Println("consistent prefix: a journaling file system would mount cleanly.")
+	}
+}

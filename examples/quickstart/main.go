@@ -1,0 +1,104 @@
+// Quickstart: create an LSVD volume on a directory-backed object
+// store, write and read data, take a snapshot, clone a VM image from
+// it, and reopen everything after a clean shutdown.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"lsvd"
+)
+
+func main() {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "lsvd-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Println("workspace:", dir)
+
+	// The backend is any S3-like store; here, a directory tree.
+	store, err := lsvd.DirStore(filepath.Join(dir, "objects"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The local cache SSD; here, a file.
+	cache, err := lsvd.FileCacheDevice(filepath.Join(dir, "cache.img"), 256*lsvd.MiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	disk, err := lsvd.Create(ctx, lsvd.VolumeOptions{
+		Name: "base", Store: store, Cache: cache, Size: 1 * lsvd.GiB,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created volume %q: %d bytes\n", "base", disk.Size())
+
+	// Write a "golden image" and commit it.
+	golden := bytes.Repeat([]byte("GOLDEN-IMAGE-BLOCK"), 256)[:4096]
+	for off := int64(0); off < 1*lsvd.MiB; off += 4096 {
+		if err := disk.WriteAt(golden, off); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := disk.Flush(); err != nil { // commit barrier: one SSD flush
+		log.Fatal(err)
+	}
+
+	// Snapshot the image and clone a VM volume from it. The clone
+	// shares the base objects; no data is copied.
+	if _, err := disk.Snapshot("v1"); err != nil {
+		log.Fatal(err)
+	}
+	if err := lsvd.Clone(ctx, store, "base", "v1", "vm1"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("snapshotted base@v1 and cloned vm1 from it")
+
+	vmCache, err := lsvd.FileCacheDevice(filepath.Join(dir, "vm1-cache.img"), 256*lsvd.MiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm1, err := lsvd.Open(ctx, lsvd.VolumeOptions{Name: "vm1", Store: store, Cache: vmCache})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The clone sees the golden image...
+	buf := make([]byte, 4096)
+	if err := vm1.ReadAt(buf, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vm1 reads base data: %q...\n", buf[:18])
+	// ...and diverges privately.
+	if err := vm1.WriteAt(bytes.Repeat([]byte{0x42}, 4096), 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := vm1.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reopen vm1: recovery replays logs; data is intact.
+	vmCache2, _ := lsvd.FileCacheDevice(filepath.Join(dir, "vm1-cache.img"), 256*lsvd.MiB)
+	vm1b, err := lsvd.Open(ctx, lsvd.VolumeOptions{Name: "vm1", Store: store, Cache: vmCache2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vm1b.ReadAt(buf, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vm1 after reopen: first byte %#x (diverged), base untouched\n", buf[0])
+
+	st := vm1b.Stats()
+	fmt.Printf("stats: %d backend objects, %d map extents, durable write seq %d\n",
+		st.Backend.Objects, st.Backend.MapExtents, st.Backend.DurableWriteSeq)
+}

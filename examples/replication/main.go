@@ -1,0 +1,97 @@
+// Replication: asynchronously replicate a live LSVD volume to a second
+// object store by lazily copying its immutable object stream (paper
+// §4.8), then mount the replica and verify its contents.
+//
+//	go run ./examples/replication
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lsvd"
+)
+
+func main() {
+	ctx := context.Background()
+	primary := lsvd.MemStore()
+	secondary := lsvd.MemStore() // "the other datacenter"
+
+	disk, err := lsvd.Create(ctx, lsvd.VolumeOptions{
+		Name: "vol", Store: primary, Cache: lsvd.MemCacheDevice(128 * lsvd.MiB),
+		Size: 512 * lsvd.MiB, BatchBytes: 1 * lsvd.MiB,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := &lsvd.Replicator{
+		Primary: primary, Replica: secondary, Volume: "vol",
+		LagObjects: 4, // copy objects once they age past the newest 4
+	}
+
+	// Write while replicating in rounds, like the paper's Fig 16 run.
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 64*1024)
+	var wrote int64
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 32; i++ {
+			rng.Read(buf)
+			off := int64(rng.Intn(512-1)) * lsvd.MiB / 1
+			off = off % (512*lsvd.MiB - int64(len(buf)))
+			off &^= 511
+			if err := disk.WriteAt(buf, off); err != nil {
+				log.Fatal(err)
+			}
+			wrote += int64(len(buf))
+		}
+		n, err := rep.Sync(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %2d: wrote %3d MiB total, copied %d objects this pass\n",
+			round+1, wrote/(1<<20), n)
+	}
+
+	// Final catch-up and verification.
+	if err := disk.Close(); err != nil {
+		log.Fatal(err)
+	}
+	rep.LagObjects = 0
+	if _, err := rep.Sync(ctx); err != nil {
+		log.Fatal(err)
+	}
+	st := rep.Stats()
+	fmt.Printf("replicated %d objects, %d MiB (%d deleted by GC before copy)\n",
+		st.CopiedObjects, st.CopiedBytes/(1<<20), st.SkippedGone)
+
+	// Mount the replica (fresh cache, different "site") and compare.
+	rdisk, err := lsvd.Open(ctx, lsvd.VolumeOptions{
+		Name: "vol", Store: secondary, Cache: lsvd.MemCacheDevice(128 * lsvd.MiB),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pdisk, err := lsvd.Open(ctx, lsvd.VolumeOptions{
+		Name: "vol", Store: primary, Cache: lsvd.MemCacheDevice(128 * lsvd.MiB),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, b := make([]byte, 1<<20), make([]byte, 1<<20)
+	for off := int64(0); off < 512*lsvd.MiB; off += 1 << 20 {
+		if err := pdisk.ReadAt(a, off); err != nil {
+			log.Fatal(err)
+		}
+		if err := rdisk.ReadAt(b, off); err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			log.Fatalf("replica diverges at offset %d", off)
+		}
+	}
+	fmt.Println("replica verified: byte-identical to the primary")
+}

@@ -1,0 +1,3 @@
+module lsvd
+
+go 1.22

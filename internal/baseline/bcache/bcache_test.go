@@ -1,0 +1,199 @@
+package bcache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lsvd/internal/baseline/rbd"
+	"lsvd/internal/block"
+	"lsvd/internal/cluster"
+	"lsvd/internal/iomodel"
+	"lsvd/internal/simdev"
+)
+
+func newCache(t *testing.T, cacheBytes int64) (*Cache, *simdev.Metered, *cluster.Pool) {
+	t.Helper()
+	pool, err := cluster.New(cluster.SSDConfig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	backing, err := rbd.New(rbd.Options{Volume: "img", Pool: pool, VolBytes: 256 * block.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := simdev.NewMetered(simdev.NewMem(cacheBytes), iomodel.NVMeP3700)
+	c, err := New(Options{Dev: dev, Backing: backing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, dev, pool
+}
+
+func payload(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestRoundTripThroughCache(t *testing.T) {
+	c, _, _ := newCache(t, 64*block.MiB)
+	data := payload(1, 64*1024)
+	if err := c.WriteAt(data, 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := c.ReadAt(got, 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if c.Stats().CacheHitSectors == 0 {
+		t.Fatal("read not from cache")
+	}
+}
+
+func TestMissReadsBacking(t *testing.T) {
+	c, _, _ := newCache(t, 64*block.MiB)
+	data := payload(2, 32*1024)
+	// Populate backing directly, bypassing the cache.
+	if err := c.opts.Backing.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := c.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("miss path wrong")
+	}
+	if c.Stats().MissSectors == 0 {
+		t.Fatal("miss not counted")
+	}
+	// Second read: hit.
+	before := c.Stats().MissSectors
+	_ = c.ReadAt(got, 0)
+	if c.Stats().MissSectors != before {
+		t.Fatal("second read missed")
+	}
+}
+
+func TestCommitBarrierWritesMetadata(t *testing.T) {
+	c, dev, _ := newCache(t, 64*block.MiB)
+	// Touch several distinct B-tree nodes.
+	for i := 0; i < 8; i++ {
+		if err := c.WriteAt(payload(int64(i), 4096), int64(i)*(8<<20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := dev.Meter.Snapshot()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	delta := dev.Meter.Snapshot().Sub(before)
+	// Unlike LSVD (one flush, zero writes), bcache persists dirty
+	// index nodes at the barrier.
+	if delta.WriteOps == 0 {
+		t.Fatal("commit barrier wrote no metadata")
+	}
+	if delta.Flushes != 1 {
+		t.Fatalf("flushes=%d", delta.Flushes)
+	}
+	// A second flush with nothing dirty writes nothing.
+	before = dev.Meter.Snapshot()
+	_ = c.Flush()
+	delta = dev.Meter.Snapshot().Sub(before)
+	if delta.WriteOps != 0 {
+		t.Fatal("idle barrier still wrote metadata")
+	}
+}
+
+func TestWriteBackDrainsDirty(t *testing.T) {
+	c, _, pool := newCache(t, 64*block.MiB)
+	for i := 0; i < 16; i++ {
+		_ = c.WriteAt(payload(int64(i), 16*1024), int64(i)*(1<<20))
+	}
+	if c.DirtyBytes() == 0 {
+		t.Fatal("no dirty data")
+	}
+	// No backend traffic yet: write-back is load-gated.
+	if pool.Totals().WriteOps != 0 {
+		t.Fatal("write-back ran during load")
+	}
+	if err := c.WriteBack(1 << 62); err != nil {
+		t.Fatal(err)
+	}
+	if c.DirtyBytes() != 0 {
+		t.Fatal("dirty data left after write-back")
+	}
+	if pool.Totals().WriteOps == 0 {
+		t.Fatal("write-back produced no backend I/O")
+	}
+	// Backing now holds the data.
+	got := make([]byte, 16*1024)
+	if err := c.opts.Backing.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload(0, 16*1024)) {
+		t.Fatal("backing data wrong after write-back")
+	}
+}
+
+func TestWriteBackIsLBAOrderNotArrivalOrder(t *testing.T) {
+	c, _, _ := newCache(t, 64*block.MiB)
+	// Write high LBA first, then low LBA; partial write-back must
+	// destage the LOW LBA first — the prefix-consistency violation.
+	_ = c.WriteAt(payload(1, 4096), 32<<20)
+	_ = c.WriteAt(payload(2, 4096), 0)
+	if err := c.WriteBack(4096); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	_ = c.opts.Backing.ReadAt(got, 0)
+	if !bytes.Equal(got, payload(2, 4096)) {
+		t.Fatal("low LBA not written back first")
+	}
+	_ = c.opts.Backing.ReadAt(got, 32<<20)
+	if bytes.Equal(got, payload(1, 4096)) {
+		t.Fatal("budget ignored: both extents written back")
+	}
+}
+
+func TestCacheFullForcesWriteback(t *testing.T) {
+	c, _, pool := newCache(t, 4*block.MiB)
+	for i := 0; i < 200; i++ {
+		if err := c.WriteAt(payload(int64(i), 64*1024), int64(i%64)*(1<<20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("full cache never evicted")
+	}
+	if pool.Totals().WriteOps == 0 {
+		t.Fatal("forced write-back produced no backend I/O")
+	}
+}
+
+func TestCrashLosesCacheOnly(t *testing.T) {
+	c, _, _ := newCache(t, 64*block.MiB)
+	_ = c.WriteAt(payload(1, 4096), 0)
+	_ = c.WriteBack(1 << 62)
+	_ = c.WriteAt(payload(2, 4096), 4096) // dirty, never written back
+	backing := c.Crash()
+	got := make([]byte, 4096)
+	_ = backing.ReadAt(got, 0)
+	if !bytes.Equal(got, payload(1, 4096)) {
+		t.Fatal("written-back data lost")
+	}
+	_ = backing.ReadAt(got, 4096)
+	if bytes.Equal(got, payload(2, 4096)) {
+		t.Fatal("un-destaged data survived the crash")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("nil options accepted")
+	}
+}

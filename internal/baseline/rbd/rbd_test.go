@@ -1,0 +1,98 @@
+package rbd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lsvd/internal/block"
+	"lsvd/internal/cluster"
+)
+
+func newDisk(t *testing.T) (*Disk, *cluster.Pool) {
+	t.Helper()
+	pool, err := cluster.New(cluster.HDDConfig2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Options{Volume: "img", Pool: pool, VolBytes: 256 * block.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, pool
+}
+
+func TestRoundTrip(t *testing.T) {
+	d, _ := newDisk(t)
+	data := make([]byte, 64*1024)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := d.WriteAt(data, 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := d.ReadAt(got, 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestSixXAmplification(t *testing.T) {
+	d, pool := newDisk(t)
+	buf := make([]byte, 16*1024)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := d.WriteAt(buf, int64(i)*32*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := pool.Totals()
+	if c.WriteOps != 6*n {
+		t.Fatalf("backend ops %d, want %d (6x)", c.WriteOps, 6*n)
+	}
+}
+
+func TestObjectBoundarySplit(t *testing.T) {
+	d, pool := newDisk(t)
+	// A write straddling a 4 MiB boundary becomes two replicated writes.
+	buf := make([]byte, 64*1024)
+	if err := d.WriteAt(buf, 4*block.MiB-32*1024); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := d.Ops(); w != 2 {
+		t.Fatalf("straddling write split into %d pieces", w)
+	}
+	if c := pool.Totals(); c.WriteOps != 12 {
+		t.Fatalf("backend ops %d", c.WriteOps)
+	}
+}
+
+func TestTrimZeroes(t *testing.T) {
+	d, _ := newDisk(t)
+	data := bytes.Repeat([]byte{0xAA}, 128*1024)
+	_ = d.WriteAt(data, 0)
+	if err := d.Trim(0, 64*1024); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 128*1024)
+	_ = d.ReadAt(got, 0)
+	for i := 0; i < 64*1024; i++ {
+		if got[i] != 0 {
+			t.Fatal("trim did not zero")
+		}
+	}
+	if got[64*1024] != 0xAA {
+		t.Fatal("trim zeroed too much")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	pool, _ := cluster.New(cluster.HDDConfig2())
+	if _, err := New(Options{Volume: "x", Pool: pool, VolBytes: 100}); err == nil {
+		t.Fatal("unaligned size accepted")
+	}
+	if _, err := New(Options{Volume: "x", VolBytes: 1 << 20}); err == nil {
+		t.Fatal("nil pool accepted")
+	}
+}

@@ -1,0 +1,295 @@
+package blockstore
+
+import (
+	"fmt"
+
+	"lsvd/internal/block"
+	"lsvd/internal/extmap"
+	"lsvd/internal/journal"
+)
+
+// batch accumulates client writes until sealed into an object. Writes
+// within a batch may be coalesced — overwritten bytes never reach the
+// backend — which is safe because the object is stored atomically
+// (§3.1: "Writes may thus be coalesced within a single batch, although
+// not across batches").
+type batch struct {
+	capBytes   int64
+	buf        []byte
+	fill       int64
+	m          *extmap.Map // vLBA -> offset in buf (sectors), coalescing index
+	noCoalesce bool
+	raw        []journal.ExtentEntry // no-coalesce mode: extents in arrival order
+	rawOffs    []int64
+	trims      []block.Extent
+	maxWrite   uint64 // newest client writeSeq in the batch
+	coalesced  uint64 // bytes displaced by intra-batch overwrites
+	writes     int
+}
+
+func newBatch(capBytes int64, noCoalesce bool) *batch {
+	return &batch{capBytes: capBytes, m: extmap.New(), noCoalesce: noCoalesce}
+}
+
+func (b *batch) empty() bool { return b.writes == 0 && len(b.trims) == 0 }
+
+func (b *batch) add(writeSeq uint64, ext block.Extent, data []byte) {
+	off := b.fill
+	b.buf = append(b.buf, data...)
+	b.fill += int64(len(data))
+	if b.noCoalesce {
+		b.raw = append(b.raw, journal.ExtentEntry{LBA: ext.LBA, Sectors: ext.Sectors})
+		b.rawOffs = append(b.rawOffs, off)
+	} else {
+		displaced := b.m.Update(ext, extmap.Target{Off: block.LBAFromBytes(off)})
+		for _, r := range displaced {
+			b.coalesced += uint64(r.Bytes())
+		}
+	}
+	if writeSeq > b.maxWrite {
+		b.maxWrite = writeSeq
+	}
+	b.writes++
+}
+
+func (b *batch) addTrim(writeSeq uint64, ext block.Extent) {
+	b.trims = append(b.trims, ext)
+	if !b.noCoalesce {
+		displaced := b.m.Delete(ext)
+		for _, r := range displaced {
+			b.coalesced += uint64(r.Bytes())
+		}
+	}
+	if writeSeq > b.maxWrite {
+		b.maxWrite = writeSeq
+	}
+}
+
+// Append buffers one client write; the batch is sealed into a backend
+// object when it reaches the configured size (§3.2).
+func (s *Store) Append(writeSeq uint64, ext block.Extent, data []byte) error {
+	if int64(len(data)) != ext.Bytes() {
+		return fmt.Errorf("blockstore: extent %v does not match %d data bytes", ext, len(data))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	s.batch.add(writeSeq, ext, data)
+	s.stats.bytesAppended += uint64(len(data))
+	if s.batch.fill >= s.cfg.BatchBytes {
+		return s.sealLocked()
+	}
+	return nil
+}
+
+// Trim buffers a discard.
+func (s *Store) Trim(writeSeq uint64, ext block.Extent) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	s.batch.addTrim(writeSeq, ext)
+	return nil
+}
+
+// Seal forces the current batch out as an object (used on commit
+// pressure and at shutdown).
+func (s *Store) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	return s.sealLocked()
+}
+
+// sealLocked builds the object for the pending batch, PUTs it, updates
+// the map and accounting, then runs checkpoint/GC policy.
+func (s *Store) sealLocked() error {
+	b := s.batch
+	if b.empty() {
+		return nil
+	}
+
+	var exts []journal.ExtentEntry
+	var offs []int64
+	seq := s.nextSeq
+	for _, t := range b.trims {
+		exts = append(exts, journal.ExtentEntry{LBA: t.LBA, Sectors: t.Sectors, SrcSeq: trimMarker})
+	}
+	if b.noCoalesce {
+		for i, e := range b.raw {
+			e.SrcSeq = uint64(seq)
+			exts = append(exts, e)
+			offs = append(offs, b.rawOffs[i])
+		}
+	} else {
+		b.m.Foreach(func(ext block.Extent, t extmap.Target) bool {
+			exts = append(exts, journal.ExtentEntry{LBA: ext.LBA, Sectors: ext.Sectors, SrcSeq: uint64(seq)})
+			offs = append(offs, t.Off.Bytes())
+			return true
+		})
+	}
+
+	obj, info, mapped, err := s.buildObject(seq, journal.TypeData, b.maxWrite, exts, offs, b.buf)
+	if err != nil {
+		return err
+	}
+	if err := s.cfg.Store.Put(s.ctx, objName(s.cfg.Volume, seq), obj); err != nil {
+		return err
+	}
+	s.stats.bytesPut += uint64(len(obj))
+	s.stats.bytesCoalesced += b.coalesced
+	s.installObject(info, mapped, b.trims)
+
+	if b.maxWrite > s.durableWriteSeq {
+		s.durableWriteSeq = b.maxWrite
+		if s.cfg.OnDestage != nil {
+			s.cfg.OnDestage(s.durableWriteSeq)
+		}
+	}
+
+	s.batch = newBatch(s.cfg.BatchBytes, s.cfg.NoCoalesce)
+	s.nextSeq++
+	s.sinceCkpt++
+
+	if s.sinceCkpt >= s.cfg.CheckpointEvery {
+		if err := s.checkpointLocked(); err != nil {
+			return err
+		}
+	}
+	if s.cfg.GCLowWater > 0 && s.utilizationLocked() < s.cfg.GCLowWater {
+		if err := s.gcLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildObject assembles an object image: header (padded to a sector
+// boundary so data offsets are sector-addressable) followed by the data
+// for each non-trim extent, gathered from src at the given offsets.
+// It returns the image, the object's table entry, and the data extents
+// paired with their in-object sector offsets for map installation.
+type mappedExtent struct {
+	ext    block.Extent
+	srcSeq uint64
+	target extmap.Target
+}
+
+func (s *Store) buildObject(seq uint32, typ journal.Type, writeSeq uint64, exts []journal.ExtentEntry, offs []int64, src []byte) ([]byte, *objInfo, []mappedExtent, error) {
+	hdrBytes := journal.HeaderSize(len(exts))
+	hdrBytes = (hdrBytes + block.SectorSize - 1) &^ (block.SectorSize - 1)
+	hdrSectors := uint32(hdrBytes / block.SectorSize)
+
+	var dataLen int64
+	for _, e := range exts {
+		if e.SrcSeq != trimMarker {
+			dataLen += int64(e.Sectors) << block.SectorShift
+		}
+	}
+	data := make([]byte, dataLen)
+	var mapped []mappedExtent
+	cursor := int64(0)
+	di := 0 // index into offs (non-trim extents only)
+	for _, e := range exts {
+		if e.SrcSeq == trimMarker {
+			continue
+		}
+		n := int64(e.Sectors) << block.SectorShift
+		copy(data[cursor:cursor+n], src[offs[di]:offs[di]+n])
+		mapped = append(mapped, mappedExtent{
+			ext:    block.Extent{LBA: e.LBA, Sectors: e.Sectors},
+			srcSeq: e.SrcSeq,
+			target: extmap.Target{Obj: seq, Off: block.LBA(hdrSectors) + block.LBAFromBytes(cursor)},
+		})
+		cursor += n
+		di++
+	}
+
+	h := &journal.Header{Type: typ, Seq: uint64(seq), WriteSeq: writeSeq, Extents: exts, DataLen: uint64(dataLen)}
+	rec, err := journal.EncodeSectorHeader(h, data)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	info := &objInfo{
+		seq: seq, typ: typ, totalBytes: int64(len(rec)),
+		hdrSectors: hdrSectors, dataSectors: uint32(dataLen >> block.SectorShift),
+		liveSectors: uint32(dataLen >> block.SectorShift), writeSeq: writeSeq,
+	}
+	return rec, info, mapped, nil
+}
+
+// installObject applies a sealed object's effects to the map and the
+// object table. trims lists trim extents to apply first. Fresh data
+// extents use unconditional updates; GC extents (srcSeq < own seq) use
+// conditional no-fill updates so they never clobber newer data.
+func (s *Store) installObject(info *objInfo, mapped []mappedExtent, trims []block.Extent) {
+	// Register the object (and its utilization contribution) before
+	// any map update: in no-coalesce mode an object's own extents
+	// overlap, so displacement accounting must already see it.
+	s.objects[info.seq] = info
+	if s.utilCounted(info) {
+		s.utilLive += uint64(info.liveSectors)
+		s.utilData += uint64(info.dataSectors)
+	}
+	for _, t := range trims {
+		s.applyDisplaced(s.m.Delete(t))
+	}
+	for _, me := range mapped {
+		var displaced []extmap.Run
+		if me.srcSeq == uint64(info.seq) {
+			displaced = s.m.Update(me.ext, me.target)
+		} else {
+			src := me.srcSeq
+			displaced = s.m.UpdateExisting(me.ext, me.target, func(r extmap.Run) bool {
+				return uint64(r.Target.Obj) <= src
+			})
+			// Conditional updates may install less than the full
+			// extent; adjust live accounting to what actually mapped.
+			var installed uint32
+			for _, d := range displaced {
+				installed += d.Sectors
+			}
+			if gap := me.ext.Sectors - installed; gap > 0 && info.liveSectors >= gap {
+				info.liveSectors -= gap
+				if s.utilCounted(info) {
+					s.utilLive -= uint64(gap)
+				}
+			}
+		}
+		s.applyDisplaced(displaced)
+	}
+	s.hdrCache[info.seq] = &hdrEntry{extents: extentEntries(mapped, trims, info), hdrSectors: info.hdrSectors}
+	s.pruneHdrCache()
+}
+
+func extentEntries(mapped []mappedExtent, trims []block.Extent, info *objInfo) []journal.ExtentEntry {
+	out := make([]journal.ExtentEntry, 0, len(mapped)+len(trims))
+	for _, t := range trims {
+		out = append(out, journal.ExtentEntry{LBA: t.LBA, Sectors: t.Sectors, SrcSeq: trimMarker})
+	}
+	for _, me := range mapped {
+		out = append(out, journal.ExtentEntry{LBA: me.ext.LBA, Sectors: me.ext.Sectors, SrcSeq: me.srcSeq})
+	}
+	return out
+}
+
+const hdrCacheMax = 256
+
+func (s *Store) pruneHdrCache() {
+	if len(s.hdrCache) <= hdrCacheMax {
+		return
+	}
+	// Simple pressure valve: drop arbitrary entries down to half.
+	for seq := range s.hdrCache {
+		delete(s.hdrCache, seq)
+		if len(s.hdrCache) <= hdrCacheMax/2 {
+			break
+		}
+	}
+}

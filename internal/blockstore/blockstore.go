@@ -1,0 +1,477 @@
+// Package blockstore implements LSVD's log-structured block store
+// (paper §3.1, Fig 3/4): client writes are batched, coalesced within
+// the batch, and stored as an ordered stream of immutable numbered
+// objects on an S3-like store. An in-memory extent map locates the
+// current copy of every virtual-disk block; object headers carry the
+// extent lists needed to rebuild the map; periodic checkpoint objects
+// bound recovery replay (§3.3); greedy garbage collection reclaims
+// overwritten space (§3.5); and the object stream naturally supports
+// snapshots and clones (§3.6) and asynchronous replication (§4.8).
+package blockstore
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"lsvd/internal/block"
+	"lsvd/internal/extmap"
+	"lsvd/internal/journal"
+	"lsvd/internal/objstore"
+)
+
+// trimMarker distinguishes trim extents in object headers.
+const trimMarker = ^uint64(0)
+
+// ErrReadOnly is returned for mutations on snapshot mounts.
+var ErrReadOnly = errors.New("blockstore: volume is read-only")
+
+// Config configures a block store volume.
+type Config struct {
+	// Volume is the object name prefix; objects are named
+	// "<volume>.<8-digit-seq>" so lexical order is log order.
+	Volume string
+	// Store is the backend.
+	Store objstore.Store
+	// VolSectors is the virtual disk size in sectors (Create only).
+	VolSectors block.LBA
+	// BatchBytes is the write batch / object payload target (paper:
+	// 8 or 32 MiB). Default 8 MiB.
+	BatchBytes int64
+	// GCLowWater triggers collection when live/total falls below it;
+	// GCHighWater stops collection. Paper: 0.70 / 0.75. GCLowWater 0
+	// disables automatic GC.
+	GCLowWater, GCHighWater float64
+	// CheckpointEvery writes a map checkpoint after this many sealed
+	// objects. Default 32.
+	CheckpointEvery int
+	// DefragHoleSectors plugs vLBA holes up to this size during GC by
+	// copying extra data, reducing map fragmentation (§4.6). 0 = off.
+	DefragHoleSectors uint32
+	// NoCoalesce disables intra-batch write coalescing (Table 5's
+	// "no merge" mode).
+	NoCoalesce bool
+	// FetchFromCache, when set, lets the GC read live data from the
+	// local cache instead of the backend (§3.5). It returns true if it
+	// filled buf for ext. It is invoked with the store lock held and
+	// must not call back into the Store.
+	FetchFromCache func(ext block.Extent, buf []byte) bool
+	// OnDestage is called (store lock held; must not call back) when
+	// client writes up to writeSeq become durable in the backend.
+	OnDestage func(writeSeq uint64)
+}
+
+func (c *Config) setDefaults() {
+	if c.BatchBytes == 0 {
+		c.BatchBytes = 8 * block.MiB
+	}
+	if c.GCLowWater > 0 && c.GCHighWater < c.GCLowWater {
+		c.GCHighWater = c.GCLowWater + 0.05
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 32
+	}
+}
+
+// objInfo tracks one backend object.
+type objInfo struct {
+	seq         uint32
+	typ         journal.Type
+	totalBytes  int64
+	hdrSectors  uint32
+	dataSectors uint32
+	liveSectors uint32
+	writeSeq    uint64
+}
+
+// snapshot is a named pointer into the object stream.
+type snapshot struct {
+	Name string
+	Seq  uint32
+}
+
+// deferredDelete records a cleaned object whose deletion awaits
+// snapshot removal: Obj may be deleted once no snapshot falls in
+// (Obj, GCSeq).
+type deferredDelete struct {
+	Obj   uint32
+	GCSeq uint32
+}
+
+// Stats reports block store activity.
+type Stats struct {
+	Objects         int
+	NextSeq         uint32
+	LiveSectors     uint64
+	DataSectors     uint64
+	MapExtents      int
+	BytesAppended   uint64 // client bytes in
+	BytesPut        uint64 // object payload bytes out (incl. GC)
+	BytesCoalesced  uint64 // client bytes eliminated by batch merge
+	GCBytesCopied   uint64
+	GCRuns          uint64
+	ObjectsDeleted  uint64
+	Checkpoints     uint64
+	DurableWriteSeq uint64
+	PendingBatch    int64
+	DeferredDeletes int
+}
+
+// Store is a log-structured block store for one volume.
+type Store struct {
+	mu  sync.Mutex
+	cfg Config
+	ctx context.Context
+
+	volSectors block.LBA
+	m          *extmap.Map
+	objects    map[uint32]*objInfo
+	nextSeq    uint32
+	lastCkpt   uint32
+
+	baseVol string
+	baseSeq uint32
+
+	readOnly bool
+
+	snapshots []snapshot
+	deferred  []deferredDelete
+	pending   []deferredDelete // cleaned, waiting for next checkpoint
+	cleaned   map[uint32]bool  // cleaned objects awaiting deletion
+
+	// Running utilization counters over own, non-cleaned data/GC
+	// objects, so the per-seal GC trigger is O(1).
+	utilLive, utilData uint64
+
+	batch *batch
+
+	durableWriteSeq uint64
+	sinceCkpt       int
+
+	hdrCache map[uint32]*hdrEntry
+
+	stats struct {
+		bytesAppended, bytesPut, bytesCoalesced uint64
+		gcBytesCopied, gcRuns, objectsDeleted   uint64
+		checkpoints                             uint64
+	}
+}
+
+type hdrEntry struct {
+	extents    []journal.ExtentEntry
+	hdrSectors uint32
+}
+
+func objName(vol string, seq uint32) string { return fmt.Sprintf("%s.%08d", vol, seq) }
+
+func superName(vol string) string { return vol + ".super" }
+
+// name returns the object name for seq, resolving clone-base objects
+// to the base volume's prefix (§3.6).
+func (s *Store) name(seq uint32) string {
+	if s.baseVol != "" && seq <= s.baseSeq {
+		return objName(s.baseVol, seq)
+	}
+	return objName(s.cfg.Volume, seq)
+}
+
+// parseSeq extracts the sequence number from an object name with the
+// given volume prefix; ok is false for non-sequence names (super etc).
+func parseSeq(vol, name string) (uint32, bool) {
+	suffix, found := strings.CutPrefix(name, vol+".")
+	if !found || len(suffix) != 8 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(suffix, 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return uint32(n), true
+}
+
+// Create initializes a new empty volume: a superblock and an initial
+// checkpoint object.
+func Create(ctx context.Context, cfg Config) (*Store, error) {
+	cfg.setDefaults()
+	if cfg.VolSectors == 0 {
+		return nil, fmt.Errorf("blockstore: zero volume size")
+	}
+	if _, err := cfg.Store.Get(ctx, superName(cfg.Volume)); err == nil {
+		return nil, fmt.Errorf("blockstore: volume %q already exists", cfg.Volume)
+	}
+	s := newStore(ctx, cfg)
+	s.volSectors = cfg.VolSectors
+	s.nextSeq = 1
+	if err := s.checkpointLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func newStore(ctx context.Context, cfg Config) *Store {
+	s := &Store{
+		cfg:      cfg,
+		ctx:      ctx,
+		m:        extmap.New(),
+		objects:  make(map[uint32]*objInfo),
+		hdrCache: make(map[uint32]*hdrEntry),
+		cleaned:  make(map[uint32]bool),
+	}
+	s.batch = newBatch(cfg.BatchBytes, cfg.NoCoalesce)
+	return s
+}
+
+// VolSectors returns the virtual disk size in sectors.
+func (s *Store) VolSectors() block.LBA { return s.volSectors }
+
+// DurableWriteSeq returns the newest client write sequence durable in
+// the backend (the destage watermark).
+func (s *Store) DurableWriteSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durableWriteSeq
+}
+
+// Utilization returns live/total over the volume's own data objects;
+// 1.0 when empty.
+func (s *Store) Utilization() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.utilizationLocked()
+}
+
+// utilizationLocked is live/total over the volume's own data objects,
+// excluding objects the GC has already cleaned (their deletion is
+// merely deferred; counting them would make collection look futile and
+// trigger runaway over-collection). The counters are maintained
+// incrementally; recomputeUtilLocked rebuilds them after recovery.
+func (s *Store) utilizationLocked() float64 {
+	if s.utilData == 0 {
+		return 1.0
+	}
+	return float64(s.utilLive) / float64(s.utilData)
+}
+
+// utilCounted reports whether o participates in the utilization
+// counters (own, non-cleaned data/GC object).
+func (s *Store) utilCounted(o *objInfo) bool {
+	return o != nil && o.seq > s.baseSeq && !s.cleaned[o.seq] &&
+		(o.typ == journal.TypeData || o.typ == journal.TypeGC)
+}
+
+// recomputeUtilLocked rebuilds the running counters from the table.
+func (s *Store) recomputeUtilLocked() {
+	s.utilLive, s.utilData = 0, 0
+	for _, o := range s.objects {
+		if s.utilCounted(o) {
+			s.utilLive += uint64(o.liveSectors)
+			s.utilData += uint64(o.dataSectors)
+		}
+	}
+}
+
+// Stats returns a statistics snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Objects: len(s.objects), NextSeq: s.nextSeq, MapExtents: s.m.Len(),
+		BytesAppended: s.stats.bytesAppended, BytesPut: s.stats.bytesPut,
+		BytesCoalesced: s.stats.bytesCoalesced, GCBytesCopied: s.stats.gcBytesCopied,
+		GCRuns: s.stats.gcRuns, ObjectsDeleted: s.stats.objectsDeleted,
+		Checkpoints: s.stats.checkpoints, DurableWriteSeq: s.durableWriteSeq,
+		PendingBatch: s.batch.fill, DeferredDeletes: len(s.deferred) + len(s.pending),
+	}
+	for _, o := range s.objects {
+		if o.typ == journal.TypeData || o.typ == journal.TypeGC {
+			st.LiveSectors += uint64(o.liveSectors)
+			st.DataSectors += uint64(o.dataSectors)
+		}
+	}
+	return st
+}
+
+// applyDisplaced decrements live counters for displaced map runs.
+func (s *Store) applyDisplaced(displaced []extmap.Run) {
+	for _, r := range displaced {
+		o := s.objects[r.Target.Obj]
+		if o == nil {
+			continue
+		}
+		dec := r.Sectors
+		if o.liveSectors < dec {
+			dec = o.liveSectors
+		}
+		o.liveSectors -= dec
+		if s.utilCounted(o) {
+			s.utilLive -= uint64(dec)
+		}
+	}
+}
+
+// --- superblock ---
+
+type superblock struct {
+	volSectors block.LBA
+	lastCkpt   uint32
+	baseVol    string
+	baseSeq    uint32
+	snapshots  []snapshot
+}
+
+func encodeSuper(sb *superblock) ([]byte, error) {
+	var w binWriter
+	w.u64(uint64(sb.volSectors))
+	w.u32(sb.lastCkpt)
+	w.str(sb.baseVol)
+	w.u32(sb.baseSeq)
+	w.u32(uint32(len(sb.snapshots)))
+	for _, sn := range sb.snapshots {
+		w.str(sn.Name)
+		w.u32(sn.Seq)
+	}
+	h := &journal.Header{Type: journal.TypeSuper, DataLen: uint64(len(w.buf))}
+	return journal.Encode(h, w.buf, false)
+}
+
+func decodeSuper(raw []byte) (*superblock, error) {
+	h, data, _, err := journal.Decode(raw, false)
+	if err != nil {
+		return nil, err
+	}
+	if h.Type != journal.TypeSuper {
+		return nil, fmt.Errorf("blockstore: superblock object holds %v record", h.Type)
+	}
+	r := binReader{buf: data}
+	sb := &superblock{}
+	sb.volSectors = block.LBA(r.u64())
+	sb.lastCkpt = r.u32()
+	sb.baseVol = r.str()
+	sb.baseSeq = r.u32()
+	n := int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		name := r.str()
+		seq := r.u32()
+		sb.snapshots = append(sb.snapshots, snapshot{Name: name, Seq: seq})
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("blockstore: corrupt superblock: %w", r.err)
+	}
+	return sb, nil
+}
+
+// SuperInfo is the decoded, tool-facing view of a volume superblock.
+type SuperInfo struct {
+	VolSectors     block.LBA
+	LastCheckpoint uint32
+	BaseVolume     string
+	BaseSeq        uint32
+	Snapshots      []SnapshotInfo
+}
+
+// DecodeSuperInfo parses a raw superblock object (for replication and
+// admin tooling).
+func DecodeSuperInfo(raw []byte) (*SuperInfo, error) {
+	sb, err := decodeSuper(raw)
+	if err != nil {
+		return nil, err
+	}
+	info := &SuperInfo{
+		VolSectors: sb.volSectors, LastCheckpoint: sb.lastCkpt,
+		BaseVolume: sb.baseVol, BaseSeq: sb.baseSeq,
+	}
+	for _, sn := range sb.snapshots {
+		info.Snapshots = append(info.Snapshots, SnapshotInfo{Name: sn.Name, Seq: sn.Seq})
+	}
+	return info, nil
+}
+
+func (s *Store) writeSuper() error {
+	raw, err := encodeSuper(&superblock{
+		volSectors: s.volSectors, lastCkpt: s.lastCkpt,
+		baseVol: s.baseVol, baseSeq: s.baseSeq, snapshots: s.snapshots,
+	})
+	if err != nil {
+		return err
+	}
+	return s.cfg.Store.Put(s.ctx, superName(s.cfg.Volume), raw)
+}
+
+// --- small binary codec helpers ---
+
+type binWriter struct{ buf []byte }
+
+func (w *binWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *binWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *binWriter) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.buf = append(w.buf, p...)
+}
+
+func (w *binWriter) str(s string) { w.bytes([]byte(s)) }
+
+type binReader struct {
+	buf []byte
+	err error
+}
+
+func (r *binReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = fmt.Errorf("truncated at %d (need %d)", len(r.buf), n)
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *binReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *binReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *binReader) bytes() []byte { return r.take(int(r.u32())) }
+
+func (r *binReader) str() string { return string(r.bytes()) }
+
+// sortedSeqs returns the volume's own object sequence numbers present
+// in names, ascending.
+func sortedSeqs(vol string, names []string) []uint32 {
+	var out []uint32
+	for _, n := range names {
+		if seq, ok := parseSeq(vol, n); ok {
+			out = append(out, seq)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

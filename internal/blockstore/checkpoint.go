@@ -1,0 +1,155 @@
+package blockstore
+
+import (
+	"lsvd/internal/journal"
+)
+
+// checkpoint payload: the serialized object map, the object table,
+// deferred deletes, the durable write watermark and a pointer to the
+// previous checkpoint (for snapshot mounts that need an older one).
+type checkpointPayload struct {
+	prevCkpt        uint32
+	durableWriteSeq uint64
+	nextSeq         uint32
+	objects         []objInfo
+	deferred        []deferredDelete
+	mapBytes        []byte
+}
+
+func (s *Store) encodeCheckpoint() ([]byte, error) {
+	mapBytes, err := s.m.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var w binWriter
+	w.u32(s.lastCkpt)
+	w.u64(s.durableWriteSeq)
+	w.u32(s.nextSeq)
+	w.u32(uint32(len(s.objects)))
+	for _, o := range s.objects {
+		w.u32(o.seq)
+		w.u32(uint32(o.typ))
+		w.u64(uint64(o.totalBytes))
+		w.u32(o.hdrSectors)
+		w.u32(o.dataSectors)
+		w.u32(o.liveSectors)
+		w.u64(o.writeSeq)
+	}
+	deferred := append(append([]deferredDelete{}, s.deferred...), s.pending...)
+	w.u32(uint32(len(deferred)))
+	for _, d := range deferred {
+		w.u32(d.Obj)
+		w.u32(d.GCSeq)
+	}
+	w.bytes(mapBytes)
+	return w.buf, nil
+}
+
+func decodeCheckpoint(data []byte) (*checkpointPayload, error) {
+	r := binReader{buf: data}
+	p := &checkpointPayload{}
+	p.prevCkpt = r.u32()
+	p.durableWriteSeq = r.u64()
+	p.nextSeq = r.u32()
+	nObj := int(r.u32())
+	for i := 0; i < nObj && r.err == nil; i++ {
+		o := objInfo{}
+		o.seq = r.u32()
+		o.typ = journal.Type(r.u32())
+		o.totalBytes = int64(r.u64())
+		o.hdrSectors = r.u32()
+		o.dataSectors = r.u32()
+		o.liveSectors = r.u32()
+		o.writeSeq = r.u64()
+		p.objects = append(p.objects, o)
+	}
+	nDef := int(r.u32())
+	for i := 0; i < nDef && r.err == nil; i++ {
+		d := deferredDelete{Obj: r.u32(), GCSeq: r.u32()}
+		p.deferred = append(p.deferred, d)
+	}
+	p.mapBytes = r.bytes()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return p, nil
+}
+
+// Checkpoint writes the volume's map and metadata as a numbered object
+// in the stream (§3.3), updates the superblock pointer, and releases
+// object deletions that were waiting for a checkpoint.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	payload, err := s.encodeCheckpoint()
+	if err != nil {
+		return err
+	}
+	seq := s.nextSeq
+	h := &journal.Header{Type: journal.TypeCheckpoint, Seq: uint64(seq), WriteSeq: s.durableWriteSeq, DataLen: uint64(len(payload))}
+	rec, err := journal.EncodeSectorHeader(h, payload)
+	if err != nil {
+		return err
+	}
+	if err := s.cfg.Store.Put(s.ctx, objName(s.cfg.Volume, seq), rec); err != nil {
+		return err
+	}
+	s.objects[seq] = &objInfo{seq: seq, typ: journal.TypeCheckpoint, totalBytes: int64(len(rec))}
+	prevCkpt := s.lastCkpt
+	s.lastCkpt = seq
+	s.nextSeq++
+	s.sinceCkpt = 0
+	s.stats.checkpoints++
+	if err := s.writeSuper(); err != nil {
+		// Roll back the pointer: the super still names the old
+		// checkpoint, which remains valid.
+		s.lastCkpt = prevCkpt
+		return err
+	}
+	// GC deletions deferred to "after the next checkpoint" (§3.3) can
+	// now proceed, subject to snapshot deferral (§3.6).
+	pending := s.pending
+	s.pending = nil
+	for _, d := range pending {
+		if err := s.completeDelete(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// completeDelete deletes a cleaned object unless a snapshot pins it,
+// in which case it joins the persistent deferred list.
+func (s *Store) completeDelete(d deferredDelete) error {
+	for _, sn := range s.snapshots {
+		if sn.Seq >= d.Obj && sn.Seq < d.GCSeq {
+			s.deferred = append(s.deferred, d)
+			return nil
+		}
+	}
+	return s.deleteObject(d.Obj)
+}
+
+func (s *Store) deleteObject(seq uint32) error {
+	if err := s.cfg.Store.Delete(s.ctx, s.name(seq)); err != nil {
+		return err
+	}
+	if o := s.objects[seq]; s.utilCounted(o) {
+		// Deleting an object the GC never cleaned (stranded recovery
+		// deletions): remove its utilization contribution.
+		s.utilLive -= uint64(o.liveSectors)
+		s.utilData -= uint64(o.dataSectors)
+	}
+	delete(s.objects, seq)
+	delete(s.hdrCache, seq)
+	delete(s.cleaned, seq)
+	s.stats.objectsDeleted++
+	return nil
+}

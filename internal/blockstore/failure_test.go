@@ -1,0 +1,128 @@
+package blockstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lsvd/internal/block"
+	"lsvd/internal/objstore"
+)
+
+// TestSealRetriesAfterPutFailure: a failed object PUT must leave the
+// batch intact so the caller can retry, and the retry must produce a
+// correct object.
+func TestSealRetriesAfterPutFailure(t *testing.T) {
+	faulty := objstore.NewFaulty(objstore.NewMem())
+	s := newVolume(t, faulty, Config{})
+	ext := block.Extent{LBA: 0, Sectors: 64}
+	data := payload(1, int(ext.Bytes()))
+	if err := s.Append(1, ext, data); err != nil {
+		t.Fatal(err)
+	}
+	faulty.FailPut(objName("vol", s.Stats().NextSeq))
+	if err := s.Seal(); !errors.Is(err, objstore.ErrInjected) {
+		t.Fatalf("injected failure not surfaced: %v", err)
+	}
+	// State must be unchanged: nothing durable, batch pending.
+	if s.Stats().DurableWriteSeq != 0 {
+		t.Fatal("failed seal advanced the watermark")
+	}
+	if s.Stats().PendingBatch == 0 {
+		t.Fatal("failed seal dropped the batch")
+	}
+	// Retry succeeds and data reads back.
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().DurableWriteSeq != 1 {
+		t.Fatal("retry did not destage")
+	}
+	if got := readAll(t, s, ext); !bytes.Equal(got, data) {
+		t.Fatal("data wrong after retried seal")
+	}
+}
+
+// TestCheckpointFailureKeepsOldPointer: if the superblock update
+// fails, the previous checkpoint must stay authoritative so recovery
+// still works.
+func TestCheckpointFailureKeepsOldPointer(t *testing.T) {
+	faulty := objstore.NewFaulty(objstore.NewMem())
+	s := newVolume(t, faulty, Config{CheckpointEvery: 1 << 30})
+	ext := block.Extent{LBA: 0, Sectors: 64}
+	data := payload(2, int(ext.Bytes()))
+	_ = s.Append(1, ext, data)
+	_ = s.Seal()
+	faulty.FailPut(superName("vol"))
+	if err := s.Checkpoint(); !errors.Is(err, objstore.ErrInjected) {
+		t.Fatalf("super failure not surfaced: %v", err)
+	}
+	// Recovery from the old superblock still finds everything (the
+	// data object replays from the old checkpoint).
+	s2, err := Open(ctx, Config{Volume: "vol", Store: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, s2, ext); !bytes.Equal(got, data) {
+		t.Fatal("data lost after failed checkpoint")
+	}
+}
+
+// TestRecoveryWithNewerCheckpointObject: a checkpoint whose PUT
+// completed but whose superblock update did not must be picked up
+// during replay (the replayObject TypeCheckpoint path).
+func TestRecoveryWithNewerCheckpointObject(t *testing.T) {
+	faulty := objstore.NewFaulty(objstore.NewMem())
+	s := newVolume(t, faulty, Config{CheckpointEvery: 1 << 30})
+	ext := block.Extent{LBA: 0, Sectors: 64}
+	data := payload(3, int(ext.Bytes()))
+	_ = s.Append(1, ext, data)
+	_ = s.Seal()
+	// Checkpoint object lands; superblock write fails.
+	faulty.FailPut(superName("vol"))
+	_ = s.Checkpoint()
+	s2, err := Open(ctx, Config{Volume: "vol", Store: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, s2, ext); !bytes.Equal(got, data) {
+		t.Fatal("data lost when replaying a stranded checkpoint")
+	}
+	// The stranded checkpoint became the authoritative one.
+	if s2.Stats().Checkpoints == 0 && s2.Stats().Objects == 0 {
+		t.Fatal("no state recovered")
+	}
+}
+
+// TestAppendAfterGCFailurePath: injected failures during GC PUTs must
+// not corrupt the map — data remains readable from the old objects.
+func TestGCPutFailureLeavesDataReadable(t *testing.T) {
+	faulty := objstore.NewFaulty(objstore.NewMem())
+	s := newVolume(t, faulty, Config{BatchBytes: 64 * 1024, GCLowWater: 0})
+	ext := block.Extent{LBA: 0, Sectors: 128}
+	orig := payload(4, int(ext.Bytes()))
+	_ = s.Append(1, ext, orig)
+	_ = s.Seal()
+	half := block.Extent{LBA: 0, Sectors: 64}
+	newer := payload(5, int(half.Bytes()))
+	_ = s.Append(2, half, newer)
+	_ = s.Seal()
+	// Fail the next PUT (the GC object).
+	faulty.FailEveryNth(1)
+	if err := s.RunGC(); err == nil {
+		t.Fatal("GC with failing store succeeded")
+	}
+	faulty.FailEveryNth(0)
+	want := append([]byte{}, orig...)
+	copy(want, newer)
+	if got := readAll(t, s, ext); !bytes.Equal(got, want) {
+		t.Fatal("data unreadable after failed GC")
+	}
+	// A later successful GC pass still works.
+	if err := s.RunGC(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, s, ext); !bytes.Equal(got, want) {
+		t.Fatal("data wrong after recovered GC")
+	}
+}

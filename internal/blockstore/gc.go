@@ -1,0 +1,261 @@
+package blockstore
+
+import (
+	"sort"
+
+	"lsvd/internal/block"
+	"lsvd/internal/journal"
+)
+
+// RunGC runs garbage collection until overall utilization reaches the
+// high-water mark or no further progress is possible (§3.5).
+func (s *Store) RunGC() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	return s.gcLocked()
+}
+
+// gcLocked implements the Greedy cleaning algorithm [Rosenblum &
+// Ousterhout]: repeatedly collect the least-utilized object, copying
+// its remaining live data into fresh GC objects, until utilization
+// recovers. Cleaned objects are deleted only after the next checkpoint
+// (so recovery never sees holes, §3.3) and deletion is further deferred
+// while a snapshot pins them (§3.6).
+func (s *Store) gcLocked() error {
+	s.stats.gcRuns++
+	high := s.cfg.GCHighWater
+	if high <= 0 {
+		high = 0.75
+	}
+	for s.utilizationLocked() < high {
+		cands := s.victimCandidatesLocked()
+		if len(cands) == 0 {
+			return nil
+		}
+		progress := false
+		for _, seq := range cands {
+			if s.utilizationLocked() >= high {
+				return nil
+			}
+			o := s.objects[seq]
+			if o == nil || s.cleaned[seq] || o.dataSectors == 0 ||
+				float64(o.liveSectors)/float64(o.dataSectors) >= 0.999 {
+				continue
+			}
+			if err := s.collectLocked(o); err != nil {
+				return err
+			}
+			progress = true
+		}
+		if !progress {
+			return nil
+		}
+	}
+	return nil
+}
+
+// victimCandidatesLocked returns collectable objects sorted by
+// ascending live ratio. The candidate list is consumed in bulk by
+// gcLocked so the O(objects) scan amortizes over many collections.
+func (s *Store) victimCandidatesLocked() []uint32 {
+	type cand struct {
+		seq   uint32
+		ratio float64
+	}
+	var cands []cand
+	for _, o := range s.objects {
+		if o.seq <= s.baseSeq || s.cleaned[o.seq] {
+			continue
+		}
+		if o.typ != journal.TypeData && o.typ != journal.TypeGC {
+			continue
+		}
+		if o.dataSectors == 0 {
+			continue
+		}
+		r := float64(o.liveSectors) / float64(o.dataSectors)
+		if r >= 0.999 {
+			continue // fully live: collecting it cannot help
+		}
+		cands = append(cands, cand{o.seq, r})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ratio < cands[j].ratio })
+	out := make([]uint32, len(cands))
+	for i, c := range cands {
+		out[i] = c.seq
+	}
+	return out
+}
+
+// gcPiece is one run of live data to relocate.
+type gcPiece struct {
+	ext    block.Extent
+	srcObj uint32
+	srcOff block.LBA // sector offset within source object
+}
+
+// collectLocked relocates the live data of victim into new GC objects
+// and schedules the victim for deletion.
+func (s *Store) collectLocked(victim *objInfo) error {
+	pieces, err := s.livePiecesLocked(victim)
+	if err != nil {
+		return err
+	}
+	if s.cfg.DefragHoleSectors > 0 {
+		pieces = s.plugHolesLocked(pieces)
+	}
+
+	// Relocate in batches of at most BatchBytes.
+	for len(pieces) > 0 {
+		var take []gcPiece
+		var bytes int64
+		for len(pieces) > 0 && bytes < s.cfg.BatchBytes {
+			take = append(take, pieces[0])
+			bytes += pieces[0].ext.Bytes()
+			pieces = pieces[1:]
+		}
+		if err := s.writeGCObjectLocked(take); err != nil {
+			return err
+		}
+	}
+
+	s.pending = append(s.pending, deferredDelete{Obj: victim.seq, GCSeq: s.nextSeq - 1})
+	// Leaving the utilization pool: subtract its contribution.
+	if s.utilCounted(victim) {
+		s.utilLive -= uint64(victim.liveSectors)
+		s.utilData -= uint64(victim.dataSectors)
+	}
+	s.cleaned[victim.seq] = true
+	return nil
+}
+
+// livePiecesLocked identifies the victim's still-live extents by
+// intersecting its stored header with the object map (§3.5: "we
+// retrieve the object header, which lists the live extents held in
+// that object at the time of its creation; only these ranges need be
+// examined").
+func (s *Store) livePiecesLocked(victim *objInfo) ([]gcPiece, error) {
+	hdr, err := s.headerL(victim.seq)
+	if err != nil {
+		return nil, err
+	}
+	var pieces []gcPiece
+	for _, e := range hdr.extents {
+		if e.SrcSeq == trimMarker {
+			continue
+		}
+		ext := block.Extent{LBA: e.LBA, Sectors: e.Sectors}
+		for _, run := range s.m.Lookup(ext) {
+			if run.Present && run.Target.Obj == victim.seq {
+				pieces = append(pieces, gcPiece{ext: run.Extent, srcObj: victim.seq, srcOff: run.Target.Off})
+			}
+		}
+	}
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].ext.LBA < pieces[j].ext.LBA })
+	// Objects written without coalescing carry overlapping header
+	// extents, so the same live run can be found more than once; clip
+	// overlaps so each live sector is copied exactly once (duplicates
+	// in a GC object would make it partially dead at birth and the
+	// collector would chase its own tail).
+	out := pieces[:0]
+	var prevEnd block.LBA
+	for _, p := range pieces {
+		if len(out) > 0 && p.ext.LBA < prevEnd {
+			if p.ext.End() <= prevEnd {
+				continue // fully duplicated
+			}
+			d := prevEnd - p.ext.LBA
+			p.ext.LBA += d
+			p.ext.Sectors -= uint32(d)
+			p.srcOff += d
+		}
+		out = append(out, p)
+		prevEnd = p.ext.End()
+	}
+	return out, nil
+}
+
+// plugHolesLocked adds small inter-piece gaps so that the relocated
+// extents merge in the map, trading a little extra copying for a
+// smaller map (§4.6 defragmentation). Unmapped gap portions are
+// plugged with explicit zeros (semantically identical reads); mapped
+// portions are copied from wherever they live. Total plugging per
+// collection is budgeted to a fraction of the genuinely live bytes so
+// the write-amplification cost stays small, as the paper reports.
+func (s *Store) plugHolesLocked(pieces []gcPiece) []gcPiece {
+	if len(pieces) < 2 {
+		return pieces
+	}
+	var liveSectors uint64
+	for _, p := range pieces {
+		liveSectors += uint64(p.ext.Sectors)
+	}
+	budget := liveSectors / 4 // <=25% extra copy volume
+	var plugged uint64
+
+	out := make([]gcPiece, 0, len(pieces))
+	out = append(out, pieces[0])
+	for _, p := range pieces[1:] {
+		prevEnd := out[len(out)-1].ext.End()
+		if p.ext.LBA > prevEnd && uint32(p.ext.LBA-prevEnd) <= s.cfg.DefragHoleSectors {
+			gap := block.Extent{LBA: prevEnd, Sectors: uint32(p.ext.LBA - prevEnd)}
+			if plugged+uint64(gap.Sectors) <= budget {
+				for _, run := range s.m.Lookup(gap) {
+					if run.Present {
+						out = append(out, gcPiece{ext: run.Extent, srcObj: run.Target.Obj, srcOff: run.Target.Off})
+					} else {
+						// Zero-fill: a fresh write of zeros.
+						out = append(out, gcPiece{ext: run.Extent})
+					}
+				}
+				plugged += uint64(gap.Sectors)
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// writeGCObjectLocked reads the pieces (preferring the local cache,
+// §3.5) and seals them into one GC object.
+func (s *Store) writeGCObjectLocked(pieces []gcPiece) error {
+	var buf []byte
+	exts := make([]journal.ExtentEntry, 0, len(pieces))
+	offs := make([]int64, 0, len(pieces))
+	seq := s.nextSeq
+	for _, p := range pieces {
+		data := make([]byte, p.ext.Bytes())
+		srcSeq := uint64(p.srcObj)
+		if p.srcObj == 0 {
+			// Zero-fill plug: a fresh write of zeros, installed
+			// unconditionally like client data.
+			srcSeq = uint64(seq)
+		} else if s.cfg.FetchFromCache == nil || !s.cfg.FetchFromCache(p.ext, data) {
+			got, err := s.cfg.Store.GetRange(s.ctx, s.name(p.srcObj), p.srcOff.Bytes(), p.ext.Bytes())
+			if err != nil {
+				return err
+			}
+			copy(data, got)
+		}
+		exts = append(exts, journal.ExtentEntry{LBA: p.ext.LBA, Sectors: p.ext.Sectors, SrcSeq: srcSeq})
+		offs = append(offs, int64(len(buf)))
+		buf = append(buf, data...)
+	}
+
+	obj, info, mapped, err := s.buildObject(seq, journal.TypeGC, s.durableWriteSeq, exts, offs, buf)
+	if err != nil {
+		return err
+	}
+	if err := s.cfg.Store.Put(s.ctx, objName(s.cfg.Volume, seq), obj); err != nil {
+		return err
+	}
+	s.stats.bytesPut += uint64(len(obj))
+	s.stats.gcBytesCopied += uint64(len(buf))
+	s.installObject(info, mapped, nil)
+	s.nextSeq++
+	s.sinceCkpt++
+	return nil
+}

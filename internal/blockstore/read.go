@@ -1,0 +1,185 @@
+package blockstore
+
+import (
+	"fmt"
+
+	"lsvd/internal/block"
+	"lsvd/internal/extmap"
+	"lsvd/internal/journal"
+)
+
+// Lookup returns the block store's coverage of ext: present runs carry
+// (object, sector-offset) targets, absent runs are uninitialized disk
+// ranges that read as zeros (§3.2).
+func (s *Store) Lookup(ext block.Extent) []extmap.Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Lookup(ext)
+}
+
+// ReadRun fetches the data for one present run returned by Lookup,
+// using a single range GET.
+func (s *Store) ReadRun(run extmap.Run) ([]byte, error) {
+	if !run.Present {
+		return nil, fmt.Errorf("blockstore: ReadRun on absent run %v", run.Extent)
+	}
+	s.mu.Lock()
+	name := s.name(run.Target.Obj)
+	s.mu.Unlock()
+	data, err := s.cfg.Store.GetRange(s.ctx, name, run.Target.Off.Bytes(), run.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != run.Bytes() {
+		return nil, fmt.Errorf("blockstore: short object read: %d of %d bytes", len(data), run.Bytes())
+	}
+	return data, nil
+}
+
+// Prefetched is extra data retrieved alongside a read miss, destined
+// for the read cache.
+type Prefetched struct {
+	Ext  block.Extent
+	Data []byte
+}
+
+// FetchRun fetches the data for run plus up to windowSectors of
+// adjacent object data. Because the object stream is temporal,
+// adjacency in the object means "written at the same time", so this is
+// the paper's temporal prefetch (§3.2): the extras are whatever
+// virtual-disk ranges were logged next to the requested data, verified
+// still live in the map before being returned.
+func (s *Store) FetchRun(run extmap.Run, windowSectors uint32) ([]byte, []Prefetched, error) {
+	if windowSectors == 0 {
+		data, err := s.ReadRun(run)
+		return data, nil, err
+	}
+	s.mu.Lock()
+	obj := s.objects[run.Target.Obj]
+	name := s.name(run.Target.Obj)
+	s.mu.Unlock()
+	if obj == nil {
+		data, err := s.ReadRun(run)
+		return data, nil, err
+	}
+
+	// Clamp the fetch window to the object's data region.
+	dataStart := block.LBA(obj.hdrSectors)
+	dataEnd := dataStart + block.LBA(obj.dataSectors)
+	lo := run.Target.Off
+	hi := lo + block.LBA(run.Sectors) + block.LBA(windowSectors)
+	if hi > dataEnd {
+		hi = dataEnd
+	}
+	if lo < dataStart {
+		lo = dataStart
+	}
+	raw, err := s.cfg.Store.GetRange(s.ctx, name, lo.Bytes(), (hi - lo).Bytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	hi = lo + block.LBA(len(raw)>>block.SectorShift)
+
+	reqOff := (run.Target.Off - lo).Bytes()
+	if reqOff < 0 || reqOff+run.Bytes() > int64(len(raw)) {
+		return nil, nil, fmt.Errorf("blockstore: prefetch window lost requested range")
+	}
+	reqData := raw[reqOff : reqOff+run.Bytes()]
+
+	// Map the rest of the window back to vLBAs via the object header,
+	// keeping only portions the map still assigns to this object.
+	hdr, err := s.header(run.Target.Obj)
+	if err != nil {
+		// Prefetch is best-effort; the primary read still succeeds.
+		return reqData, nil, nil
+	}
+	var extras []Prefetched
+	cursor := dataStart
+	s.mu.Lock()
+	for _, e := range hdr.extents {
+		if e.SrcSeq == trimMarker {
+			continue
+		}
+		extOff := cursor
+		cursor += block.LBA(e.Sectors)
+		// Portion of this extent inside the fetched window.
+		wLo := max(extOff, lo)
+		wHi := min(cursor, hi)
+		if wLo >= wHi {
+			continue
+		}
+		vext := block.Extent{LBA: e.LBA + (wLo - extOff), Sectors: uint32(wHi - wLo)}
+		// Skip the requested run itself.
+		if vext.LBA >= run.LBA && vext.End() <= run.End() {
+			continue
+		}
+		for _, live := range s.m.Lookup(vext) {
+			if !live.Present || live.Target.Obj != run.Target.Obj {
+				continue
+			}
+			off := (live.Target.Off - lo).Bytes()
+			if off < 0 || off+live.Bytes() > int64(len(raw)) {
+				continue
+			}
+			d := make([]byte, live.Bytes())
+			copy(d, raw[off:])
+			extras = append(extras, Prefetched{Ext: live.Extent, Data: d})
+		}
+	}
+	s.mu.Unlock()
+	return reqData, extras, nil
+}
+
+// header returns the cached or fetched extent header of an object.
+func (s *Store) header(seq uint32) (*hdrEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.headerL(seq)
+}
+
+// headerL is header with s.mu held; the backend fetch happens under
+// the lock, which is acceptable for the paper's synchronous prototype
+// semantics (the GC and recovery paths that use it are stop-the-world
+// anyway).
+func (s *Store) headerL(seq uint32) (*hdrEntry, error) {
+	if h, ok := s.hdrCache[seq]; ok {
+		return h, nil
+	}
+	h, err := fetchHeader(s, s.name(seq))
+	if err != nil {
+		return nil, err
+	}
+	s.hdrCache[seq] = h
+	s.pruneHdrCache()
+	return h, nil
+}
+
+func fetchHeader(s *Store, name string) (*hdrEntry, error) {
+	probe, err := s.cfg.Store.GetRange(s.ctx, name, 0, block.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	need := journal.HeaderSize(int(headerExtentCount(probe)))
+	need = (need + block.SectorSize - 1) &^ (block.SectorSize - 1)
+	buf := probe
+	if need > len(probe) {
+		if buf, err = s.cfg.Store.GetRange(s.ctx, name, 0, int64(need)); err != nil {
+			return nil, err
+		}
+	}
+	hdr, _, err := journal.DecodeHeader(buf)
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: header of %s unreadable: %w", name, err)
+	}
+	hs := journal.HeaderSize(len(hdr.Extents))
+	hs = (hs + block.SectorSize - 1) &^ (block.SectorSize - 1)
+	return &hdrEntry{extents: hdr.Extents, hdrSectors: uint32(hs / block.SectorSize)}, nil
+}
+
+// headerExtentCount peeks the extent count field of an encoded header.
+func headerExtentCount(buf []byte) uint32 {
+	if len(buf) < 44 {
+		return 0
+	}
+	return uint32(buf[40]) | uint32(buf[41])<<8 | uint32(buf[42])<<16 | uint32(buf[43])<<24
+}

@@ -1,0 +1,226 @@
+package blockstore
+
+import (
+	"context"
+	"fmt"
+
+	"lsvd/internal/block"
+	"lsvd/internal/extmap"
+	"lsvd/internal/journal"
+)
+
+// Open recovers a volume: superblock → latest checkpoint → replay of
+// the consecutive object suffix, deleting stranded objects beyond the
+// first gap (§3.3).
+func Open(ctx context.Context, cfg Config) (*Store, error) {
+	return open(ctx, cfg, 0, false)
+}
+
+// OpenAt mounts the volume read-only as of object sequence snapSeq
+// (a snapshot mount, §3.6): recovery replays up to snapSeq and no
+// farther, and stranded objects are left untouched.
+func OpenAt(ctx context.Context, cfg Config, snapSeq uint32) (*Store, error) {
+	return open(ctx, cfg, snapSeq, true)
+}
+
+// OpenSnapshot mounts the named snapshot read-only.
+func OpenSnapshot(ctx context.Context, cfg Config, name string) (*Store, error) {
+	cfg.setDefaults()
+	raw, err := cfg.Store.Get(ctx, superName(cfg.Volume))
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: volume %q: %w", cfg.Volume, err)
+	}
+	sb, err := decodeSuper(raw)
+	if err != nil {
+		return nil, err
+	}
+	for _, sn := range sb.snapshots {
+		if sn.Name == name {
+			return open(ctx, cfg, sn.Seq, true)
+		}
+	}
+	return nil, fmt.Errorf("blockstore: snapshot %q not found", name)
+}
+
+func open(ctx context.Context, cfg Config, limit uint32, readOnly bool) (*Store, error) {
+	cfg.setDefaults()
+	s := newStore(ctx, cfg)
+	s.readOnly = readOnly
+
+	raw, err := cfg.Store.Get(ctx, superName(cfg.Volume))
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: volume %q: %w", cfg.Volume, err)
+	}
+	sb, err := decodeSuper(raw)
+	if err != nil {
+		return nil, err
+	}
+	s.volSectors = sb.volSectors
+	s.baseVol = sb.baseVol
+	s.baseSeq = sb.baseSeq
+	s.snapshots = sb.snapshots
+
+	// Find the newest checkpoint at or before the limit, walking the
+	// prev-pointer chain for snapshot mounts.
+	ckptSeq := sb.lastCkpt
+	var ckpt *checkpointPayload
+	for {
+		payload, err := s.readCheckpointObject(ckptSeq)
+		if err != nil {
+			return nil, err
+		}
+		if limit == 0 || ckptSeq <= limit {
+			ckpt = payload
+			break
+		}
+		if payload.prevCkpt == 0 || payload.prevCkpt == ckptSeq {
+			return nil, fmt.Errorf("blockstore: no checkpoint at or before seq %d", limit)
+		}
+		ckptSeq = payload.prevCkpt
+	}
+	s.lastCkpt = ckptSeq
+	s.durableWriteSeq = ckpt.durableWriteSeq
+	for i := range ckpt.objects {
+		o := ckpt.objects[i]
+		s.objects[o.seq] = &o
+	}
+	s.deferred = ckpt.deferred
+	for _, d := range s.deferred {
+		s.cleaned[d.Obj] = true
+	}
+	s.recomputeUtilLocked()
+	if err := s.m.UnmarshalBinary(ckpt.mapBytes); err != nil {
+		return nil, fmt.Errorf("blockstore: checkpoint map: %w", err)
+	}
+	// The checkpointed map may reference objects deleted... it cannot:
+	// GC defers deletion past the checkpoint that stops referencing
+	// the victim, so every referenced object exists.
+
+	// Replay the consecutive suffix after the checkpoint.
+	names, err := cfg.Store.List(ctx, cfg.Volume+".")
+	if err != nil {
+		return nil, err
+	}
+	present := make(map[uint32]bool)
+	for _, seq := range sortedSeqs(cfg.Volume, names) {
+		present[seq] = true
+	}
+	next := ckptSeq + 1
+	for present[next] && (limit == 0 || next <= limit) {
+		if err := s.replayObject(next); err != nil {
+			return nil, err
+		}
+		next++
+	}
+	s.nextSeq = next
+
+	// Delete stranded objects beyond the prefix (§3.3) — writes that
+	// were in flight when the client died.
+	if !readOnly {
+		for seq := range present {
+			if seq >= next {
+				if err := s.deleteObject(seq); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) readCheckpointObject(seq uint32) (*checkpointPayload, error) {
+	raw, err := s.cfg.Store.Get(s.ctx, s.name(seq))
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: checkpoint %d: %w", seq, err)
+	}
+	h, payload, _, err := journal.Decode(raw, false)
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: checkpoint %d corrupt: %w", seq, err)
+	}
+	if h.Type != journal.TypeCheckpoint {
+		return nil, fmt.Errorf("blockstore: object %d is %v, not a checkpoint", seq, h.Type)
+	}
+	return decodeCheckpoint(payload)
+}
+
+// replayObject applies one object's header to the recovering state:
+// map updates for data and GC objects (GC extents conditionally, so
+// stale copies never shadow newer writes), checkpoint objects reload
+// wholesale state.
+func (s *Store) replayObject(seq uint32) error {
+	hdr, err := s.header(seq)
+	if err != nil {
+		return err
+	}
+	// Reconstruct the record type and sizes from the raw header.
+	raw, err := s.cfg.Store.GetRange(s.ctx, s.name(seq), 0, int64(hdr.hdrSectors)*block.SectorSize)
+	if err != nil {
+		return err
+	}
+	h, _, err := journal.DecodeHeader(raw)
+	if err != nil {
+		return err
+	}
+	size, err := s.cfg.Store.Size(s.ctx, s.name(seq))
+	if err != nil {
+		return err
+	}
+
+	switch h.Type {
+	case journal.TypeCheckpoint:
+		// A checkpoint newer than the superblock pointer (its PUT
+		// completed but the super update didn't): reload state from it.
+		payload, err := s.readCheckpointObject(seq)
+		if err != nil {
+			return err
+		}
+		s.durableWriteSeq = payload.durableWriteSeq
+		s.objects = make(map[uint32]*objInfo, len(payload.objects))
+		for i := range payload.objects {
+			o := payload.objects[i]
+			s.objects[o.seq] = &o
+		}
+		s.deferred = payload.deferred
+		s.cleaned = make(map[uint32]bool)
+		for _, d := range s.deferred {
+			s.cleaned[d.Obj] = true
+		}
+		s.recomputeUtilLocked()
+		if err := s.m.UnmarshalBinary(payload.mapBytes); err != nil {
+			return err
+		}
+		s.lastCkpt = seq
+		return nil
+
+	case journal.TypeData, journal.TypeGC:
+		info := &objInfo{
+			seq: seq, typ: h.Type, totalBytes: size,
+			hdrSectors: hdr.hdrSectors, writeSeq: h.WriteSeq,
+		}
+		var mapped []mappedExtent
+		var trims []block.Extent
+		cursor := block.LBA(hdr.hdrSectors)
+		for _, e := range h.Extents {
+			if e.SrcSeq == trimMarker {
+				trims = append(trims, block.Extent{LBA: e.LBA, Sectors: e.Sectors})
+				continue
+			}
+			mapped = append(mapped, mappedExtent{
+				ext:    block.Extent{LBA: e.LBA, Sectors: e.Sectors},
+				srcSeq: e.SrcSeq,
+				target: extmap.Target{Obj: seq, Off: cursor},
+			})
+			cursor += block.LBA(e.Sectors)
+			info.dataSectors += e.Sectors
+		}
+		info.liveSectors = info.dataSectors
+		s.installObject(info, mapped, trims)
+		if h.WriteSeq > s.durableWriteSeq {
+			s.durableWriteSeq = h.WriteSeq
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("blockstore: object %d has unexpected type %v", seq, h.Type)
+	}
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"context"
+
+	"lsvd/internal/objstore"
+)
+
+// Store wraps an objstore.Store so that every object operation also
+// records its device-level cost against a simulated Pool. This is the
+// RGW-on-Ceph equivalent in the paper's setup: LSVD speaks S3 to the
+// gateway, and the gateway erasure-codes objects across the pool.
+type Store struct {
+	Inner objstore.Store
+	Pool  *Pool
+}
+
+// NewStore wraps inner over pool.
+func NewStore(inner objstore.Store, pool *Pool) *Store {
+	return &Store{Inner: inner, Pool: pool}
+}
+
+// Put implements objstore.Store.
+func (s *Store) Put(ctx context.Context, name string, data []byte) error {
+	if err := s.Inner.Put(ctx, name, data); err != nil {
+		return err
+	}
+	s.Pool.PutObject(name, int64(len(data)))
+	return nil
+}
+
+// Get implements objstore.Store.
+func (s *Store) Get(ctx context.Context, name string) ([]byte, error) {
+	data, err := s.Inner.Get(ctx, name)
+	if err == nil {
+		s.Pool.ReadObjectRange(name, int64(len(data)), 0, int64(len(data)))
+	}
+	return data, err
+}
+
+// GetRange implements objstore.Store.
+func (s *Store) GetRange(ctx context.Context, name string, off, length int64) ([]byte, error) {
+	data, err := s.Inner.GetRange(ctx, name, off, length)
+	if err == nil {
+		size, serr := s.Inner.Size(ctx, name)
+		if serr != nil {
+			size = off + int64(len(data))
+		}
+		s.Pool.ReadObjectRange(name, size, off, int64(len(data)))
+	}
+	return data, err
+}
+
+// Delete implements objstore.Store.
+func (s *Store) Delete(ctx context.Context, name string) error {
+	if err := s.Inner.Delete(ctx, name); err != nil {
+		return err
+	}
+	s.Pool.DeleteObject(name)
+	return nil
+}
+
+// List implements objstore.Store.
+func (s *Store) List(ctx context.Context, prefix string) ([]string, error) {
+	return s.Inner.List(ctx, prefix)
+}
+
+// Size implements objstore.Store.
+func (s *Store) Size(ctx context.Context, name string) (int64, error) {
+	return s.Inner.Size(ctx, name)
+}

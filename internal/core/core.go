@@ -1,0 +1,634 @@
+// Package core assembles the LSVD virtual disk (paper Fig 1): a
+// log-structured write-back cache and a read cache on a local SSD, and
+// a log-structured block store on an S3-like backend. It implements the
+// three block-device operations — write, read, commit barrier (§3.2) —
+// plus discard, and the crash-recovery orchestration of §3.3:
+//
+//   - Writes are logged to the cache SSD (acknowledged on log write),
+//     then forwarded to the block store, which batches them into
+//     numbered immutable objects.
+//   - Reads consult the write cache, then the read cache, then the
+//     backend; backend misses prefetch temporally adjacent data into
+//     the read cache.
+//   - A commit barrier is one cache-device flush.
+//   - On open after a crash, the cache log is rewound to the last
+//     backend object and the tail replayed, bringing the backend up to
+//     date with every write the cache preserved; if the cache is lost
+//     entirely, the recovered volume is a consistent prefix of
+//     committed writes (prefix consistency, §3.4).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lsvd/internal/block"
+	"lsvd/internal/blockstore"
+	"lsvd/internal/journal"
+	"lsvd/internal/objstore"
+	"lsvd/internal/readcache"
+	"lsvd/internal/simdev"
+	"lsvd/internal/vdisk"
+	"lsvd/internal/writecache"
+)
+
+// Options configures an LSVD disk.
+type Options struct {
+	// Volume names the object stream on the backend.
+	Volume string
+	// Store is the S3-like backend.
+	Store objstore.Store
+	// CacheDev is the local SSD. It is statically partitioned: the
+	// first WriteCacheFrac of it logs writes, the rest is read cache.
+	CacheDev simdev.Device
+	// VolBytes is the virtual disk size (Create only).
+	VolBytes int64
+
+	// WriteCacheFrac is the fraction of the SSD used for the write
+	// log. Default 0.2 (§3.1's sizing discussion).
+	WriteCacheFrac float64
+	// BatchBytes is the backend object batch size (8–32 MiB in the
+	// paper). Default 8 MiB.
+	BatchBytes int64
+	// GCLowWater/GCHighWater are the §3.5 utilization thresholds.
+	// Defaults 0.70/0.75; GCLowWater < 0 disables GC.
+	GCLowWater, GCHighWater float64
+	// PrefetchSectors is the temporal read-ahead window. Default 256
+	// sectors (128 KiB); 0 disables prefetch.
+	PrefetchSectors uint32
+	// ReadCachePolicy selects FIFO (default, as in the prototype) or
+	// LRU slab eviction.
+	ReadCachePolicy readcache.Policy
+	// CheckpointEvery objects between backend map checkpoints.
+	CheckpointEvery int
+	// WriteCacheCheckpointEvery records between cache map checkpoints.
+	WriteCacheCheckpointEvery int
+	// ReadbackThroughSSD mimics the kernel/user prototype (§3.7): the
+	// destage path re-reads outgoing data from the cache SSD instead
+	// of handing it over in memory, adding the SSD round trip the
+	// paper measures in Table 6.
+	ReadbackThroughSSD bool
+	// DisableGCCacheFetch stops the GC from reading live data out of
+	// the local write cache (ablation for §3.5's optimization).
+	DisableGCCacheFetch bool
+}
+
+func (o *Options) setDefaults() {
+	if o.WriteCacheFrac == 0 {
+		o.WriteCacheFrac = 0.2
+	}
+	if o.BatchBytes == 0 {
+		o.BatchBytes = 8 * block.MiB
+	}
+	if o.GCLowWater == 0 {
+		o.GCLowWater = 0.70
+	}
+	if o.GCHighWater == 0 {
+		o.GCHighWater = 0.75
+	}
+	if o.GCLowWater < 0 {
+		o.GCLowWater = 0
+	}
+	if o.PrefetchSectors == 0 {
+		o.PrefetchSectors = 256
+	}
+}
+
+// Stats aggregates counters from all three layers.
+type Stats struct {
+	Writes, Reads, Flushes, Trims uint64
+	BytesWritten, BytesRead       uint64
+	WriteCacheHitSectors          uint64
+	ReadCacheHitSectors           uint64
+	BackendReadSectors            uint64
+	ZeroFillSectors               uint64
+	PrefetchedSectors             uint64
+	WriteSeq                      uint64
+	RecoveredReplayed             int // cache records replayed to backend at open
+
+	WriteCache writecache.Stats
+	ReadCache  readcache.Stats
+	Backend    blockstore.Stats
+}
+
+// Disk is an LSVD virtual disk. Operations are serialized by a single
+// mutex, which matches the prototype's per-volume ordering semantics
+// and keeps the write log strictly ordered.
+type Disk struct {
+	mu   sync.Mutex
+	opts Options
+
+	wc *writecache.Cache
+	rc *readcache.Cache
+	bs *blockstore.Store
+
+	volSectors block.LBA
+	writeSeq   uint64
+	readOnly   bool
+
+	stats Stats
+}
+
+// ErrReadOnly is returned for mutations on snapshot mounts.
+var ErrReadOnly = blockstore.ErrReadOnly
+
+var _ vdisk.Disk = (*Disk)(nil)
+
+// Create initializes a new LSVD volume on a fresh cache device and
+// backend prefix.
+func Create(ctx context.Context, opts Options) (*Disk, error) {
+	opts.setDefaults()
+	if opts.VolBytes <= 0 || opts.VolBytes%block.SectorSize != 0 {
+		return nil, fmt.Errorf("core: invalid volume size %d", opts.VolBytes)
+	}
+	d := &Disk{opts: opts, volSectors: block.LBAFromBytes(opts.VolBytes)}
+	wcDev, rcDev, err := splitCache(opts)
+	if err != nil {
+		return nil, err
+	}
+	if d.wc, err = writecache.Format(wcDev, wcConfig(opts, wcDev)); err != nil {
+		return nil, err
+	}
+	if d.rc, err = readcache.New(rcDev, rcConfig(opts, rcDev)); err != nil {
+		return nil, err
+	}
+	if d.bs, err = blockstore.Create(ctx, d.storeConfig()); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// wcConfig and rcConfig scale the metadata reservations to the cache
+// partition so small experiment caches still leave room for data.
+func wcConfig(opts Options, dev simdev.Device) writecache.Config {
+	ckpt := dev.Size() / 8
+	if ckpt > 16*block.MiB {
+		ckpt = 16 * block.MiB
+	}
+	if ckpt < 2*block.BlockSize {
+		ckpt = 2 * block.BlockSize
+	}
+	return writecache.Config{CheckpointBytes: ckpt &^ (block.BlockSize - 1), CheckpointEvery: opts.WriteCacheCheckpointEvery}
+}
+
+func rcConfig(opts Options, dev simdev.Device) readcache.Config {
+	mapBytes := dev.Size() / 8
+	if mapBytes > 16*block.MiB {
+		mapBytes = 16 * block.MiB
+	}
+	if mapBytes < block.BlockSize {
+		mapBytes = block.BlockSize
+	}
+	slab := int64(4 * block.MiB)
+	for slab > 256<<10 && (dev.Size()-mapBytes)/slab < 8 {
+		slab /= 2
+	}
+	return readcache.Config{Policy: opts.ReadCachePolicy, MapBytes: mapBytes, SlabBytes: slab}
+}
+
+// Open recovers an LSVD volume: the cache log is replayed, the backend
+// recovered by the prefix rule, and any committed writes present in
+// the cache but missing from the backend are re-sent (§3.3).
+func Open(ctx context.Context, opts Options) (*Disk, error) {
+	opts.setDefaults()
+	d := &Disk{opts: opts}
+	wcDev, rcDev, err := splitCache(opts)
+	if err != nil {
+		return nil, err
+	}
+	wc, wcErr := writecache.Open(wcDev, wcConfig(opts, wcDev))
+	if wcErr != nil {
+		// Cache lost or blank (§3.4 worst case): reformat it; the
+		// volume falls back to the backend's consistent prefix.
+		if wc, err = writecache.Format(wcDev, wcConfig(opts, wcDev)); err != nil {
+			return nil, err
+		}
+	}
+	d.wc = wc
+	if d.rc, err = readcache.New(rcDev, rcConfig(opts, rcDev)); err != nil {
+		return nil, err
+	}
+	if d.bs, err = blockstore.Open(ctx, d.storeConfig()); err != nil {
+		return nil, err
+	}
+	d.volSectors = d.bs.VolSectors()
+
+	// Rewind & replay: push cache records newer than the backend's
+	// durable watermark back through the block store.
+	durable := d.bs.DurableWriteSeq()
+	replayed := 0
+	err = d.wc.RecordsAfter(durable, func(ws uint64, typ journal.Type, ext block.Extent, data []byte) error {
+		replayed++
+		if typ == journal.TypeTrim {
+			return d.bs.Trim(ws, ext)
+		}
+		return d.bs.Append(ws, ext, data)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: cache replay: %w", err)
+	}
+	if replayed > 0 {
+		if err := d.bs.Seal(); err != nil {
+			return nil, err
+		}
+	}
+	d.stats.RecoveredReplayed = replayed
+	d.wc.SetDestaged(d.bs.DurableWriteSeq())
+	d.writeSeq = d.bs.DurableWriteSeq()
+	if ws := d.wc.MaxWriteSeq(); ws > d.writeSeq {
+		d.writeSeq = ws
+	}
+	return d, nil
+}
+
+// OpenSnapshot mounts a named snapshot of the volume as a read-only
+// disk (§3.6: "can be mounted read-only by backtracking to the last
+// map checkpoint before that point"). The cache device is used only
+// for read caching; writes and trims are rejected.
+func OpenSnapshot(ctx context.Context, opts Options, snapshot string) (*Disk, error) {
+	opts.setDefaults()
+	opts.GCLowWater = 0
+	d := &Disk{opts: opts, readOnly: true}
+	wcDev, rcDev, err := splitCache(opts)
+	if err != nil {
+		return nil, err
+	}
+	// The write cache stays empty; it exists only so the read path's
+	// three-level lookup works unchanged.
+	if d.wc, err = writecache.Format(wcDev, wcConfig(opts, wcDev)); err != nil {
+		return nil, err
+	}
+	if d.rc, err = readcache.New(rcDev, rcConfig(opts, rcDev)); err != nil {
+		return nil, err
+	}
+	if d.bs, err = blockstore.OpenSnapshot(ctx, d.storeConfig(), snapshot); err != nil {
+		return nil, err
+	}
+	d.volSectors = d.bs.VolSectors()
+	d.writeSeq = d.bs.DurableWriteSeq()
+	return d, nil
+}
+
+func splitCache(opts Options) (simdev.Device, simdev.Device, error) {
+	total := opts.CacheDev.Size()
+	wcBytes := int64(float64(total)*opts.WriteCacheFrac) &^ (block.BlockSize - 1)
+	wcDev, err := simdev.NewSection(opts.CacheDev, 0, wcBytes)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: cache split: %w", err)
+	}
+	rcDev, err := simdev.NewSection(opts.CacheDev, wcBytes, total-wcBytes)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: cache split: %w", err)
+	}
+	return wcDev, rcDev, nil
+}
+
+func (d *Disk) storeConfig() blockstore.Config {
+	cfg := blockstore.Config{
+		Volume:          d.opts.Volume,
+		Store:           d.opts.Store,
+		VolSectors:      d.volSectors,
+		BatchBytes:      d.opts.BatchBytes,
+		GCLowWater:      d.opts.GCLowWater,
+		GCHighWater:     d.opts.GCHighWater,
+		CheckpointEvery: d.opts.CheckpointEvery,
+		OnDestage:       func(ws uint64) { d.wc.SetDestaged(ws) },
+	}
+	if !d.opts.DisableGCCacheFetch {
+		cfg.FetchFromCache = d.gcFetch
+	}
+	return cfg
+}
+
+// gcFetch serves garbage-collection reads from the local write cache
+// when the data is resident (§3.5). It is called with the block store
+// lock held; it only touches the write cache, which has its own lock.
+func (d *Disk) gcFetch(ext block.Extent, buf []byte) bool {
+	runs := d.wc.Lookup(ext)
+	for _, run := range runs {
+		if !run.Present {
+			return false
+		}
+	}
+	for _, run := range runs {
+		off := (run.LBA - ext.LBA).Bytes()
+		if err := d.wc.ReadAt(run.Target, buf[off:off+run.Bytes()]); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the disk size in bytes.
+func (d *Disk) Size() int64 { return d.volSectors.Bytes() }
+
+func (d *Disk) checkIO(p []byte, off int64) (block.Extent, error) {
+	if off%block.SectorSize != 0 {
+		return block.Extent{}, fmt.Errorf("core: unaligned offset %d", off)
+	}
+	lba := block.LBAFromBytes(off)
+	if err := block.CheckIO(d.volSectors, lba, p); err != nil {
+		return block.Extent{}, err
+	}
+	return block.Extent{LBA: lba, Sectors: uint32(len(p) / block.SectorSize)}, nil
+}
+
+// WriteAt implements vdisk.Disk: the write is persisted to the cache
+// log (acknowledged) and forwarded to the block store batch (§3.2).
+func (d *Disk) WriteAt(p []byte, off int64) error {
+	ext, err := d.checkIO(p, off)
+	if err != nil {
+		return err
+	}
+	if ext.Empty() {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.readOnly {
+		return ErrReadOnly
+	}
+	d.writeSeq++
+	ws := d.writeSeq
+
+	if err := d.appendWithBackpressure(ws, ext, p); err != nil {
+		return err
+	}
+	// Drop any stale read-cache copy (write-after-read hazard).
+	d.rc.Invalidate(ext)
+
+	// Forward to the block store. The prototype's destage path reads
+	// the data back off the SSD (§3.7/Table 6); the in-memory handoff
+	// models the userspace rewrite.
+	src := p
+	if d.opts.ReadbackThroughSSD {
+		src = make([]byte, len(p))
+		if !d.readFromWriteCache(ext, src) {
+			src = p // should not happen; fall back to the caller's copy
+		}
+	}
+	if err := d.bs.Append(ws, ext, src); err != nil {
+		return err
+	}
+	d.stats.Writes++
+	d.stats.BytesWritten += uint64(len(p))
+	return nil
+}
+
+// appendWithBackpressure logs the write, sealing the backend batch to
+// free reclaimable cache space when the ring is full of un-destaged
+// records.
+func (d *Disk) appendWithBackpressure(ws uint64, ext block.Extent, p []byte) error {
+	for attempt := 0; ; attempt++ {
+		err := d.wc.Append(ws, ext, p)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, writecache.ErrFull) || attempt >= 2 {
+			return err
+		}
+		// Destage everything batched so far, then retry.
+		if err := d.bs.Seal(); err != nil {
+			return err
+		}
+	}
+}
+
+func (d *Disk) readFromWriteCache(ext block.Extent, buf []byte) bool {
+	runs := d.wc.Lookup(ext)
+	for _, run := range runs {
+		if !run.Present {
+			return false
+		}
+	}
+	for _, run := range runs {
+		off := (run.LBA - ext.LBA).Bytes()
+		if err := d.wc.ReadAt(run.Target, buf[off:off+run.Bytes()]); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadAt implements vdisk.Disk: write cache, then read cache, then
+// backend (Fig 1), zero-filling uninitialized ranges.
+func (d *Disk) ReadAt(p []byte, off int64) error {
+	ext, err := d.checkIO(p, off)
+	if err != nil {
+		return err
+	}
+	if ext.Empty() {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Reads++
+	d.stats.BytesRead += uint64(len(p))
+
+	// (1) Write cache.
+	var missesWC []block.Extent
+	for _, run := range d.wc.Lookup(ext) {
+		sub := p[(run.LBA - ext.LBA).Bytes():][:run.Bytes()]
+		if run.Present {
+			if err := d.wc.ReadAt(run.Target, sub); err != nil {
+				return err
+			}
+			d.stats.WriteCacheHitSectors += uint64(run.Sectors)
+		} else {
+			missesWC = append(missesWC, run.Extent)
+		}
+	}
+	// (2) Read cache.
+	var missesRC []block.Extent
+	for _, miss := range missesWC {
+		for _, run := range d.rc.Lookup(miss) {
+			sub := p[(run.LBA - ext.LBA).Bytes():][:run.Bytes()]
+			if run.Present {
+				if err := d.rc.ReadAt(run.Target, sub); err != nil {
+					return err
+				}
+				d.stats.ReadCacheHitSectors += uint64(run.Sectors)
+			} else {
+				missesRC = append(missesRC, run.Extent)
+			}
+		}
+	}
+	// (3) Block store, with temporal prefetch into the read cache.
+	for _, miss := range missesRC {
+		for _, run := range d.bs.Lookup(miss) {
+			sub := p[(run.LBA - ext.LBA).Bytes():][:run.Bytes()]
+			if !run.Present {
+				clear(sub)
+				d.stats.ZeroFillSectors += uint64(run.Sectors)
+				continue
+			}
+			data, extras, err := d.bs.FetchRun(run, d.opts.PrefetchSectors)
+			if err != nil {
+				return err
+			}
+			copy(sub, data)
+			d.stats.BackendReadSectors += uint64(run.Sectors)
+			if err := d.rc.Insert(run.Extent, data); err != nil {
+				return err
+			}
+			for _, ex := range extras {
+				// Never let prefetched (older) data shadow the write
+				// cache: it is inserted only into the read cache,
+				// which the write cache precedes on lookup; but we
+				// must not overwrite newer read-cache content either,
+				// so only insert ranges the read cache doesn't have.
+				if err := d.insertIfAbsent(ex.Ext, ex.Data); err != nil {
+					return err
+				}
+				d.stats.PrefetchedSectors += uint64(ex.Ext.Sectors)
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Disk) insertIfAbsent(ext block.Extent, data []byte) error {
+	for _, run := range d.rc.Lookup(ext) {
+		if run.Present {
+			continue
+		}
+		sub := data[(run.LBA - ext.LBA).Bytes():][:run.Bytes()]
+		if err := d.rc.Insert(run.Extent, sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements the commit barrier: one flush of the cache device
+// (§3.2); no map metadata is written.
+func (d *Disk) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Flushes++
+	return d.wc.Flush()
+}
+
+// Trim implements discard.
+func (d *Disk) Trim(off, length int64) error {
+	if length == 0 {
+		return nil
+	}
+	if off%block.SectorSize != 0 || length%block.SectorSize != 0 {
+		return fmt.Errorf("core: unaligned trim [%d,%d)", off, off+length)
+	}
+	lba := block.LBAFromBytes(off)
+	n := block.LBA(length / block.SectorSize)
+	if lba+n > d.volSectors {
+		return fmt.Errorf("core: trim beyond end of disk")
+	}
+	ext := block.Extent{LBA: lba, Sectors: uint32(n)}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.readOnly {
+		return ErrReadOnly
+	}
+	d.writeSeq++
+	ws := d.writeSeq
+	if err := d.wc.AppendTrim(ws, ext); err != nil {
+		if !errors.Is(err, writecache.ErrFull) {
+			return err
+		}
+		if err := d.bs.Seal(); err != nil {
+			return err
+		}
+		if err := d.wc.AppendTrim(ws, ext); err != nil {
+			return err
+		}
+	}
+	d.rc.Invalidate(ext)
+	if err := d.bs.Trim(ws, ext); err != nil {
+		return err
+	}
+	d.stats.Trims++
+	return nil
+}
+
+// Drain seals the pending backend batch, making every acknowledged
+// write durable remotely; cache and backend are synchronized when it
+// returns (used before VM migration, §4.3/§4.4).
+func (d *Disk) Drain() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bs.Seal()
+}
+
+// Checkpoint forces map checkpoints in both logs.
+func (d *Disk) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.bs.Checkpoint(); err != nil {
+		return err
+	}
+	return d.wc.Checkpoint()
+}
+
+// Close drains, checkpoints and persists all metadata.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.readOnly {
+		return d.rc.Persist()
+	}
+	if err := d.bs.Seal(); err != nil {
+		return err
+	}
+	if err := d.bs.Checkpoint(); err != nil {
+		return err
+	}
+	if err := d.wc.Close(); err != nil {
+		return err
+	}
+	return d.rc.Persist()
+}
+
+// Snapshot creates a named snapshot (§3.6).
+func (d *Disk) Snapshot(name string) (blockstore.SnapshotInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bs.CreateSnapshot(name)
+}
+
+// DeleteSnapshot removes a snapshot.
+func (d *Disk) DeleteSnapshot(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bs.DeleteSnapshot(name)
+}
+
+// Snapshots lists snapshots.
+func (d *Disk) Snapshots() []blockstore.SnapshotInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bs.Snapshots()
+}
+
+// RunGC triggers a garbage-collection pass.
+func (d *Disk) RunGC() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bs.RunGC()
+}
+
+// Stats returns a snapshot of all counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.stats
+	st.WriteSeq = d.writeSeq
+	st.WriteCache = d.wc.Stats()
+	st.ReadCache = d.rc.Stats()
+	st.Backend = d.bs.Stats()
+	return st
+}
+
+// Backend exposes the block store (for replication tooling and the
+// experiment harness).
+func (d *Disk) Backend() *blockstore.Store { return d.bs }

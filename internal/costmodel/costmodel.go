@@ -1,0 +1,96 @@
+// Package costmodel reproduces the deployability arithmetic of the
+// paper's §4.9: the monthly cost of provisioned-IOPS EBS versus
+// LSVD running against S3 from an EC2 instance's local NVMe, at 2022
+// us-east-1 list prices.
+package costmodel
+
+import "fmt"
+
+// Prices holds the unit prices used (2022 us-east-1 on-demand).
+type Prices struct {
+	// EBS io2: tiered per provisioned IOPS-month.
+	EBSIOPSTier1 float64 // first 32,000 IOPS
+	EBSIOPSTier2 float64 // 32,001 - 64,000
+	EBSPerGB     float64 // io2 storage per GB-month
+
+	S3PerGB      float64 // standard storage per GB-month
+	S3PutPer1000 float64
+	S3GetPer1000 float64
+}
+
+// AWS2022 is the price book the paper's claim is evaluated against.
+var AWS2022 = Prices{
+	EBSIOPSTier1: 0.065, EBSIOPSTier2: 0.046, EBSPerGB: 0.125,
+	S3PerGB: 0.023, S3PutPer1000: 0.005, S3GetPer1000: 0.0004,
+}
+
+// Workload describes the sustained I/O the volume serves.
+type Workload struct {
+	IOPS        float64 // client operations per second
+	WriteFrac   float64 // fraction of ops that are writes
+	IOSizeBytes float64
+	VolumeGB    float64
+	BatchBytes  float64 // LSVD object size
+	// DutyCycle is the fraction of the month the workload actually
+	// runs (the paper's benchmarks run minutes, not months).
+	DutyCycle float64
+}
+
+// Result is a monthly cost comparison.
+type Result struct {
+	EBSMonthly  float64
+	LSVDMonthly float64
+	Ratio       float64
+}
+
+const secondsPerMonth = 30 * 24 * 3600
+
+// Compare computes monthly EBS vs LSVD-on-S3 cost for the workload.
+func Compare(p Prices, w Workload) Result {
+	if w.DutyCycle <= 0 {
+		w.DutyCycle = 1
+	}
+	// EBS: IOPS must be provisioned for the peak regardless of duty
+	// cycle; storage for the volume.
+	iops := w.IOPS
+	var ebsIOPS float64
+	if iops > 32000 {
+		ebsIOPS = 32000*p.EBSIOPSTier1 + (iops-32000)*p.EBSIOPSTier2
+	} else {
+		ebsIOPS = iops * p.EBSIOPSTier1
+	}
+	ebs := ebsIOPS + w.VolumeGB*p.EBSPerGB
+
+	// LSVD: batched writes mean one PUT per BatchBytes of writes;
+	// reads are absorbed by the local cache in the paper's benchmark,
+	// but charge the miss path anyway at 1 GET per read op * missRate.
+	writeBytesPerSec := w.IOPS * w.WriteFrac * w.IOSizeBytes
+	putsPerSec := writeBytesPerSec / w.BatchBytes
+	const readMissRate = 0.05
+	getsPerSec := w.IOPS * (1 - w.WriteFrac) * readMissRate
+	seconds := secondsPerMonth * w.DutyCycle
+	lsvd := w.VolumeGB*p.S3PerGB +
+		putsPerSec*seconds/1000*p.S3PutPer1000 +
+		getsPerSec*seconds/1000*p.S3GetPer1000
+
+	r := Result{EBSMonthly: ebs, LSVDMonthly: lsvd}
+	if lsvd > 0 {
+		r.Ratio = ebs / lsvd
+	}
+	return r
+}
+
+// PaperScenario is §4.9's setting: ~50K provisioned IOPS equivalent,
+// 80 GB volume, 16 KiB writes batched into 8 MiB objects, running the
+// paper's benchmark duty cycle (~1%: hours of benchmarking a month).
+func PaperScenario() Workload {
+	return Workload{
+		IOPS: 50000, WriteFrac: 1.0, IOSizeBytes: 16 * 1024,
+		VolumeGB: 80, BatchBytes: 8 << 20, DutyCycle: 0.01,
+	}
+}
+
+// String renders a result like the paper's comparison.
+func (r Result) String() string {
+	return fmt.Sprintf("EBS $%.0f/mo vs LSVD $%.2f/mo (%.0fx)", r.EBSMonthly, r.LSVDMonthly, r.Ratio)
+}

@@ -1,0 +1,46 @@
+package costmodel
+
+import "testing"
+
+// TestPaperClaim: §4.9 — "a 50,000 provisioned IOPS EBS volume would
+// cost over $3000 per month ... the local NVMe and remote S3 needed by
+// LSVD would in contrast cost only a few dollars per month."
+func TestPaperClaim(t *testing.T) {
+	r := Compare(AWS2022, PaperScenario())
+	if r.EBSMonthly < 2900 {
+		t.Fatalf("EBS monthly $%.0f, paper says over $3000", r.EBSMonthly)
+	}
+	if r.LSVDMonthly > 15 {
+		t.Fatalf("LSVD monthly $%.2f, paper says a few dollars", r.LSVDMonthly)
+	}
+	if r.Ratio < 100 {
+		t.Fatalf("ratio %.0fx implausibly small", r.Ratio)
+	}
+}
+
+func TestTieredEBSPricing(t *testing.T) {
+	low := Compare(AWS2022, Workload{IOPS: 10000, WriteFrac: 1, IOSizeBytes: 4096, VolumeGB: 100, BatchBytes: 8 << 20, DutyCycle: 1})
+	if want := 10000*0.065 + 100*0.125; low.EBSMonthly != want {
+		t.Fatalf("EBS %.2f want %.2f", low.EBSMonthly, want)
+	}
+	high := Compare(AWS2022, Workload{IOPS: 50000, WriteFrac: 1, IOSizeBytes: 4096, VolumeGB: 100, BatchBytes: 8 << 20, DutyCycle: 1})
+	if want := 32000*0.065 + 18000*0.046 + 100*0.125; high.EBSMonthly != want {
+		t.Fatalf("EBS %.2f want %.2f", high.EBSMonthly, want)
+	}
+}
+
+func TestBatchingDrivesLSVDCost(t *testing.T) {
+	small := Compare(AWS2022, Workload{IOPS: 10000, WriteFrac: 1, IOSizeBytes: 16384, VolumeGB: 80, BatchBytes: 1 << 20, DutyCycle: 1})
+	big := Compare(AWS2022, Workload{IOPS: 10000, WriteFrac: 1, IOSizeBytes: 16384, VolumeGB: 80, BatchBytes: 32 << 20, DutyCycle: 1})
+	if big.LSVDMonthly >= small.LSVDMonthly {
+		t.Fatalf("bigger batches should cost less: %.2f vs %.2f", big.LSVDMonthly, small.LSVDMonthly)
+	}
+}
+
+func TestDefaultDutyCycle(t *testing.T) {
+	w := Workload{IOPS: 1000, WriteFrac: 1, IOSizeBytes: 4096, VolumeGB: 10, BatchBytes: 8 << 20}
+	r := Compare(AWS2022, w) // DutyCycle defaults to 1
+	if r.LSVDMonthly <= 10*0.023 {
+		t.Fatal("duty cycle default not applied")
+	}
+}

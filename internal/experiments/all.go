@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Driver runs one experiment.
+type Driver func(ctx context.Context, e Env) (*Table, error)
+
+// Registry maps experiment names (as used by cmd/lsvd-bench and the
+// root benchmarks) to drivers, one per paper table/figure.
+var Registry = map[string]Driver{
+	"fig6":       Fig6,
+	"fig7":       Fig7,
+	"seqread":    SeqRead,
+	"fig8":       Fig8,
+	"table3":     Table3,
+	"fig9":       Fig9,
+	"fig10":      Fig10,
+	"fig11":      Fig11,
+	"table4":     Table4,
+	"fig12":      Fig12,
+	"fig13":      Fig13,
+	"fig14":      Fig14,
+	"fig15":      Fig15,
+	"gcslowdown": GCSlowdown,
+	"table5":     Table5,
+	"table6":     Table6,
+	"fig16":      Fig16,
+	"sec49":      Sec49,
+	"ablations":  Ablations,
+	"setup":      Setup,
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for n := range Registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by name.
+func Run(ctx context.Context, e Env, name string) (*Table, error) {
+	d, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return d(ctx, e)
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"lsvd/internal/cluster"
+	"lsvd/internal/iomodel"
+	"lsvd/internal/workload"
+)
+
+// Setup prints the simulated experimental setup — the counterpart of
+// the paper's Table 1 (hardware) and Table 2 (Filebench parameters) —
+// as actually configured in this repository's calibration.
+func Setup(ctx context.Context, e Env) (*Table, error) {
+	t := &Table{
+		Title:  "Tables 1-2: simulated setup and workload calibration",
+		Header: []string{"item", "value"},
+	}
+	row := func(k, v string) { t.Rows = append(t.Rows, []string{k, v}) }
+
+	dev := func(p iomodel.Params) string {
+		return fmt.Sprintf("%s: %.0f/%.0f MB/s seq R/W, %.0fK/%.0fK rand R/W IOPS, %v write lat",
+			p.Name, p.ReadBW/1e6, p.WriteBW/1e6, p.ReadIOPS/1000, p.WriteIOPS/1000, p.WriteLatency)
+	}
+	row("client cache device", dev(iomodel.NVMeP3700))
+	c1 := cluster.SSDConfig1()
+	row("backend config 1", fmt.Sprintf("%d servers x %d SATA SSDs (%s), EC %d+%d, %dx replication",
+		c1.Servers, c1.DisksPerServer, c1.Disk.Name, c1.ECData, c1.ECParity, c1.Replicas))
+	c2 := cluster.HDDConfig2()
+	row("backend config 2", fmt.Sprintf("%d servers x %d 10K HDDs (%s), EC %d+%d, %dx replication",
+		c2.Servers, c2.DisksPerServer, c2.Disk.Name, c2.ECData, c2.ECParity, c2.Replicas))
+	row("ceph object overhead", fmt.Sprintf("%d metadata writes per 4 MiB object; %d B WAL overhead per replicated write",
+		c2.MetaWritesPer4MB, c2.WALOverheadBytes))
+	row("scale", fmt.Sprintf("1/%d of paper sizes (80 GiB volume -> %d MiB)", e.Scale, e.volBytes()>>20))
+	row("volume / big cache / small cache", fmt.Sprintf("%d / %d / %d MiB",
+		e.volBytes()>>20, e.bigCache()>>20, e.smallCache()>>20))
+	row("client software path", fmt.Sprintf("LSVD %v, bcache %v serialized per op; RBD RTT %v",
+		lsvdSoftSerial, bcacheSoftSerial, rbdNetRTT))
+
+	for _, m := range filebenchModels {
+		gen := &workload.Filebench{Model: m, VolBytes: e.volBytes(), TotalBytes: 64 << 20, Seed: e.Seed}
+		c, err := workload.Run(nullDisk{size: e.volBytes()}, gen, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		row("filebench "+m.String(), fmt.Sprintf("mean write %.1f KiB, %.1f writes/sync (Table 2/3 calibration)",
+			c.MeanWriteBytes/1024, c.WritesBetweenSyncs))
+	}
+	return t, nil
+}

@@ -1,0 +1,442 @@
+package extmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"lsvd/internal/block"
+)
+
+func ext(lba block.LBA, n uint32) block.Extent { return block.Extent{LBA: lba, Sectors: n} }
+func tgt(obj uint32, off block.LBA) Target     { return Target{Obj: obj, Off: off} }
+
+func mustInvariants(t *testing.T, m *Map) {
+	t.Helper()
+	if err := m.checkInvariants(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+}
+
+func TestEmptyLookup(t *testing.T) {
+	m := New()
+	runs := m.Lookup(ext(100, 50))
+	if len(runs) != 1 || runs[0].Present || runs[0].LBA != 100 || runs[0].Sectors != 50 {
+		t.Fatalf("want single hole run, got %+v", runs)
+	}
+	if m.Len() != 0 || m.MappedSectors() != 0 {
+		t.Fatalf("empty map has Len=%d Mapped=%d", m.Len(), m.MappedSectors())
+	}
+}
+
+func TestSimpleUpdateLookup(t *testing.T) {
+	m := New()
+	if d := m.Update(ext(10, 20), tgt(1, 100)); len(d) != 0 {
+		t.Fatalf("update over hole displaced %+v", d)
+	}
+	mustInvariants(t, m)
+	runs := m.Lookup(ext(0, 50))
+	want := []Run{
+		{Extent: ext(0, 10)},
+		{Extent: ext(10, 20), Target: tgt(1, 100), Present: true},
+		{Extent: ext(30, 20)},
+	}
+	if len(runs) != len(want) {
+		t.Fatalf("got %+v want %+v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("run %d: got %+v want %+v", i, runs[i], want[i])
+		}
+	}
+}
+
+func TestOverwriteMiddleSplits(t *testing.T) {
+	m := New()
+	m.Update(ext(0, 100), tgt(1, 0))
+	d := m.Update(ext(40, 20), tgt(2, 0))
+	mustInvariants(t, m)
+	if len(d) != 1 || d[0].Extent != ext(40, 20) || d[0].Target != tgt(1, 40) {
+		t.Fatalf("displaced %+v", d)
+	}
+	runs := m.Lookup(ext(0, 100))
+	want := []Run{
+		{Extent: ext(0, 40), Target: tgt(1, 0), Present: true},
+		{Extent: ext(40, 20), Target: tgt(2, 0), Present: true},
+		{Extent: ext(60, 40), Target: tgt(1, 60), Present: true},
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %+v", runs)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("run %d: got %+v want %+v", i, runs[i], want[i])
+		}
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len=%d want 3", m.Len())
+	}
+}
+
+func TestAdjacentContiguousMerge(t *testing.T) {
+	m := New()
+	m.Update(ext(0, 8), tgt(5, 0))
+	m.Update(ext(8, 8), tgt(5, 8))
+	mustInvariants(t, m)
+	if m.Len() != 1 {
+		t.Fatalf("contiguous extents not merged: Len=%d", m.Len())
+	}
+	// Adjacent but non-contiguous targets must NOT merge.
+	m.Update(ext(16, 8), tgt(5, 100))
+	if m.Len() != 2 {
+		t.Fatalf("non-contiguous extents merged: Len=%d", m.Len())
+	}
+	// Different object must not merge either.
+	m.Update(ext(24, 8), tgt(6, 108))
+	if m.Len() != 3 {
+		t.Fatalf("cross-object extents merged: Len=%d", m.Len())
+	}
+}
+
+func TestMergeFillsHole(t *testing.T) {
+	m := New()
+	m.Update(ext(0, 8), tgt(1, 0))
+	m.Update(ext(16, 8), tgt(1, 16))
+	if m.Len() != 2 {
+		t.Fatalf("Len=%d", m.Len())
+	}
+	// Plugging the hole with the contiguous middle merges all three.
+	m.Update(ext(8, 8), tgt(1, 8))
+	mustInvariants(t, m)
+	if m.Len() != 1 {
+		t.Fatalf("hole plug did not merge: Len=%d", m.Len())
+	}
+	runs := m.Lookup(ext(0, 24))
+	if len(runs) != 1 || !runs[0].Present || runs[0].Extent != ext(0, 24) {
+		t.Fatalf("got %+v", runs)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New()
+	m.Update(ext(0, 100), tgt(1, 0))
+	d := m.Delete(ext(25, 50))
+	mustInvariants(t, m)
+	if len(d) != 1 || d[0].Extent != ext(25, 50) {
+		t.Fatalf("displaced %+v", d)
+	}
+	if m.MappedSectors() != 50 || m.Len() != 2 {
+		t.Fatalf("Mapped=%d Len=%d", m.MappedSectors(), m.Len())
+	}
+	runs := m.Lookup(ext(0, 100))
+	if len(runs) != 3 || runs[1].Present {
+		t.Fatalf("got %+v", runs)
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	m := New()
+	for i := 0; i < 50; i++ {
+		m.Update(ext(block.LBA(i*16), 8), tgt(uint32(i+1), 0))
+	}
+	d := m.Delete(ext(0, 16*50))
+	mustInvariants(t, m)
+	if len(d) != 50 || m.Len() != 0 || m.MappedSectors() != 0 {
+		t.Fatalf("displaced=%d Len=%d Mapped=%d", len(d), m.Len(), m.MappedSectors())
+	}
+}
+
+func TestUpdateIfConditional(t *testing.T) {
+	m := New()
+	m.Update(ext(0, 10), tgt(1, 0))
+	m.Update(ext(10, 10), tgt(2, 0))
+	m.Update(ext(20, 10), tgt(1, 20))
+	// GC rewrite of object 1's data into object 9: only object-1
+	// portions move; the newer object-2 write must be preserved.
+	d := m.UpdateIf(ext(0, 30), tgt(9, 0), func(r Run) bool { return r.Target.Obj == 1 })
+	mustInvariants(t, m)
+	if len(d) != 2 {
+		t.Fatalf("displaced %+v", d)
+	}
+	runs := m.Lookup(ext(0, 30))
+	want := []Run{
+		{Extent: ext(0, 10), Target: tgt(9, 0), Present: true},
+		{Extent: ext(10, 10), Target: tgt(2, 0), Present: true},
+		{Extent: ext(20, 10), Target: tgt(9, 20), Present: true},
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %+v", runs)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("run %d: got %+v want %+v", i, runs[i], want[i])
+		}
+	}
+}
+
+func TestUpdateIfRejectAllKeepsMap(t *testing.T) {
+	m := New()
+	m.Update(ext(0, 64), tgt(3, 0))
+	d := m.UpdateIf(ext(0, 64), tgt(9, 0), func(Run) bool { return false })
+	mustInvariants(t, m)
+	if len(d) != 0 {
+		t.Fatalf("displaced %+v", d)
+	}
+	runs := m.Lookup(ext(0, 64))
+	if len(runs) != 1 || runs[0].Target != tgt(3, 0) {
+		t.Fatalf("got %+v", runs)
+	}
+}
+
+func TestUpdateIfCoversHoles(t *testing.T) {
+	m := New()
+	m.Update(ext(10, 10), tgt(2, 0))
+	// Conditional update over a range with a hole: the hole is filled,
+	// the rejected existing mapping preserved.
+	m.UpdateIf(ext(0, 30), tgt(9, 0), func(r Run) bool { return r.Target.Obj == 1 })
+	mustInvariants(t, m)
+	runs := m.Lookup(ext(0, 30))
+	want := []Run{
+		{Extent: ext(0, 10), Target: tgt(9, 0), Present: true},
+		{Extent: ext(10, 10), Target: tgt(2, 0), Present: true},
+		{Extent: ext(20, 10), Target: tgt(9, 20), Present: true},
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("run %d: got %+v want %+v", i, runs[i], want[i])
+		}
+	}
+}
+
+func TestChunkSplitting(t *testing.T) {
+	m := New()
+	// Insert far more than one chunk's worth of non-mergeable extents.
+	for i := 0; i < 4*chunkMax; i++ {
+		m.Update(ext(block.LBA(i*10), 5), tgt(uint32(i%7+1), block.LBA(i*1000)))
+	}
+	mustInvariants(t, m)
+	if m.Len() != 4*chunkMax {
+		t.Fatalf("Len=%d want %d", m.Len(), 4*chunkMax)
+	}
+	if len(m.chunks) < 2 {
+		t.Fatalf("expected multiple chunks, got %d", len(m.chunks))
+	}
+	// Spot-check lookups across chunk boundaries.
+	for i := 0; i < 4*chunkMax; i += 37 {
+		runs := m.Lookup(ext(block.LBA(i*10), 5))
+		if len(runs) != 1 || !runs[0].Present || runs[0].Target.Off != block.LBA(i*1000) {
+			t.Fatalf("entry %d: got %+v", i, runs)
+		}
+	}
+}
+
+func TestCrossChunkRangeDelete(t *testing.T) {
+	m := New()
+	for i := 0; i < 4*chunkMax; i++ {
+		m.Update(ext(block.LBA(i*10), 5), tgt(uint32(i%7+1), block.LBA(i*1000)))
+	}
+	d := m.Delete(ext(0, uint32(4*chunkMax*10)))
+	mustInvariants(t, m)
+	if m.Len() != 0 || len(d) != 4*chunkMax {
+		t.Fatalf("Len=%d displaced=%d", m.Len(), len(d))
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		m.Update(ext(block.LBA(rng.Intn(1<<16)), uint32(rng.Intn(64)+1)),
+			tgt(uint32(rng.Intn(100)+1), block.LBA(rng.Intn(1<<20))))
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New()
+	if err := n.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	mustInvariants(t, n)
+	if n.Len() != m.Len() || n.MappedSectors() != m.MappedSectors() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			n.Len(), n.MappedSectors(), m.Len(), m.MappedSectors())
+	}
+	var a, b []Run
+	m.Foreach(func(e block.Extent, tg Target) bool {
+		a = append(a, Run{Extent: e, Target: tg, Present: true})
+		return true
+	})
+	n.Foreach(func(e block.Extent, tg Target) bool {
+		b = append(b, Run{Extent: e, Target: tg, Present: true})
+		return true
+	})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	n := New()
+	if err := n.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	m := New()
+	m.Update(ext(0, 10), tgt(1, 0))
+	data, _ := m.MarshalBinary()
+	if err := n.UnmarshalBinary(data[:len(data)-4]); err == nil {
+		t.Fatal("truncated buffer accepted")
+	}
+	// Zero-length extent: sectors field lives at offset 4(count)+8(start).
+	data2, _ := m.MarshalBinary()
+	for i := 12; i < 16; i++ {
+		data2[i] = 0
+	}
+	if err := n.UnmarshalBinary(data2); err == nil {
+		t.Fatal("zero-length extent accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New()
+	m.Update(ext(0, 100), tgt(1, 0))
+	c := m.Clone()
+	c.Update(ext(0, 100), tgt(2, 0))
+	runs := m.Lookup(ext(0, 100))
+	if runs[0].Target != tgt(1, 0) {
+		t.Fatalf("clone mutated original: %+v", runs)
+	}
+}
+
+// model is a naive sector-granularity reference implementation.
+type model map[block.LBA]Target
+
+func (md model) update(e block.Extent, t Target) {
+	for i := block.LBA(0); i < block.LBA(e.Sectors); i++ {
+		md[e.LBA+i] = t.Shift(i)
+	}
+}
+
+func (md model) updateIf(e block.Extent, t Target, pred func(Target) bool) {
+	for i := block.LBA(0); i < block.LBA(e.Sectors); i++ {
+		old, ok := md[e.LBA+i]
+		if !ok || pred(old) {
+			md[e.LBA+i] = t.Shift(i)
+		}
+	}
+}
+
+func (md model) del(e block.Extent) {
+	for i := block.LBA(0); i < block.LBA(e.Sectors); i++ {
+		delete(md, e.LBA+i)
+	}
+}
+
+// TestRandomizedAgainstModel drives the extent map and the naive model
+// with the same random operation stream and checks sector-exact
+// equivalence, plus structural invariants, after every operation batch.
+func TestRandomizedAgainstModel(t *testing.T) {
+	const space = 1 << 12 // keep space small to force dense overlap
+	rng := rand.New(rand.NewSource(7))
+	m := New()
+	md := model{}
+	randExt := func() block.Extent {
+		return ext(block.LBA(rng.Intn(space)), uint32(rng.Intn(200)+1))
+	}
+	for step := 0; step < 3000; step++ {
+		e := randExt()
+		tg := tgt(uint32(rng.Intn(5)+1), block.LBA(rng.Intn(1<<20)))
+		switch rng.Intn(10) {
+		case 0, 1:
+			m.Delete(e)
+			md.del(e)
+		case 2:
+			obj := uint32(rng.Intn(5) + 1)
+			pred := func(r Run) bool { return r.Target.Obj == obj }
+			mpred := func(t Target) bool { return t.Obj == obj }
+			m.UpdateIf(e, tg, pred)
+			md.updateIf(e, tg, mpred)
+		default:
+			m.Update(e, tg)
+			md.update(e, tg)
+		}
+		if step%100 == 0 {
+			mustInvariants(t, m)
+			compareModel(t, m, md, space)
+		}
+	}
+	mustInvariants(t, m)
+	compareModel(t, m, md, space+256)
+}
+
+func compareModel(t *testing.T, m *Map, md model, space int) {
+	t.Helper()
+	runs := m.Lookup(ext(0, uint32(space+512)))
+	got := model{}
+	for _, r := range runs {
+		if !r.Present {
+			continue
+		}
+		for i := block.LBA(0); i < block.LBA(r.Sectors); i++ {
+			got[r.LBA+i] = r.Target.Shift(i)
+		}
+	}
+	if len(got) != len(md) {
+		t.Fatalf("mapped sector count: got %d want %d", len(got), len(md))
+	}
+	for lba, want := range md {
+		if g, ok := got[lba]; !ok || g != want {
+			t.Fatalf("sector %d: got %v,%v want %v", lba, g, ok, want)
+		}
+	}
+	if m.MappedSectors() != uint64(len(md)) {
+		t.Fatalf("MappedSectors=%d want %d", m.MappedSectors(), len(md))
+	}
+}
+
+// TestDisplacedAccounting verifies that the sum of displaced sectors
+// matches the overlap removed — the invariant the block store's
+// live-data accounting depends on.
+func TestDisplacedAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := New()
+	for step := 0; step < 2000; step++ {
+		e := ext(block.LBA(rng.Intn(4096)), uint32(rng.Intn(100)+1))
+		before := m.MappedSectors()
+		d := m.Update(e, tgt(uint32(step%9+1), block.LBA(step*4096)))
+		var displacedSectors uint64
+		for _, r := range d {
+			displacedSectors += uint64(r.Sectors)
+		}
+		after := m.MappedSectors()
+		// after = before - displaced + len(e)
+		if after != before-displacedSectors+uint64(e.Sectors) {
+			t.Fatalf("step %d: before=%d displaced=%d new=%d after=%d",
+				step, before, displacedSectors, e.Sectors, after)
+		}
+	}
+}
+
+func BenchmarkUpdateDense(b *testing.B) {
+	m := New()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := ext(block.LBA(rng.Intn(1<<22)), 32)
+		m.Update(e, tgt(uint32(i%1000+1), block.LBA(i*32)))
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	m := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		m.Update(ext(block.LBA(rng.Intn(1<<22)), 32), tgt(uint32(i%1000+1), block.LBA(i*32)))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(ext(block.LBA(rng.Intn(1<<22)), 64))
+	}
+}

@@ -1,0 +1,113 @@
+package extmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lsvd/internal/block"
+)
+
+// Property: after any sequence of updates, the map's coverage is
+// exactly the union of the updates, with the newest write winning at
+// every sector, and Marshal/Unmarshal preserves it.
+func TestQuickLastWriterWins(t *testing.T) {
+	type op struct {
+		LBA  uint16
+		N    uint8
+		Obj  uint8
+		Keep bool // delete when false
+	}
+	f := func(ops []op, seed int64) bool {
+		m := New()
+		md := model{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, o := range ops {
+			e := block.Extent{LBA: block.LBA(o.LBA), Sectors: uint32(o.N%64) + 1}
+			if o.Keep {
+				tgt := Target{Obj: uint32(o.Obj) + 1, Off: block.LBA(rng.Intn(1 << 20))}
+				m.Update(e, tgt)
+				md.update(e, tgt)
+			} else {
+				m.Delete(e)
+				md.del(e)
+			}
+		}
+		if err := m.checkInvariants(); err != nil {
+			return false
+		}
+		// Serialization round trip preserves everything.
+		raw, err := m.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		m2 := New()
+		if err := m2.UnmarshalBinary(raw); err != nil {
+			return false
+		}
+		// Compare both maps against the sector model.
+		for _, mm := range []*Map{m, m2} {
+			got := map[block.LBA]Target{}
+			for _, r := range mm.Lookup(block.Extent{LBA: 0, Sectors: 1 << 17}) {
+				if !r.Present {
+					continue
+				}
+				for i := block.LBA(0); i < block.LBA(r.Sectors); i++ {
+					got[r.LBA+i] = r.Target.Shift(i)
+				}
+			}
+			if len(got) != len(md) {
+				return false
+			}
+			for lba, want := range md {
+				if got[lba] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: UpdateExisting never creates coverage where none existed
+// and never touches rejected targets.
+func TestQuickUpdateExisting(t *testing.T) {
+	f := func(base, over uint16, n1, n2 uint8, accept uint8) bool {
+		m := New()
+		e1 := block.Extent{LBA: block.LBA(base), Sectors: uint32(n1%64) + 1}
+		m.Update(e1, Target{Obj: 1, Off: 0})
+		e2 := block.Extent{LBA: block.LBA(over), Sectors: uint32(n2%64) + 1}
+		acceptObj := uint32(accept%2) + 1 // 1 accepts the existing obj, 2 rejects
+		m.UpdateExisting(e2, Target{Obj: 9, Off: 0}, func(r Run) bool {
+			return r.Target.Obj == acceptObj
+		})
+		if err := m.checkInvariants(); err != nil {
+			return false
+		}
+		mapped := m.MappedSectors()
+		// Coverage never grows beyond the original extent.
+		if mapped != uint64(e1.Sectors) {
+			return false
+		}
+		// If the predicate rejected, nothing moved to object 9.
+		if acceptObj != 1 {
+			moved := false
+			m.Foreach(func(_ block.Extent, tg Target) bool {
+				if tg.Obj == 9 {
+					moved = true
+				}
+				return true
+			})
+			if moved {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

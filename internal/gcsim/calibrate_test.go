@@ -1,0 +1,38 @@
+package gcsim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"lsvd/internal/workload"
+)
+
+// TestCalibrate prints the full Table 5 at a given scale; used to tune
+// the synthetic trace parameters against the paper's rows. Enabled by
+// GCSIM_CALIBRATE=scale.
+func TestCalibrate(t *testing.T) {
+	scaleEnv := os.Getenv("GCSIM_CALIBRATE")
+	if scaleEnv == "" {
+		t.Skip("set GCSIM_CALIBRATE=<scale> to run")
+	}
+	var scale float64
+	fmt.Sscanf(scaleEnv, "%f", &scale)
+	cfg := Defaults(scale)
+	for _, spec := range workload.PaperTraces {
+		nm, err := Simulate(ctx, spec, NoMerge, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Simulate(ctx, spec, Merge, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Simulate(ctx, spec, Defrag, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%s writeGB=%6.2f ext(nm/m/d)=%7d/%7d/%7d WAF(nm/m/d)=%.2f/%.2f/%.2f merge=%.2f gc=%d\n",
+			spec.ID, m.WriteGB, nm.Extents, m.Extents, d.Extents, nm.WAF, m.WAF, d.WAF, m.MergeRat, m.GCRuns)
+	}
+}

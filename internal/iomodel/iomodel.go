@@ -1,0 +1,315 @@
+// Package iomodel converts metered I/O streams into elapsed time using
+// a calibrated analytic device model.
+//
+// LSVD's data paths run at memory speed in this repository; every
+// simulated device meters the stream of operations it receives (kind,
+// offset, size, flush), merging sequential runs the way a block
+// scheduler and the device's own write coalescing would. The model then
+// bounds the time a real device would need by the three classic
+// limits — per-op latency under a given queue depth, the device's
+// random-IOPS capability, and its sequential bandwidth — and takes the
+// binding one:
+//
+//	elapsed = max(ops·latency/QD, reads/rIOPS + writes/wIOPS,
+//	              readBytes/rBW + writeBytes/wBW) + flushes·flushLatency
+//
+// Relative results between systems (who wins, by what factor) come from
+// the real I/O streams the implementation produces, not from the model:
+// the model is the same for both sides of every comparison. Device
+// parameters are calibrated from the paper's Table 1 and §4.1.
+package iomodel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Params describes a device's performance envelope.
+type Params struct {
+	Name         string
+	ReadLatency  time.Duration // per-op service latency
+	WriteLatency time.Duration
+	ReadIOPS     float64 // random small-op capability, ops/sec
+	WriteIOPS    float64
+	ReadBW       float64 // sequential bandwidth, bytes/sec
+	WriteBW      float64
+	FlushLatency time.Duration // commit barrier cost
+	MergeLimit   int64         // max bytes merged into one effective op
+}
+
+// Calibrated device profiles (paper Table 1, §4.1, §4.9).
+var (
+	// NVMeP3700 is the 800 GB Intel DC P3700 client cache device:
+	// 2.8/1.9 GB/s sequential read/write, 460K/90K read/write IOPS.
+	NVMeP3700 = Params{
+		Name:        "nvme-p3700",
+		ReadLatency: 90 * time.Microsecond, WriteLatency: 64 * time.Microsecond,
+		ReadIOPS: 460_000, WriteIOPS: 90_000,
+		ReadBW: 2.8e9, WriteBW: 1.9e9,
+		FlushLatency: 50 * time.Microsecond,
+		MergeLimit:   512 << 10,
+	}
+
+	// SATASSDConsumer is one 250 GB consumer SATA SSD of backend
+	// config #1 (~10,000 sustained random write IOPS per device).
+	SATASSDConsumer = Params{
+		Name:        "sata-ssd",
+		ReadLatency: 150 * time.Microsecond, WriteLatency: 400 * time.Microsecond,
+		ReadIOPS: 70_000, WriteIOPS: 10_000,
+		ReadBW: 500e6, WriteBW: 450e6,
+		FlushLatency: 500 * time.Microsecond,
+		MergeLimit:   512 << 10,
+	}
+
+	// HDD10K is one 10K RPM SAS drive of backend config #2 (~370
+	// rated write IOPS, §4.5; ~200 MB/s sequential).
+	HDD10K = Params{
+		Name:        "hdd-10k",
+		ReadLatency: 6 * time.Millisecond, WriteLatency: 2700 * time.Microsecond,
+		ReadIOPS: 300, WriteIOPS: 370,
+		ReadBW: 200e6, WriteBW: 200e6,
+		FlushLatency: 8 * time.Millisecond,
+		MergeLimit:   1 << 20,
+	}
+
+	// EC2NVMe is the m5d.xlarge instance NVMe (§4.9): measured
+	// 230/128 MB/s read/write at large I/O.
+	EC2NVMe = Params{
+		Name:        "ec2-nvme",
+		ReadLatency: 120 * time.Microsecond, WriteLatency: 90 * time.Microsecond,
+		ReadIOPS: 65_000, WriteIOPS: 32_000,
+		ReadBW: 230e6, WriteBW: 128e6,
+		FlushLatency: 80 * time.Microsecond,
+		MergeLimit:   512 << 10,
+	}
+)
+
+// OpKind distinguishes metered operations.
+type OpKind int
+
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// Counters is a snapshot of a meter. "Effective" ops count sequential
+// runs merged up to MergeLimit as single operations, which is what an
+// IOPS-limited device experiences after scheduler merging.
+type Counters struct {
+	ReadOps, WriteOps       uint64 // as issued
+	ReadEffOps, WriteEffOps uint64 // after sequential merging
+	ReadBytes, WriteBytes   uint64
+	Flushes                 uint64
+}
+
+// Sub returns c - o, counter-wise.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		ReadOps: c.ReadOps - o.ReadOps, WriteOps: c.WriteOps - o.WriteOps,
+		ReadEffOps: c.ReadEffOps - o.ReadEffOps, WriteEffOps: c.WriteEffOps - o.WriteEffOps,
+		ReadBytes: c.ReadBytes - o.ReadBytes, WriteBytes: c.WriteBytes - o.WriteBytes,
+		Flushes: c.Flushes - o.Flushes,
+	}
+}
+
+// Add returns c + o, counter-wise.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		ReadOps: c.ReadOps + o.ReadOps, WriteOps: c.WriteOps + o.WriteOps,
+		ReadEffOps: c.ReadEffOps + o.ReadEffOps, WriteEffOps: c.WriteEffOps + o.WriteEffOps,
+		ReadBytes: c.ReadBytes + o.ReadBytes, WriteBytes: c.WriteBytes + o.WriteBytes,
+		Flushes: c.Flushes + o.Flushes,
+	}
+}
+
+// Meter accumulates the I/O stream seen by one device. It is safe for
+// concurrent use.
+type Meter struct {
+	params Params
+
+	mu      sync.Mutex
+	c       Counters
+	lastEnd [2]int64 // per kind: end offset of previous op, for run detection
+	runLen  [2]int64 // bytes accumulated in the current sequential run
+	sizes   *SizeHistogram
+}
+
+// NewMeter returns a meter for a device with the given parameters.
+func NewMeter(p Params) *Meter {
+	if p.MergeLimit <= 0 {
+		p.MergeLimit = 512 << 10
+	}
+	return &Meter{params: p, lastEnd: [2]int64{-1, -1}, sizes: NewSizeHistogram()}
+}
+
+// Params returns the device parameters.
+func (m *Meter) Params() Params { return m.params }
+
+// Record meters one operation.
+func (m *Meter) Record(kind OpKind, off, size int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := int(kind)
+	switch kind {
+	case OpRead:
+		m.c.ReadOps++
+		m.c.ReadBytes += uint64(size)
+	case OpWrite:
+		m.c.WriteOps++
+		m.c.WriteBytes += uint64(size)
+	}
+	// Sequential run merging: an op that starts where the previous op
+	// of the same kind ended extends the run (until MergeLimit).
+	if off == m.lastEnd[k] && m.runLen[k]+size <= m.params.MergeLimit {
+		m.runLen[k] += size
+	} else {
+		if kind == OpWrite && m.runLen[k] > 0 {
+			m.sizes.Record(m.runLen[k])
+		}
+		m.runLen[k] = size
+		switch kind {
+		case OpRead:
+			m.c.ReadEffOps++
+		case OpWrite:
+			m.c.WriteEffOps++
+		}
+	}
+	m.lastEnd[k] = off + size
+}
+
+// RecordFlush meters a commit barrier; it also closes open sequential
+// runs (a barrier drains the queue).
+func (m *Meter) RecordFlush() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.c.Flushes++
+	if m.runLen[int(OpWrite)] > 0 {
+		m.sizes.Record(m.runLen[int(OpWrite)])
+		m.runLen[int(OpWrite)] = 0
+	}
+	m.lastEnd = [2]int64{-1, -1}
+}
+
+// Snapshot returns the current counters.
+func (m *Meter) Snapshot() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c
+}
+
+// WriteSizes returns the histogram of merged write sizes (Fig 14),
+// flushing any open run first.
+func (m *Meter) WriteSizes() *SizeHistogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.runLen[int(OpWrite)] > 0 {
+		m.sizes.Record(m.runLen[int(OpWrite)])
+		m.runLen[int(OpWrite)] = 0
+		m.lastEnd[int(OpWrite)] = -1
+	}
+	return m.sizes.Clone()
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.c = Counters{}
+	m.lastEnd = [2]int64{-1, -1}
+	m.runLen = [2]int64{}
+	m.sizes = NewSizeHistogram()
+}
+
+// Elapsed returns the modeled time for the counter delta c on a device
+// with parameters p, at client queue depth qd.
+func Elapsed(p Params, c Counters, qd int) time.Duration {
+	if qd < 1 {
+		qd = 1
+	}
+	lat := time.Duration(float64(c.ReadEffOps)*float64(p.ReadLatency)+
+		float64(c.WriteEffOps)*float64(p.WriteLatency)) / time.Duration(qd)
+	var iops, bw float64
+	if p.ReadIOPS > 0 {
+		iops += float64(c.ReadEffOps) / p.ReadIOPS
+	}
+	if p.WriteIOPS > 0 {
+		iops += float64(c.WriteEffOps) / p.WriteIOPS
+	}
+	if p.ReadBW > 0 {
+		bw += float64(c.ReadBytes) / p.ReadBW
+	}
+	if p.WriteBW > 0 {
+		bw += float64(c.WriteBytes) / p.WriteBW
+	}
+	e := lat
+	if d := time.Duration(iops * float64(time.Second)); d > e {
+		e = d
+	}
+	if d := time.Duration(bw * float64(time.Second)); d > e {
+		e = d
+	}
+	return e + time.Duration(c.Flushes)*p.FlushLatency
+}
+
+// ElapsedMeter is Elapsed for a meter's full history.
+func ElapsedMeter(m *Meter, qd int) time.Duration { return Elapsed(m.params, m.Snapshot(), qd) }
+
+// SizeHistogram buckets operation sizes by power of two, with bucket i
+// covering [2^i, 2^(i+1)) bytes; it records both counts and bytes,
+// matching the paper's Fig 14 presentation (bytes written vs I/O size).
+type SizeHistogram struct {
+	Counts [40]uint64
+	Bytes  [40]uint64
+}
+
+// NewSizeHistogram returns an empty histogram.
+func NewSizeHistogram() *SizeHistogram { return &SizeHistogram{} }
+
+// Record adds one operation of the given size.
+func (h *SizeHistogram) Record(size int64) {
+	b := 0
+	for s := size; s > 1 && b < len(h.Counts)-1; s >>= 1 {
+		b++
+	}
+	h.Counts[b]++
+	h.Bytes[b] += uint64(size)
+}
+
+// Clone returns a copy.
+func (h *SizeHistogram) Clone() *SizeHistogram {
+	c := *h
+	return &c
+}
+
+// Merge adds o into h.
+func (h *SizeHistogram) Merge(o *SizeHistogram) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+		h.Bytes[i] += o.Bytes[i]
+	}
+}
+
+// Buckets returns the non-empty buckets as (lower-bound, count, bytes)
+// rows in ascending size order.
+func (h *SizeHistogram) Buckets() []BucketRow {
+	var out []BucketRow
+	for i := range h.Counts {
+		if h.Counts[i] == 0 {
+			continue
+		}
+		out = append(out, BucketRow{Low: int64(1) << i, Count: h.Counts[i], Bytes: h.Bytes[i]})
+	}
+	return out
+}
+
+// BucketRow is one histogram row.
+type BucketRow struct {
+	Low   int64
+	Count uint64
+	Bytes uint64
+}
+
+func (b BucketRow) String() string {
+	return fmt.Sprintf("%8d: %10d ops %14d bytes", b.Low, b.Count, b.Bytes)
+}

@@ -1,0 +1,135 @@
+package iomodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeterSequentialMerging(t *testing.T) {
+	m := NewMeter(NVMeP3700)
+	// A perfectly sequential stream merges up to MergeLimit.
+	off := int64(0)
+	for i := 0; i < 256; i++ { // 256 x 4K = 1 MiB = two 512K runs
+		m.Record(OpWrite, off, 4096)
+		off += 4096
+	}
+	c := m.Snapshot()
+	if c.WriteOps != 256 {
+		t.Fatalf("ops %d", c.WriteOps)
+	}
+	if c.WriteEffOps != 2 {
+		t.Fatalf("effective ops %d, want 2 (512K merge limit)", c.WriteEffOps)
+	}
+}
+
+func TestMeterRandomNoMerge(t *testing.T) {
+	m := NewMeter(NVMeP3700)
+	for i := 0; i < 100; i++ {
+		m.Record(OpWrite, int64(i)*10<<20, 4096)
+	}
+	if c := m.Snapshot(); c.WriteEffOps != 100 {
+		t.Fatalf("random writes merged: %d", c.WriteEffOps)
+	}
+}
+
+func TestFlushClosesRuns(t *testing.T) {
+	m := NewMeter(NVMeP3700)
+	m.Record(OpWrite, 0, 4096)
+	m.RecordFlush()
+	m.Record(OpWrite, 4096, 4096) // would have merged without the flush
+	c := m.Snapshot()
+	if c.WriteEffOps != 2 || c.Flushes != 1 {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestElapsedMonotonicInWork(t *testing.T) {
+	f := func(ops uint16, kb uint8) bool {
+		c1 := Counters{WriteEffOps: uint64(ops), WriteBytes: uint64(ops) * uint64(kb+1) * 1024}
+		c2 := Counters{WriteEffOps: uint64(ops) * 2, WriteBytes: uint64(ops) * 2 * uint64(kb+1) * 1024}
+		return Elapsed(NVMeP3700, c2, 8) >= Elapsed(NVMeP3700, c1, 8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElapsedQDHelpsOnlyLatencyBound(t *testing.T) {
+	// Few large ops: bandwidth bound, QD irrelevant.
+	c := Counters{WriteEffOps: 10, WriteBytes: 1 << 30}
+	if Elapsed(NVMeP3700, c, 1) != Elapsed(NVMeP3700, c, 32) {
+		t.Fatal("bandwidth-bound time changed with QD")
+	}
+	// Many small ops at QD1 vs QD32: latency bound shrinks.
+	c = Counters{WriteEffOps: 10000, WriteBytes: 10000 * 512}
+	if Elapsed(NVMeP3700, c, 32) >= Elapsed(NVMeP3700, c, 1) {
+		t.Fatal("QD did not reduce latency-bound time")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewSizeHistogram()
+	for _, s := range []int64{1, 2, 3, 4, 1023, 1024, 1025} {
+		h.Record(s)
+	}
+	rows := h.Buckets()
+	var total uint64
+	for _, r := range rows {
+		total += r.Count
+	}
+	if total != 7 {
+		t.Fatalf("histogram lost entries: %d", total)
+	}
+	if rows[0].String() == "" {
+		t.Fatal("no row rendering")
+	}
+}
+
+func TestWriteSizesFlushesOpenRun(t *testing.T) {
+	m := NewMeter(NVMeP3700)
+	m.Record(OpWrite, 0, 16384)
+	h := m.WriteSizes()
+	var n uint64
+	for _, r := range h.Buckets() {
+		n += r.Count
+	}
+	if n != 1 {
+		t.Fatalf("open run not flushed into histogram: %d", n)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter(HDD10K)
+	m.Record(OpRead, 0, 4096)
+	m.Record(OpWrite, 0, 4096)
+	m.RecordFlush()
+	m.Reset()
+	if m.Snapshot() != (Counters{}) {
+		t.Fatal("reset incomplete")
+	}
+	if m.Params().Name != "hdd-10k" {
+		t.Fatal("params lost")
+	}
+}
+
+func TestDefaultMergeLimit(t *testing.T) {
+	m := NewMeter(Params{Name: "x", WriteIOPS: 100})
+	if m.Params().MergeLimit <= 0 {
+		t.Fatal("merge limit default missing")
+	}
+}
+
+func TestCalibrationSanity(t *testing.T) {
+	// The P3700 ratings from §4.1: 90K write IOPS means 90K random 4K
+	// writes take ~1s; 1.9 GB/s means 1.9 GB sequential takes ~1s.
+	c := Counters{WriteEffOps: 90000, WriteBytes: 90000 * 4096}
+	if d := Elapsed(NVMeP3700, c, 64); d < 900*time.Millisecond || d > 1100*time.Millisecond {
+		t.Fatalf("IOPS calibration off: %v", d)
+	}
+	// HDD: 370 random writes/s.
+	c = Counters{WriteEffOps: 370, WriteBytes: 370 * 16384}
+	if d := Elapsed(HDD10K, c, 64); d < 900*time.Millisecond || d > 1100*time.Millisecond {
+		t.Fatalf("HDD calibration off: %v", d)
+	}
+}

@@ -1,0 +1,258 @@
+package nbd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+)
+
+// Client is a minimal NBD client used by tests, examples and the
+// benchmark harness to drive an exported disk over TCP.
+type Client struct {
+	conn   net.Conn
+	size   int64
+	flags  uint16
+	handle atomic.Uint64
+}
+
+// Dial connects and negotiates the named export via NBD_OPT_GO.
+func Dial(addr, export string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	if err := c.handshake(export); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) handshake(export string) error {
+	var hs [18]byte
+	if _, err := io.ReadFull(c.conn, hs[:]); err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint64(hs[0:]) != nbdMagic || binary.BigEndian.Uint64(hs[8:]) != iHaveOpt {
+		return fmt.Errorf("nbd: bad server handshake")
+	}
+	serverFlags := binary.BigEndian.Uint16(hs[16:])
+	if serverFlags&flagFixedNewstyle == 0 {
+		return fmt.Errorf("nbd: server is not fixed-newstyle")
+	}
+	if err := binary.Write(c.conn, binary.BigEndian, uint32(flagFixedNewstyle|flagNoZeroes)); err != nil {
+		return err
+	}
+	// NBD_OPT_GO with the export name.
+	payload := make([]byte, 4+len(export)+2)
+	binary.BigEndian.PutUint32(payload, uint32(len(export)))
+	copy(payload[4:], export)
+	// trailing uint16: zero information requests
+	if err := c.sendOption(optGo, payload); err != nil {
+		return err
+	}
+	for {
+		option, reply, data, err := c.readOptReply()
+		if err != nil {
+			return err
+		}
+		if option != optGo {
+			return fmt.Errorf("nbd: reply for option %d", option)
+		}
+		switch reply {
+		case repInfo:
+			if len(data) >= 12 && binary.BigEndian.Uint16(data) == infoExport {
+				c.size = int64(binary.BigEndian.Uint64(data[2:]))
+				c.flags = binary.BigEndian.Uint16(data[10:])
+			}
+		case repAck:
+			if c.size == 0 {
+				return fmt.Errorf("nbd: no export info received")
+			}
+			return nil
+		default:
+			return fmt.Errorf("nbd: option error reply %#x: %s", reply, data)
+		}
+	}
+}
+
+// List returns the server's export names.
+func List(addr string) ([]string, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	c := &Client{conn: conn}
+	var hs [18]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(conn, binary.BigEndian, uint32(flagFixedNewstyle|flagNoZeroes)); err != nil {
+		return nil, err
+	}
+	if err := c.sendOption(optList, nil); err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		_, reply, data, err := c.readOptReply()
+		if err != nil {
+			return nil, err
+		}
+		switch reply {
+		case repServer:
+			if len(data) >= 4 {
+				n := binary.BigEndian.Uint32(data)
+				names = append(names, string(data[4:4+n]))
+			}
+		case repAck:
+			_ = c.sendOption(optAbort, nil)
+			return names, nil
+		default:
+			return nil, fmt.Errorf("nbd: list error %#x", reply)
+		}
+	}
+}
+
+func (c *Client) sendOption(option uint32, payload []byte) error {
+	hdr := make([]byte, 16)
+	binary.BigEndian.PutUint64(hdr, iHaveOpt)
+	binary.BigEndian.PutUint32(hdr[8:], option)
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(payload)))
+	if _, err := c.conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+func (c *Client) readOptReply() (option, reply uint32, data []byte, err error) {
+	var hdr [20]byte
+	if _, err = io.ReadFull(c.conn, hdr[:]); err != nil {
+		return
+	}
+	if binary.BigEndian.Uint64(hdr[0:]) != optReplyMagic {
+		err = fmt.Errorf("nbd: bad option reply magic")
+		return
+	}
+	option = binary.BigEndian.Uint32(hdr[8:])
+	reply = binary.BigEndian.Uint32(hdr[12:])
+	n := binary.BigEndian.Uint32(hdr[16:])
+	data = make([]byte, n)
+	_, err = io.ReadFull(c.conn, data)
+	return
+}
+
+// Size returns the export size.
+func (c *Client) Size() int64 { return c.size }
+
+func (c *Client) request(typ uint16, off uint64, length uint32, payload []byte) (uint64, error) {
+	h := c.handle.Add(1)
+	hdr := make([]byte, 28)
+	binary.BigEndian.PutUint32(hdr[0:], requestMagic)
+	binary.BigEndian.PutUint16(hdr[6:], typ)
+	binary.BigEndian.PutUint64(hdr[8:], h)
+	binary.BigEndian.PutUint64(hdr[16:], off)
+	binary.BigEndian.PutUint32(hdr[24:], length)
+	if _, err := c.conn.Write(hdr); err != nil {
+		return h, err
+	}
+	if payload != nil {
+		if _, err := c.conn.Write(payload); err != nil {
+			return h, err
+		}
+	}
+	return h, nil
+}
+
+func (c *Client) readSimpleReply(wantHandle uint64) (uint32, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(c.conn, hdr[:]); err != nil {
+		return 0, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != simpleReplyMagic {
+		return 0, fmt.Errorf("nbd: bad reply magic")
+	}
+	if h := binary.BigEndian.Uint64(hdr[8:]); h != wantHandle {
+		return 0, fmt.Errorf("nbd: reply handle %d want %d", h, wantHandle)
+	}
+	return binary.BigEndian.Uint32(hdr[4:]), nil
+}
+
+// ReadAt reads from the export.
+func (c *Client) ReadAt(p []byte, off int64) error {
+	h, err := c.request(cmdRead, uint64(off), uint32(len(p)), nil)
+	if err != nil {
+		return err
+	}
+	errno, err := c.readSimpleReply(h)
+	if err != nil {
+		return err
+	}
+	if errno != 0 {
+		return fmt.Errorf("nbd: read error %d", errno)
+	}
+	_, err = io.ReadFull(c.conn, p)
+	return err
+}
+
+// WriteAt writes to the export.
+func (c *Client) WriteAt(p []byte, off int64) error {
+	h, err := c.request(cmdWrite, uint64(off), uint32(len(p)), p)
+	if err != nil {
+		return err
+	}
+	errno, err := c.readSimpleReply(h)
+	if err != nil {
+		return err
+	}
+	if errno != 0 {
+		return fmt.Errorf("nbd: write error %d", errno)
+	}
+	return nil
+}
+
+// Flush issues a commit barrier.
+func (c *Client) Flush() error {
+	h, err := c.request(cmdFlush, 0, 0, nil)
+	if err != nil {
+		return err
+	}
+	errno, err := c.readSimpleReply(h)
+	if err != nil {
+		return err
+	}
+	if errno != 0 {
+		return fmt.Errorf("nbd: flush error %d", errno)
+	}
+	return nil
+}
+
+// Trim discards a range.
+func (c *Client) Trim(off, length int64) error {
+	h, err := c.request(cmdTrim, uint64(off), uint32(length), nil)
+	if err != nil {
+		return err
+	}
+	errno, err := c.readSimpleReply(h)
+	if err != nil {
+		return err
+	}
+	if errno != 0 {
+		return fmt.Errorf("nbd: trim error %d", errno)
+	}
+	return nil
+}
+
+// Size of the export as required by vdisk.Disk.
+var _ = (*Client)(nil)
+
+// Close disconnects politely.
+func (c *Client) Close() error {
+	_, _ = c.request(cmdDisc, 0, 0, nil)
+	return c.conn.Close()
+}

@@ -1,0 +1,388 @@
+// Package nbd implements a Network Block Device (NBD) server speaking
+// the fixed-newstyle protocol, exposing any vdisk.Disk — in particular
+// an LSVD volume — to a real kernel client (nbd-client / qemu-nbd) or
+// to the in-package test client.
+//
+// This is the deployment substitute for the paper prototype's
+// device-mapper kernel module (§3.7): the paper's own follow-up moved
+// to a userspace implementation, and NBD provides the standard block
+// interface without kernel code. Supported: NBD_OPT_EXPORT_NAME,
+// NBD_OPT_GO, NBD_OPT_INFO, NBD_OPT_LIST, NBD_OPT_ABORT; transmission
+// commands READ, WRITE, FLUSH, TRIM, DISC.
+package nbd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"lsvd/internal/vdisk"
+)
+
+// Protocol constants (https://github.com/NetworkBlockDevice/nbd/blob/master/doc/proto.md).
+const (
+	nbdMagic         = 0x4e42444d41474943 // "NBDMAGIC"
+	iHaveOpt         = 0x49484156454F5054 // "IHAVEOPT"
+	optReplyMagic    = 0x3e889045565a9
+	requestMagic     = 0x25609513
+	simpleReplyMagic = 0x67446698
+
+	flagFixedNewstyle = 1 << 0
+	flagNoZeroes      = 1 << 1
+
+	optExportName = 1
+	optAbort      = 2
+	optList       = 3
+	optInfo       = 6
+	optGo         = 7
+
+	repAck    = 1
+	repServer = 2
+	repInfo   = 3
+
+	repErrUnsup   = 1<<31 | 1
+	repErrInvalid = 1<<31 | 3
+	repErrUnknown = 1<<31 | 6
+
+	infoExport = 0
+
+	cmdRead  = 0
+	cmdWrite = 1
+	cmdDisc  = 2
+	cmdFlush = 3
+	cmdTrim  = 4
+
+	// Transmission flags.
+	tfHasFlags  = 1 << 0
+	tfSendFlush = 1 << 2
+	tfSendTrim  = 1 << 5
+
+	// Errno-style errors.
+	errIO    = 5
+	errInval = 22
+	errNoSup = 95
+
+	maxRequestLen = 32 << 20
+)
+
+// Export is one named disk served by a Server.
+type Export struct {
+	Name string
+	Disk vdisk.Disk
+}
+
+// Server serves NBD exports over a listener.
+type Server struct {
+	mu      sync.Mutex
+	exports map[string]vdisk.Disk
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer creates a server with the given exports.
+func NewServer(exports ...Export) *Server {
+	s := &Server{exports: make(map[string]vdisk.Disk)}
+	for _, e := range exports {
+		s.exports[e.Name] = e.Disk
+	}
+	return s
+}
+
+// AddExport registers another export.
+func (s *Server) AddExport(e Export) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exports[e.Name] = e.Disk
+}
+
+// Serve accepts connections on ln until Close; it blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			_ = s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) export(name string) (vdisk.Disk, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// An empty requested name means "the default export": serve the
+	// sole export if there is exactly one.
+	if name == "" && len(s.exports) == 1 {
+		for _, d := range s.exports {
+			return d, true
+		}
+	}
+	d, ok := s.exports[name]
+	return d, ok
+}
+
+func (s *Server) exportNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.exports))
+	for n := range s.exports {
+		names = append(names, n)
+	}
+	return names
+}
+
+// handle runs the fixed-newstyle handshake then transmission.
+func (s *Server) handle(conn net.Conn) error {
+	var hs [18]byte
+	binary.BigEndian.PutUint64(hs[0:], nbdMagic)
+	binary.BigEndian.PutUint64(hs[8:], iHaveOpt)
+	binary.BigEndian.PutUint16(hs[16:], flagFixedNewstyle|flagNoZeroes)
+	if _, err := conn.Write(hs[:]); err != nil {
+		return err
+	}
+	var clientFlags uint32
+	if err := binary.Read(conn, binary.BigEndian, &clientFlags); err != nil {
+		return err
+	}
+	noZeroes := clientFlags&flagNoZeroes != 0
+
+	for {
+		disk, done, err := s.negotiate(conn, noZeroes)
+		if err != nil || done && disk == nil {
+			return err
+		}
+		if disk != nil {
+			return s.transmission(conn, disk)
+		}
+	}
+}
+
+// negotiate processes one client option. It returns a non-nil disk to
+// enter transmission, done=true to close, or neither to keep
+// negotiating.
+func (s *Server) negotiate(conn net.Conn, noZeroes bool) (vdisk.Disk, bool, error) {
+	var hdr struct {
+		Magic  uint64
+		Option uint32
+		Length uint32
+	}
+	if err := binary.Read(conn, binary.BigEndian, &hdr); err != nil {
+		return nil, true, err
+	}
+	if hdr.Magic != iHaveOpt {
+		return nil, true, fmt.Errorf("nbd: bad option magic %#x", hdr.Magic)
+	}
+	if hdr.Length > 1<<20 {
+		return nil, true, fmt.Errorf("nbd: oversized option payload %d", hdr.Length)
+	}
+	payload := make([]byte, hdr.Length)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, true, err
+	}
+
+	switch hdr.Option {
+	case optExportName:
+		disk, ok := s.export(string(payload))
+		if !ok {
+			// No error reply possible for EXPORT_NAME: hard close.
+			return nil, true, fmt.Errorf("nbd: unknown export %q", payload)
+		}
+		var resp [10]byte
+		binary.BigEndian.PutUint64(resp[0:], uint64(disk.Size()))
+		binary.BigEndian.PutUint16(resp[8:], s.transmissionFlags())
+		if _, err := conn.Write(resp[:]); err != nil {
+			return nil, true, err
+		}
+		if !noZeroes {
+			if _, err := conn.Write(make([]byte, 124)); err != nil {
+				return nil, true, err
+			}
+		}
+		return disk, false, nil
+
+	case optGo, optInfo:
+		if len(payload) < 6 {
+			return nil, false, s.optReply(conn, hdr.Option, repErrInvalid, nil)
+		}
+		nameLen := binary.BigEndian.Uint32(payload)
+		if int(nameLen)+6 > len(payload) {
+			return nil, false, s.optReply(conn, hdr.Option, repErrInvalid, nil)
+		}
+		name := string(payload[4 : 4+nameLen])
+		disk, ok := s.export(name)
+		if !ok {
+			return nil, false, s.optReply(conn, hdr.Option, repErrUnknown, []byte(name))
+		}
+		info := make([]byte, 12)
+		binary.BigEndian.PutUint16(info[0:], infoExport)
+		binary.BigEndian.PutUint64(info[2:], uint64(disk.Size()))
+		binary.BigEndian.PutUint16(info[10:], s.transmissionFlags())
+		if err := s.optReply(conn, hdr.Option, repInfo, info); err != nil {
+			return nil, true, err
+		}
+		if err := s.optReply(conn, hdr.Option, repAck, nil); err != nil {
+			return nil, true, err
+		}
+		if hdr.Option == optGo {
+			return disk, false, nil
+		}
+		return nil, false, nil
+
+	case optList:
+		for _, name := range s.exportNames() {
+			entry := make([]byte, 4+len(name))
+			binary.BigEndian.PutUint32(entry, uint32(len(name)))
+			copy(entry[4:], name)
+			if err := s.optReply(conn, optList, repServer, entry); err != nil {
+				return nil, true, err
+			}
+		}
+		return nil, false, s.optReply(conn, optList, repAck, nil)
+
+	case optAbort:
+		_ = s.optReply(conn, optAbort, repAck, nil)
+		return nil, true, nil
+
+	default:
+		return nil, false, s.optReply(conn, hdr.Option, repErrUnsup, nil)
+	}
+}
+
+func (s *Server) transmissionFlags() uint16 {
+	return tfHasFlags | tfSendFlush | tfSendTrim
+}
+
+func (s *Server) optReply(conn net.Conn, option, reply uint32, data []byte) error {
+	hdr := make([]byte, 20)
+	binary.BigEndian.PutUint64(hdr[0:], optReplyMagic)
+	binary.BigEndian.PutUint32(hdr[8:], option)
+	binary.BigEndian.PutUint32(hdr[12:], reply)
+	binary.BigEndian.PutUint32(hdr[16:], uint32(len(data)))
+	if _, err := conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err := conn.Write(data)
+	return err
+}
+
+// transmission serves I/O requests until DISC or error.
+func (s *Server) transmission(conn net.Conn, disk vdisk.Disk) error {
+	for {
+		var req struct {
+			Magic  uint32
+			Flags  uint16
+			Type   uint16
+			Handle uint64
+			Offset uint64
+			Length uint32
+		}
+		if err := binary.Read(conn, binary.BigEndian, &req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if req.Magic != requestMagic {
+			return fmt.Errorf("nbd: bad request magic %#x", req.Magic)
+		}
+		if req.Length > maxRequestLen {
+			return fmt.Errorf("nbd: request of %d bytes too large", req.Length)
+		}
+
+		switch req.Type {
+		case cmdRead:
+			buf := make([]byte, req.Length)
+			errno := uint32(0)
+			if err := disk.ReadAt(buf, int64(req.Offset)); err != nil {
+				errno = errIO
+			}
+			if err := s.simpleReply(conn, req.Handle, errno); err != nil {
+				return err
+			}
+			if errno == 0 {
+				if _, err := conn.Write(buf); err != nil {
+					return err
+				}
+			}
+
+		case cmdWrite:
+			buf := make([]byte, req.Length)
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				return err
+			}
+			errno := uint32(0)
+			if err := disk.WriteAt(buf, int64(req.Offset)); err != nil {
+				errno = errIO
+			}
+			if err := s.simpleReply(conn, req.Handle, errno); err != nil {
+				return err
+			}
+
+		case cmdFlush:
+			errno := uint32(0)
+			if err := disk.Flush(); err != nil {
+				errno = errIO
+			}
+			if err := s.simpleReply(conn, req.Handle, errno); err != nil {
+				return err
+			}
+
+		case cmdTrim:
+			errno := uint32(0)
+			if err := disk.Trim(int64(req.Offset), int64(req.Length)); err != nil {
+				errno = errInval
+			}
+			if err := s.simpleReply(conn, req.Handle, errno); err != nil {
+				return err
+			}
+
+		case cmdDisc:
+			return nil
+
+		default:
+			if err := s.simpleReply(conn, req.Handle, errNoSup); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (s *Server) simpleReply(conn net.Conn, handle uint64, errno uint32) error {
+	var buf [16]byte
+	binary.BigEndian.PutUint32(buf[0:], simpleReplyMagic)
+	binary.BigEndian.PutUint32(buf[4:], errno)
+	binary.BigEndian.PutUint64(buf[8:], handle)
+	_, err := conn.Write(buf[:])
+	return err
+}

@@ -1,0 +1,329 @@
+// Package objstore provides the S3-compatible object interface LSVD
+// uses for long-term durability (paper §3): immutable named objects
+// with PUT/GET/range-GET/DELETE/LIST. Implementations include an
+// in-memory store (with a "slim" mode that elides all-zero payload
+// tails so benchmark-scale volumes cost little RAM), a directory-backed
+// store for real use, and a wrapper adding S3-like latency, bandwidth
+// accounting and fault injection.
+package objstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned for GETs and DELETEs of missing objects.
+var ErrNotFound = errors.New("objstore: object not found")
+
+// Store is the S3-like backend interface. Objects are immutable by
+// convention (only the volume superblock is ever overwritten);
+// implementations need not enforce it.
+type Store interface {
+	// Put stores data under name, replacing any existing object.
+	Put(ctx context.Context, name string, data []byte) error
+	// Get returns the full object.
+	Get(ctx context.Context, name string) ([]byte, error)
+	// GetRange returns length bytes at offset off; short results are
+	// errors except when the object ends inside the range, in which
+	// case the available suffix is returned.
+	GetRange(ctx context.Context, name string, off, length int64) ([]byte, error)
+	// Delete removes an object. Deleting a missing object returns
+	// ErrNotFound.
+	Delete(ctx context.Context, name string) error
+	// List returns all object names with the given prefix, sorted.
+	List(ctx context.Context, prefix string) ([]string, error)
+	// Size returns an object's length in bytes.
+	Size(ctx context.Context, name string) (int64, error)
+}
+
+// slimPrefix is the minimum head kept verbatim by the slim memory
+// store; everything up to the last non-zero byte is kept regardless,
+// which always covers object headers.
+const slimPrefix = 4096
+
+type memObject struct {
+	data []byte // full data, or the non-zero head in slim mode
+	size int64  // logical size
+}
+
+// Mem is an in-memory Store. With Slim set, payload bytes beyond the
+// last non-zero byte are not retained: Get/GetRange synthesize zeros.
+// Slim mode is exact for benchmark workloads that write zero payloads
+// and is rejected (falls back to full retention) when an object has
+// non-zero data past the retained head.
+type Mem struct {
+	Slim bool
+
+	mu      sync.RWMutex
+	objects map[string]memObject
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{objects: make(map[string]memObject)} }
+
+// NewMemSlim returns an in-memory store that elides all-zero tails.
+func NewMemSlim() *Mem { return &Mem{Slim: true, objects: make(map[string]memObject)} }
+
+// Put implements Store.
+func (s *Mem) Put(_ context.Context, name string, data []byte) error {
+	obj := memObject{size: int64(len(data))}
+	keep := len(data)
+	if s.Slim {
+		// Retain up to the last non-zero byte, at least slimPrefix.
+		nz := lastNonZero(data)
+		keep = nz + 1
+		if keep < slimPrefix {
+			keep = slimPrefix
+		}
+		if keep > len(data) {
+			keep = len(data)
+		}
+	}
+	obj.data = make([]byte, keep)
+	copy(obj.data, data[:keep])
+	s.mu.Lock()
+	s.objects[name] = obj
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *Mem) Get(ctx context.Context, name string) ([]byte, error) {
+	return s.GetRange(ctx, name, 0, -1)
+}
+
+// GetRange implements Store. length -1 means "to the end".
+func (s *Mem) GetRange(_ context.Context, name string, off, length int64) ([]byte, error) {
+	s.mu.RLock()
+	obj, ok := s.objects[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if off < 0 || off > obj.size {
+		return nil, fmt.Errorf("objstore: range offset %d outside object %s of %d bytes", off, name, obj.size)
+	}
+	if length < 0 || off+length > obj.size {
+		length = obj.size - off
+	}
+	out := make([]byte, length)
+	if off < int64(len(obj.data)) {
+		copy(out, obj.data[off:min64(int64(len(obj.data)), off+length)])
+	}
+	return out, nil
+}
+
+// Delete implements Store.
+func (s *Mem) Delete(_ context.Context, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(s.objects, name)
+	return nil
+}
+
+// List implements Store.
+func (s *Mem) List(_ context.Context, prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for name := range s.objects {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Size implements Store.
+func (s *Mem) Size(_ context.Context, name string) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objects[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return obj.size, nil
+}
+
+// TotalBytes returns the sum of logical object sizes (live backend
+// footprint, used by GC experiments).
+func (s *Mem) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, o := range s.objects {
+		n += o.size
+	}
+	return n
+}
+
+// Count returns the number of objects.
+func (s *Mem) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+func lastNonZero(p []byte) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Dir is a directory-backed Store for real deployments: each object is
+// a file; names may contain '/' which map to subdirectories.
+type Dir struct {
+	root string
+	mu   sync.Mutex // serializes Put's tmp-rename per store
+}
+
+// NewDir returns a store rooted at dir, creating it if necessary.
+func NewDir(dir string) (*Dir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Dir{root: dir}, nil
+}
+
+func (s *Dir) path(name string) (string, error) {
+	clean := filepath.Clean(name)
+	if clean == "." || strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		return "", fmt.Errorf("objstore: invalid object name %q", name)
+	}
+	return filepath.Join(s.root, clean), nil
+}
+
+// Put implements Store with an atomic tmp+rename.
+func (s *Dir) Put(_ context.Context, name string, data []byte) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Get implements Store.
+func (s *Dir) Get(_ context.Context, name string) ([]byte, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return data, err
+}
+
+// GetRange implements Store.
+func (s *Dir) GetRange(_ context.Context, name string, off, length int64) ([]byte, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || off > st.Size() {
+		return nil, fmt.Errorf("objstore: range offset %d outside object %s of %d bytes", off, name, st.Size())
+	}
+	if length < 0 || off+length > st.Size() {
+		length = st.Size() - off
+	}
+	out := make([]byte, length)
+	if _, err := f.ReadAt(out, off); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Delete implements Store.
+func (s *Dir) Delete(_ context.Context, name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return err
+}
+
+// List implements Store.
+func (s *Dir) List(_ context.Context, prefix string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(s.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if strings.HasSuffix(rel, ".tmp") {
+			return nil
+		}
+		if strings.HasPrefix(rel, prefix) {
+			out = append(out, rel)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// Size implements Store.
+func (s *Dir) Size(_ context.Context, name string) (int64, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return 0, err
+	}
+	st, err := os.Stat(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

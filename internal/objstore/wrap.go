@@ -1,0 +1,207 @@
+package objstore
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats counts operations and bytes through a Metered store.
+type Stats struct {
+	Puts, Gets, GetRanges, Deletes, Lists uint64
+	BytesPut, BytesGot                    uint64
+}
+
+// Metered wraps a Store, counting operations and bytes. It also
+// carries the S3 endpoint latency model used when converting metered
+// activity into time (paper Table 6 measures ~5.9 ms per S3 range GET).
+type Metered struct {
+	Inner Store
+
+	// Latency models for the endpoint; zero values mean "not modeled".
+	PutLatency, GetLatency time.Duration
+	// Bandwidth in bytes/sec shared by all transfers (e.g. a 10 Gbit
+	// client NIC is 1.25e9); zero means unmodeled.
+	Bandwidth float64
+
+	puts, gets, getRanges, deletes, lists atomic.Uint64
+	bytesPut, bytesGot                    atomic.Uint64
+}
+
+// NewMetered wraps inner with default RGW-like latency parameters.
+func NewMetered(inner Store) *Metered {
+	return &Metered{
+		Inner:      inner,
+		PutLatency: 12 * time.Millisecond,
+		GetLatency: 5920 * time.Microsecond, // Table 6: S3 range request
+		Bandwidth:  1.25e9,                  // 10 Gbit
+	}
+}
+
+// Put implements Store.
+func (s *Metered) Put(ctx context.Context, name string, data []byte) error {
+	s.puts.Add(1)
+	s.bytesPut.Add(uint64(len(data)))
+	return s.Inner.Put(ctx, name, data)
+}
+
+// Get implements Store.
+func (s *Metered) Get(ctx context.Context, name string) ([]byte, error) {
+	s.gets.Add(1)
+	data, err := s.Inner.Get(ctx, name)
+	s.bytesGot.Add(uint64(len(data)))
+	return data, err
+}
+
+// GetRange implements Store.
+func (s *Metered) GetRange(ctx context.Context, name string, off, length int64) ([]byte, error) {
+	s.getRanges.Add(1)
+	data, err := s.Inner.GetRange(ctx, name, off, length)
+	s.bytesGot.Add(uint64(len(data)))
+	return data, err
+}
+
+// Delete implements Store.
+func (s *Metered) Delete(ctx context.Context, name string) error {
+	s.deletes.Add(1)
+	return s.Inner.Delete(ctx, name)
+}
+
+// List implements Store.
+func (s *Metered) List(ctx context.Context, prefix string) ([]string, error) {
+	s.lists.Add(1)
+	return s.Inner.List(ctx, prefix)
+}
+
+// Size implements Store.
+func (s *Metered) Size(ctx context.Context, name string) (int64, error) {
+	return s.Inner.Size(ctx, name)
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Metered) Stats() Stats {
+	return Stats{
+		Puts: s.puts.Load(), Gets: s.gets.Load(), GetRanges: s.getRanges.Load(),
+		Deletes: s.deletes.Load(), Lists: s.lists.Load(),
+		BytesPut: s.bytesPut.Load(), BytesGot: s.bytesGot.Load(),
+	}
+}
+
+// Reset zeroes the counters.
+func (s *Metered) Reset() {
+	s.puts.Store(0)
+	s.gets.Store(0)
+	s.getRanges.Store(0)
+	s.deletes.Store(0)
+	s.lists.Store(0)
+	s.bytesPut.Store(0)
+	s.bytesGot.Store(0)
+}
+
+// ModeledTime returns the endpoint-model time for the store's traffic
+// so far: per-op latency amortized over queue depth qd plus transfer
+// time at the modeled bandwidth.
+func (s *Metered) ModeledTime(qd int) time.Duration {
+	if qd < 1 {
+		qd = 1
+	}
+	st := s.Stats()
+	ops := time.Duration(st.Puts+st.Deletes)*s.PutLatency +
+		time.Duration(st.Gets+st.GetRanges)*s.GetLatency
+	e := ops / time.Duration(qd)
+	if s.Bandwidth > 0 {
+		xfer := time.Duration(float64(st.BytesPut+st.BytesGot) / s.Bandwidth * float64(time.Second))
+		if xfer > e {
+			e = xfer
+		}
+	}
+	return e
+}
+
+// ErrInjected is the error returned by Faulty-injected failures.
+var ErrInjected = errors.New("objstore: injected fault")
+
+// Faulty wraps a Store and fails operations on demand; used to test
+// retry and recovery paths.
+type Faulty struct {
+	Inner Store
+
+	mu        sync.Mutex
+	failEvery int // fail every Nth mutation (0 = never)
+	n         int
+	failPuts  map[string]bool // explicit put failures by name
+}
+
+// NewFaulty wraps inner with no faults armed.
+func NewFaulty(inner Store) *Faulty {
+	return &Faulty{Inner: inner, failPuts: make(map[string]bool)}
+}
+
+// FailEveryNth arms a failure on every nth mutating call (Put/Delete).
+func (s *Faulty) FailEveryNth(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failEvery = n
+	s.n = 0
+}
+
+// FailPut arms a one-shot failure for a specific object name.
+func (s *Faulty) FailPut(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failPuts[name] = true
+}
+
+func (s *Faulty) shouldFail(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failPuts[name] {
+		delete(s.failPuts, name)
+		return true
+	}
+	if s.failEvery > 0 {
+		s.n++
+		if s.n%s.failEvery == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Put implements Store.
+func (s *Faulty) Put(ctx context.Context, name string, data []byte) error {
+	if s.shouldFail(name) {
+		return ErrInjected
+	}
+	return s.Inner.Put(ctx, name, data)
+}
+
+// Get implements Store.
+func (s *Faulty) Get(ctx context.Context, name string) ([]byte, error) {
+	return s.Inner.Get(ctx, name)
+}
+
+// GetRange implements Store.
+func (s *Faulty) GetRange(ctx context.Context, name string, off, length int64) ([]byte, error) {
+	return s.Inner.GetRange(ctx, name, off, length)
+}
+
+// Delete implements Store.
+func (s *Faulty) Delete(ctx context.Context, name string) error {
+	if s.shouldFail(name) {
+		return ErrInjected
+	}
+	return s.Inner.Delete(ctx, name)
+}
+
+// List implements Store.
+func (s *Faulty) List(ctx context.Context, prefix string) ([]string, error) {
+	return s.Inner.List(ctx, prefix)
+}
+
+// Size implements Store.
+func (s *Faulty) Size(ctx context.Context, name string) (int64, error) {
+	return s.Inner.Size(ctx, name)
+}

@@ -1,0 +1,374 @@
+// Package readcache implements LSVD's SSD read cache (paper §3.1).
+// Unlike the write-back cache it holds only clean data fetched from the
+// backend, so its metadata needs no logging: losing the map merely
+// costs re-fetches. The cache allocates space in large slabs, evicting
+// whole slabs FIFO (the prototype's policy) or by LRU, and keeps an
+// in-memory extent map from vLBA to SSD location that is periodically
+// persisted to a reserved region to avoid cold restarts (§3.2).
+//
+// Write-after-read hazards — a backend fetch racing with a newer client
+// write — are handled two ways: reads always consult the write cache
+// first (§3.1), and the core invalidates overlapping read-cache entries
+// on every write so that stale data cannot be exposed after the write
+// cache evicts the newer copy.
+package readcache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"lsvd/internal/block"
+	"lsvd/internal/extmap"
+	"lsvd/internal/journal"
+	"lsvd/internal/simdev"
+)
+
+// Policy selects the slab eviction policy.
+type Policy int
+
+const (
+	// FIFO evicts the oldest-filled slab, as in the paper's prototype.
+	FIFO Policy = iota
+	// LRU evicts the slab least recently hit.
+	LRU
+)
+
+// Config configures a read cache.
+type Config struct {
+	// SlabBytes is the allocation/eviction unit. Default 4 MiB.
+	SlabBytes int64
+	// Policy is the eviction policy. Default FIFO.
+	Policy Policy
+	// MapBytes reserves space for map persistence. Default 16 MiB.
+	MapBytes int64
+}
+
+func (c *Config) setDefaults() {
+	if c.SlabBytes == 0 {
+		c.SlabBytes = 4 * block.MiB
+	}
+	if c.MapBytes == 0 {
+		c.MapBytes = 16 * block.MiB
+	}
+}
+
+type slab struct {
+	idx      int
+	gen      uint32 // generation: bumped on reuse, stored in map targets
+	fill     int64  // bytes used
+	lastHit  uint64 // logical clock of last lookup hit
+	inserted []block.Extent
+}
+
+// Stats reports cache activity.
+type Stats struct {
+	Slabs, LiveSlabs  int
+	Hits, Misses      uint64
+	Inserts           uint64
+	SlabEvictions     uint64
+	MapExtents        int
+	PersistedMapBytes int64
+}
+
+// Cache is a slab-based SSD read cache.
+type Cache struct {
+	mu  sync.Mutex
+	dev simdev.Device
+	cfg Config
+
+	dataStart int64
+	slabs     []*slab
+	order     []int // fill/reuse order (FIFO queue of slab indices)
+	active    int   // slab currently being filled, -1 if none
+	clock     uint64
+	nextGen   uint32
+
+	m *extmap.Map
+
+	hits, misses, inserts, evictions uint64
+	persistedBytes                   int64
+}
+
+// New builds a read cache on dev, attempting to load a persisted map.
+func New(dev simdev.Device, cfg Config) (*Cache, error) {
+	cfg.setDefaults()
+	c := &Cache{dev: dev, cfg: cfg, m: extmap.New(), active: -1, nextGen: 1}
+	c.dataStart = block.BlockSize + cfg.MapBytes
+	n := (dev.Size() - c.dataStart) / cfg.SlabBytes
+	if n < 2 {
+		return nil, fmt.Errorf("readcache: device of %d bytes holds %d slabs; need >= 2", dev.Size(), n)
+	}
+	for i := 0; i < int(n); i++ {
+		c.slabs = append(c.slabs, &slab{idx: i})
+	}
+	c.loadMap() // best effort; failure just means a cold cache
+	return c, nil
+}
+
+func (c *Cache) slabBase(idx int) int64 { return c.dataStart + int64(idx)*c.cfg.SlabBytes }
+
+// Lookup returns the cache's coverage of ext and bumps hit statistics.
+func (c *Cache) Lookup(ext block.Extent) []extmap.Run {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	runs := c.m.Lookup(ext)
+	hit := false
+	for _, r := range runs {
+		if r.Present {
+			hit = true
+			c.clock++
+			if s := c.slabOfTarget(r.Target); s != nil {
+				s.lastHit = c.clock
+			}
+		}
+	}
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return runs
+}
+
+func (c *Cache) slabOfTarget(t extmap.Target) *slab {
+	off := t.Off.Bytes()
+	if off < c.dataStart {
+		return nil
+	}
+	idx := int((off - c.dataStart) / c.cfg.SlabBytes)
+	if idx < 0 || idx >= len(c.slabs) || c.slabs[idx].gen != t.Obj {
+		return nil
+	}
+	return c.slabs[idx]
+}
+
+// ReadAt reads cached data previously located via Lookup.
+func (c *Cache) ReadAt(t extmap.Target, buf []byte) error {
+	return c.dev.ReadAt(buf, t.Off.Bytes())
+}
+
+// Insert stores fetched backend data for ext, splitting across slabs
+// as needed and evicting old slabs when the cache is full.
+func (c *Cache) Insert(ext block.Extent, data []byte) error {
+	if int64(len(data)) != ext.Bytes() {
+		return fmt.Errorf("readcache: extent %v does not match %d data bytes", ext, len(data))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for ext.Sectors > 0 {
+		s, err := c.writableSlab()
+		if err != nil {
+			return err
+		}
+		room := c.cfg.SlabBytes - s.fill
+		take := ext.Bytes()
+		if take > room {
+			take = room &^ (block.SectorSize - 1)
+		}
+		sectors := uint32(take >> block.SectorShift)
+		sub := block.Extent{LBA: ext.LBA, Sectors: sectors}
+		off := c.slabBase(s.idx) + s.fill
+		if err := c.dev.WriteAt(data[:take], off); err != nil {
+			return err
+		}
+		c.m.Update(sub, extmap.Target{Obj: s.gen, Off: block.LBAFromBytes(off)})
+		s.inserted = append(s.inserted, sub)
+		s.fill += take
+		c.inserts++
+		data = data[take:]
+		ext.LBA += block.LBA(sectors)
+		ext.Sectors -= sectors
+	}
+	return nil
+}
+
+// writableSlab returns the active slab with space, advancing to a
+// fresh or evicted slab as needed.
+func (c *Cache) writableSlab() (*slab, error) {
+	if c.active >= 0 && c.slabs[c.active].fill < c.cfg.SlabBytes {
+		return c.slabs[c.active], nil
+	}
+	// Find an unused slab.
+	for _, s := range c.slabs {
+		if s.gen == 0 {
+			s.gen = c.nextGen
+			c.nextGen++
+			c.active = s.idx
+			c.order = append(c.order, s.idx)
+			return s, nil
+		}
+	}
+	// Evict one.
+	victim := c.pickVictim()
+	c.evict(victim)
+	s := c.slabs[victim]
+	s.gen = c.nextGen
+	c.nextGen++
+	c.active = s.idx
+	c.order = append(c.order, s.idx)
+	return s, nil
+}
+
+func (c *Cache) pickVictim() int {
+	switch c.cfg.Policy {
+	case LRU:
+		best, bestHit := -1, uint64(1<<63)
+		for _, s := range c.slabs {
+			if s.idx == c.active {
+				continue
+			}
+			if s.lastHit < bestHit {
+				best, bestHit = s.idx, s.lastHit
+			}
+		}
+		return best
+	default: // FIFO: oldest in fill order that isn't active
+		for i, idx := range c.order {
+			if idx != c.active {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				return idx
+			}
+		}
+		return 0
+	}
+}
+
+func (c *Cache) evict(idx int) {
+	s := c.slabs[idx]
+	lo := block.LBAFromBytes(c.slabBase(idx))
+	hi := lo + block.LBA(c.cfg.SlabBytes>>block.SectorShift)
+	gen := s.gen
+	for _, ext := range s.inserted {
+		c.m.DeleteIf(ext, func(r extmap.Run) bool {
+			return r.Target.Obj == gen && r.Target.Off >= lo && r.Target.Off < hi
+		})
+	}
+	if c.cfg.Policy == LRU {
+		// Remove from order queue too (FIFO removes in pickVictim).
+		for i, o := range c.order {
+			if o == idx {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.inserted = nil
+	s.fill = 0
+	s.lastHit = 0
+	c.evictions++
+}
+
+// Invalidate drops any cached data overlapping ext (called by the core
+// on every client write).
+func (c *Cache) Invalidate(ext block.Extent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.Delete(ext)
+}
+
+// Persist writes the map to the reserved region (best effort; §3.2:
+// "the read cache map is periodically persisted to SSD").
+func (c *Cache) Persist() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mapBytes, err := c.m.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	// Slab table: idx, gen, fill per slab.
+	table := make([]byte, 4+len(c.slabs)*16)
+	binary.LittleEndian.PutUint32(table, uint32(len(c.slabs)))
+	for i, s := range c.slabs {
+		p := table[4+i*16:]
+		binary.LittleEndian.PutUint32(p, s.gen)
+		binary.LittleEndian.PutUint64(p[4:], uint64(s.fill))
+		binary.LittleEndian.PutUint32(p[12:], 0)
+	}
+	payload := append(table, mapBytes...)
+	rec, err := journal.Encode(&journal.Header{Type: journal.TypeCheckpoint, Seq: 1, DataLen: uint64(len(payload))}, payload, true)
+	if err != nil {
+		return err
+	}
+	if int64(len(rec)) > c.cfg.MapBytes {
+		return fmt.Errorf("readcache: persisted map of %d bytes exceeds reserved %d", len(rec), c.cfg.MapBytes)
+	}
+	if err := c.dev.WriteAt(rec, block.BlockSize); err != nil {
+		return err
+	}
+	c.persistedBytes = int64(len(rec))
+	return c.dev.Flush()
+}
+
+// loadMap attempts to restore a persisted map; any failure leaves the
+// cache cold, which is safe.
+func (c *Cache) loadMap() {
+	hdr := make([]byte, block.BlockSize)
+	if err := c.dev.ReadAt(hdr, block.BlockSize); err != nil {
+		return
+	}
+	h, _, err := journal.DecodeHeader(hdr)
+	if err != nil || h.Type != journal.TypeCheckpoint {
+		return
+	}
+	total := int64(journal.AlignedHeaderSize(len(h.Extents))) + int64(h.DataLen)
+	total = (total + block.BlockSize - 1) &^ (block.BlockSize - 1)
+	if total > c.cfg.MapBytes {
+		return
+	}
+	full := make([]byte, total)
+	if err := c.dev.ReadAt(full, block.BlockSize); err != nil {
+		return
+	}
+	_, payload, _, err := journal.Decode(full, true)
+	if err != nil || len(payload) < 4 {
+		return
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if n != len(c.slabs) || len(payload) < 4+n*16 {
+		return
+	}
+	maxGen := uint32(0)
+	for i := 0; i < n; i++ {
+		p := payload[4+i*16:]
+		c.slabs[i].gen = binary.LittleEndian.Uint32(p)
+		c.slabs[i].fill = int64(binary.LittleEndian.Uint64(p[4:]))
+		if c.slabs[i].gen > maxGen {
+			maxGen = c.slabs[i].gen
+		}
+		if c.slabs[i].gen != 0 {
+			c.order = append(c.order, i)
+		}
+	}
+	c.nextGen = maxGen + 1
+	if err := c.m.UnmarshalBinary(payload[4+n*16:]); err != nil {
+		c.m.Reset()
+		return
+	}
+	// Rebuild per-slab insert lists from the map so future evictions
+	// can clean their entries.
+	c.m.Foreach(func(ext block.Extent, t extmap.Target) bool {
+		if s := c.slabOfTarget(t); s != nil {
+			s.inserted = append(s.inserted, ext)
+		}
+		return true
+	})
+}
+
+// Stats returns a snapshot of statistics.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := 0
+	for _, s := range c.slabs {
+		if s.gen != 0 {
+			live++
+		}
+	}
+	return Stats{
+		Slabs: len(c.slabs), LiveSlabs: live,
+		Hits: c.hits, Misses: c.misses, Inserts: c.inserts,
+		SlabEvictions: c.evictions, MapExtents: c.m.Len(),
+		PersistedMapBytes: c.persistedBytes,
+	}
+}

@@ -1,0 +1,208 @@
+package readcache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lsvd/internal/block"
+	"lsvd/internal/simdev"
+)
+
+func newCache(t *testing.T, devBytes int64, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(simdev.NewMem(devBytes), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func payload(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func readBack(t *testing.T, c *Cache, ext block.Extent) ([]byte, bool) {
+	t.Helper()
+	buf := make([]byte, ext.Bytes())
+	full := true
+	for _, run := range c.Lookup(ext) {
+		if !run.Present {
+			full = false
+			continue
+		}
+		off := (run.LBA - ext.LBA).Bytes()
+		if err := c.ReadAt(run.Target, buf[off:off+run.Bytes()]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf, full
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := newCache(t, 64*block.MiB, Config{})
+	ext := block.Extent{LBA: 100, Sectors: 64}
+	data := payload(1, int(ext.Bytes()))
+	if err := c.Insert(ext, data); err != nil {
+		t.Fatal(err)
+	}
+	got, full := readBack(t, c, ext)
+	if !full || !bytes.Equal(got, data) {
+		t.Fatal("read back mismatch")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Inserts == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, full := readBack(t, c, block.Extent{LBA: 99999, Sectors: 8}); full {
+		t.Fatal("phantom hit")
+	}
+	if c.Stats().Misses != 1 {
+		t.Fatalf("miss not counted: %+v", c.Stats())
+	}
+}
+
+func TestInsertSizeMismatchRejected(t *testing.T) {
+	c := newCache(t, 64*block.MiB, Config{})
+	if err := c.Insert(block.Extent{LBA: 0, Sectors: 8}, make([]byte, 1)); err == nil {
+		t.Fatal("bad insert accepted")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newCache(t, 64*block.MiB, Config{})
+	ext := block.Extent{LBA: 0, Sectors: 64}
+	_ = c.Insert(ext, payload(1, int(ext.Bytes())))
+	c.Invalidate(block.Extent{LBA: 16, Sectors: 16})
+	runs := c.Lookup(ext)
+	if len(runs) != 3 || runs[1].Present {
+		t.Fatalf("invalidate failed: %+v", runs)
+	}
+}
+
+func TestInsertSpanningSlabs(t *testing.T) {
+	cfg := Config{SlabBytes: 1 * block.MiB, MapBytes: 1 * block.MiB}
+	c := newCache(t, 8*block.MiB, cfg)
+	// 3 MiB insert spans 3 slabs.
+	ext := block.Extent{LBA: 0, Sectors: uint32(3 * block.MiB / block.SectorSize)}
+	data := payload(2, int(ext.Bytes()))
+	if err := c.Insert(ext, data); err != nil {
+		t.Fatal(err)
+	}
+	got, full := readBack(t, c, ext)
+	if !full || !bytes.Equal(got, data) {
+		t.Fatal("spanning insert mismatch")
+	}
+	if c.Stats().LiveSlabs < 3 {
+		t.Fatalf("slabs %+v", c.Stats())
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	cfg := Config{SlabBytes: 1 * block.MiB, MapBytes: 1 * block.MiB, Policy: FIFO}
+	c := newCache(t, 1*block.MiB+block.BlockSize+4*block.MiB, cfg) // 4 slabs
+	slabSectors := uint32(block.MiB / block.SectorSize)
+	// Fill 6 slab-sized extents: the first two must be evicted.
+	for i := 0; i < 6; i++ {
+		ext := block.Extent{LBA: block.LBA(i) * block.LBA(slabSectors), Sectors: slabSectors}
+		if err := c.Insert(ext, payload(int64(i), int(ext.Bytes()))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Stats().SlabEvictions < 2 {
+		t.Fatalf("evictions %+v", c.Stats())
+	}
+	// Oldest gone, newest present and correct.
+	if _, full := readBack(t, c, block.Extent{LBA: 0, Sectors: slabSectors}); full {
+		t.Fatal("oldest slab not evicted")
+	}
+	newest := block.Extent{LBA: 5 * block.LBA(slabSectors), Sectors: slabSectors}
+	got, full := readBack(t, c, newest)
+	if !full || !bytes.Equal(got, payload(5, int(newest.Bytes()))) {
+		t.Fatal("newest data wrong after eviction")
+	}
+}
+
+func TestLRUEvictionKeepsHotSlab(t *testing.T) {
+	cfg := Config{SlabBytes: 1 * block.MiB, MapBytes: 1 * block.MiB, Policy: LRU}
+	c := newCache(t, 1*block.MiB+block.BlockSize+3*block.MiB, cfg) // 3 slabs
+	slabSectors := uint32(block.MiB / block.SectorSize)
+	extA := block.Extent{LBA: 0, Sectors: slabSectors}
+	extB := block.Extent{LBA: block.LBA(slabSectors), Sectors: slabSectors}
+	_ = c.Insert(extA, payload(0, int(extA.Bytes())))
+	_ = c.Insert(extB, payload(1, int(extB.Bytes())))
+	// Touch A repeatedly so B becomes the LRU victim.
+	for i := 0; i < 5; i++ {
+		readBack(t, c, extA)
+	}
+	// Insert two more slab-sized extents, forcing evictions.
+	for i := 2; i < 4; i++ {
+		ext := block.Extent{LBA: block.LBA(i) * block.LBA(slabSectors), Sectors: slabSectors}
+		_ = c.Insert(ext, payload(int64(i), int(ext.Bytes())))
+	}
+	if _, full := readBack(t, c, extA); !full {
+		t.Fatal("hot slab evicted under LRU")
+	}
+	if _, full := readBack(t, c, extB); full {
+		t.Fatal("cold slab survived under LRU")
+	}
+}
+
+func TestPersistReload(t *testing.T) {
+	dev := simdev.NewMem(64 * block.MiB)
+	c, err := New(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := block.Extent{LBA: 1234, Sectors: 128}
+	data := payload(9, int(ext.Bytes()))
+	_ = c.Insert(ext, data)
+	if err := c.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen on the same device: map restored, data warm.
+	c2, err := New(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, full := readBack(t, c2, ext)
+	if !full || !bytes.Equal(got, data) {
+		t.Fatal("persisted cache cold after reload")
+	}
+	// Eviction still cleans reloaded entries.
+	if c2.Stats().MapExtents == 0 {
+		t.Fatal("map empty after reload")
+	}
+}
+
+func TestColdLoadOnGarbage(t *testing.T) {
+	dev := simdev.NewMem(64 * block.MiB)
+	_ = dev.WriteAt(payload(1, 8192), 0) // garbage where the map would be
+	c, err := New(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().MapExtents != 0 {
+		t.Fatal("garbage map loaded")
+	}
+}
+
+func TestTooSmallRejected(t *testing.T) {
+	if _, err := New(simdev.NewMem(2*block.MiB), Config{}); err == nil {
+		t.Fatal("tiny device accepted")
+	}
+}
+
+func TestOverwriteInsertServesNewest(t *testing.T) {
+	c := newCache(t, 64*block.MiB, Config{})
+	ext := block.Extent{LBA: 0, Sectors: 32}
+	_ = c.Insert(ext, payload(1, int(ext.Bytes())))
+	newer := payload(2, int(ext.Bytes()))
+	_ = c.Insert(ext, newer)
+	got, full := readBack(t, c, ext)
+	if !full || !bytes.Equal(got, newer) {
+		t.Fatal("stale insert served")
+	}
+}

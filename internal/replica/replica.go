@@ -1,0 +1,150 @@
+// Package replica implements LSVD's asynchronous geo-replication
+// (paper §4.8): because the volume is an ordered stream of immutable
+// numbered objects, a replica is maintained by lazily copying objects
+// from the primary object store to a secondary one. Objects may arrive
+// out of order or be skipped entirely when the primary's garbage
+// collector deletes them before they are copied; the standard LSVD
+// recovery rules (checkpoint + consecutive-prefix replay) still
+// produce a consistent disk on the replica.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lsvd/internal/blockstore"
+	"lsvd/internal/objstore"
+)
+
+// Replicator copies one volume's object stream between stores.
+type Replicator struct {
+	// Primary and Replica are the source and destination stores.
+	Primary, Replica objstore.Store
+	// Volume is the object name prefix.
+	Volume string
+	// LagObjects is the age threshold expressed in stream positions:
+	// the newest LagObjects sequence objects are not yet copied
+	// (the paper used "older than 60 seconds").
+	LagObjects int
+
+	copied      int
+	copiedBytes int64
+	skipped     int
+}
+
+// Stats reports replication progress.
+type Stats struct {
+	CopiedObjects int
+	CopiedBytes   int64
+	SkippedGone   int // deleted at the primary before they were copied
+}
+
+// Stats returns cumulative progress.
+func (r *Replicator) Stats() Stats {
+	return Stats{CopiedObjects: r.copied, CopiedBytes: r.copiedBytes, SkippedGone: r.skipped}
+}
+
+func (r *Replicator) seqOf(name string) (uint64, bool) {
+	suffix, found := strings.CutPrefix(name, r.Volume+".")
+	if !found || len(suffix) != 8 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(suffix, 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Sync performs one replication pass: it copies every sequence object
+// present at the primary but not at the replica, except the newest
+// LagObjects ones, and then refreshes the superblock if the checkpoint
+// it references has been copied. It returns the number of objects
+// copied this pass.
+func (r *Replicator) Sync(ctx context.Context) (int, error) {
+	srcNames, err := r.Primary.List(ctx, r.Volume+".")
+	if err != nil {
+		return 0, err
+	}
+	dstNames, err := r.Replica.List(ctx, r.Volume+".")
+	if err != nil {
+		return 0, err
+	}
+	have := make(map[string]bool, len(dstNames))
+	for _, n := range dstNames {
+		have[n] = true
+	}
+
+	var seqNames []string
+	var maxSeq uint64
+	for _, n := range srcNames {
+		if seq, ok := r.seqOf(n); ok {
+			seqNames = append(seqNames, n)
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		}
+	}
+	cutoff := uint64(0)
+	if maxSeq > uint64(r.LagObjects) {
+		cutoff = maxSeq - uint64(r.LagObjects)
+	}
+
+	copied := 0
+	for _, name := range seqNames {
+		seq, _ := r.seqOf(name)
+		if seq > cutoff || have[name] {
+			continue
+		}
+		data, err := r.Primary.Get(ctx, name)
+		if errors.Is(err, objstore.ErrNotFound) {
+			// Garbage collected at the primary between List and Get:
+			// fine, the stream no longer needs it.
+			r.skipped++
+			continue
+		}
+		if err != nil {
+			return copied, err
+		}
+		if err := r.Replica.Put(ctx, name, data); err != nil {
+			return copied, err
+		}
+		copied++
+		r.copied++
+		r.copiedBytes += int64(len(data))
+	}
+
+	if err := r.syncSuper(ctx); err != nil {
+		return copied, err
+	}
+	return copied, nil
+}
+
+// syncSuper copies the superblock when doing so leaves the replica
+// openable — i.e. the checkpoint it points to has been copied.
+func (r *Replicator) syncSuper(ctx context.Context) error {
+	super := r.Volume + ".super"
+	raw, err := r.Primary.Get(ctx, super)
+	if errors.Is(err, objstore.ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	// Publish the superblock only once the checkpoint it references
+	// has been copied, so the replica is openable at all times.
+	info, err := blockstore.DecodeSuperInfo(raw)
+	if err != nil {
+		return err
+	}
+	if info.LastCheckpoint != 0 {
+		ckptName := fmt.Sprintf("%s.%08d", r.Volume, info.LastCheckpoint)
+		if _, err := r.Replica.Size(ctx, ckptName); err != nil {
+			return nil // checkpoint not replicated yet; keep old super
+		}
+	}
+	return r.Replica.Put(ctx, super, raw)
+}

@@ -1,0 +1,180 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"lsvd/internal/block"
+	"lsvd/internal/blockstore"
+	"lsvd/internal/objstore"
+)
+
+var ctx = context.Background()
+
+func payload(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func readAll(t *testing.T, s *blockstore.Store, ext block.Extent) []byte {
+	t.Helper()
+	buf := make([]byte, ext.Bytes())
+	for _, run := range s.Lookup(ext) {
+		if !run.Present {
+			continue
+		}
+		data, err := s.ReadRun(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(buf[(run.LBA-ext.LBA).Bytes():], data)
+	}
+	return buf
+}
+
+func TestReplicaMountsConsistently(t *testing.T) {
+	primary := objstore.NewMem()
+	secondary := objstore.NewMem()
+	bs, err := blockstore.Create(ctx, blockstore.Config{
+		Volume: "vol", Store: primary, VolSectors: 1 << 20,
+		BatchBytes: 128 * 1024, CheckpointEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Replicator{Primary: primary, Replica: secondary, Volume: "vol", LagObjects: 2}
+
+	want := map[int][]byte{}
+	ws := uint64(0)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 8; i++ {
+			ws++
+			ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
+			d := payload(int64(ws), int(ext.Bytes()))
+			want[i] = d
+			if err := bs.Append(ws, ext, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = bs.Seal()
+		if _, err := r.Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Final catch-up with no lag.
+	_ = bs.Seal()
+	_ = bs.Checkpoint()
+	r.LagObjects = 0
+	if _, err := r.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().CopiedObjects == 0 {
+		t.Fatal("nothing replicated")
+	}
+
+	// Mount the replica and verify every extent.
+	rep, err := blockstore.Open(ctx, blockstore.Config{Volume: "vol", Store: secondary})
+	if err != nil {
+		t.Fatalf("replica mount: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
+		if got := readAll(t, rep, ext); !bytes.Equal(got, want[i]) {
+			t.Fatalf("replica extent %d differs from primary", i)
+		}
+	}
+}
+
+func TestLaggedReplicaIsPrefix(t *testing.T) {
+	primary := objstore.NewMem()
+	secondary := objstore.NewMem()
+	bs, _ := blockstore.Create(ctx, blockstore.Config{
+		Volume: "vol", Store: primary, VolSectors: 1 << 20,
+		BatchBytes: 64 * 1024, CheckpointEvery: 4,
+	})
+	r := &Replicator{Primary: primary, Replica: secondary, Volume: "vol", LagObjects: 3}
+	for i := 0; i < 30; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
+		_ = bs.Append(uint64(i+1), ext, payload(int64(i), int(ext.Bytes())))
+		_ = bs.Seal()
+		_, _ = r.Sync(ctx)
+	}
+	// The lagged replica must still open (older consistent state).
+	rep, err := blockstore.Open(ctx, blockstore.Config{Volume: "vol", Store: secondary})
+	if err != nil {
+		t.Fatalf("lagged replica mount: %v", err)
+	}
+	// Every extent it reports must match the primary's history: the
+	// replica is behind, never wrong.
+	durable := rep.DurableWriteSeq()
+	if durable == 0 || durable >= 30 {
+		t.Fatalf("replica watermark %d", durable)
+	}
+	for i := 0; i < int(durable); i++ {
+		ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
+		if got := readAll(t, rep, ext); !bytes.Equal(got, payload(int64(i), int(ext.Bytes()))) {
+			t.Fatalf("replica extent %d wrong (watermark %d)", i, durable)
+		}
+	}
+}
+
+func TestGCDeletedObjectsSkipped(t *testing.T) {
+	primary := objstore.NewMem()
+	secondary := objstore.NewMem()
+	bs, _ := blockstore.Create(ctx, blockstore.Config{
+		Volume: "vol", Store: primary, VolSectors: 1 << 20,
+		BatchBytes: 64 * 1024, GCLowWater: 0.7, GCHighWater: 0.75, CheckpointEvery: 4,
+	})
+	// Heavy overwrite so GC deletes objects before replication starts.
+	ws := uint64(0)
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 4; i++ {
+			ws++
+			ext := block.Extent{LBA: block.LBA(i * 256), Sectors: 128}
+			_ = bs.Append(ws, ext, payload(int64(ws), int(ext.Bytes())))
+		}
+		_ = bs.Seal()
+	}
+	_ = bs.Checkpoint()
+	r := &Replicator{Primary: primary, Replica: secondary, Volume: "vol"}
+	if _, err := r.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := blockstore.Open(ctx, blockstore.Config{Volume: "vol", Store: secondary})
+	if err != nil {
+		t.Fatalf("replica mount after GC: %v", err)
+	}
+	// Newest data must be present despite the holes.
+	for i := 0; i < 4; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 256), Sectors: 128}
+		wantSeed := int64(ws) - int64(3-i)
+		if got := readAll(t, rep, ext); !bytes.Equal(got, payload(wantSeed, int(ext.Bytes()))) {
+			t.Fatalf("replica extent %d stale after GC-holed stream", i)
+		}
+	}
+}
+
+func TestSecondSyncIsIncremental(t *testing.T) {
+	primary := objstore.NewMem()
+	secondary := objstore.NewMem()
+	bs, _ := blockstore.Create(ctx, blockstore.Config{
+		Volume: "vol", Store: primary, VolSectors: 1 << 20, BatchBytes: 64 * 1024,
+	})
+	for i := 0; i < 5; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
+		_ = bs.Append(uint64(i+1), ext, payload(int64(i), int(ext.Bytes())))
+		_ = bs.Seal()
+	}
+	r := &Replicator{Primary: primary, Replica: secondary, Volume: "vol"}
+	n1, err := r.Sync(ctx)
+	if err != nil || n1 == 0 {
+		t.Fatalf("first sync copied %d (%v)", n1, err)
+	}
+	n2, err := r.Sync(ctx)
+	if err != nil || n2 != 0 {
+		t.Fatalf("second sync copied %d (%v)", n2, err)
+	}
+}

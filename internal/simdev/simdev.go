@@ -1,0 +1,346 @@
+// Package simdev provides the block devices LSVD layers sit on: a
+// sparse in-memory device with realistic crash semantics (writes
+// acknowledged before a flush may be lost), a file-backed device for
+// real deployments, and a metering wrapper that records the I/O stream
+// for the iomodel timing analysis.
+//
+// The memory device elides all-zero pages, so multi-gigabyte
+// experiment volumes written with zero payloads cost almost no RAM
+// while correctness tests with random payloads still see exact data.
+package simdev
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"lsvd/internal/iomodel"
+)
+
+// Device is the block-device abstraction used by the caches.
+type Device interface {
+	// ReadAt fills p from the device at byte offset off.
+	ReadAt(p []byte, off int64) error
+	// WriteAt stores p at byte offset off. The write is acknowledged
+	// when WriteAt returns but is only durable after Flush.
+	WriteAt(p []byte, off int64) error
+	// Flush is the commit barrier: all previously acknowledged writes
+	// are durable when it returns.
+	Flush() error
+	// Size returns the device capacity in bytes.
+	Size() int64
+}
+
+const pageSize = 64 << 10
+
+// MemDevice is a sparse in-memory device. Nil pages read as zeros and
+// all-zero writes release pages, so only genuinely non-zero data costs
+// memory. Writes since the last Flush retain pre-images so Crash can
+// roll an arbitrary subset of them back, modeling a volatile device
+// cache lost on power failure.
+type MemDevice struct {
+	mu        sync.RWMutex
+	size      int64
+	pages     map[int64][]byte
+	preimages map[int64][]byte // page index -> content at last flush
+	hasPre    map[int64]bool   // distinguishes "preimage is zero page"
+}
+
+// NewMem returns a sparse in-memory device of the given size.
+func NewMem(size int64) *MemDevice {
+	return &MemDevice{
+		size:      size,
+		pages:     make(map[int64][]byte),
+		preimages: make(map[int64][]byte),
+		hasPre:    make(map[int64]bool),
+	}
+}
+
+// Size returns the device capacity in bytes.
+func (d *MemDevice) Size() int64 { return d.size }
+
+func (d *MemDevice) check(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > d.size {
+		return fmt.Errorf("simdev: I/O [%d,%d) outside device of %d bytes", off, off+int64(len(p)), d.size)
+	}
+	return nil
+}
+
+// ReadAt implements Device.
+func (d *MemDevice) ReadAt(p []byte, off int64) error {
+	if err := d.check(p, off); err != nil {
+		return err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for len(p) > 0 {
+		pg := off / pageSize
+		po := off % pageSize
+		n := int64(len(p))
+		if n > pageSize-po {
+			n = pageSize - po
+		}
+		if page := d.pages[pg]; page != nil {
+			copy(p[:n], page[po:po+n])
+		} else {
+			clear(p[:n])
+		}
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+// WriteAt implements Device.
+func (d *MemDevice) WriteAt(p []byte, off int64) error {
+	if err := d.check(p, off); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(p) > 0 {
+		pg := off / pageSize
+		po := off % pageSize
+		n := int64(len(p))
+		if n > pageSize-po {
+			n = pageSize - po
+		}
+		d.savePreimage(pg)
+		page := d.pages[pg]
+		if page == nil {
+			if allZero(p[:n]) {
+				// Writing zeros over a zero page: nothing to do.
+				p = p[n:]
+				off += n
+				continue
+			}
+			page = make([]byte, pageSize)
+			d.pages[pg] = page
+		}
+		copy(page[po:po+n], p[:n])
+		if allZero(page) {
+			delete(d.pages, pg)
+		}
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+func (d *MemDevice) savePreimage(pg int64) {
+	if d.hasPre[pg] {
+		return
+	}
+	d.hasPre[pg] = true
+	if page := d.pages[pg]; page != nil {
+		cp := make([]byte, pageSize)
+		copy(cp, page)
+		d.preimages[pg] = cp
+	} else {
+		d.preimages[pg] = nil // zero page
+	}
+}
+
+// Flush implements Device: it commits all acknowledged writes, clearing
+// the crash pre-images.
+func (d *MemDevice) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dropPreimages()
+	return nil
+}
+
+func (d *MemDevice) dropPreimages() {
+	d.preimages = make(map[int64][]byte)
+	d.hasPre = make(map[int64]bool)
+}
+
+// Crash simulates a power failure: every page written since the last
+// Flush is independently rolled back to its pre-image with probability
+// lossProb, using rng for determinism. lossProb 1 loses all unflushed
+// writes; 0 keeps them all (writes that happened to reach media).
+func (d *MemDevice) Crash(lossProb float64, rng *rand.Rand) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for pg := range d.hasPre {
+		if rng.Float64() >= lossProb {
+			continue
+		}
+		if pre := d.preimages[pg]; pre != nil {
+			page := make([]byte, pageSize)
+			copy(page, pre)
+			d.pages[pg] = page
+		} else {
+			delete(d.pages, pg)
+		}
+	}
+	d.dropPreimages()
+}
+
+// DirtyPages returns the number of pages written since the last flush.
+func (d *MemDevice) DirtyPages() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.hasPre)
+}
+
+// Discard erases the whole device (used to model losing the cache SSD
+// entirely, §4.4 Table 4).
+func (d *MemDevice) Discard() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pages = make(map[int64][]byte)
+	d.dropPreimages()
+}
+
+// PagesInUse returns the number of materialized (non-zero) pages.
+func (d *MemDevice) PagesInUse() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.pages)
+}
+
+func allZero(p []byte) bool {
+	for len(p) >= 8 {
+		if p[0]|p[1]|p[2]|p[3]|p[4]|p[5]|p[6]|p[7] != 0 {
+			return false
+		}
+		p = p[8:]
+	}
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FileDevice is a Device backed by a file (or raw block device path);
+// used by the NBD server and the CLI tools for real deployments.
+type FileDevice struct {
+	f    *os.File
+	size int64
+}
+
+// OpenFile opens (creating and sizing if needed) a file-backed device.
+func OpenFile(path string, size int64) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if size == 0 {
+		size = st.Size()
+	}
+	return &FileDevice{f: f, size: size}, nil
+}
+
+// ReadAt implements Device.
+func (d *FileDevice) ReadAt(p []byte, off int64) error {
+	_, err := d.f.ReadAt(p, off)
+	return err
+}
+
+// WriteAt implements Device.
+func (d *FileDevice) WriteAt(p []byte, off int64) error {
+	_, err := d.f.WriteAt(p, off)
+	return err
+}
+
+// Flush implements Device via fsync.
+func (d *FileDevice) Flush() error { return d.f.Sync() }
+
+// Size implements Device.
+func (d *FileDevice) Size() int64 { return d.size }
+
+// Close closes the underlying file.
+func (d *FileDevice) Close() error { return d.f.Close() }
+
+// Section exposes a contiguous region of a parent device as its own
+// Device; LSVD statically partitions the cache SSD into a write-cache
+// area and a read-cache area this way (§3.7).
+type Section struct {
+	parent Device
+	off    int64
+	size   int64
+}
+
+// NewSection returns the [off, off+size) window of parent.
+func NewSection(parent Device, off, size int64) (*Section, error) {
+	if off < 0 || size <= 0 || off+size > parent.Size() {
+		return nil, fmt.Errorf("simdev: section [%d,%d) outside parent of %d bytes", off, off+size, parent.Size())
+	}
+	return &Section{parent: parent, off: off, size: size}, nil
+}
+
+func (s *Section) check(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > s.size {
+		return fmt.Errorf("simdev: I/O [%d,%d) outside section of %d bytes", off, off+int64(len(p)), s.size)
+	}
+	return nil
+}
+
+// ReadAt implements Device.
+func (s *Section) ReadAt(p []byte, off int64) error {
+	if err := s.check(p, off); err != nil {
+		return err
+	}
+	return s.parent.ReadAt(p, s.off+off)
+}
+
+// WriteAt implements Device.
+func (s *Section) WriteAt(p []byte, off int64) error {
+	if err := s.check(p, off); err != nil {
+		return err
+	}
+	return s.parent.WriteAt(p, s.off+off)
+}
+
+// Flush implements Device.
+func (s *Section) Flush() error { return s.parent.Flush() }
+
+// Size implements Device.
+func (s *Section) Size() int64 { return s.size }
+
+// Metered wraps a Device, recording every operation in an
+// iomodel.Meter for timing analysis.
+type Metered struct {
+	Dev   Device
+	Meter *iomodel.Meter
+}
+
+// NewMetered wraps dev with a meter using device parameters p.
+func NewMetered(dev Device, p iomodel.Params) *Metered {
+	return &Metered{Dev: dev, Meter: iomodel.NewMeter(p)}
+}
+
+// ReadAt implements Device.
+func (m *Metered) ReadAt(p []byte, off int64) error {
+	m.Meter.Record(iomodel.OpRead, off, int64(len(p)))
+	return m.Dev.ReadAt(p, off)
+}
+
+// WriteAt implements Device.
+func (m *Metered) WriteAt(p []byte, off int64) error {
+	m.Meter.Record(iomodel.OpWrite, off, int64(len(p)))
+	return m.Dev.WriteAt(p, off)
+}
+
+// Flush implements Device.
+func (m *Metered) Flush() error {
+	m.Meter.RecordFlush()
+	return m.Dev.Flush()
+}
+
+// Size implements Device.
+func (m *Metered) Size() int64 { return m.Dev.Size() }

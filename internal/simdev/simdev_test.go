@@ -1,0 +1,315 @@
+package simdev
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lsvd/internal/iomodel"
+)
+
+func TestMemReadWriteRoundTrip(t *testing.T) {
+	d := NewMem(1 << 20)
+	data := make([]byte, 12345)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := d.WriteAt(data, 777); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := d.ReadAt(got, 777); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestMemUnwrittenReadsZero(t *testing.T) {
+	d := NewMem(1 << 20)
+	got := make([]byte, 4096)
+	got[0] = 0xFF
+	if err := d.ReadAt(got, 65536); err != nil {
+		t.Fatal(err)
+	}
+	if !allZero(got) {
+		t.Fatal("unwritten area not zero")
+	}
+}
+
+func TestMemBoundsChecked(t *testing.T) {
+	d := NewMem(4096)
+	if err := d.WriteAt(make([]byte, 8192), 0); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+	if err := d.ReadAt(make([]byte, 10), 4090); err == nil {
+		t.Fatal("over-the-end read accepted")
+	}
+	if err := d.ReadAt(make([]byte, 10), -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestMemZeroPageElision(t *testing.T) {
+	d := NewMem(1 << 30)
+	zeros := make([]byte, 1<<20)
+	for off := int64(0); off < 1<<26; off += int64(len(zeros)) {
+		if err := d.WriteAt(zeros, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := d.PagesInUse(); n != 0 {
+		t.Fatalf("zero writes materialized %d pages", n)
+	}
+	// Non-zero then overwrite with zeros frees the page.
+	if err := d.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.PagesInUse() != 1 {
+		t.Fatal("non-zero write did not materialize a page")
+	}
+	if err := d.WriteAt(zeros[:pageSize], 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.PagesInUse() != 0 {
+		t.Fatal("zeroed page not released")
+	}
+}
+
+func TestMemCrashLosesUnflushedWrites(t *testing.T) {
+	d := NewMem(1 << 20)
+	one := bytes.Repeat([]byte{1}, pageSize)
+	two := bytes.Repeat([]byte{2}, pageSize)
+	if err := d.WriteAt(one, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(two, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.DirtyPages() != 1 {
+		t.Fatalf("DirtyPages=%d", d.DirtyPages())
+	}
+	d.Crash(1.0, rand.New(rand.NewSource(1)))
+	got := make([]byte, pageSize)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, one) {
+		t.Fatal("crash did not roll back to flushed content")
+	}
+	if d.DirtyPages() != 0 {
+		t.Fatal("dirty state survives crash")
+	}
+}
+
+func TestMemCrashKeepsFlushedWrites(t *testing.T) {
+	d := NewMem(1 << 20)
+	one := bytes.Repeat([]byte{7}, pageSize)
+	if err := d.WriteAt(one, pageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash(1.0, rand.New(rand.NewSource(1)))
+	got := make([]byte, pageSize)
+	if err := d.ReadAt(got, pageSize); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, one) {
+		t.Fatal("flushed write lost in crash")
+	}
+}
+
+func TestMemCrashPartialLoss(t *testing.T) {
+	d := NewMem(16 << 20)
+	for i := int64(0); i < 100; i++ {
+		if err := d.WriteAt(bytes.Repeat([]byte{byte(i + 1)}, pageSize), i*pageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Crash(0.5, rand.New(rand.NewSource(42)))
+	kept, lost := 0, 0
+	buf := make([]byte, pageSize)
+	for i := int64(0); i < 100; i++ {
+		if err := d.ReadAt(buf, i*pageSize); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] == byte(i+1) {
+			kept++
+		} else if buf[0] == 0 {
+			lost++
+		} else {
+			t.Fatalf("page %d has foreign content %d", i, buf[0])
+		}
+	}
+	if kept+lost != 100 || kept == 0 || lost == 0 {
+		t.Fatalf("kept=%d lost=%d; expected a mix", kept, lost)
+	}
+}
+
+func TestMemDiscard(t *testing.T) {
+	d := NewMem(1 << 20)
+	if err := d.WriteAt([]byte{9}, 5); err != nil {
+		t.Fatal(err)
+	}
+	d.Discard()
+	got := make([]byte, 1)
+	if err := d.ReadAt(got, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("discard left data behind")
+	}
+}
+
+func TestFileDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := OpenFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Size() != 1<<20 {
+		t.Fatalf("size %d", d.Size())
+	}
+	data := []byte("hello block device")
+	if err := d.WriteAt(data, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := d.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("file round trip mismatch")
+	}
+	st, _ := os.Stat(path)
+	if st.Size() != 1<<20 {
+		t.Fatalf("file size %d", st.Size())
+	}
+}
+
+func TestMeteredCountsOps(t *testing.T) {
+	d := NewMetered(NewMem(1<<24), iomodel.NVMeP3700)
+	buf := make([]byte, 4096)
+	// Three sequential writes merge into one effective op.
+	for i := int64(0); i < 3; i++ {
+		if err := d.WriteAt(buf, i*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A distant write starts a new run.
+	if err := d.WriteAt(buf, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Meter.Snapshot()
+	if c.WriteOps != 4 || c.WriteEffOps != 2 || c.WriteBytes != 4*4096 || c.Flushes != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestMeteredElapsedBounds(t *testing.T) {
+	p := iomodel.NVMeP3700
+	// 90K random 4K writes at the device's rated IOPS is ~1 s.
+	c := iomodel.Counters{WriteEffOps: 90_000, WriteBytes: 90_000 * 4096}
+	e := iomodel.Elapsed(p, c, 32)
+	if e.Seconds() < 0.9 || e.Seconds() > 1.1 {
+		t.Fatalf("90K 4K writes modeled at %v, want ~1s", e)
+	}
+	// 1.9 GB sequential (one effective op per 512K) is ~1 s bandwidth-bound.
+	c = iomodel.Counters{WriteEffOps: 3800, WriteBytes: 1_900_000_000}
+	e = iomodel.Elapsed(p, c, 32)
+	if e.Seconds() < 0.9 || e.Seconds() > 1.1 {
+		t.Fatalf("1.9GB sequential modeled at %v, want ~1s", e)
+	}
+	// Low queue depth is latency-bound: 1000 ops at QD1 ~ 64ms.
+	c = iomodel.Counters{WriteEffOps: 1000, WriteBytes: 1000 * 4096}
+	e = iomodel.Elapsed(p, c, 1)
+	if e < 50*1e6 || e > 80*1e6 {
+		t.Fatalf("QD1 writes modeled at %v", e)
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	h := iomodel.NewSizeHistogram()
+	h.Record(4096)
+	h.Record(4096)
+	h.Record(1 << 20)
+	rows := h.Buckets()
+	if len(rows) != 2 || rows[0].Low != 4096 || rows[0].Count != 2 || rows[1].Low != 1<<20 {
+		t.Fatalf("rows %+v", rows)
+	}
+	h2 := iomodel.NewSizeHistogram()
+	h2.Record(4096)
+	h.Merge(h2)
+	if h.Buckets()[0].Count != 3 {
+		t.Fatal("merge failed")
+	}
+}
+
+func TestCountersArithmetic(t *testing.T) {
+	a := iomodel.Counters{ReadOps: 10, WriteOps: 20, ReadBytes: 100, WriteBytes: 200, Flushes: 1}
+	b := iomodel.Counters{ReadOps: 4, WriteOps: 5, ReadBytes: 40, WriteBytes: 50}
+	d := a.Sub(b)
+	if d.ReadOps != 6 || d.WriteOps != 15 || d.ReadBytes != 60 || d.WriteBytes != 150 || d.Flushes != 1 {
+		t.Fatalf("sub %+v", d)
+	}
+	s := b.Add(d)
+	if s != a {
+		t.Fatalf("add %+v != %+v", s, a)
+	}
+}
+
+func TestConcurrentMemAccess(t *testing.T) {
+	d := NewMem(32 << 20)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			buf := bytes.Repeat([]byte{byte(g + 1)}, 4096)
+			rd := make([]byte, 4096)
+			for i := 0; i < 200; i++ {
+				off := int64(g)*(4<<20) + int64(i%64)*4096
+				if err := d.WriteAt(buf, off); err != nil {
+					done <- err
+					return
+				}
+				if err := d.ReadAt(rd, off); err != nil {
+					done <- err
+					return
+				}
+				if rd[0] != byte(g+1) {
+					done <- os.ErrInvalid
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemWrite4K(b *testing.B) {
+	d := NewMem(1 << 30)
+	buf := bytes.Repeat([]byte{0xA5}, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		if err := d.WriteAt(buf, int64(i%(1<<18))*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

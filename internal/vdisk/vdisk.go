@@ -1,0 +1,17 @@
+// Package vdisk defines the block-device interface shared by the LSVD
+// disk, the baselines it is compared against, the workload generators
+// and the NBD server: byte-addressed, sector-aligned reads and writes,
+// a commit barrier, and discard.
+package vdisk
+
+// Disk is a virtual block device. Offsets and lengths must be
+// 512-byte aligned. WriteAt acknowledges the write (it is crash-safe
+// per the implementation's contract only after Flush); Flush is the
+// commit barrier.
+type Disk interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Flush() error
+	Trim(off, length int64) error
+	Size() int64
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math/rand"
+
+	"lsvd/internal/block"
+)
+
+// TraceSpec parameterizes a synthetic CloudPhysics-like block trace
+// (§4.6, Table 5). The corpus traces are week-long virtual-machine
+// block traces with very different footprints, write sizes and
+// overwrite locality; these parameters reproduce those axes. Trace IDs
+// follow the paper so rows can be cross-referenced.
+type TraceSpec struct {
+	ID string
+	// TotalWriteGB matches the paper's "writes GB" column.
+	TotalWriteGB float64
+	// FootprintGB is the distinct address space touched.
+	FootprintGB float64
+	// MeanWriteKiB is the mean write size.
+	MeanWriteKiB float64
+	// HotFrac / HotSkew: HotSkew of the writes land in HotFrac of the
+	// footprint (overwrite locality — drives both coalescing and GC).
+	HotFrac, HotSkew float64
+	// SeqFrac is the fraction of writes that continue the previous
+	// write sequentially (large sequential streams defragment the
+	// map and coalesce well).
+	SeqFrac float64
+	// VHotFrac of writes land in a tiny fixed region (VHotBytes),
+	// modeling journal-like blocks rewritten many times per second —
+	// the component that intra-batch coalescing eliminates (the
+	// paper's "merge ratio", Table 5).
+	VHotFrac  float64
+	VHotBytes int64
+	Seed      int64
+}
+
+// PaperTraces are synthetic stand-ins for the Table 5 trace selection,
+// with per-trace write volumes matching the paper's column and
+// locality parameters chosen to reproduce each row's qualitative
+// behaviour (e.g. w66/w41 coalesce heavily, w01 fragments the map).
+// Volumes are divided by ScaleDown at generation time.
+var PaperTraces = []TraceSpec{
+	{ID: "w10", TotalWriteGB: 484, FootprintGB: 60, MeanWriteKiB: 32, HotFrac: 0.3, HotSkew: 0.7, SeqFrac: 0.55, VHotFrac: 0.01, VHotBytes: 16 << 10, Seed: 10},
+	{ID: "w04", TotalWriteGB: 1786, FootprintGB: 40, MeanWriteKiB: 16, HotFrac: 0.2, HotSkew: 0.75, SeqFrac: 0.25, VHotFrac: 0.22, VHotBytes: 16 << 10, Seed: 4},
+	{ID: "w66", TotalWriteGB: 49, FootprintGB: 2, MeanWriteKiB: 8, HotFrac: 0.05, HotSkew: 0.95, SeqFrac: 0.1, VHotFrac: 0.55, VHotBytes: 16 << 10, Seed: 66},
+	{ID: "w01", TotalWriteGB: 272, FootprintGB: 90, MeanWriteKiB: 8, HotFrac: 0.6, HotSkew: 0.5, SeqFrac: 0.05, VHotFrac: 0.12, VHotBytes: 16 << 10, Seed: 1},
+	{ID: "w07", TotalWriteGB: 85, FootprintGB: 12, MeanWriteKiB: 12, HotFrac: 0.3, HotSkew: 0.6, SeqFrac: 0.15, VHotFrac: 0.06, VHotBytes: 16 << 10, Seed: 7},
+	{ID: "w31", TotalWriteGB: 321, FootprintGB: 25, MeanWriteKiB: 48, HotFrac: 0.25, HotSkew: 0.8, SeqFrac: 0.7, VHotFrac: 0.02, VHotBytes: 16 << 10, Seed: 31},
+	{ID: "w59", TotalWriteGB: 60, FootprintGB: 10, MeanWriteKiB: 16, HotFrac: 0.35, HotSkew: 0.65, SeqFrac: 0.2, VHotFrac: 0.15, VHotBytes: 16 << 10, Seed: 59},
+	{ID: "w41", TotalWriteGB: 127, FootprintGB: 4, MeanWriteKiB: 24, HotFrac: 0.04, HotSkew: 0.97, SeqFrac: 0.3, VHotFrac: 0.72, VHotBytes: 16 << 10, Seed: 41},
+	{ID: "w05", TotalWriteGB: 389, FootprintGB: 30, MeanWriteKiB: 64, HotFrac: 0.3, HotSkew: 0.75, SeqFrac: 0.75, VHotFrac: 0.0, VHotBytes: 16 << 10, Seed: 5},
+}
+
+// Trace generates writes according to a TraceSpec, scaled down by
+// ScaleDown (so simulations finish quickly while preserving the
+// footprint:volume ratio).
+type Trace struct {
+	Spec      TraceSpec
+	ScaleDown float64 // e.g. 64: 1/64 of the paper's volume
+
+	rng     *rand.Rand
+	written int64
+	total   int64
+	fpBytes int64
+	lastEnd int64
+}
+
+func (t *Trace) init() {
+	if t.rng != nil {
+		return
+	}
+	t.rng = rand.New(rand.NewSource(t.Spec.Seed))
+	if t.ScaleDown <= 0 {
+		t.ScaleDown = 1
+	}
+	t.total = int64(t.Spec.TotalWriteGB / t.ScaleDown * float64(block.GiB))
+	t.fpBytes = int64(t.Spec.FootprintGB / t.ScaleDown * float64(block.GiB))
+	if t.fpBytes < 4*block.MiB {
+		t.fpBytes = 4 * block.MiB
+	}
+}
+
+// Next implements Generator.
+func (t *Trace) Next() (Op, bool) {
+	t.init()
+	if t.written >= t.total {
+		return Op{}, false
+	}
+	// Size: exponential around the mean, 4 KiB aligned.
+	size := int(t.rng.ExpFloat64() * t.Spec.MeanWriteKiB * 1024)
+	size = (size + block.BlockSize - 1) &^ (block.BlockSize - 1)
+	if size < block.BlockSize {
+		size = block.BlockSize
+	}
+	if size > 2<<20 {
+		size = 2 << 20
+	}
+
+	var off int64
+	switch {
+	case t.Spec.VHotFrac > 0 && t.rng.Float64() < t.Spec.VHotFrac:
+		// Journal-like rewrite of a tiny fixed region.
+		vhot := t.Spec.VHotBytes
+		if vhot <= int64(size)+block.BlockSize {
+			vhot = int64(size) + 2*block.BlockSize
+		}
+		if vhot > t.fpBytes {
+			vhot = t.fpBytes
+		}
+		if size > int(vhot)-block.BlockSize {
+			size = int(vhot-block.BlockSize) &^ (block.BlockSize - 1)
+			if size < block.BlockSize {
+				size = block.BlockSize
+			}
+		}
+		off = t.rng.Int63n(vhot-int64(size)+1) &^ (block.BlockSize - 1)
+		t.lastEnd = off + int64(size)
+		t.written += int64(size)
+		return Op{Kind: OpWrite, Off: off, Len: size}, true
+	case t.rng.Float64() < t.Spec.SeqFrac && t.lastEnd+int64(size) < t.fpBytes:
+		off = t.lastEnd
+	case t.rng.Float64() < t.Spec.HotSkew:
+		hot := int64(float64(t.fpBytes) * t.Spec.HotFrac)
+		if hot < int64(size)+block.BlockSize {
+			hot = int64(size) + block.BlockSize
+		}
+		off = t.rng.Int63n(hot-int64(size)) &^ (block.BlockSize - 1)
+	default:
+		off = t.rng.Int63n(t.fpBytes-int64(size)) &^ (block.BlockSize - 1)
+	}
+	t.lastEnd = off + int64(size)
+	t.written += int64(size)
+	return Op{Kind: OpWrite, Off: off, Len: size}, true
+}
+
+// VolBytes returns the trace's (scaled) footprint, i.e. the virtual
+// disk size a simulation needs.
+func (t *Trace) VolBytes() int64 {
+	t.init()
+	return t.fpBytes
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"lsvd/internal/block"
+)
+
+// memDisk is a trivial in-memory vdisk.Disk for generator testing.
+type memDisk struct {
+	mu   sync.Mutex
+	size int64
+	data map[int64]byte // sparse, only for bounds realism
+}
+
+func newMemDisk(size int64) *memDisk { return &memDisk{size: size, data: map[int64]byte{}} }
+
+func (d *memDisk) ReadAt(p []byte, off int64) error  { return d.check(p, off) }
+func (d *memDisk) WriteAt(p []byte, off int64) error { return d.check(p, off) }
+func (d *memDisk) Flush() error                      { return nil }
+func (d *memDisk) Trim(off, n int64) error           { return nil }
+func (d *memDisk) Size() int64                       { return d.size }
+func (d *memDisk) check(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > d.size {
+		panic("out of bounds I/O from generator")
+	}
+	if off%block.SectorSize != 0 || len(p)%block.SectorSize != 0 {
+		panic("unaligned I/O from generator")
+	}
+	return nil
+}
+
+func TestFioRandWriteShape(t *testing.T) {
+	g := &Fio{Pattern: RandWrite, BlockSize: 16384, VolBytes: 1 << 30, TotalBytes: 16 << 20, Seed: 1}
+	c, err := Run(newMemDisk(1<<30), g, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Writes != 1024 || c.BytesWritten != 16<<20 || c.Reads != 0 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestFioSeqReadWraps(t *testing.T) {
+	g := &Fio{Pattern: SeqRead, BlockSize: 1 << 20, VolBytes: 4 << 20, TotalBytes: 16 << 20, Seed: 1}
+	c, err := Run(newMemDisk(4<<20), g, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reads != 16 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestFioDeterministic(t *testing.T) {
+	mk := func() []Op {
+		g := &Fio{Pattern: RandWrite, BlockSize: 4096, VolBytes: 1 << 30, TotalBytes: 1 << 20, Seed: 42}
+		var ops []Op
+		for {
+			op, ok := g.Next()
+			if !ok {
+				break
+			}
+			ops = append(ops, op)
+		}
+		return ops
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+// TestFilebenchSignatures checks the generated streams against the
+// paper's Table 3 block-level statistics (within tolerance): mean
+// write size and writes between commit barriers.
+func TestFilebenchSignatures(t *testing.T) {
+	cases := []struct {
+		model         FilebenchModel
+		wantWritesPS  float64 // writes per sync
+		wantMeanWrite float64 // bytes
+		tolWPS        float64
+		tolMean       float64
+	}{
+		{Fileserver, 12865, 94 * 1024, 0.5, 0.4},
+		{OLTP, 42.7, 4.7 * 1024, 0.5, 1.2}, // 4 KiB floor inflates the small-write mean
+		{Varmail, 7.6, 27 * 1024, 0.5, 0.4},
+	}
+	for _, tc := range cases {
+		g := &Filebench{Model: tc.model, VolBytes: 8 << 30, TotalBytes: 512 << 20, Seed: 3}
+		c, err := Run(newMemDisk(8<<30), g, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Writes == 0 {
+			t.Fatalf("%v: no writes", tc.model)
+		}
+		if tc.model != Fileserver { // fileserver syncs are too rare for 512 MiB streams
+			if c.Flushes == 0 {
+				t.Fatalf("%v: no commit barriers", tc.model)
+			}
+			if r := math.Abs(c.WritesBetweenSyncs-tc.wantWritesPS) / tc.wantWritesPS; r > tc.tolWPS {
+				t.Errorf("%v: writes/sync %.1f want ~%.1f", tc.model, c.WritesBetweenSyncs, tc.wantWritesPS)
+			}
+		}
+		if r := math.Abs(c.MeanWriteBytes-tc.wantMeanWrite) / tc.wantMeanWrite; r > tc.tolMean {
+			t.Errorf("%v: mean write %.0f want ~%.0f", tc.model, c.MeanWriteBytes, tc.wantMeanWrite)
+		}
+		if tc.model == OLTP && c.Reads == 0 {
+			t.Error("oltp generated no reads")
+		}
+	}
+}
+
+// TestVarmailOverwrites: varmail must rewrite a small hot set — the
+// property that drives the paper's GC experiments (Fig 15).
+func TestVarmailOverwrites(t *testing.T) {
+	g := &Filebench{Model: Varmail, VolBytes: 8 << 30, TotalBytes: 256 << 20, Seed: 5}
+	touched := map[int64]bool{}
+	var writes int
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		if op.Kind != OpWrite {
+			continue
+		}
+		writes++
+		for b := op.Off / block.BlockSize; b <= (op.Off+int64(op.Len)-1)/block.BlockSize; b++ {
+			touched[b] = true
+		}
+	}
+	footprint := int64(len(touched)) * block.BlockSize
+	if footprint >= 256<<20 {
+		t.Fatalf("varmail did not overwrite: footprint %d >= written 256MiB", footprint)
+	}
+}
+
+func TestTraceGeneratorVolumeAndFootprint(t *testing.T) {
+	for _, spec := range PaperTraces {
+		tr := &Trace{Spec: spec, ScaleDown: 512}
+		var total int64
+		seen := map[int64]bool{}
+		for {
+			op, ok := tr.Next()
+			if !ok {
+				break
+			}
+			if op.Kind != OpWrite {
+				t.Fatalf("%s: unexpected op kind", spec.ID)
+			}
+			if op.Off < 0 || op.Off+int64(op.Len) > tr.VolBytes() {
+				t.Fatalf("%s: out of footprint", spec.ID)
+			}
+			total += int64(op.Len)
+			seen[op.Off/block.BlockSize] = true
+		}
+		want := int64(spec.TotalWriteGB / 512 * float64(block.GiB))
+		if total < want || total > want+4<<20 {
+			t.Fatalf("%s: wrote %d want ~%d", spec.ID, total, want)
+		}
+	}
+}
+
+func TestRunMaxOps(t *testing.T) {
+	g := &Fio{Pattern: RandWrite, BlockSize: 4096, VolBytes: 1 << 30, TotalBytes: 1 << 30, Seed: 1}
+	c, err := Run(newMemDisk(1<<30), g, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Writes != 100 {
+		t.Fatalf("maxOps ignored: %d", c.Writes)
+	}
+}
+
+func TestRunStampsPayload(t *testing.T) {
+	g := &Fio{Pattern: SeqWrite, BlockSize: 4096, VolBytes: 1 << 20, TotalBytes: 8192, Seed: 1}
+	var stamped []int64
+	_, err := Run(newMemDisk(1<<20), g, func(p []byte, off int64) {
+		stamped = append(stamped, off)
+		p[0] = 0xAB
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stamped) != 2 || stamped[0] != 0 || stamped[1] != 4096 {
+		t.Fatalf("stamps %v", stamped)
+	}
+}

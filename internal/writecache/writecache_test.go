@@ -1,0 +1,408 @@
+package writecache
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lsvd/internal/block"
+	"lsvd/internal/journal"
+	"lsvd/internal/simdev"
+)
+
+func newCache(t *testing.T, devBytes int64, cfg Config) (*Cache, *simdev.MemDevice) {
+	t.Helper()
+	dev := simdev.NewMem(devBytes)
+	c, err := Format(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, dev
+}
+
+func payload(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// readBack looks up ext and reads all present runs into a buffer,
+// returning the data and whether the whole extent was present.
+func readBack(t *testing.T, c *Cache, ext block.Extent) ([]byte, bool) {
+	t.Helper()
+	buf := make([]byte, ext.Bytes())
+	full := true
+	for _, run := range c.Lookup(ext) {
+		if !run.Present {
+			full = false
+			continue
+		}
+		off := (run.LBA - ext.LBA).Bytes()
+		sub := buf[off : off+run.Bytes()]
+		if err := c.ReadAt(run.Target, sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf, full
+}
+
+func TestAppendLookupRead(t *testing.T) {
+	c, _ := newCache(t, 64*block.MiB, Config{})
+	data := payload(1, 16*1024)
+	ext := block.Extent{LBA: 1000, Sectors: 32}
+	if err := c.Append(1, ext, data); err != nil {
+		t.Fatal(err)
+	}
+	got, full := readBack(t, c, ext)
+	if !full || !bytes.Equal(got, data) {
+		t.Fatal("read back mismatch")
+	}
+	// Miss outside written range.
+	if _, full := readBack(t, c, block.Extent{LBA: 5000, Sectors: 8}); full {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestOverwriteReturnsNewest(t *testing.T) {
+	c, _ := newCache(t, 64*block.MiB, Config{})
+	ext := block.Extent{LBA: 0, Sectors: 16}
+	_ = c.Append(1, ext, payload(1, 8192))
+	newer := payload(2, 8192)
+	_ = c.Append(2, ext, newer)
+	got, _ := readBack(t, c, ext)
+	if !bytes.Equal(got, newer) {
+		t.Fatal("overwrite not visible")
+	}
+	// Partial overwrite: middle 4 sectors.
+	mid := block.Extent{LBA: 4, Sectors: 4}
+	midData := payload(3, int(mid.Bytes()))
+	_ = c.Append(3, mid, midData)
+	got, _ = readBack(t, c, ext)
+	want := append([]byte{}, newer...)
+	copy(want[4*block.SectorSize:], midData)
+	if !bytes.Equal(got, want) {
+		t.Fatal("partial overwrite wrong")
+	}
+}
+
+func TestTrim(t *testing.T) {
+	c, _ := newCache(t, 64*block.MiB, Config{})
+	ext := block.Extent{LBA: 0, Sectors: 64}
+	_ = c.Append(1, ext, payload(1, int(ext.Bytes())))
+	if err := c.AppendTrim(2, block.Extent{LBA: 16, Sectors: 16}); err != nil {
+		t.Fatal(err)
+	}
+	runs := c.Lookup(ext)
+	if len(runs) != 3 || runs[1].Present {
+		t.Fatalf("trim not applied: %+v", runs)
+	}
+}
+
+func TestBadAppendRejected(t *testing.T) {
+	c, _ := newCache(t, 64*block.MiB, Config{})
+	if err := c.Append(1, block.Extent{LBA: 0, Sectors: 8}, make([]byte, 1)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestRecoveryFromCleanClose(t *testing.T) {
+	dev := simdev.NewMem(64 * block.MiB)
+	c, err := Format(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exts := make([]block.Extent, 20)
+	datas := make([][]byte, 20)
+	for i := range exts {
+		exts[i] = block.Extent{LBA: block.LBA(i * 100), Sectors: 24}
+		datas[i] = payload(int64(i), int(exts[i].Bytes()))
+		if err := c.Append(uint64(i+1), exts[i], datas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exts {
+		got, full := readBack(t, c2, exts[i])
+		if !full || !bytes.Equal(got, datas[i]) {
+			t.Fatalf("write %d lost after clean reopen", i)
+		}
+	}
+	if c2.MaxWriteSeq() != 20 {
+		t.Fatalf("MaxWriteSeq=%d", c2.MaxWriteSeq())
+	}
+}
+
+func TestRecoveryReplaysTailAfterCheckpoint(t *testing.T) {
+	dev := simdev.NewMem(64 * block.MiB)
+	c, _ := Format(dev, Config{})
+	ext1 := block.Extent{LBA: 0, Sectors: 16}
+	d1 := payload(1, int(ext1.Bytes()))
+	_ = c.Append(1, ext1, d1)
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Writes after the checkpoint, then flush (commit) but no
+	// checkpoint: must be recovered by log replay.
+	ext2 := block.Extent{LBA: 500, Sectors: 16}
+	d2 := payload(2, int(ext2.Bytes()))
+	_ = c.Append(2, ext2, d2)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Stats().RecoveredRecs != 1 {
+		t.Fatalf("RecoveredRecs=%d want 1", c2.Stats().RecoveredRecs)
+	}
+	got, full := readBack(t, c2, ext2)
+	if !full || !bytes.Equal(got, d2) {
+		t.Fatal("post-checkpoint write lost")
+	}
+	got, full = readBack(t, c2, ext1)
+	if !full || !bytes.Equal(got, d1) {
+		t.Fatal("checkpointed write lost")
+	}
+}
+
+func TestRecoveryAfterCrashKeepsCommittedPrefix(t *testing.T) {
+	dev := simdev.NewMem(64 * block.MiB)
+	c, _ := Format(dev, Config{CheckpointEvery: 1 << 30})
+	// Committed writes.
+	for i := 0; i < 10; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 64), Sectors: 16}
+		if err := c.Append(uint64(i+1), ext, payload(int64(i), int(ext.Bytes()))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted writes, then crash losing everything unflushed.
+	for i := 10; i < 20; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 64), Sectors: 16}
+		_ = c.Append(uint64(i+1), ext, payload(int64(i), int(ext.Bytes())))
+	}
+	dev.Crash(1.0, rand.New(rand.NewSource(5)))
+	c2, err := Open(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All committed writes present.
+	for i := 0; i < 10; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 64), Sectors: 16}
+		got, full := readBack(t, c2, ext)
+		if !full || !bytes.Equal(got, payload(int64(i), int(ext.Bytes()))) {
+			t.Fatalf("committed write %d lost", i)
+		}
+	}
+	if c2.MaxWriteSeq() != 10 {
+		t.Fatalf("recovered MaxWriteSeq=%d want 10", c2.MaxWriteSeq())
+	}
+}
+
+func TestRecoveryAfterPartialCrashIsPrefix(t *testing.T) {
+	// With partial loss (some unflushed pages survive), recovery must
+	// still produce a *prefix*: if write i survived, writes < i
+	// survived too (sequence-gap rule).
+	for seed := int64(0); seed < 10; seed++ {
+		dev := simdev.NewMem(64 * block.MiB)
+		c, _ := Format(dev, Config{CheckpointEvery: 1 << 30})
+		const n = 30
+		for i := 0; i < n; i++ {
+			ext := block.Extent{LBA: block.LBA(i * 64), Sectors: 16}
+			_ = c.Append(uint64(i+1), ext, payload(int64(i), int(ext.Bytes())))
+		}
+		dev.Crash(0.5, rand.New(rand.NewSource(seed)))
+		c2, err := Open(dev, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := c2.MaxWriteSeq()
+		for i := uint64(1); i <= k; i++ {
+			ext := block.Extent{LBA: block.LBA((i - 1) * 64), Sectors: 16}
+			got, full := readBack(t, c2, ext)
+			if !full || !bytes.Equal(got, payload(int64(i-1), int(ext.Bytes()))) {
+				t.Fatalf("seed %d: prefix broken at write %d (recovered through %d)", seed, i, k)
+			}
+		}
+	}
+}
+
+func TestRingWrapAndEviction(t *testing.T) {
+	// Small log: 8 MiB. Write 64 KiB records until wrap several times.
+	c, _ := newCache(t, 8*block.MiB+ckptStart+16*block.MiB, Config{CheckpointBytes: 16 * block.MiB, CheckpointEvery: 1 << 30})
+	recBytes := 64 * 1024
+	seq := uint64(0)
+	write := func() error {
+		seq++
+		ext := block.Extent{LBA: block.LBA(seq%100) * 128, Sectors: uint32(recBytes / block.SectorSize)}
+		return c.Append(seq, ext, payload(int64(seq), recBytes))
+	}
+	// Fill until ErrFull with nothing destaged.
+	var full bool
+	for i := 0; i < 1000; i++ {
+		if err := write(); errors.Is(err, ErrFull) {
+			full = true
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !full {
+		t.Fatal("undestaged ring never filled")
+	}
+	// Destage everything; writes proceed and evictions happen.
+	c.SetDestaged(seq)
+	for i := 0; i < 500; i++ {
+		if err := write(); err != nil {
+			c.SetDestaged(seq - 1)
+			if err := write(); err != nil {
+				t.Fatalf("write after destage failed: %v", err)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions after destage")
+	}
+	if st.UsedBytes > st.LogBytes {
+		t.Fatalf("used %d exceeds log %d", st.UsedBytes, st.LogBytes)
+	}
+	// Newest copies must still be readable (their data not evicted,
+	// since they're recent).
+	ext := block.Extent{LBA: block.LBA(seq%100) * 128, Sectors: uint32(recBytes / block.SectorSize)}
+	got, fullHit := readBack(t, c, ext)
+	if !fullHit || !bytes.Equal(got, payload(int64(seq), recBytes)) {
+		t.Fatal("newest record unreadable after wraps")
+	}
+}
+
+func TestEvictionRemovesOnlyStaleMappings(t *testing.T) {
+	c, _ := newCache(t, 8*block.MiB+ckptStart+16*block.MiB, Config{CheckpointBytes: 16 * block.MiB, CheckpointEvery: 1 << 30})
+	// Write A at LBA 0, then overwrite it; evicting the first record
+	// must not remove the mapping to the second copy.
+	ext := block.Extent{LBA: 0, Sectors: 128}
+	_ = c.Append(1, ext, payload(1, int(ext.Bytes())))
+	newer := payload(2, int(ext.Bytes()))
+	_ = c.Append(2, ext, newer)
+	c.SetDestaged(2)
+	// Force eviction by filling the ring.
+	seq := uint64(2)
+	for {
+		seq++
+		e := block.Extent{LBA: 100000 + block.LBA(seq)*256, Sectors: 128}
+		if err := c.Append(seq, e, payload(int64(seq), int(e.Bytes()))); err != nil {
+			break
+		}
+		c.SetDestaged(seq - 2)
+		if c.Stats().Evictions > 2 {
+			break
+		}
+	}
+	if c.Stats().Evictions == 0 {
+		t.Skip("ring too large to force eviction")
+	}
+	got, full := readBack(t, c, ext)
+	if full && !bytes.Equal(got, newer) {
+		t.Fatal("stale data returned after eviction")
+	}
+}
+
+func TestRecordsAfter(t *testing.T) {
+	c, _ := newCache(t, 64*block.MiB, Config{})
+	want := map[uint64][]byte{}
+	for i := 1; i <= 10; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 100), Sectors: 8}
+		d := payload(int64(i), int(ext.Bytes()))
+		want[uint64(i)] = d
+		_ = c.Append(uint64(i), ext, d)
+	}
+	_ = c.AppendTrim(11, block.Extent{LBA: 100, Sectors: 8})
+	var seen []uint64
+	err := c.RecordsAfter(5, func(ws uint64, typ journal.Type, ext block.Extent, data []byte) error {
+		seen = append(seen, ws)
+		if typ == journal.TypeData && !bytes.Equal(data, want[ws]) {
+			t.Fatalf("record %d data mismatch", ws)
+		}
+		if ws == 11 && typ != journal.TypeTrim {
+			t.Fatal("trim record type lost")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("replayed %v", seen)
+	}
+	for i, ws := range seen {
+		if ws != uint64(6+i) {
+			t.Fatalf("replay out of order: %v", seen)
+		}
+	}
+}
+
+func TestUnformattedDeviceRejected(t *testing.T) {
+	if _, err := Open(simdev.NewMem(64*block.MiB), Config{}); err == nil {
+		t.Fatal("unformatted device opened")
+	}
+}
+
+func TestTooSmallDeviceRejected(t *testing.T) {
+	if _, err := Format(simdev.NewMem(1*block.MiB), Config{}); err == nil {
+		t.Fatal("tiny device formatted")
+	}
+}
+
+func TestAutoCheckpoint(t *testing.T) {
+	c, _ := newCache(t, 64*block.MiB, Config{CheckpointEvery: 5})
+	for i := 1; i <= 12; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 10), Sectors: 8}
+		_ = c.Append(uint64(i), ext, payload(int64(i), int(ext.Bytes())))
+	}
+	if got := c.Stats().Checkpoints; got < 2 {
+		t.Fatalf("auto checkpoints=%d", got)
+	}
+}
+
+func TestDirtyAccounting(t *testing.T) {
+	c, _ := newCache(t, 64*block.MiB, Config{})
+	ext := block.Extent{LBA: 0, Sectors: 8}
+	_ = c.Append(1, ext, payload(1, int(ext.Bytes())))
+	if c.Stats().DirtyBytes == 0 {
+		t.Fatal("fresh write not dirty")
+	}
+	c.SetDestaged(1)
+	if c.Stats().DirtyBytes != 0 {
+		t.Fatal("destaged write still dirty")
+	}
+}
+
+func BenchmarkAppend16K(b *testing.B) {
+	dev := simdev.NewMem(2 * block.GiB)
+	c, err := Format(dev, Config{CheckpointEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 16*1024)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ext := block.Extent{LBA: block.LBA((i % 100000) * 32), Sectors: 32}
+		if err := c.Append(uint64(i+1), ext, data); err != nil {
+			c.SetDestaged(uint64(i))
+			if err := c.Append(uint64(i+1), ext, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package lsvd is a log-structured virtual disk: the public API of
+// this repository's from-scratch reproduction of "Beating the I/O
+// Bottleneck: A Case for Log-Structured Virtual Disks" (EuroSys '22).
+//
+// An LSVD volume is a virtual block device that couples a
+// log-structured write-back cache on a local SSD with a log-structured
+// stream of immutable objects on any S3-like store:
+//
+//	store, _ := lsvd.DirStore("/var/lib/lsvd/objects")
+//	cache, _ := lsvd.FileCacheDevice("/var/lib/lsvd/cache.img", 10*lsvd.GiB)
+//	disk, _ := lsvd.Create(ctx, lsvd.VolumeOptions{
+//		Name: "vm1", Store: store, Cache: cache, Size: 100 * lsvd.GiB,
+//	})
+//	defer disk.Close()
+//	_ = disk.WriteAt(buf, 0)       // acknowledged when logged locally
+//	_ = disk.Flush()               // commit barrier: one SSD flush
+//	_ = lsvd.ServeNBD(ln, "vm1", disk) // expose to the kernel
+//
+// Writes are acknowledged as soon as they are persisted in the local
+// log, batched into large objects for the backend, and garbage
+// collected as they are overwritten. Crash recovery replays the local
+// log over the backend's consistent prefix; if the cache is lost
+// entirely, the volume recovers to a consistent prefix of committed
+// writes (prefix consistency). Snapshots, clones from golden images,
+// and asynchronous replication ride on the immutable object stream.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-reproduction results.
+package lsvd
+
+import (
+	"context"
+	"net"
+
+	"lsvd/internal/block"
+	"lsvd/internal/blockstore"
+	"lsvd/internal/core"
+	"lsvd/internal/nbd"
+	"lsvd/internal/objstore"
+	"lsvd/internal/readcache"
+	"lsvd/internal/replica"
+	"lsvd/internal/simdev"
+	"lsvd/internal/vdisk"
+)
+
+// Size units.
+const (
+	KiB = block.KiB
+	MiB = block.MiB
+	GiB = block.GiB
+	TiB = block.TiB
+)
+
+// Disk is the virtual block device: sector-aligned ReadAt/WriteAt,
+// Flush (commit barrier), Trim (discard), Size.
+type Disk = core.Disk
+
+// BlockDevice is the minimal interface all disks in this module
+// implement (LSVD volumes, baselines, NBD clients).
+type BlockDevice = vdisk.Disk
+
+// ObjectStore is the S3-like backend interface.
+type ObjectStore = objstore.Store
+
+// CacheDevice is the local SSD abstraction.
+type CacheDevice = simdev.Device
+
+// SnapshotInfo names a snapshot and its position in the object stream.
+type SnapshotInfo = blockstore.SnapshotInfo
+
+// Stats aggregates counters from all layers of a volume.
+type Stats = core.Stats
+
+// Eviction policies for the read cache.
+const (
+	ReadCacheFIFO = readcache.FIFO
+	ReadCacheLRU  = readcache.LRU
+)
+
+// VolumeOptions configures Create and Open.
+type VolumeOptions struct {
+	// Name is the volume name; backend objects are "<name>.<seq>".
+	Name string
+	// Store is the object backend.
+	Store ObjectStore
+	// Cache is the local SSD (file- or memory-backed).
+	Cache CacheDevice
+	// Size is the virtual disk size in bytes (Create only).
+	Size int64
+
+	// Advanced tuning; zero values select the paper's configuration.
+	WriteCacheFraction float64 // SSD share for the write log (0.2)
+	BatchBytes         int64   // backend object size (8 MiB)
+	GCLowWater         float64 // GC trigger utilization (0.70); <0 disables
+	GCHighWater        float64 // GC stop utilization (0.75)
+	PrefetchBytes      int64   // temporal read-ahead (128 KiB)
+	ReadCachePolicy    readcache.Policy
+}
+
+func (o VolumeOptions) coreOptions() core.Options {
+	opts := core.Options{
+		Volume:          o.Name,
+		Store:           o.Store,
+		CacheDev:        o.Cache,
+		VolBytes:        o.Size,
+		WriteCacheFrac:  o.WriteCacheFraction,
+		BatchBytes:      o.BatchBytes,
+		GCLowWater:      o.GCLowWater,
+		GCHighWater:     o.GCHighWater,
+		ReadCachePolicy: o.ReadCachePolicy,
+	}
+	if o.PrefetchBytes > 0 {
+		opts.PrefetchSectors = uint32(o.PrefetchBytes / block.SectorSize)
+	}
+	return opts
+}
+
+// Create initializes a new volume.
+func Create(ctx context.Context, o VolumeOptions) (*Disk, error) {
+	return core.Create(ctx, o.coreOptions())
+}
+
+// Open recovers an existing volume: local log replay, backend prefix
+// recovery, and re-destage of any writes the backend is missing.
+func Open(ctx context.Context, o VolumeOptions) (*Disk, error) {
+	return core.Open(ctx, o.coreOptions())
+}
+
+// Clone creates a new volume sharing the base volume's objects up to
+// the named snapshot as an immutable prefix (copy-on-write clone).
+func Clone(ctx context.Context, store ObjectStore, baseVolume, snapshot, newVolume string) error {
+	return blockstore.Clone(ctx, blockstore.Config{Volume: baseVolume, Store: store}, snapshot, newVolume)
+}
+
+// OpenSnapshot mounts a named snapshot read-only; writes and trims
+// return core.ErrReadOnly.
+func OpenSnapshot(ctx context.Context, o VolumeOptions, snapshot string) (*Disk, error) {
+	return core.OpenSnapshot(ctx, o.coreOptions(), snapshot)
+}
+
+// MemStore returns an in-memory object store (tests, experiments).
+func MemStore() ObjectStore { return objstore.NewMem() }
+
+// DirStore returns an object store backed by a directory tree.
+func DirStore(dir string) (ObjectStore, error) { return objstore.NewDir(dir) }
+
+// MemCacheDevice returns an in-memory cache device of the given size.
+func MemCacheDevice(size int64) CacheDevice { return simdev.NewMem(size) }
+
+// FileCacheDevice opens (creating if needed) a file-backed cache
+// device.
+func FileCacheDevice(path string, size int64) (CacheDevice, error) {
+	return simdev.OpenFile(path, size)
+}
+
+// ServeNBD exports disks over the NBD protocol on ln, blocking until
+// the listener closes. Use an nbd-client or qemu against the address.
+func ServeNBD(ln net.Listener, name string, disk BlockDevice, more ...struct {
+	Name string
+	Disk BlockDevice
+}) error {
+	srv := nbd.NewServer(nbd.Export{Name: name, Disk: disk})
+	for _, m := range more {
+		srv.AddExport(nbd.Export{Name: m.Name, Disk: m.Disk})
+	}
+	return srv.Serve(ln)
+}
+
+// Replicator lazily copies a volume's object stream to a second store
+// for asynchronous (geo-)replication.
+type Replicator = replica.Replicator

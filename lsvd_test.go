@@ -1,0 +1,175 @@
+package lsvd
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"lsvd/internal/nbd"
+)
+
+var ctx = context.Background()
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	disk, err := Create(ctx, VolumeOptions{
+		Name: "v", Store: MemStore(), Cache: MemCacheDevice(256 * MiB), Size: 256 * MiB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64*1024)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := disk.WriteAt(data, 1*MiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := disk.ReadAt(got, 1*MiB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if disk.Size() != 256*MiB {
+		t.Fatalf("size %d", disk.Size())
+	}
+	if err := disk.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIDirStoreFileCache(t *testing.T) {
+	dir := t.TempDir()
+	store, err := DirStore(filepath.Join(dir, "objects"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := FileCacheDevice(filepath.Join(dir, "cache.img"), 64*MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := Create(ctx, VolumeOptions{Name: "v", Store: store, Cache: cache, Size: 64 * MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("durable across reopen............................................")
+	data = data[:64]
+	pad := make([]byte, 4096)
+	copy(pad, data)
+	if err := disk.WriteAt(pad, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen from the same directory and cache file.
+	cache2, err := FileCacheDevice(filepath.Join(dir, "cache.img"), 64*MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk2, err := Open(ctx, VolumeOptions{Name: "v", Store: store, Cache: cache2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if err := disk2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pad) {
+		t.Fatal("data lost across reopen")
+	}
+}
+
+func TestPublicAPISnapshotClone(t *testing.T) {
+	store := MemStore()
+	disk, err := Create(ctx, VolumeOptions{Name: "base", Store: store, Cache: MemCacheDevice(128 * MiB), Size: 128 * MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 8192)
+	rand.New(rand.NewSource(2)).Read(data)
+	_ = disk.WriteAt(data, 0)
+	if _, err := disk.Snapshot("golden"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Clone(ctx, store, "base", "golden", "vm1"); err != nil {
+		t.Fatal(err)
+	}
+	vm1, err := Open(ctx, VolumeOptions{Name: "vm1", Store: store, Cache: MemCacheDevice(128 * MiB)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8192)
+	if err := vm1.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("clone cannot read base image")
+	}
+}
+
+func TestPublicAPINBD(t *testing.T) {
+	disk, err := Create(ctx, VolumeOptions{Name: "v", Store: MemStore(), Cache: MemCacheDevice(64 * MiB), Size: 64 * MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ServeNBD(ln, "v", disk) }()
+	defer ln.Close()
+	c, err := nbd.Dial(ln.Addr().String(), "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(3)).Read(data)
+	if err := c.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if err := c.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("NBD round trip mismatch")
+	}
+}
+
+func TestPublicAPIReplication(t *testing.T) {
+	primary := MemStore()
+	secondary := MemStore()
+	disk, err := Create(ctx, VolumeOptions{Name: "v", Store: primary, Cache: MemCacheDevice(64 * MiB), Size: 64 * MiB, BatchBytes: 256 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 512*1024)
+	rand.New(rand.NewSource(4)).Read(data)
+	_ = disk.WriteAt(data, 0)
+	if err := disk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep := &Replicator{Primary: primary, Replica: secondary, Volume: "v"}
+	if _, err := rep.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The replica opens as a volume with a fresh cache.
+	rdisk, err := Open(ctx, VolumeOptions{Name: "v", Store: secondary, Cache: MemCacheDevice(64 * MiB)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := rdisk.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("replica content differs")
+	}
+}
