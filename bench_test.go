@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"lsvd/internal/experiments"
 )
@@ -137,3 +138,83 @@ func BenchmarkDiskFlush(b *testing.B) {
 // (prefetch, GC-from-cache, coalescing, eviction policy, SSD
 // pass-through).
 func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
+
+// slowPutStore adds a fixed latency to every backend PUT, modeling an
+// S3 endpoint, so the ack-latency benchmarks show what the write path
+// waits on.
+type slowPutStore struct {
+	ObjectStore
+	delay time.Duration
+}
+
+func (s *slowPutStore) Put(ctx context.Context, name string, data []byte) error {
+	time.Sleep(s.delay)
+	return s.ObjectStore.Put(ctx, name, data)
+}
+
+func newDestageBenchDisk(b *testing.B, sync bool) *Disk {
+	b.Helper()
+	d, err := Create(context.Background(), VolumeOptions{
+		Name:  fmt.Sprintf("bench-%d", rand.Int63()),
+		Store: &slowPutStore{ObjectStore: MemStore(), delay: time.Millisecond},
+		Cache: MemCacheDevice(1 * GiB), Size: 1 * GiB,
+		BatchBytes:  256 * KiB, // seal often so destage latency matters
+		SyncDestage: sync,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func benchWriteAck(b *testing.B, sync bool) {
+	d := newDestageBenchDisk(b, sync)
+	defer d.Close()
+	buf := make([]byte, 4096)
+	blocks := d.Size() / 4096
+	b.SetBytes(4096)
+	b.ResetTimer()
+	// Sequential stream: extents coalesce so the maps stay small and
+	// the measured cost is the destage path, not map maintenance.
+	for i := 0; i < b.N; i++ {
+		if err := d.WriteAt(buf, int64(i)%blocks*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// Write-acknowledgement latency with the destage pipeline disabled:
+// every 256 KiB batch seals inline, so the 1 ms backend PUT lands on
+// the write path.
+func BenchmarkDiskWriteAckSync4K(b *testing.B) { benchWriteAck(b, true) }
+
+// The same workload with the async pipeline: PUTs overlap with new
+// writes and the ack waits only for the local log append.
+func BenchmarkDiskWriteAckAsync4K(b *testing.B) { benchWriteAck(b, false) }
+
+// BenchmarkDiskConcurrentReads measures read throughput with many
+// readers on one volume — the lock-free read path lets them proceed
+// in parallel.
+func BenchmarkDiskConcurrentReads(b *testing.B) {
+	d := newBenchDisk(b, 1*GiB, 256*MiB)
+	defer d.Close()
+	buf := make([]byte, 4096)
+	for off := int64(0); off < d.Size(); off += 4096 {
+		if err := d.WriteAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+	blocks := d.Size() / 4096
+	b.SetBytes(4096)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rd := make([]byte, 4096)
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			if err := d.ReadAt(rd, rng.Int63n(blocks)*4096); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -25,6 +25,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	list := flag.Bool("list", false, "list experiments and exit")
+	uploadDepth := flag.Int("upload-depth", 0, "concurrent backend object uploads per volume (0 = library default)")
+	syncDestage := flag.Bool("sync-destage", false, "disable the async destage pipeline (destage inline, for before/after comparisons)")
 	flag.Parse()
 
 	if *list {
@@ -38,7 +40,7 @@ func main() {
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
 		names = experiments.Names()
 	}
-	env := experiments.Env{Scale: *scale, Seed: *seed}
+	env := experiments.Env{Scale: *scale, Seed: *seed, UploadDepth: *uploadDepth, SyncDestage: *syncDestage}
 	ctx := context.Background()
 
 	exit := 0

@@ -44,7 +44,9 @@ func main() {
 		}
 		fmt.Printf("issued %d writes, committed through v%d\n", w.Version(), w.Committed())
 
-		// Power failure: acknowledged-but-unflushed writes may be lost.
+		// Power failure: acknowledged-but-unflushed writes may be
+		// lost. Kill stops the destage pipeline as the failure would.
+		disk.Kill()
 		cache.Crash(1.0, rand.New(rand.NewSource(2)))
 		disk2, err := lsvd.Open(ctx, lsvd.VolumeOptions{Name: "vol", Store: store, Cache: cache})
 		if err != nil {
@@ -85,6 +87,7 @@ func main() {
 		// The SSD is gone: reopen with a blank device. The volume
 		// falls back to the backend's consistent prefix (some
 		// committed writes may be lost, but never reordered).
+		disk.Kill()
 		opts.Cache = lsvd.MemCacheDevice(128 * lsvd.MiB)
 		disk2, err := lsvd.Open(ctx, opts)
 		if err != nil {

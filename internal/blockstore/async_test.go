@@ -1,0 +1,264 @@
+package blockstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"lsvd/internal/block"
+	"lsvd/internal/objstore"
+)
+
+// gateStore blocks selected PUTs until the test releases them, so a
+// test can force uploads to complete (or fail) in any order it likes.
+type gateStore struct {
+	objstore.Store
+
+	mu    sync.Mutex
+	gated map[string]bool
+	gates map[string]chan error
+}
+
+func newGateStore(inner objstore.Store) *gateStore {
+	return &gateStore{
+		Store: inner,
+		gated: make(map[string]bool),
+		gates: make(map[string]chan error),
+	}
+}
+
+// gate arms a hold on the named object's next Put.
+func (g *gateStore) gate(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.gated[name] = true
+}
+
+// release lets a held Put proceed, waiting for it to arrive first. A
+// non-nil err makes the Put fail without writing.
+func (g *gateStore) release(t *testing.T, name string, err error) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		ch, ok := g.gates[name]
+		if ok {
+			delete(g.gates, name)
+		}
+		g.mu.Unlock()
+		if ok {
+			ch <- err
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no Put arrived for %s", name)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (g *gateStore) Put(ctx context.Context, name string, data []byte) error {
+	g.mu.Lock()
+	var ch chan error
+	if g.gated[name] {
+		delete(g.gated, name)
+		ch = make(chan error)
+		g.gates[name] = ch
+	}
+	g.mu.Unlock()
+	if ch != nil {
+		if err := <-ch; err != nil {
+			return err
+		}
+	}
+	return g.Store.Put(ctx, name, data)
+}
+
+// waitDurable polls until DurableWriteSeq reaches want.
+func waitDurable(t *testing.T, s *Store, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.DurableWriteSeq() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("durable watermark stuck at %d, want %d", s.DurableWriteSeq(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAsyncCommitStaysInOrder: with concurrent uploads, map commit and
+// the durable watermark must advance strictly in sequence order even
+// when later objects' PUTs finish first (§3.4 prefix consistency).
+func TestAsyncCommitStaysInOrder(t *testing.T) {
+	gs := newGateStore(objstore.NewMem())
+	s := newVolume(t, gs, Config{BatchBytes: 32 * 1024, UploadDepth: 4, CheckpointEvery: 1 << 30})
+
+	// Three batch-sized appends auto-seal three objects; hold all of
+	// their uploads.
+	first := s.Stats().NextSeq
+	for i := uint32(0); i < 3; i++ {
+		gs.gate(objName("vol", first+i))
+	}
+	exts := make([]block.Extent, 3)
+	data := make([][]byte, 3)
+	for i := range exts {
+		exts[i] = block.Extent{LBA: block.LBA(i * 64), Sectors: 64}
+		data[i] = payload(int64(i+1), int(exts[i].Bytes()))
+		if err := s.Append(uint64(i+1), exts[i], data[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().InflightObjects; got != 3 {
+		t.Fatalf("inflight objects = %d, want 3", got)
+	}
+
+	// Let the NEWEST object land first: nothing may commit, or a crash
+	// here would expose write 3 without writes 1 and 2.
+	gs.release(t, objName("vol", first+2), nil)
+	time.Sleep(5 * time.Millisecond)
+	if got := s.DurableWriteSeq(); got != 0 {
+		t.Fatalf("out-of-order commit: durable=%d with earlier uploads pending", got)
+	}
+
+	// Oldest lands: exactly write 1 commits (the middle object still
+	// holds back the already-uploaded newest).
+	gs.release(t, objName("vol", first), nil)
+	waitDurable(t, s, 1)
+	time.Sleep(5 * time.Millisecond)
+	if got := s.DurableWriteSeq(); got != 1 {
+		t.Fatalf("durable=%d after first object, want 1", got)
+	}
+
+	// Middle lands: it and the newest commit together.
+	gs.release(t, objName("vol", first+1), nil)
+	waitDurable(t, s, 3)
+
+	for i := range exts {
+		if got := readAll(t, s, exts[i]); !bytes.Equal(got, data[i]) {
+			t.Fatalf("extent %d wrong after async commit", i)
+		}
+	}
+	if got := s.Stats().InflightObjects; got != 0 {
+		t.Fatalf("inflight objects = %d after full commit", got)
+	}
+}
+
+// TestAsyncUploadFailureRetriedBySeal: a failed async upload must not
+// be lost — the Seal fence resubmits it and succeeds.
+func TestAsyncUploadFailureRetriedBySeal(t *testing.T) {
+	faulty := objstore.NewFaulty(objstore.NewMem())
+	s := newVolume(t, faulty, Config{BatchBytes: 32 * 1024, UploadDepth: 2, CheckpointEvery: 1 << 30})
+
+	ext := block.Extent{LBA: 0, Sectors: 64}
+	data := payload(7, int(ext.Bytes()))
+	faulty.FailPut(objName("vol", s.Stats().NextSeq))
+	if err := s.Append(1, ext, data); err != nil {
+		t.Fatal(err) // the PUT failure is asynchronous; Append succeeds
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatalf("seal fence did not retry the failed upload: %v", err)
+	}
+	if got := s.DurableWriteSeq(); got != 1 {
+		t.Fatalf("durable=%d after fenced retry, want 1", got)
+	}
+	if s.Stats().UploadRetries == 0 {
+		t.Fatal("retry not counted")
+	}
+	if got := readAll(t, s, ext); !bytes.Equal(got, data) {
+		t.Fatal("data wrong after retried async upload")
+	}
+}
+
+// TestAsyncPersistentFailureSurfaces: a PUT that keeps failing must
+// surface an error at the fence instead of wedging or silently
+// dropping the object.
+func TestAsyncPersistentFailureSurfaces(t *testing.T) {
+	faulty := objstore.NewFaulty(objstore.NewMem())
+	s := newVolume(t, faulty, Config{BatchBytes: 32 * 1024, UploadDepth: 2, CheckpointEvery: 1 << 30})
+	faulty.FailEveryNth(1) // every mutation fails
+
+	ext := block.Extent{LBA: 0, Sectors: 64}
+	if err := s.Append(1, ext, payload(8, int(ext.Bytes()))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal(); !errors.Is(err, objstore.ErrInjected) {
+		t.Fatalf("persistent failure not surfaced: %v", err)
+	}
+	// Healing the store lets a later fence succeed.
+	faulty.FailEveryNth(0)
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DurableWriteSeq(); got != 1 {
+		t.Fatalf("durable=%d after healed retry, want 1", got)
+	}
+}
+
+// TestAbortStrandsOutOfOrderUploads: Abort models a crash while later
+// uploads have landed but an earlier one has not. Nothing may commit
+// in memory, and recovery's gap rule must delete the stranded objects
+// so the volume reopens to a consistent prefix.
+func TestAbortStrandsOutOfOrderUploads(t *testing.T) {
+	gs := newGateStore(objstore.NewMem())
+	s := newVolume(t, gs, Config{BatchBytes: 32 * 1024, UploadDepth: 4, CheckpointEvery: 1 << 30})
+
+	first := s.Stats().NextSeq
+	gs.gate(objName("vol", first)) // hold the oldest object's PUT
+	exts := make([]block.Extent, 3)
+	for i := range exts {
+		exts[i] = block.Extent{LBA: block.LBA(i * 64), Sectors: 64}
+		if err := s.Append(uint64(i+1), exts[i], payload(int64(i+1), int(exts[i].Bytes()))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the later uploads to land out of order.
+	waitObject := func(name string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if _, err := gs.Store.Size(ctx, name); err == nil {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("object %s never landed", name)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitObject(objName("vol", first+1))
+	waitObject(objName("vol", first+2))
+
+	// "Crash": the held PUT dies with the process. Abort blocks until
+	// every issued PUT finishes, so fail the held one concurrently.
+	crash := errors.New("crash before PUT completed")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		gs.release(t, objName("vol", first), crash)
+	}()
+	s.Abort()
+	<-done
+	if got := s.DurableWriteSeq(); got != 0 {
+		t.Fatalf("aborted store committed writes: durable=%d", got)
+	}
+
+	// Recovery: the oldest object is missing, so the stranded later
+	// objects must be deleted and every read comes back a hole.
+	s2, err := Open(ctx, Config{Volume: "vol", Store: gs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := make([]byte, exts[0].Bytes())
+	for i := range exts {
+		if got := readAll(t, s2, exts[i]); !bytes.Equal(got, zero) {
+			t.Fatalf("extent %d visible despite broken prefix", i)
+		}
+	}
+	for i := uint32(0); i < 3; i++ {
+		if _, err := gs.Store.Size(ctx, objName("vol", first+i)); !errors.Is(err, objstore.ErrNotFound) {
+			t.Fatalf("stranded object %d not cleaned up: %v", first+i, err)
+		}
+	}
+}

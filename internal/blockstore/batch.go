@@ -79,6 +79,9 @@ func (s *Store) Append(writeSeq uint64, ext block.Extent, data []byte) error {
 	s.batch.add(writeSeq, ext, data)
 	s.stats.bytesAppended += uint64(len(data))
 	if s.batch.fill >= s.cfg.BatchBytes {
+		if s.cfg.UploadDepth > 0 {
+			return s.sealAsyncLocked()
+		}
 		return s.sealLocked()
 	}
 	return nil
@@ -96,14 +99,16 @@ func (s *Store) Trim(writeSeq uint64, ext block.Extent) error {
 }
 
 // Seal forces the current batch out as an object (used on commit
-// pressure and at shutdown).
+// pressure and at shutdown). In asynchronous mode it is also the
+// pipeline fence: it returns only once every in-flight object has
+// committed, so DurableWriteSeq covers everything appended so far.
 func (s *Store) Seal() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.readOnly {
 		return ErrReadOnly
 	}
-	return s.sealLocked()
+	return s.sealAndWaitLocked()
 }
 
 // sealLocked builds the object for the pending batch, PUTs it, updates

@@ -64,6 +64,11 @@ type Config struct {
 	// OnDestage is called (store lock held; must not call back) when
 	// client writes up to writeSeq become durable in the backend.
 	OnDestage func(writeSeq uint64)
+	// UploadDepth > 0 enables the asynchronous upload pipeline: sealed
+	// objects are PUT by up to UploadDepth concurrent uploads while the
+	// next batch fills; map/watermark commit stays strictly in sequence
+	// order. 0 keeps the legacy synchronous seal (build + PUT inline).
+	UploadDepth int
 }
 
 func (c *Config) setDefaults() {
@@ -118,7 +123,9 @@ type Stats struct {
 	ObjectsDeleted  uint64
 	Checkpoints     uint64
 	DurableWriteSeq uint64
-	PendingBatch    int64
+	PendingBatch    int64 // batched + in-flight client bytes not yet committed
+	InflightObjects int   // sealed objects whose upload/commit is pending
+	UploadRetries   uint64
 	DeferredDeletes int
 }
 
@@ -150,6 +157,17 @@ type Store struct {
 
 	batch *batch
 
+	// Asynchronous upload pipeline state (Config.UploadDepth > 0):
+	// sealed objects awaiting upload/commit in sequence order, with a
+	// semaphore bounding concurrent PUTs and a condition variable (on
+	// mu) signalled at every upload completion.
+	inflight      []*inflightObj
+	inflightBytes int64
+	uploadSem     chan struct{}
+	commitCond    *sync.Cond
+	aborting      bool
+	asyncErr      error // sticky commit-side (GC) failure, surfaced at the next fence
+
 	durableWriteSeq uint64
 	sinceCkpt       int
 
@@ -158,7 +176,7 @@ type Store struct {
 	stats struct {
 		bytesAppended, bytesPut, bytesCoalesced uint64
 		gcBytesCopied, gcRuns, objectsDeleted   uint64
-		checkpoints                             uint64
+		checkpoints, uploadRetries              uint64
 	}
 }
 
@@ -223,6 +241,10 @@ func newStore(ctx context.Context, cfg Config) *Store {
 		cleaned:  make(map[uint32]bool),
 	}
 	s.batch = newBatch(cfg.BatchBytes, cfg.NoCoalesce)
+	s.commitCond = sync.NewCond(&s.mu)
+	if cfg.UploadDepth > 0 {
+		s.uploadSem = make(chan struct{}, cfg.UploadDepth)
+	}
 	return s
 }
 
@@ -285,7 +307,9 @@ func (s *Store) Stats() Stats {
 		BytesCoalesced: s.stats.bytesCoalesced, GCBytesCopied: s.stats.gcBytesCopied,
 		GCRuns: s.stats.gcRuns, ObjectsDeleted: s.stats.objectsDeleted,
 		Checkpoints: s.stats.checkpoints, DurableWriteSeq: s.durableWriteSeq,
-		PendingBatch: s.batch.fill, DeferredDeletes: len(s.deferred) + len(s.pending),
+		PendingBatch: s.batch.fill + s.inflightBytes,
+		InflightObjects: len(s.inflight), UploadRetries: s.stats.uploadRetries,
+		DeferredDeletes: len(s.deferred) + len(s.pending),
 	}
 	for _, o := range s.objects {
 		if o.typ == journal.TypeData || o.typ == journal.TypeGC {

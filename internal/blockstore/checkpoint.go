@@ -84,6 +84,20 @@ func (s *Store) Checkpoint() error {
 	if s.readOnly {
 		return ErrReadOnly
 	}
+	// A checkpoint must never record a nextSeq beyond an uncommitted
+	// object (recovery replay only covers seqs after the checkpoint),
+	// so drain the upload pipeline first.
+	if s.cfg.UploadDepth > 0 {
+		for _, inf := range s.inflight {
+			if inf.done && inf.err != nil {
+				inf.attempts = 0
+			}
+		}
+		s.resubmitFailedLocked()
+		if err := s.waitInflightLocked(); err != nil {
+			return err
+		}
+	}
 	return s.checkpointLocked()
 }
 

@@ -28,7 +28,7 @@ func (s *Store) CreateSnapshot(name string) (SnapshotInfo, error) {
 			return SnapshotInfo{}, fmt.Errorf("blockstore: snapshot %q already exists", name)
 		}
 	}
-	if err := s.sealLocked(); err != nil {
+	if err := s.sealAndWaitLocked(); err != nil {
 		return SnapshotInfo{}, err
 	}
 	seq := s.nextSeq - 1

@@ -1,0 +1,248 @@
+package blockstore
+
+import (
+	"fmt"
+
+	"lsvd/internal/block"
+	"lsvd/internal/extmap"
+	"lsvd/internal/journal"
+)
+
+// Asynchronous upload pipeline. With Config.UploadDepth > 0, sealing a
+// batch builds the object image and hands it to a bounded pool of
+// concurrent PUTs instead of uploading inline; the next batch starts
+// filling immediately. Map and watermark commit remains strictly in
+// sequence order — an object's extents are installed and
+// durableWriteSeq advanced only once every earlier object has
+// committed — so DurableWriteSeq and the §3.4 prefix-consistency rule
+// are exactly as in the synchronous path. A crash can strand
+// out-of-order uploads on the backend; recovery's gap rule (stop at the
+// first missing sequence number, delete anything beyond it) already
+// handles that.
+
+// maxUploadAttempts bounds automatic resubmission of a failed upload
+// within one fence; each explicit Seal/Checkpoint grants a fresh budget.
+const maxUploadAttempts = 3
+
+// inflightObj is a sealed object whose PUT has been issued (or failed
+// and awaits resubmission) but whose map commit has not yet happened.
+type inflightObj struct {
+	seq       uint32
+	obj       []byte
+	info      *objInfo
+	mapped    []mappedExtent
+	trims     []block.Extent
+	coalesced uint64
+	maxWrite  uint64
+	fill      int64 // client bytes the batch held (for PendingBatch)
+
+	done     bool
+	err      error
+	attempts int
+}
+
+// sealAsyncLocked seals the pending batch into an in-flight object and
+// starts its upload. It blocks (releasing no state; the condition
+// variable drops s.mu) while the pipeline is at capacity, and fences
+// the pipeline for the periodic checkpoint: a checkpoint must never
+// record a nextSeq beyond an uncommitted object, or recovery replay
+// (which covers only seqs after the checkpoint) would skip it.
+func (s *Store) sealAsyncLocked() error {
+	if s.batch.empty() {
+		return nil
+	}
+	if err := s.reserveUploadSlotLocked(); err != nil {
+		return err
+	}
+	if s.sinceCkpt >= s.cfg.CheckpointEvery {
+		if err := s.waitInflightLocked(); err != nil {
+			return err
+		}
+		if err := s.checkpointLocked(); err != nil {
+			return err
+		}
+	}
+
+	b := s.batch
+	seq := s.nextSeq
+	var exts []journal.ExtentEntry
+	var offs []int64
+	for _, t := range b.trims {
+		exts = append(exts, journal.ExtentEntry{LBA: t.LBA, Sectors: t.Sectors, SrcSeq: trimMarker})
+	}
+	if b.noCoalesce {
+		for i, e := range b.raw {
+			e.SrcSeq = uint64(seq)
+			exts = append(exts, e)
+			offs = append(offs, b.rawOffs[i])
+		}
+	} else {
+		b.m.Foreach(func(ext block.Extent, t extmap.Target) bool {
+			exts = append(exts, journal.ExtentEntry{LBA: ext.LBA, Sectors: ext.Sectors, SrcSeq: uint64(seq)})
+			offs = append(offs, t.Off.Bytes())
+			return true
+		})
+	}
+	obj, info, mapped, err := s.buildObject(seq, journal.TypeData, b.maxWrite, exts, offs, b.buf)
+	if err != nil {
+		return err
+	}
+	inf := &inflightObj{
+		seq: seq, obj: obj, info: info, mapped: mapped, trims: b.trims,
+		coalesced: b.coalesced, maxWrite: b.maxWrite, fill: b.fill,
+	}
+	s.inflight = append(s.inflight, inf)
+	s.inflightBytes += b.fill
+	s.batch = newBatch(s.cfg.BatchBytes, s.cfg.NoCoalesce)
+	s.nextSeq++
+	s.startUploadLocked(inf)
+	return nil
+}
+
+// reserveUploadSlotLocked waits until the in-flight list has room for
+// another object (2x UploadDepth, so uploads stay saturated while
+// commits lag), resubmitting failed uploads so a stuck front cannot
+// wedge the pipeline.
+func (s *Store) reserveUploadSlotLocked() error {
+	maxInflight := 2 * s.cfg.UploadDepth
+	for len(s.inflight) >= maxInflight {
+		if front := s.inflight[0]; front.done && front.err != nil {
+			if front.attempts >= maxUploadAttempts {
+				return fmt.Errorf("blockstore: object %d upload failed after %d attempts: %w", front.seq, front.attempts, front.err)
+			}
+			s.resubmitFailedLocked()
+		}
+		s.commitCond.Wait()
+	}
+	return nil
+}
+
+// startUploadLocked issues (or reissues) the PUT for inf on a fresh
+// goroutine, bounded by the upload semaphore. The semaphore is acquired
+// inside the goroutine so the caller never blocks holding s.mu.
+func (s *Store) startUploadLocked(inf *inflightObj) {
+	inf.done, inf.err = false, nil
+	inf.attempts++
+	if inf.attempts > 1 {
+		s.stats.uploadRetries++
+	}
+	name := objName(s.cfg.Volume, inf.seq)
+	go func() {
+		s.uploadSem <- struct{}{}
+		err := s.cfg.Store.Put(s.ctx, name, inf.obj)
+		<-s.uploadSem
+		s.mu.Lock()
+		inf.done, inf.err = true, err
+		if err == nil {
+			s.commitReadyLocked()
+		}
+		s.commitCond.Broadcast()
+		s.mu.Unlock()
+	}()
+}
+
+// commitReadyLocked applies, strictly in sequence order, every
+// successfully uploaded object at the front of the in-flight list:
+// map installation, accounting, durable watermark (and the OnDestage
+// callback that unlocks write-cache eviction), then the post-seal GC
+// trigger. Called with s.mu held from the upload completion path.
+func (s *Store) commitReadyLocked() {
+	for len(s.inflight) > 0 {
+		inf := s.inflight[0]
+		if !inf.done || inf.err != nil {
+			return
+		}
+		s.inflight = s.inflight[1:]
+		s.inflightBytes -= inf.fill
+		s.stats.bytesPut += uint64(len(inf.obj))
+		s.stats.bytesCoalesced += inf.coalesced
+		s.installObject(inf.info, inf.mapped, inf.trims)
+		if inf.maxWrite > s.durableWriteSeq {
+			s.durableWriteSeq = inf.maxWrite
+			if s.cfg.OnDestage != nil {
+				s.cfg.OnDestage(s.durableWriteSeq)
+			}
+		}
+		s.sinceCkpt++
+		if !s.aborting && s.cfg.GCLowWater > 0 && s.utilizationLocked() < s.cfg.GCLowWater {
+			if err := s.gcLocked(); err != nil && s.asyncErr == nil {
+				s.asyncErr = err
+			}
+		}
+	}
+}
+
+// resubmitFailedLocked reissues every failed upload.
+func (s *Store) resubmitFailedLocked() {
+	for _, inf := range s.inflight {
+		if inf.done && inf.err != nil {
+			s.startUploadLocked(inf)
+		}
+	}
+}
+
+// waitInflightLocked blocks until the in-flight list drains (every
+// object committed), resubmitting failures up to maxUploadAttempts.
+// On persistent failure the object stays in the list so a later fence
+// can retry it; the error is returned to the caller.
+func (s *Store) waitInflightLocked() error {
+	for len(s.inflight) > 0 {
+		if front := s.inflight[0]; front.done && front.err != nil {
+			if front.attempts >= maxUploadAttempts {
+				return fmt.Errorf("blockstore: object %d upload failed after %d attempts: %w", front.seq, front.attempts, front.err)
+			}
+			s.resubmitFailedLocked()
+		}
+		s.commitCond.Wait()
+	}
+	if err := s.asyncErr; err != nil {
+		s.asyncErr = nil
+		return err
+	}
+	return nil
+}
+
+// sealAndWaitLocked is the synchronous fence: seal the pending batch
+// and wait for every in-flight object to commit. Failed uploads get a
+// fresh attempt budget. In synchronous mode it is exactly sealLocked.
+func (s *Store) sealAndWaitLocked() error {
+	if s.cfg.UploadDepth <= 0 {
+		return s.sealLocked()
+	}
+	for _, inf := range s.inflight {
+		if inf.done && inf.err != nil {
+			inf.attempts = 0
+		}
+	}
+	s.resubmitFailedLocked()
+	if err := s.sealAsyncLocked(); err != nil {
+		return err
+	}
+	return s.waitInflightLocked()
+}
+
+// Abort quiesces the pipeline without committing: no new uploads start
+// (the store becomes read-only) and Abort returns only once every
+// issued PUT has finished, so the backend stops changing. It models
+// process death for crash testing — queued batches are dropped, and
+// objects that did land out of order are exactly the stranded uploads
+// recovery's gap rule cleans up.
+func (s *Store) Abort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aborting = true
+	s.readOnly = true
+	for {
+		busy := false
+		for _, inf := range s.inflight {
+			if !inf.done {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		s.commitCond.Wait()
+	}
+}

@@ -17,6 +17,7 @@ package cluster
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"time"
 
 	"lsvd/internal/block"
@@ -72,8 +73,11 @@ func SSDConfig1() Config {
 	}
 }
 
-// Pool is a simulated storage pool.
+// Pool is a simulated storage pool. Its methods are safe for
+// concurrent use: the asynchronous destage pipeline issues object PUTs
+// from multiple goroutines, all of which meter through here.
 type Pool struct {
+	mu    sync.Mutex
 	cfg   Config
 	disks []*iomodel.Meter
 	// heads tracks a crude per-disk log head so that object-chunk
@@ -158,6 +162,8 @@ func (p *Pool) diskRead(d int, size int64) {
 // object of the given size under the placement key: k+m chunk writes
 // of size/k (parity included) plus the configured metadata writes.
 func (p *Pool) PutObject(key string, size int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	k, m := p.cfg.ECData, p.cfg.ECParity
 	chunk := (size + int64(k) - 1) / int64(k)
 	targets := p.pick(key, k+m)
@@ -177,6 +183,8 @@ func (p *Pool) PutObject(key string, size int64) {
 
 // DeleteObject records the (cheap) metadata I/O of removing an object.
 func (p *Pool) DeleteObject(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, d := range p.pick(key, 1) {
 		p.diskWrite(d, int64(p.cfg.MetaWriteBytes), false)
 	}
@@ -185,6 +193,8 @@ func (p *Pool) DeleteObject(key string) {
 // ReadObjectRange records device reads for a range GET against an
 // erasure-coded object: one read per data chunk the range touches.
 func (p *Pool) ReadObjectRange(key string, objSize, off, length int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	k := p.cfg.ECData
 	chunk := (objSize + int64(k) - 1) / int64(k)
 	if chunk <= 0 {
@@ -205,6 +215,8 @@ func (p *Pool) ReadObjectRange(key string, objSize, off, length int64) {
 // write plus a write-ahead-log entry. The WAL is a journal — appends
 // are sequential at the device — while the data write seeks.
 func (p *Pool) WriteReplicated(key string, size int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	targets := p.pick(key, p.cfg.Replicas)
 	for _, d := range targets {
 		p.diskWrite(d, size, false)
@@ -215,11 +227,15 @@ func (p *Pool) WriteReplicated(key string, size int64) {
 // ReadReplicated records the device I/O of a replicated read: one read
 // at the primary.
 func (p *Pool) ReadReplicated(key string, size int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.diskRead(p.pick(key, 1)[0], size)
 }
 
 // Totals sums the counters over all devices.
 func (p *Pool) Totals() iomodel.Counters {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var c iomodel.Counters
 	for _, d := range p.disks {
 		c = c.Add(d.Snapshot())
@@ -231,6 +247,8 @@ func (p *Pool) Totals() iomodel.Counters {
 // that took elapsed: per-device busy time is the IOPS/bandwidth-bound
 // model time (latency hidden by queueing).
 func (p *Pool) Utilization(elapsed time.Duration) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if elapsed <= 0 || len(p.disks) == 0 {
 		return 0
 	}
@@ -249,6 +267,8 @@ func (p *Pool) Utilization(elapsed time.Duration) float64 {
 // MaxBusy returns the largest modeled busy time over all devices — the
 // pool-side bound on a run's elapsed time.
 func (p *Pool) MaxBusy() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var m time.Duration
 	for _, d := range p.disks {
 		if b := iomodel.Elapsed(d.Params(), d.Snapshot(), 1<<20); b > m {
@@ -260,6 +280,8 @@ func (p *Pool) MaxBusy() time.Duration {
 
 // WriteSizes merges the per-device write-size histograms (Fig 14).
 func (p *Pool) WriteSizes() *iomodel.SizeHistogram {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	h := iomodel.NewSizeHistogram()
 	for _, d := range p.disks {
 		h.Merge(d.WriteSizes())
@@ -269,6 +291,8 @@ func (p *Pool) WriteSizes() *iomodel.SizeHistogram {
 
 // Reset zeroes all device meters.
 func (p *Pool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for i, d := range p.disks {
 		d.Reset()
 		p.heads[i] = 0

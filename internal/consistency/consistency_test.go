@@ -128,7 +128,9 @@ func TestLSVDCrashIsMountable(t *testing.T) {
 			_ = w.Barrier()
 		}
 	}
-	// Crash with TOTAL cache loss (worst case, §3.4).
+	// Crash with TOTAL cache loss (worst case, §3.4). Kill the old
+	// stack's destage pipeline as the crash would.
+	disk.Kill()
 	opts.CacheDev = simdev.NewMem(128 * block.MiB)
 	disk2, err := core.Open(ctx, opts)
 	if err != nil {
@@ -165,6 +167,7 @@ func TestLSVDCrashWithCacheKeepsCommitted(t *testing.T) {
 	for i := 0; i < 50; i++ { // uncommitted tail
 		_ = w.Write(rng.Int63n(1000), 1)
 	}
+	disk.Kill()
 	cache.Crash(1.0, rand.New(rand.NewSource(9)))
 	disk2, err := core.Open(ctx, opts)
 	if err != nil {

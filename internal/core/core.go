@@ -5,11 +5,12 @@
 // plus discard, and the crash-recovery orchestration of §3.3:
 //
 //   - Writes are logged to the cache SSD (acknowledged on log write),
-//     then forwarded to the block store, which batches them into
-//     numbered immutable objects.
+//     then handed to a background destage pipeline that batches them
+//     into numbered immutable objects and uploads those concurrently.
 //   - Reads consult the write cache, then the read cache, then the
 //     backend; backend misses prefetch temporally adjacent data into
-//     the read cache.
+//     the read cache. Reads run concurrently with each other and with
+//     destage.
 //   - A commit barrier is one cache-device flush.
 //   - On open after a crash, the cache log is rewound to the last
 //     backend object and the tail replayed, bringing the backend up to
@@ -23,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"lsvd/internal/block"
 	"lsvd/internal/blockstore"
@@ -73,6 +75,20 @@ type Options struct {
 	// DisableGCCacheFetch stops the GC from reading live data out of
 	// the local write cache (ablation for §3.5's optimization).
 	DisableGCCacheFetch bool
+
+	// UploadDepth is the number of concurrent backend object PUTs the
+	// destage pipeline keeps in flight. Default 4. Map commit stays
+	// strictly in sequence order regardless.
+	UploadDepth int
+	// DestageQueueDepth is the capacity of the in-memory destage queue
+	// between WriteAt and the destager goroutine; a full queue blocks
+	// the writer (§3.2 backpressure). Default 256 requests.
+	DestageQueueDepth int
+	// SyncDestage disables the background pipeline: WriteAt forwards
+	// to the block store inline and uploads happen synchronously, as
+	// in the original prototype semantics. Used as the baseline in
+	// benchmarks and ablations.
+	SyncDestage bool
 }
 
 func (o *Options) setDefaults() {
@@ -94,6 +110,12 @@ func (o *Options) setDefaults() {
 	if o.PrefetchSectors == 0 {
 		o.PrefetchSectors = 256
 	}
+	if o.UploadDepth <= 0 {
+		o.UploadDepth = 4
+	}
+	if o.DestageQueueDepth <= 0 {
+		o.DestageQueueDepth = 256
+	}
 }
 
 // Stats aggregates counters from all three layers.
@@ -107,17 +129,43 @@ type Stats struct {
 	PrefetchedSectors             uint64
 	WriteSeq                      uint64
 	RecoveredReplayed             int // cache records replayed to backend at open
+	DestageQueued                 int // requests waiting in the destage queue
 
 	WriteCache writecache.Stats
 	ReadCache  readcache.Stats
 	Backend    blockstore.Stats
 }
 
-// Disk is an LSVD virtual disk. Operations are serialized by a single
-// mutex, which matches the prototype's per-volume ordering semantics
-// and keeps the write log strictly ordered.
+// counters holds the core's own statistics; every field is updated
+// atomically so the read path stays lock-free.
+type counters struct {
+	writes, reads, flushes, trims atomic.Uint64
+	bytesWritten, bytesRead       atomic.Uint64
+	wcHitSectors, rcHitSectors    atomic.Uint64
+	backendReadSectors            atomic.Uint64
+	zeroFillSectors               atomic.Uint64
+	prefetchedSectors             atomic.Uint64
+}
+
+// destageReq is one unit of work for the destager goroutine: a logged
+// write or trim to forward to the block store, or a flush marker
+// (non-nil reply channel) that seals and fences the pipeline.
+type destageReq struct {
+	ws    uint64
+	ext   block.Extent
+	data  []byte // nil for trims
+	trim  bool
+	flush chan error
+}
+
+// Disk is an LSVD virtual disk. Mutations (write/trim) are ordered by
+// a single write mutex — the write log must stay strictly ordered —
+// but return as soon as the cache log append and queue handoff are
+// done; destage to the backend happens on a background goroutine.
+// Reads take no disk-level lock at all: each cache layer and the block
+// store guard their own state, and the combined lookup+read methods
+// make each level's snapshot internally consistent.
 type Disk struct {
-	mu   sync.Mutex
 	opts Options
 
 	wc *writecache.Cache
@@ -125,14 +173,33 @@ type Disk struct {
 	bs *blockstore.Store
 
 	volSectors block.LBA
-	writeSeq   uint64
 	readOnly   bool
 
-	stats Stats
+	wmu      sync.Mutex // orders mutations; guards closed and queue handoff
+	closed   bool
+	writeSeq atomic.Uint64
+
+	// Destage pipeline (nil channels when SyncDestage or read-only).
+	ch   chan destageReq
+	quit chan struct{} // closed by Kill: drop the queue, stop now
+	done chan struct{} // closed when the destager exits
+	perr atomic.Pointer[error]
+
+	// rcGen is bumped by every write/trim before it invalidates the
+	// read cache. A backend reader records the epoch before fetching
+	// and self-invalidates its inserts if it changed, so a stale fetch
+	// can never linger in the read cache past a concurrent overwrite.
+	rcGen atomic.Uint64
+
+	c                 counters
+	recoveredReplayed int
 }
 
 // ErrReadOnly is returned for mutations on snapshot mounts.
 var ErrReadOnly = blockstore.ErrReadOnly
+
+// ErrClosed is returned for operations on a closed (or killed) disk.
+var ErrClosed = errors.New("core: disk is closed")
 
 var _ vdisk.Disk = (*Disk)(nil)
 
@@ -157,6 +224,7 @@ func Create(ctx context.Context, opts Options) (*Disk, error) {
 	if d.bs, err = blockstore.Create(ctx, d.storeConfig()); err != nil {
 		return nil, err
 	}
+	d.startPipeline()
 	return d, nil
 }
 
@@ -234,12 +302,14 @@ func Open(ctx context.Context, opts Options) (*Disk, error) {
 			return nil, err
 		}
 	}
-	d.stats.RecoveredReplayed = replayed
+	d.recoveredReplayed = replayed
 	d.wc.SetDestaged(d.bs.DurableWriteSeq())
-	d.writeSeq = d.bs.DurableWriteSeq()
-	if ws := d.wc.MaxWriteSeq(); ws > d.writeSeq {
-		d.writeSeq = ws
+	ws := d.bs.DurableWriteSeq()
+	if m := d.wc.MaxWriteSeq(); m > ws {
+		ws = m
 	}
+	d.writeSeq.Store(ws)
+	d.startPipeline()
 	return d, nil
 }
 
@@ -267,7 +337,7 @@ func OpenSnapshot(ctx context.Context, opts Options, snapshot string) (*Disk, er
 		return nil, err
 	}
 	d.volSectors = d.bs.VolSectors()
-	d.writeSeq = d.bs.DurableWriteSeq()
+	d.writeSeq.Store(d.bs.DurableWriteSeq())
 	return d, nil
 }
 
@@ -296,29 +366,87 @@ func (d *Disk) storeConfig() blockstore.Config {
 		CheckpointEvery: d.opts.CheckpointEvery,
 		OnDestage:       func(ws uint64) { d.wc.SetDestaged(ws) },
 	}
+	if !d.opts.SyncDestage && !d.readOnly {
+		cfg.UploadDepth = d.opts.UploadDepth
+	}
 	if !d.opts.DisableGCCacheFetch {
-		cfg.FetchFromCache = d.gcFetch
+		cfg.FetchFromCache = d.fetchFromWriteCache
 	}
 	return cfg
 }
 
-// gcFetch serves garbage-collection reads from the local write cache
-// when the data is resident (§3.5). It is called with the block store
-// lock held; it only touches the write cache, which has its own lock.
-func (d *Disk) gcFetch(ext block.Extent, buf []byte) bool {
-	runs := d.wc.Lookup(ext)
-	for _, run := range runs {
-		if !run.Present {
-			return false
+// startPipeline launches the destager goroutine; no-op for synchronous
+// or read-only disks.
+func (d *Disk) startPipeline() {
+	if d.readOnly || d.opts.SyncDestage {
+		return
+	}
+	d.ch = make(chan destageReq, d.opts.DestageQueueDepth)
+	d.quit = make(chan struct{})
+	d.done = make(chan struct{})
+	go d.destage()
+}
+
+// destage drains the queue into the block store. On Kill (quit closed)
+// it returns immediately, dropping whatever is still queued — those
+// writes live on in the cache log and are replayed at the next Open.
+func (d *Disk) destage() {
+	defer close(d.done)
+	for {
+		select {
+		case <-d.quit:
+			return
+		case req, ok := <-d.ch:
+			if !ok {
+				return
+			}
+			if req.flush != nil {
+				req.flush <- d.bs.Seal()
+				continue
+			}
+			var err error
+			if req.trim {
+				err = d.bs.Trim(req.ws, req.ext)
+			} else {
+				err = d.bs.Append(req.ws, req.ext, req.data)
+			}
+			if err != nil {
+				d.failPipeline(err)
+			}
 		}
 	}
-	for _, run := range runs {
-		off := (run.LBA - ext.LBA).Bytes()
-		if err := d.wc.ReadAt(run.Target, buf[off:off+run.Bytes()]); err != nil {
-			return false
-		}
+}
+
+// failPipeline records the first destage failure; it is surfaced to
+// the client on the next mutation or fence.
+func (d *Disk) failPipeline(err error) {
+	d.perr.CompareAndSwap(nil, &err)
+}
+
+func (d *Disk) pipelineErr() error {
+	if p := d.perr.Load(); p != nil {
+		return *p
 	}
-	return true
+	return nil
+}
+
+// enqueue hands a request to the destager, blocking while the queue is
+// full (backpressure). Kill unblocks it.
+func (d *Disk) enqueue(req destageReq) error {
+	select {
+	case d.ch <- req:
+		return nil
+	case <-d.quit:
+		return ErrClosed
+	}
+}
+
+// fetchFromWriteCache serves destage (GC, §3.5) and SSD-readback
+// (§3.7) reads from the write cache when the data is fully resident.
+// It is called with the block store lock held; it only touches the
+// write cache, which has its own lock.
+func (d *Disk) fetchFromWriteCache(ext block.Extent, buf []byte) bool {
+	return d.wc.ReadFull(ext, buf)
 }
 
 // Size returns the disk size in bytes.
@@ -336,7 +464,8 @@ func (d *Disk) checkIO(p []byte, off int64) (block.Extent, error) {
 }
 
 // WriteAt implements vdisk.Disk: the write is persisted to the cache
-// log (acknowledged) and forwarded to the block store batch (§3.2).
+// log (acknowledged) and queued for background destage (§3.2). It does
+// not wait for the backend.
 func (d *Disk) WriteAt(p []byte, off int64) error {
 	ext, err := d.checkIO(p, off)
 	if err != nil {
@@ -345,75 +474,102 @@ func (d *Disk) WriteAt(p []byte, off int64) error {
 	if ext.Empty() {
 		return nil
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	if err := d.pipelineErr(); err != nil {
+		return err
+	}
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
 	if d.readOnly {
 		return ErrReadOnly
 	}
-	d.writeSeq++
-	ws := d.writeSeq
+	if d.closed {
+		return ErrClosed
+	}
+	ws := d.writeSeq.Add(1)
 
-	if err := d.appendWithBackpressure(ws, ext, p); err != nil {
+	if err := d.logWithBackpressure(ws, ext, p, false); err != nil {
 		return err
 	}
-	// Drop any stale read-cache copy (write-after-read hazard).
+	// Drop any stale read-cache copy (write-after-read hazard), and
+	// bump the epoch so an in-flight backend fetch self-invalidates.
+	d.rcGen.Add(1)
 	d.rc.Invalidate(ext)
 
-	// Forward to the block store. The prototype's destage path reads
-	// the data back off the SSD (§3.7/Table 6); the in-memory handoff
-	// models the userspace rewrite.
+	// Hand off to the destager. The prototype's destage path reads the
+	// data back off the SSD (§3.7/Table 6); the in-memory handoff
+	// models the userspace rewrite (and must copy, since the caller
+	// owns p after we return).
 	src := p
 	if d.opts.ReadbackThroughSSD {
 		src = make([]byte, len(p))
-		if !d.readFromWriteCache(ext, src) {
-			src = p // should not happen; fall back to the caller's copy
+		if !d.wc.ReadFull(ext, src) {
+			copy(src, p) // should not happen; fall back to the caller's copy
 		}
+	} else if !d.opts.SyncDestage {
+		src = append(make([]byte, 0, len(p)), p...)
 	}
-	if err := d.bs.Append(ws, ext, src); err != nil {
+	if d.opts.SyncDestage {
+		if err := d.bs.Append(ws, ext, src); err != nil {
+			return err
+		}
+	} else if err := d.enqueue(destageReq{ws: ws, ext: ext, data: src}); err != nil {
 		return err
 	}
-	d.stats.Writes++
-	d.stats.BytesWritten += uint64(len(p))
+	d.c.writes.Add(1)
+	d.c.bytesWritten.Add(uint64(len(p)))
 	return nil
 }
 
-// appendWithBackpressure logs the write, sealing the backend batch to
-// free reclaimable cache space when the ring is full of un-destaged
-// records.
-func (d *Disk) appendWithBackpressure(ws uint64, ext block.Extent, p []byte) error {
+// logWithBackpressure persists one mutation record to the cache log.
+// When the ring is full of un-destaged records it fences the destage
+// pipeline — making everything logged so far durable remotely, which
+// unlocks FIFO eviction — and retries: §3.2's "no writes accepted
+// until cache space is freed". Write and trim share this policy.
+func (d *Disk) logWithBackpressure(ws uint64, ext block.Extent, p []byte, trim bool) error {
 	for attempt := 0; ; attempt++ {
-		err := d.wc.Append(ws, ext, p)
+		var err error
+		if trim {
+			err = d.wc.AppendTrim(ws, ext)
+		} else {
+			err = d.wc.Append(ws, ext, p)
+		}
 		if err == nil {
 			return nil
 		}
 		if !errors.Is(err, writecache.ErrFull) || attempt >= 2 {
 			return err
 		}
-		// Destage everything batched so far, then retry.
-		if err := d.bs.Seal(); err != nil {
+		if err := d.drainLocked(); err != nil {
 			return err
 		}
 	}
 }
 
-func (d *Disk) readFromWriteCache(ext block.Extent, buf []byte) bool {
-	runs := d.wc.Lookup(ext)
-	for _, run := range runs {
-		if !run.Present {
-			return false
-		}
+// drainLocked (wmu held) makes every queued and batched write durable
+// in the backend: it pushes a flush marker through the destage queue
+// and waits for the destager's Seal — which itself fences the upload
+// pool — to complete.
+func (d *Disk) drainLocked() error {
+	if d.ch == nil {
+		return d.bs.Seal()
 	}
-	for _, run := range runs {
-		off := (run.LBA - ext.LBA).Bytes()
-		if err := d.wc.ReadAt(run.Target, buf[off:off+run.Bytes()]); err != nil {
-			return false
-		}
+	fl := make(chan error, 1)
+	if err := d.enqueue(destageReq{flush: fl}); err != nil {
+		return err
 	}
-	return true
+	select {
+	case err := <-fl:
+		return err
+	case <-d.quit:
+		return ErrClosed
+	}
 }
 
 // ReadAt implements vdisk.Disk: write cache, then read cache, then
-// backend (Fig 1), zero-filling uninitialized ranges.
+// backend (Fig 1), zero-filling uninitialized ranges. Reads take no
+// disk-level lock and proceed concurrently with writes, destage and
+// each other; a read that races a write to the same blocks may return
+// either version, as on a physical disk.
 func (d *Disk) ReadAt(p []byte, off int64) error {
 	ext, err := d.checkIO(p, off)
 	if err != nil {
@@ -422,20 +578,18 @@ func (d *Disk) ReadAt(p []byte, off int64) error {
 	if ext.Empty() {
 		return nil
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats.Reads++
-	d.stats.BytesRead += uint64(len(p))
+	d.c.reads.Add(1)
+	d.c.bytesRead.Add(uint64(len(p)))
 
 	// (1) Write cache.
+	wcRuns, err := d.wc.ReadExtent(ext, p)
+	if err != nil {
+		return err
+	}
 	var missesWC []block.Extent
-	for _, run := range d.wc.Lookup(ext) {
-		sub := p[(run.LBA - ext.LBA).Bytes():][:run.Bytes()]
+	for _, run := range wcRuns {
 		if run.Present {
-			if err := d.wc.ReadAt(run.Target, sub); err != nil {
-				return err
-			}
-			d.stats.WriteCacheHitSectors += uint64(run.Sectors)
+			d.c.wcHitSectors.Add(uint64(run.Sectors))
 		} else {
 			missesWC = append(missesWC, run.Extent)
 		}
@@ -443,13 +597,14 @@ func (d *Disk) ReadAt(p []byte, off int64) error {
 	// (2) Read cache.
 	var missesRC []block.Extent
 	for _, miss := range missesWC {
-		for _, run := range d.rc.Lookup(miss) {
-			sub := p[(run.LBA - ext.LBA).Bytes():][:run.Bytes()]
+		sub := p[(miss.LBA - ext.LBA).Bytes():][:miss.Bytes()]
+		rcRuns, err := d.rc.ReadExtent(miss, sub)
+		if err != nil {
+			return err
+		}
+		for _, run := range rcRuns {
 			if run.Present {
-				if err := d.rc.ReadAt(run.Target, sub); err != nil {
-					return err
-				}
-				d.stats.ReadCacheHitSectors += uint64(run.Sectors)
+				d.c.rcHitSectors.Add(uint64(run.Sectors))
 			} else {
 				missesRC = append(missesRC, run.Extent)
 			}
@@ -457,32 +612,65 @@ func (d *Disk) ReadAt(p []byte, off int64) error {
 	}
 	// (3) Block store, with temporal prefetch into the read cache.
 	for _, miss := range missesRC {
-		for _, run := range d.bs.Lookup(miss) {
-			sub := p[(run.LBA - ext.LBA).Bytes():][:run.Bytes()]
-			if !run.Present {
-				clear(sub)
-				d.stats.ZeroFillSectors += uint64(run.Sectors)
-				continue
-			}
-			data, extras, err := d.bs.FetchRun(run, d.opts.PrefetchSectors)
-			if err != nil {
+		if err := d.readBackend(ext, miss, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBackend serves one read-cache miss from the block store. A
+// concurrent GC can delete an object between the map lookup and the
+// range GET; the map has by then moved on to the relocated copy, so
+// the read is simply retried.
+func (d *Disk) readBackend(ext, miss block.Extent, p []byte) error {
+	const maxRetries = 3
+	for attempt := 0; ; attempt++ {
+		err := d.tryReadBackend(ext, miss, p)
+		if err == nil || !errors.Is(err, objstore.ErrNotFound) || attempt >= maxRetries {
+			return err
+		}
+	}
+}
+
+func (d *Disk) tryReadBackend(ext, miss block.Extent, p []byte) error {
+	epoch := d.rcGen.Load()
+	for _, run := range d.bs.Lookup(miss) {
+		sub := p[(run.LBA - ext.LBA).Bytes():][:run.Bytes()]
+		if !run.Present {
+			clear(sub)
+			d.c.zeroFillSectors.Add(uint64(run.Sectors))
+			continue
+		}
+		data, extras, err := d.bs.FetchRun(run, d.opts.PrefetchSectors)
+		if err != nil {
+			return err
+		}
+		copy(sub, data)
+		d.c.backendReadSectors.Add(uint64(run.Sectors))
+		if err := d.rc.Insert(run.Extent, data); err != nil {
+			return err
+		}
+		inserted := append(make([]block.Extent, 0, 1+len(extras)), run.Extent)
+		for _, ex := range extras {
+			// Never let prefetched (older) data shadow the write
+			// cache: it is inserted only into the read cache,
+			// which the write cache precedes on lookup; but we
+			// must not overwrite newer read-cache content either,
+			// so only insert ranges the read cache doesn't have.
+			if err := d.insertIfAbsent(ex.Ext, ex.Data); err != nil {
 				return err
 			}
-			copy(sub, data)
-			d.stats.BackendReadSectors += uint64(run.Sectors)
-			if err := d.rc.Insert(run.Extent, data); err != nil {
-				return err
-			}
-			for _, ex := range extras {
-				// Never let prefetched (older) data shadow the write
-				// cache: it is inserted only into the read cache,
-				// which the write cache precedes on lookup; but we
-				// must not overwrite newer read-cache content either,
-				// so only insert ranges the read cache doesn't have.
-				if err := d.insertIfAbsent(ex.Ext, ex.Data); err != nil {
-					return err
-				}
-				d.stats.PrefetchedSectors += uint64(ex.Ext.Sectors)
+			d.c.prefetchedSectors.Add(uint64(ex.Ext.Sectors))
+			inserted = append(inserted, ex.Ext)
+		}
+		// If a write or trim landed while we were fetching, what we
+		// just inserted may already be stale — the writer's
+		// Invalidate could have run before our Insert. Drop it; the
+		// authoritative copy is in the write cache / newer log.
+		if d.rcGen.Load() != epoch {
+			for _, ie := range inserted {
+				d.rc.Invalidate(ie)
 			}
 		}
 	}
@@ -503,11 +691,14 @@ func (d *Disk) insertIfAbsent(ext block.Extent, data []byte) error {
 }
 
 // Flush implements the commit barrier: one flush of the cache device
-// (§3.2); no map metadata is written.
+// (§3.2); no map metadata is written and the destage pipeline is not
+// drained — durability of acknowledged writes comes from the cache
+// log plus replay-on-open.
 func (d *Disk) Flush() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats.Flushes++
+	if err := d.pipelineErr(); err != nil {
+		return err
+	}
+	d.c.flushes.Add(1)
 	return d.wc.Flush()
 }
 
@@ -525,45 +716,62 @@ func (d *Disk) Trim(off, length int64) error {
 		return fmt.Errorf("core: trim beyond end of disk")
 	}
 	ext := block.Extent{LBA: lba, Sectors: uint32(n)}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	if err := d.pipelineErr(); err != nil {
+		return err
+	}
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
 	if d.readOnly {
 		return ErrReadOnly
 	}
-	d.writeSeq++
-	ws := d.writeSeq
-	if err := d.wc.AppendTrim(ws, ext); err != nil {
-		if !errors.Is(err, writecache.ErrFull) {
-			return err
-		}
-		if err := d.bs.Seal(); err != nil {
-			return err
-		}
-		if err := d.wc.AppendTrim(ws, ext); err != nil {
-			return err
-		}
+	if d.closed {
+		return ErrClosed
 	}
-	d.rc.Invalidate(ext)
-	if err := d.bs.Trim(ws, ext); err != nil {
+	ws := d.writeSeq.Add(1)
+	if err := d.logWithBackpressure(ws, ext, nil, true); err != nil {
 		return err
 	}
-	d.stats.Trims++
+	d.rcGen.Add(1)
+	d.rc.Invalidate(ext)
+	if d.opts.SyncDestage {
+		if err := d.bs.Trim(ws, ext); err != nil {
+			return err
+		}
+	} else if err := d.enqueue(destageReq{ws: ws, ext: ext, trim: true}); err != nil {
+		return err
+	}
+	d.c.trims.Add(1)
 	return nil
 }
 
-// Drain seals the pending backend batch, making every acknowledged
-// write durable remotely; cache and backend are synchronized when it
-// returns (used before VM migration, §4.3/§4.4).
+// Drain fences the destage pipeline: queue drained, batch sealed,
+// every upload committed. All acknowledged writes are durable remotely
+// when it returns; cache and backend are synchronized (used before VM
+// migration, §4.3/§4.4).
 func (d *Disk) Drain() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.bs.Seal()
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.readOnly {
+		return d.bs.Seal()
+	}
+	return d.drainLocked()
 }
 
 // Checkpoint forces map checkpoints in both logs.
 func (d *Disk) Checkpoint() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if !d.readOnly {
+		if err := d.drainLocked(); err != nil {
+			return err
+		}
+	}
 	if err := d.bs.Checkpoint(); err != nil {
 		return err
 	}
@@ -572,10 +780,34 @@ func (d *Disk) Checkpoint() error {
 
 // Close drains, checkpoints and persists all metadata.
 func (d *Disk) Close() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
 	if d.readOnly {
 		return d.rc.Persist()
+	}
+	var derr error
+	if d.ch != nil {
+		fl := make(chan error, 1)
+		if err := d.enqueue(destageReq{flush: fl}); err != nil {
+			derr = err
+		} else {
+			select {
+			case derr = <-fl:
+			case <-d.quit:
+				derr = ErrClosed
+			}
+		}
+		// No writer can be mid-send: sends happen under wmu with the
+		// closed flag checked, so closing the channel here is safe.
+		close(d.ch)
+		<-d.done
+	}
+	if derr != nil {
+		return derr
 	}
 	if err := d.bs.Seal(); err != nil {
 		return err
@@ -589,40 +821,75 @@ func (d *Disk) Close() error {
 	return d.rc.Persist()
 }
 
-// Snapshot creates a named snapshot (§3.6).
+// Kill models process death for crash testing: the destage pipeline
+// stops without flushing — queued writes are dropped (they remain in
+// the cache log and are replayed at the next Open) — and in-flight
+// uploads are quiesced so the backend stops changing. The disk is
+// unusable afterwards; recover with Open.
+func (d *Disk) Kill() {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	if d.quit != nil {
+		close(d.quit)
+		<-d.done
+	}
+	d.bs.Abort()
+}
+
+// Snapshot creates a named snapshot (§3.6) after fencing the pipeline
+// so the snapshot covers every acknowledged write.
 func (d *Disk) Snapshot(name string) (blockstore.SnapshotInfo, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if d.closed {
+		return blockstore.SnapshotInfo{}, ErrClosed
+	}
+	if !d.readOnly {
+		if err := d.drainLocked(); err != nil {
+			return blockstore.SnapshotInfo{}, err
+		}
+	}
 	return d.bs.CreateSnapshot(name)
 }
 
 // DeleteSnapshot removes a snapshot.
 func (d *Disk) DeleteSnapshot(name string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.bs.DeleteSnapshot(name)
 }
 
 // Snapshots lists snapshots.
 func (d *Disk) Snapshots() []blockstore.SnapshotInfo {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.bs.Snapshots()
 }
 
-// RunGC triggers a garbage-collection pass.
+// RunGC triggers a garbage-collection pass. It runs under the block
+// store's own lock and may proceed concurrently with reads and with
+// the foreground write path.
 func (d *Disk) RunGC() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.bs.RunGC()
 }
 
 // Stats returns a snapshot of all counters.
 func (d *Disk) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	st := d.stats
-	st.WriteSeq = d.writeSeq
+	st := Stats{
+		Writes: d.c.writes.Load(), Reads: d.c.reads.Load(),
+		Flushes: d.c.flushes.Load(), Trims: d.c.trims.Load(),
+		BytesWritten: d.c.bytesWritten.Load(), BytesRead: d.c.bytesRead.Load(),
+		WriteCacheHitSectors: d.c.wcHitSectors.Load(),
+		ReadCacheHitSectors:  d.c.rcHitSectors.Load(),
+		BackendReadSectors:   d.c.backendReadSectors.Load(),
+		ZeroFillSectors:      d.c.zeroFillSectors.Load(),
+		PrefetchedSectors:    d.c.prefetchedSectors.Load(),
+		WriteSeq:             d.writeSeq.Load(),
+		RecoveredReplayed:    d.recoveredReplayed,
+	}
+	if d.ch != nil {
+		st.DestageQueued = len(d.ch)
+	}
 	st.WriteCache = d.wc.Stats()
 	st.ReadCache = d.rc.Stats()
 	st.Backend = d.bs.Stats()

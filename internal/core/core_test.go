@@ -47,6 +47,9 @@ func newHarness(t *testing.T, mutate func(*Options)) *harness {
 
 func (h *harness) reopen(t *testing.T) {
 	t.Helper()
+	// Stop the old disk's destage pipeline as a crash would (no-op
+	// after a clean Close) so it cannot race the reopened volume.
+	h.disk.Kill()
 	d, err := Open(ctx, h.opts)
 	if err != nil {
 		t.Fatal(err)
@@ -230,6 +233,8 @@ func TestCrashRecoveryPreservesCommittedWrites(t *testing.T) {
 	// Crash: lose unflushed device state (committed survives), no
 	// clean close — backend never saw these writes (batch 1 MiB, 160 K
 	// written... some may have sealed; recovery replays the rest).
+	// Kill first so the destage pipeline stops at the crash point.
+	h.disk.Kill()
 	h.cache.Crash(1.0, rand.New(rand.NewSource(1)))
 	h.reopen(t)
 	if h.disk.Stats().RecoveredReplayed == 0 && h.disk.Backend().Stats().DurableWriteSeq < 10 {

@@ -60,9 +60,13 @@ func Ablations(ctx context.Context, e Env) (*Table, error) {
 				return nil, err
 			}
 			// ...lose the cache, then re-read each cluster in order:
-			// with temporal prefetch the first miss pulls the rest.
+			// with temporal prefetch the first miss pulls the rest. The
+			// old stack's pipeline is killed so it cannot race the
+			// reopened volume.
+			st.disk.Kill()
 			opts := core.Options{PrefetchSectors: prefetch, BatchBytes: 2 * block.MiB, WriteCacheFrac: 0.6,
 				Volume: "vol", Store: st.store, CacheDev: newBlankCache(e)}
+			e.tune(&opts)
 			disk2, err := core.Open(ctx, opts)
 			if err != nil {
 				return nil, err

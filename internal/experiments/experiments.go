@@ -30,10 +30,27 @@ import (
 type Env struct {
 	Scale int64
 	Seed  int64
+
+	// UploadDepth overrides core.Options.UploadDepth for every LSVD
+	// stack an experiment builds (0 keeps the core default).
+	UploadDepth int
+	// SyncDestage forces the synchronous destage path everywhere, for
+	// before/after comparisons of the async pipeline.
+	SyncDestage bool
 }
 
 // DefaultEnv is the scale used by the bench harness.
 func DefaultEnv() Env { return Env{Scale: 32, Seed: 1} }
+
+// tune applies the Env's destage-pipeline overrides to opts.
+func (e Env) tune(opts *core.Options) {
+	if e.UploadDepth != 0 {
+		opts.UploadDepth = e.UploadDepth
+	}
+	if e.SyncDestage {
+		opts.SyncDestage = true
+	}
+}
 
 func (e Env) volBytes() int64   { return 80 * block.GiB / e.Scale }  // 80 GiB volumes (§4.1)
 func (e Env) bigCache() int64   { return 160 * block.GiB / e.Scale } // "cache larger than the volume"
@@ -126,6 +143,7 @@ func newLSVD(ctx context.Context, e Env, cacheBytes int64, poolCfg cluster.Confi
 	if opts.VolBytes == 0 {
 		opts.VolBytes = e.volBytes()
 	}
+	e.tune(&opts)
 	if st.disk, err = core.Create(ctx, opts); err != nil {
 		return nil, err
 	}

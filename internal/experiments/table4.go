@@ -90,6 +90,7 @@ func crashTrialLSVD(ctx context.Context, e Env, trial int64) (consistency.Report
 		CacheDev: simdev.NewMem(cacheBytes), VolBytes: volBytes,
 		BatchBytes: 1 * block.MiB,
 	}
+	e.tune(&opts)
 	disk, err := core.Create(ctx, opts)
 	if err != nil {
 		return consistency.Report{}, err
@@ -101,7 +102,9 @@ func crashTrialLSVD(ctx context.Context, e Env, trial int64) (consistency.Report
 	if err := copyWorkload(w, volBytes/block.BlockSize, trial); err != nil {
 		return consistency.Report{}, err
 	}
-	// VM reset + cache deleted (§4.4): reopen with a blank cache.
+	// VM reset + cache deleted (§4.4): kill the destage pipeline as the
+	// reset would, then reopen with a blank cache.
+	disk.Kill()
 	opts.CacheDev = simdev.NewMem(cacheBytes)
 	disk2, err := core.Open(ctx, opts)
 	if err != nil {

@@ -79,6 +79,12 @@ type Server struct {
 	mu      sync.Mutex
 	exports map[string]vdisk.Disk
 
+	// QueueDepth is the number of worker goroutines serving each
+	// connection's requests, i.e. how much client queue depth actually
+	// reaches the disk concurrently. Default 8; 1 restores strictly
+	// serial request handling. Set before Serve.
+	QueueDepth int
+
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed bool
@@ -296,8 +302,78 @@ func (s *Server) optReply(conn net.Conn, option, reply uint32, data []byte) erro
 	return err
 }
 
+// ioRequest is one parsed transmission request handed to a worker.
+// Write payloads are read off the wire by the reader goroutine (the
+// stream is sequential), so workers never touch the receive side.
+type ioRequest struct {
+	typ    uint16
+	handle uint64
+	offset uint64
+	length uint32
+	data   []byte // write payload
+}
+
+// connState is the per-connection fan-out: a reader feeds requests to
+// QueueDepth workers so a client queueing at depth >1 actually gets
+// concurrent disk I/O (the LSVD read path is concurrent and writes are
+// acknowledged at the cache log, so depth matters). Replies are
+// serialized by replyMu; simple replies may interleave in any order,
+// which NBD permits — the handle identifies the request.
+type connState struct {
+	conn    net.Conn
+	disk    vdisk.Disk
+	replyMu sync.Mutex
+	failMu  sync.Mutex
+	failed  error
+}
+
+// fail records the first reply-side error and closes the connection so
+// the reader unblocks; later errors are ignored.
+func (c *connState) fail(err error) {
+	c.failMu.Lock()
+	if c.failed == nil && err != nil {
+		c.failed = err
+		c.conn.Close()
+	}
+	c.failMu.Unlock()
+}
+
+func (c *connState) failure() error {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	return c.failed
+}
+
 // transmission serves I/O requests until DISC or error.
 func (s *Server) transmission(conn net.Conn, disk vdisk.Disk) error {
+	depth := s.QueueDepth
+	if depth <= 0 {
+		depth = 8
+	}
+	st := &connState{conn: conn, disk: disk}
+	reqs := make(chan ioRequest, depth)
+	var workers sync.WaitGroup
+	workers.Add(depth)
+	for i := 0; i < depth; i++ {
+		go func() {
+			defer workers.Done()
+			for req := range reqs {
+				st.serve(req)
+			}
+		}()
+	}
+	err := s.readRequests(conn, reqs)
+	close(reqs)
+	workers.Wait()
+	if ferr := st.failure(); ferr != nil {
+		return ferr
+	}
+	return err
+}
+
+// readRequests parses the request stream, feeding workers until DISC,
+// EOF or a protocol error.
+func (s *Server) readRequests(conn net.Conn, reqs chan<- ioRequest) error {
 	for {
 		var req struct {
 			Magic  uint32
@@ -319,70 +395,77 @@ func (s *Server) transmission(conn net.Conn, disk vdisk.Disk) error {
 		if req.Length > maxRequestLen {
 			return fmt.Errorf("nbd: request of %d bytes too large", req.Length)
 		}
-
-		switch req.Type {
-		case cmdRead:
-			buf := make([]byte, req.Length)
-			errno := uint32(0)
-			if err := disk.ReadAt(buf, int64(req.Offset)); err != nil {
-				errno = errIO
-			}
-			if err := s.simpleReply(conn, req.Handle, errno); err != nil {
-				return err
-			}
-			if errno == 0 {
-				if _, err := conn.Write(buf); err != nil {
-					return err
-				}
-			}
-
-		case cmdWrite:
-			buf := make([]byte, req.Length)
-			if _, err := io.ReadFull(conn, buf); err != nil {
-				return err
-			}
-			errno := uint32(0)
-			if err := disk.WriteAt(buf, int64(req.Offset)); err != nil {
-				errno = errIO
-			}
-			if err := s.simpleReply(conn, req.Handle, errno); err != nil {
-				return err
-			}
-
-		case cmdFlush:
-			errno := uint32(0)
-			if err := disk.Flush(); err != nil {
-				errno = errIO
-			}
-			if err := s.simpleReply(conn, req.Handle, errno); err != nil {
-				return err
-			}
-
-		case cmdTrim:
-			errno := uint32(0)
-			if err := disk.Trim(int64(req.Offset), int64(req.Length)); err != nil {
-				errno = errInval
-			}
-			if err := s.simpleReply(conn, req.Handle, errno); err != nil {
-				return err
-			}
-
-		case cmdDisc:
-			return nil
-
-		default:
-			if err := s.simpleReply(conn, req.Handle, errNoSup); err != nil {
+		r := ioRequest{typ: req.Type, handle: req.Handle, offset: req.Offset, length: req.Length}
+		if req.Type == cmdWrite {
+			r.data = make([]byte, req.Length)
+			if _, err := io.ReadFull(conn, r.data); err != nil {
 				return err
 			}
 		}
+		if req.Type == cmdDisc {
+			return nil
+		}
+		reqs <- r
 	}
 }
 
-func (s *Server) simpleReply(conn net.Conn, handle uint64, errno uint32) error {
+// serve executes one request against the disk and writes the reply.
+func (c *connState) serve(req ioRequest) {
+	switch req.typ {
+	case cmdRead:
+		buf := make([]byte, req.length)
+		errno := uint32(0)
+		if err := c.disk.ReadAt(buf, int64(req.offset)); err != nil {
+			errno = errIO
+		}
+		if errno != 0 {
+			buf = nil
+		}
+		c.reply(req.handle, errno, buf)
+
+	case cmdWrite:
+		errno := uint32(0)
+		if err := c.disk.WriteAt(req.data, int64(req.offset)); err != nil {
+			errno = errIO
+		}
+		c.reply(req.handle, errno, nil)
+
+	case cmdFlush:
+		errno := uint32(0)
+		if err := c.disk.Flush(); err != nil {
+			errno = errIO
+		}
+		c.reply(req.handle, errno, nil)
+
+	case cmdTrim:
+		errno := uint32(0)
+		if err := c.disk.Trim(int64(req.offset), int64(req.length)); err != nil {
+			errno = errInval
+		}
+		c.reply(req.handle, errno, nil)
+
+	default:
+		c.reply(req.handle, errNoSup, nil)
+	}
+}
+
+// reply writes a simple reply header plus optional read payload as one
+// critical section, so concurrent workers cannot interleave a header
+// into another reply's data.
+func (c *connState) reply(handle uint64, errno uint32, data []byte) {
 	var buf [16]byte
 	binary.BigEndian.PutUint32(buf[0:], simpleReplyMagic)
 	binary.BigEndian.PutUint32(buf[4:], errno)
 	binary.BigEndian.PutUint64(buf[8:], handle)
-	_, err := conn.Write(buf[:])
-	return err
+	c.replyMu.Lock()
+	defer c.replyMu.Unlock()
+	if _, err := c.conn.Write(buf[:]); err != nil {
+		c.fail(err)
+		return
+	}
+	if len(data) > 0 {
+		if _, err := c.conn.Write(data); err != nil {
+			c.fail(err)
+		}
+	}
 }

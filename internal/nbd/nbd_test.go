@@ -3,6 +3,8 @@ package nbd
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
+	"io"
 	"math/rand"
 	"net"
 	"sort"
@@ -189,5 +191,81 @@ func TestLSVDOverNBD(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatal("LSVD-over-NBD data mismatch")
+	}
+}
+
+// TestPipelinedQueueDepth issues a window of requests on ONE
+// connection before collecting any reply, exercising the server's
+// per-connection worker pool (replies may arrive in any order and are
+// matched by handle).
+func TestPipelinedQueueDepth(t *testing.T) {
+	disk := memVDisk{simdev.NewMem(64 * block.MiB)}
+	_, addr := startServer(t, Export{Name: "t", Disk: disk})
+	c, err := Dial(addr, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const window = 16
+	const bs = 4096
+	pattern := func(i int) []byte { return bytes.Repeat([]byte{byte(i + 1)}, bs) }
+
+	// Pipelined writes: all requests on the wire before any reply.
+	writeHandles := make(map[uint64]int, window)
+	for i := 0; i < window; i++ {
+		h, err := c.request(cmdWrite, uint64(i*bs), bs, pattern(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeHandles[h] = i
+	}
+	readReply := func() (uint64, uint32) {
+		var hdr [16]byte
+		if _, err := io.ReadFull(c.conn, hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		if binary.BigEndian.Uint32(hdr[0:]) != simpleReplyMagic {
+			t.Fatal("bad reply magic")
+		}
+		return binary.BigEndian.Uint64(hdr[8:]), binary.BigEndian.Uint32(hdr[4:])
+	}
+	for i := 0; i < window; i++ {
+		h, errno := readReply()
+		if _, ok := writeHandles[h]; !ok {
+			t.Fatalf("unknown write reply handle %d", h)
+		}
+		delete(writeHandles, h)
+		if errno != 0 {
+			t.Fatalf("write errno %d", errno)
+		}
+	}
+
+	// Pipelined reads: replies carry payloads; match by handle.
+	readHandles := make(map[uint64]int, window)
+	for i := 0; i < window; i++ {
+		h, err := c.request(cmdRead, uint64(i*bs), bs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readHandles[h] = i
+	}
+	for i := 0; i < window; i++ {
+		h, errno := readReply()
+		idx, ok := readHandles[h]
+		if !ok {
+			t.Fatalf("unknown read reply handle %d", h)
+		}
+		delete(readHandles, h)
+		if errno != 0 {
+			t.Fatalf("read errno %d", errno)
+		}
+		got := make([]byte, bs)
+		if _, err := io.ReadFull(c.conn, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pattern(idx)) {
+			t.Fatalf("read %d returned wrong data", idx)
+		}
 	}
 }

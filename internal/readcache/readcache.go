@@ -143,9 +143,44 @@ func (c *Cache) slabOfTarget(t extmap.Target) *slab {
 	return c.slabs[idx]
 }
 
-// ReadAt reads cached data previously located via Lookup.
+// ReadAt reads cached data previously located via Lookup. Under
+// concurrency a Lookup target can be evicted before the read; callers
+// on the data path should use ReadExtent, which holds the lock across
+// lookup and read.
 func (c *Cache) ReadAt(t extmap.Target, buf []byte) error {
 	return c.dev.ReadAt(buf, t.Off.Bytes())
+}
+
+// ReadExtent looks up ext, bumps hit statistics, and reads every
+// present run into the matching positions of buf (len(buf) ==
+// ext.Bytes()), all under one lock acquisition so a concurrent slab
+// eviction cannot reuse the space mid-read. Absent runs are returned
+// untouched for the caller's next level.
+func (c *Cache) ReadExtent(ext block.Extent, buf []byte) ([]extmap.Run, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	runs := c.m.Lookup(ext)
+	hit := false
+	for _, r := range runs {
+		if !r.Present {
+			continue
+		}
+		hit = true
+		c.clock++
+		if s := c.slabOfTarget(r.Target); s != nil {
+			s.lastHit = c.clock
+		}
+		off := (r.LBA - ext.LBA).Bytes()
+		if err := c.dev.ReadAt(buf[off:off+r.Bytes()], r.Target.Off.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return runs, nil
 }
 
 // Insert stores fetched backend data for ext, splitting across slabs

@@ -92,8 +92,11 @@ type Stats struct {
 }
 
 // Cache is a log-structured write-back cache on a block device.
+// Mutations take the write lock; lookups and data reads share the read
+// lock, so concurrent readers never block each other and an eviction
+// can never reuse log space out from under an in-progress read.
 type Cache struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	dev simdev.Device
 	cfg Config
 
@@ -395,7 +398,7 @@ func (c *Cache) applyRecord(h *journal.Header, off, size int64) {
 		dataOff := off + int64(journal.AlignedHeaderSize(len(h.Extents)))
 		c.m.Update(r.ext, extmap.Target{Off: block.LBAFromBytes(dataOff)})
 	case journal.TypeTrim:
-		c.m.Delete(r.ext)
+		c.m.Update(r.ext, extmap.Target{Off: trimTombstoneOff})
 	}
 	c.ring = append(c.ring, r)
 	c.used += size
@@ -490,7 +493,7 @@ func (c *Cache) append(writeSeq uint64, typ journal.Type, ext block.Extent, data
 	case journal.TypeData:
 		c.m.Update(ext, extmap.Target{Off: block.LBAFromBytes(r.dataOff())})
 	case journal.TypeTrim:
-		c.m.Delete(ext)
+		c.m.Update(ext, extmap.Target{Off: trimTombstoneOff})
 	}
 	c.ring = append(c.ring, r)
 	c.used += r.size
@@ -545,12 +548,18 @@ func (c *Cache) evictOne() bool {
 	if (r.typ == journal.TypeData || r.typ == journal.TypeTrim) && r.writeSeq > c.destagedSeq {
 		return false
 	}
-	if r.typ == journal.TypeData {
+	switch r.typ {
+	case journal.TypeData:
 		dataLo := block.LBAFromBytes(r.dataOff())
 		dataHi := dataLo + block.LBA(r.ext.Sectors)
 		c.m.DeleteIf(r.ext, func(run extmap.Run) bool {
 			return run.Target.Off >= dataLo && run.Target.Off < dataHi
 		})
+	case journal.TypeTrim:
+		// Dropping a tombstone owned by a newer overlapping trim is
+		// harmless: this trim is destaged, so the backend already
+		// reads as zeros for the shared range.
+		c.m.DeleteIf(r.ext, IsTombstone)
 	}
 	c.ring = c.ring[1:]
 	c.used -= r.size
@@ -575,23 +584,91 @@ func (c *Cache) SetDestaged(writeSeq uint64) {
 }
 
 // Flush is the commit barrier: one device flush makes every prior log
-// record durable (§3.2). No metadata writes are needed.
+// record durable (§3.2). No metadata writes are needed. The read lock
+// suffices: any append that has been acknowledged finished its device
+// write before releasing the write lock, so the flush covers it.
 func (c *Cache) Flush() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.dev.Flush()
+}
+
+// Trims are held in the map as tombstone runs — Present, but with this
+// sentinel target — so a read of a discarded range is answered (with
+// zeros) by the cache instead of falling through to a backend that may
+// not have applied the trim yet. The tombstone lives exactly as long
+// as the trim's log record: eviction removes both together.
+const trimTombstoneOff = block.LBA(1) << 60
+
+// IsTombstone reports whether a run returned by Lookup/ReadExtent is a
+// trim tombstone (reads as zeros, no backing log data). Partial lookups
+// and splits shift a run's target by its offset into the entry, so the
+// test is on the sentinel bit, not equality.
+func IsTombstone(run extmap.Run) bool {
+	return run.Present && run.Target.Off >= trimTombstoneOff
 }
 
 // Lookup returns the cache's coverage of ext.
 func (c *Cache) Lookup(ext block.Extent) []extmap.Run {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.m.Lookup(ext)
 }
 
-// ReadAt reads cached data previously located via Lookup.
+// ReadAt reads cached data previously located via Lookup. Under
+// concurrency a Lookup target can be evicted before the read; callers
+// on the data path should use ReadExtent or ReadFull, which hold the
+// lock across lookup and read.
 func (c *Cache) ReadAt(t extmap.Target, buf []byte) error {
 	return c.dev.ReadAt(buf, t.Off.Bytes())
+}
+
+// ReadExtent looks up ext and reads every present run into the
+// matching positions of buf (len(buf) == ext.Bytes()), all under one
+// lock acquisition so a concurrent eviction cannot reuse the log space
+// mid-read. Absent runs are returned untouched for the caller's next
+// cache level.
+func (c *Cache) ReadExtent(ext block.Extent, buf []byte) ([]extmap.Run, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	runs := c.m.Lookup(ext)
+	for _, run := range runs {
+		if !run.Present {
+			continue
+		}
+		off := (run.LBA - ext.LBA).Bytes()
+		if IsTombstone(run) {
+			clear(buf[off : off+run.Bytes()])
+			continue
+		}
+		if err := c.dev.ReadAt(buf[off:off+run.Bytes()], run.Target.Off.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+// ReadFull fills buf with the cache's data for ext if the extent is
+// fully resident, holding the lock across the device reads. Used by
+// the destage/GC fetch path (§3.5) and the SSD readback mode (§3.7).
+func (c *Cache) ReadFull(ext block.Extent, buf []byte) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	runs := c.m.Lookup(ext)
+	for _, run := range runs {
+		// Tombstones count as not-resident: the destage/GC callers want
+		// the extent's logged data, not the zeros of a newer discard.
+		if !run.Present || IsTombstone(run) {
+			return false
+		}
+	}
+	for _, run := range runs {
+		off := (run.LBA - ext.LBA).Bytes()
+		if err := c.dev.ReadAt(buf[off:off+run.Bytes()], run.Target.Off.Bytes()); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // RecordsAfter replays, in order, every data/trim record with writeSeq
@@ -599,10 +676,10 @@ func (c *Cache) ReadAt(t extmap.Target, buf []byte) error {
 // (nil for trims). Used for crash recovery: the core re-sends these to
 // the backend (§3.3 "rewind and replay").
 func (c *Cache) RecordsAfter(writeSeq uint64, fn func(writeSeq uint64, typ journal.Type, ext block.Extent, data []byte) error) error {
-	c.mu.Lock()
+	c.mu.RLock()
 	ring := make([]record, len(c.ring))
 	copy(ring, c.ring)
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	for _, r := range ring {
 		if r.writeSeq <= writeSeq || r.typ == journal.TypePad {
 			continue
@@ -623,15 +700,15 @@ func (c *Cache) RecordsAfter(writeSeq uint64, fn func(writeSeq uint64, typ journ
 
 // MaxWriteSeq returns the newest client write sequence in the log.
 func (c *Cache) MaxWriteSeq() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.maxWriteSeq
 }
 
 // Stats returns a snapshot of cache statistics.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	dirty := int64(0)
 	for _, r := range c.ring {
 		if r.typ == journal.TypeData && r.writeSeq > c.destagedSeq {

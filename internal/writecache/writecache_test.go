@@ -94,8 +94,19 @@ func TestTrim(t *testing.T) {
 		t.Fatal(err)
 	}
 	runs := c.Lookup(ext)
-	if len(runs) != 3 || runs[1].Present {
-		t.Fatalf("trim not applied: %+v", runs)
+	if len(runs) != 3 || !IsTombstone(runs[1]) {
+		t.Fatalf("trim not applied as tombstone: %+v", runs)
+	}
+	// The tombstone must read back as zeros through ReadExtent.
+	buf := make([]byte, ext.Bytes())
+	if _, err := c.ReadExtent(ext, buf); err != nil {
+		t.Fatal(err)
+	}
+	trimmed := buf[16*block.SectorSize : 32*block.SectorSize]
+	for _, b := range trimmed {
+		if b != 0 {
+			t.Fatal("trimmed range did not read as zeros")
+		}
 	}
 }
 

@@ -95,6 +95,11 @@ type VolumeOptions struct {
 	GCHighWater        float64 // GC stop utilization (0.75)
 	PrefetchBytes      int64   // temporal read-ahead (128 KiB)
 	ReadCachePolicy    readcache.Policy
+
+	// Destage pipeline tuning; zero values select the defaults.
+	UploadDepth       int  // concurrent backend object PUTs (4)
+	DestageQueueDepth int  // queued writes between ack and destage (256)
+	SyncDestage       bool // disable the pipeline: destage inline (off)
 }
 
 func (o VolumeOptions) coreOptions() core.Options {
@@ -108,6 +113,10 @@ func (o VolumeOptions) coreOptions() core.Options {
 		GCLowWater:      o.GCLowWater,
 		GCHighWater:     o.GCHighWater,
 		ReadCachePolicy: o.ReadCachePolicy,
+
+		UploadDepth:       o.UploadDepth,
+		DestageQueueDepth: o.DestageQueueDepth,
+		SyncDestage:       o.SyncDestage,
 	}
 	if o.PrefetchBytes > 0 {
 		opts.PrefetchSectors = uint32(o.PrefetchBytes / block.SectorSize)
