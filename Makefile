@@ -5,9 +5,9 @@ GO ?= go
 # Packages whose concurrency is load-bearing (the async destage
 # pipeline and the NBD worker pool); `make race` runs them under the
 # race detector, including the destage stress tests.
-RACE_PKGS := ./internal/core ./internal/blockstore ./internal/writecache ./internal/nbd
+RACE_PKGS := ./internal/core ./internal/blockstore ./internal/writecache ./internal/nbd ./internal/consistency
 
-.PHONY: all build vet test race bench check clean
+.PHONY: all build vet test race bench fault check clean
 
 all: check
 
@@ -23,12 +23,21 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Recovery torture harness (§3.4 under injected backend faults): the
+# pinned seed keeps CI deterministic, the second run sweeps a hostile
+# 35% per-op failure rate. Override LSVD_FAULT_{SEED,RATE,ITERS} to
+# explore.
+fault:
+	LSVD_FAULT_SEED=1 $(GO) test -count=1 -run TestFaultTorture ./internal/consistency
+	LSVD_FAULT_SEED=100 LSVD_FAULT_RATE=0.35 LSVD_FAULT_ITERS=8 \
+		$(GO) test -count=1 -run TestFaultTorture ./internal/consistency
+
 # Destage-pipeline micro-benchmarks: sync vs async write-ack latency
 # and concurrent-reader throughput.
 bench:
 	$(GO) test -run xxx -bench 'DiskWriteAck|DiskConcurrentReads' -benchtime 2s .
 
-check: build vet test race
+check: build vet test race fault
 
 clean:
 	$(GO) clean -testcache

@@ -47,12 +47,18 @@ func main() {
 	create := flag.Bool("create", false, "create the volume instead of opening it")
 	size := flag.String("size", "10G", "volume size (with -create)")
 	listen := flag.String("listen", "127.0.0.1:10809", "NBD listen address")
+	storeNoSync := flag.Bool("store-nosync", false, "skip object-store fsyncs (faster, loses crash durability)")
+	retryAttempts := flag.Int("retry-attempts", 0, "backend retry attempt budget per op (0 = default, <0 disables retries)")
 	flag.Parse()
 
 	if *storeDir == "" || *cachePath == "" {
 		log.Fatal("-store and -cache are required")
 	}
-	store, err := lsvd.DirStore(*storeDir)
+	newStore := lsvd.DirStore
+	if *storeNoSync {
+		newStore = lsvd.DirStoreNoSync
+	}
+	store, err := newStore(*storeDir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +70,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := lsvd.VolumeOptions{Name: *volume, Store: store, Cache: cache}
+	opts := lsvd.VolumeOptions{
+		Name: *volume, Store: store, Cache: cache,
+		Retry: lsvd.RetryPolicy{MaxAttempts: *retryAttempts},
+	}
 	ctx := context.Background()
 
 	var disk *lsvd.Disk

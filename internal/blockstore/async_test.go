@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -154,7 +155,9 @@ func TestAsyncUploadFailureRetriedBySeal(t *testing.T) {
 
 	ext := block.Extent{LBA: 0, Sectors: 64}
 	data := payload(7, int(ext.Bytes()))
-	faulty.FailPut(objName("vol", s.Stats().NextSeq))
+	// Fail the upload's whole Retrier budget so it surfaces as a failed
+	// in-flight object; the fence's resubmission then succeeds.
+	faulty.FailPuts(objName("vol", s.Stats().NextSeq), objstore.RetryPolicy{}.Attempts())
 	if err := s.Append(1, ext, data); err != nil {
 		t.Fatal(err) // the PUT failure is asynchronous; Append succeeds
 	}
@@ -232,7 +235,9 @@ func TestAbortStrandsOutOfOrderUploads(t *testing.T) {
 
 	// "Crash": the held PUT dies with the process. Abort blocks until
 	// every issued PUT finishes, so fail the held one concurrently.
-	crash := errors.New("crash before PUT completed")
+	// The error wraps context.Canceled so the Retrier treats it as
+	// terminal instead of reissuing the PUT past the cleared gate.
+	crash := fmt.Errorf("crash before PUT completed: %w", context.Canceled)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -114,6 +114,9 @@ func (s *Store) Seal() error {
 // sealLocked builds the object for the pending batch, PUTs it, updates
 // the map and accounting, then runs checkpoint/GC policy.
 func (s *Store) sealLocked() error {
+	if err := s.sweepOrphansLocked(); err != nil {
+		return err
+	}
 	b := s.batch
 	if b.empty() {
 		return nil

@@ -61,14 +61,23 @@ type Config struct {
 	// filled buf for ext. It is invoked with the store lock held and
 	// must not call back into the Store.
 	FetchFromCache func(ext block.Extent, buf []byte) bool
-	// OnDestage is called (store lock held; must not call back) when
-	// client writes up to writeSeq become durable in the backend.
+	// OnDestage is called when client writes up to writeSeq become
+	// durable in the backend. It runs WITHOUT the store lock, possibly
+	// concurrently and with non-monotonic watermarks when several
+	// commits race; callees must treat writeSeq as a high-water mark
+	// (keep the max), which writecache.SetDestaged does.
 	OnDestage func(writeSeq uint64)
 	// UploadDepth > 0 enables the asynchronous upload pipeline: sealed
 	// objects are PUT by up to UploadDepth concurrent uploads while the
 	// next batch fills; map/watermark commit stays strictly in sequence
 	// order. 0 keeps the legacy synchronous seal (build + PUT inline).
 	UploadDepth int
+	// Retry is the backend retry policy. setDefaults wraps Store in an
+	// objstore.Retrier with it, so every backend operation — reads, GC
+	// fetches, recovery, uploads — retries transient failures under one
+	// policy; the upload pipeline's per-fence resubmission budget is
+	// Retry.Attempts() as well. MaxAttempts < 0 disables wrapping.
+	Retry objstore.RetryPolicy
 }
 
 func (c *Config) setDefaults() {
@@ -80,6 +89,11 @@ func (c *Config) setDefaults() {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 32
+	}
+	if c.Retry.MaxAttempts >= 0 && c.Store != nil {
+		if _, ok := c.Store.(*objstore.Retrier); !ok {
+			c.Store = objstore.NewRetrier(c.Store, c.Retry)
+		}
 	}
 }
 
@@ -127,6 +141,8 @@ type Stats struct {
 	InflightObjects int   // sealed objects whose upload/commit is pending
 	UploadRetries   uint64
 	DeferredDeletes int
+	OrphanObjects   int    // stranded objects whose deletion failed, awaiting sweep
+	BackendRetries  uint64 // transient backend failures absorbed by the Retrier
 }
 
 // Store is a log-structured block store for one volume.
@@ -166,7 +182,13 @@ type Store struct {
 	uploadSem     chan struct{}
 	commitCond    *sync.Cond
 	aborting      bool
+	gcBusy        bool  // a commit-triggered GC pass is running off the lock
 	asyncErr      error // sticky commit-side (GC) failure, surfaced at the next fence
+
+	// orphans are stranded objects recovery could not delete; they are
+	// swept before every subsequent object PUT so a stale object can
+	// never become replayable again (see sweepOrphansLocked).
+	orphans map[uint32]bool
 
 	durableWriteSeq uint64
 	sinceCkpt       int
@@ -239,6 +261,7 @@ func newStore(ctx context.Context, cfg Config) *Store {
 		objects:  make(map[uint32]*objInfo),
 		hdrCache: make(map[uint32]*hdrEntry),
 		cleaned:  make(map[uint32]bool),
+		orphans:  make(map[uint32]bool),
 	}
 	s.batch = newBatch(cfg.BatchBytes, cfg.NoCoalesce)
 	s.commitCond = sync.NewCond(&s.mu)
@@ -310,6 +333,10 @@ func (s *Store) Stats() Stats {
 		PendingBatch: s.batch.fill + s.inflightBytes,
 		InflightObjects: len(s.inflight), UploadRetries: s.stats.uploadRetries,
 		DeferredDeletes: len(s.deferred) + len(s.pending),
+		OrphanObjects:   len(s.orphans),
+	}
+	if r, ok := s.cfg.Store.(*objstore.Retrier); ok {
+		st.BackendRetries = r.Retries()
 	}
 	for _, o := range s.objects {
 		if o.typ == journal.TypeData || o.typ == journal.TypeGC {

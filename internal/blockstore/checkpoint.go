@@ -1,7 +1,10 @@
 package blockstore
 
 import (
+	"errors"
+
 	"lsvd/internal/journal"
+	"lsvd/internal/objstore"
 )
 
 // checkpoint payload: the serialized object map, the object table,
@@ -102,6 +105,9 @@ func (s *Store) Checkpoint() error {
 }
 
 func (s *Store) checkpointLocked() error {
+	if err := s.sweepOrphansLocked(); err != nil {
+		return err
+	}
 	payload, err := s.encodeCheckpoint()
 	if err != nil {
 		return err
@@ -133,7 +139,10 @@ func (s *Store) checkpointLocked() error {
 	s.pending = nil
 	for _, d := range pending {
 		if err := s.completeDelete(d); err != nil {
-			return err
+			// Deletion is space reclaim, not correctness: a transient
+			// Delete failure re-defers the object to the next
+			// checkpoint instead of failing this one.
+			s.pending = append(s.pending, d)
 		}
 	}
 	return nil
@@ -151,8 +160,11 @@ func (s *Store) completeDelete(d deferredDelete) error {
 	return s.deleteObject(d.Obj)
 }
 
+// deleteObject removes a backend object and its bookkeeping. Deleting
+// an already-missing object succeeds — the orphan sweep may retry a
+// deletion that raced with an earlier success.
 func (s *Store) deleteObject(seq uint32) error {
-	if err := s.cfg.Store.Delete(s.ctx, s.name(seq)); err != nil {
+	if err := s.cfg.Store.Delete(s.ctx, s.name(seq)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
 		return err
 	}
 	if o := s.objects[seq]; s.utilCounted(o) {

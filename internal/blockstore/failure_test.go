@@ -20,7 +20,8 @@ func TestSealRetriesAfterPutFailure(t *testing.T) {
 	if err := s.Append(1, ext, data); err != nil {
 		t.Fatal(err)
 	}
-	faulty.FailPut(objName("vol", s.Stats().NextSeq))
+	// Forever, so the Retrier's attempts can't absorb the failure.
+	faulty.FailPuts(objName("vol", s.Stats().NextSeq), -1)
 	if err := s.Seal(); !errors.Is(err, objstore.ErrInjected) {
 		t.Fatalf("injected failure not surfaced: %v", err)
 	}
@@ -31,7 +32,8 @@ func TestSealRetriesAfterPutFailure(t *testing.T) {
 	if s.Stats().PendingBatch == 0 {
 		t.Fatal("failed seal dropped the batch")
 	}
-	// Retry succeeds and data reads back.
+	// Healing the store lets the retry succeed and data reads back.
+	faulty.FailPuts(objName("vol", s.Stats().NextSeq), 0)
 	if err := s.Seal(); err != nil {
 		t.Fatal(err)
 	}
@@ -53,10 +55,11 @@ func TestCheckpointFailureKeepsOldPointer(t *testing.T) {
 	data := payload(2, int(ext.Bytes()))
 	_ = s.Append(1, ext, data)
 	_ = s.Seal()
-	faulty.FailPut(superName("vol"))
+	faulty.FailPuts(superName("vol"), -1)
 	if err := s.Checkpoint(); !errors.Is(err, objstore.ErrInjected) {
 		t.Fatalf("super failure not surfaced: %v", err)
 	}
+	faulty.FailPuts(superName("vol"), 0)
 	// Recovery from the old superblock still finds everything (the
 	// data object replays from the old checkpoint).
 	s2, err := Open(ctx, Config{Volume: "vol", Store: faulty})
@@ -79,8 +82,9 @@ func TestRecoveryWithNewerCheckpointObject(t *testing.T) {
 	_ = s.Append(1, ext, data)
 	_ = s.Seal()
 	// Checkpoint object lands; superblock write fails.
-	faulty.FailPut(superName("vol"))
+	faulty.FailPuts(superName("vol"), -1)
 	_ = s.Checkpoint()
+	faulty.FailPuts(superName("vol"), 0)
 	s2, err := Open(ctx, Config{Volume: "vol", Store: faulty})
 	if err != nil {
 		t.Fatal(err)
@@ -124,5 +128,135 @@ func TestGCPutFailureLeavesDataReadable(t *testing.T) {
 	}
 	if got := readAll(t, s, ext); !bytes.Equal(got, want) {
 		t.Fatal("data wrong after recovered GC")
+	}
+}
+
+// TestStrandedDeleteFailureDoesNotFailOpen: recovery must tolerate a
+// stranded object whose DELETE keeps failing — record it as an orphan,
+// open successfully, refuse new object writes until the orphan is
+// swept, then sweep it on the next seal.
+func TestStrandedDeleteFailureDoesNotFailOpen(t *testing.T) {
+	faulty := objstore.NewFaulty(objstore.NewMem())
+	s := newVolume(t, faulty, Config{CheckpointEvery: 1 << 30})
+	ext := block.Extent{LBA: 0, Sectors: 64}
+	data := payload(11, int(ext.Bytes()))
+	_ = s.Append(1, ext, data)
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant a stranded object one past the gap (its predecessor's PUT
+	// "never completed"), and make its deletion fail forever.
+	stranded := objName("vol", s.Stats().NextSeq+1)
+	if err := faulty.Put(ctx, stranded, []byte("stranded junk")); err != nil {
+		t.Fatal(err)
+	}
+	faulty.FailDeletes(stranded, -1)
+
+	s2, err := Open(ctx, Config{Volume: "vol", Store: faulty})
+	if err != nil {
+		t.Fatalf("failed stranded-delete aborted Open: %v", err)
+	}
+	if got := s2.Stats().OrphanObjects; got != 1 {
+		t.Fatalf("orphans=%d want 1", got)
+	}
+	if got := readAll(t, s2, ext); !bytes.Equal(got, data) {
+		t.Fatal("data lost across orphaned recovery")
+	}
+
+	// While the orphan is undeletable, no new object may be written:
+	// new seqs would fill the gap below the orphan and a crash would
+	// make its stale bytes replayable.
+	_ = s2.Append(2, ext, payload(12, int(ext.Bytes())))
+	if err := s2.Seal(); !errors.Is(err, objstore.ErrInjected) {
+		t.Fatalf("seal ignored a sweep failure: %v", err)
+	}
+
+	// Heal: the next seal sweeps the orphan and proceeds.
+	faulty.FailDeletes(stranded, 0)
+	if err := s2.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().OrphanObjects; got != 0 {
+		t.Fatalf("orphans=%d after sweep", got)
+	}
+	if _, err := faulty.Size(ctx, stranded); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("orphan still on the backend: %v", err)
+	}
+}
+
+// TestTruncatedTailObjectIsCrashGap: a tail object cut short by a torn
+// PUT must read as the crash gap — recovery keeps the prefix before
+// it, deletes the remnant, and Open succeeds.
+func TestTruncatedTailObjectIsCrashGap(t *testing.T) {
+	for name, cut := range map[string]func(raw []byte) []byte{
+		"data":   func(raw []byte) []byte { return raw[:len(raw)/3] }, // header intact, data short
+		"header": func(raw []byte) []byte { return raw[:40] },         // header itself truncated
+		"empty":  func(raw []byte) []byte { return nil },              // zero-byte object
+	} {
+		t.Run(name, func(t *testing.T) {
+			mem := objstore.NewMem()
+			s := newVolume(t, mem, Config{CheckpointEvery: 1 << 30})
+			extA := block.Extent{LBA: 0, Sectors: 64}
+			dataA := payload(21, int(extA.Bytes()))
+			_ = s.Append(1, extA, dataA)
+			_ = s.Seal()
+			extB := block.Extent{LBA: 128, Sectors: 64}
+			_ = s.Append(2, extB, payload(22, int(extB.Bytes())))
+			_ = s.Seal()
+			tail := objName("vol", s.Stats().NextSeq-1)
+			raw, err := mem.Get(ctx, tail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mem.Put(ctx, tail, cut(raw)); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, err := Open(ctx, Config{Volume: "vol", Store: mem})
+			if err != nil {
+				t.Fatalf("truncated tail aborted Open: %v", err)
+			}
+			// Prefix before the torn object survives; the torn write
+			// is gone, reading as a hole.
+			if got := readAll(t, s2, extA); !bytes.Equal(got, dataA) {
+				t.Fatal("prefix data lost")
+			}
+			if got := readAll(t, s2, extB); !bytes.Equal(got, make([]byte, extB.Bytes())) {
+				t.Fatal("torn object's data visible after recovery")
+			}
+			if got := s2.Stats().DurableWriteSeq; got != 1 {
+				t.Fatalf("durable=%d want 1", got)
+			}
+			// The remnant was deleted as stranded and its seq reused.
+			if _, err := mem.Size(ctx, tail); !errors.Is(err, objstore.ErrNotFound) {
+				t.Fatalf("torn remnant not deleted: %v", err)
+			}
+			_ = s2.Append(3, extB, payload(23, int(extB.Bytes())))
+			if err := s2.Seal(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBackendRetriesSurfaceInStats: the default Config wraps the store
+// in a Retrier, so a transient failure is absorbed invisibly but
+// counted.
+func TestBackendRetriesSurfaceInStats(t *testing.T) {
+	faulty := objstore.NewFaulty(objstore.NewMem())
+	s := newVolume(t, faulty, Config{})
+	ext := block.Extent{LBA: 0, Sectors: 64}
+	data := payload(31, int(ext.Bytes()))
+	_ = s.Append(1, ext, data)
+	faulty.FailPuts(objName("vol", s.Stats().NextSeq), 1) // one transient blip
+	if err := s.Seal(); err != nil {
+		t.Fatalf("retrier did not absorb the blip: %v", err)
+	}
+	if got := s.Stats().BackendRetries; got == 0 {
+		t.Fatal("absorbed retry not counted")
+	}
+	if got := readAll(t, s, ext); !bytes.Equal(got, data) {
+		t.Fatal("data wrong after absorbed retry")
 	}
 }

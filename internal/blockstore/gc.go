@@ -25,6 +25,9 @@ func (s *Store) RunGC() error {
 // (so recovery never sees holes, §3.3) and deletion is further deferred
 // while a snapshot pins them (§3.6).
 func (s *Store) gcLocked() error {
+	if err := s.sweepOrphansLocked(); err != nil {
+		return err
+	}
 	s.stats.gcRuns++
 	high := s.cfg.GCHighWater
 	if high <= 0 {
@@ -37,7 +40,7 @@ func (s *Store) gcLocked() error {
 		}
 		progress := false
 		for _, seq := range cands {
-			if s.utilizationLocked() >= high {
+			if s.aborting || s.utilizationLocked() >= high {
 				return nil
 			}
 			o := s.objects[seq]

@@ -2,6 +2,7 @@ package blockstore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"lsvd/internal/block"
@@ -108,6 +109,15 @@ func open(ctx context.Context, cfg Config, limit uint32, readOnly bool) (*Store,
 	next := ckptSeq + 1
 	for present[next] && (limit == 0 || next <= limit) {
 		if err := s.replayObject(next); err != nil {
+			if limit == 0 && errors.Is(err, journal.ErrCorrupt) {
+				// A truncated or torn object is the crash gap (§3.3):
+				// its PUT died mid-transfer. The consistent prefix ends
+				// just before it; it is deleted with the stranded set
+				// below. Snapshot mounts (limit > 0) replay history
+				// that was once committed, so corruption there stays
+				// fatal.
+				break
+			}
 			return nil, err
 		}
 		next++
@@ -115,17 +125,37 @@ func open(ctx context.Context, cfg Config, limit uint32, readOnly bool) (*Store,
 	s.nextSeq = next
 
 	// Delete stranded objects beyond the prefix (§3.3) — writes that
-	// were in flight when the client died.
+	// were in flight when the client died. A failed delete must not
+	// fail recovery: the object is recorded as an orphan and swept
+	// before any subsequent object PUT, so it can never fill back into
+	// the replayable prefix (see sweepOrphansLocked).
 	if !readOnly {
 		for seq := range present {
 			if seq >= next {
 				if err := s.deleteObject(seq); err != nil {
-					return nil, err
+					s.orphans[seq] = true
 				}
 			}
 		}
 	}
 	return s, nil
+}
+
+// sweepOrphansLocked retries deletion of stranded objects whose
+// recovery-time delete failed. It must run before every object PUT
+// (seal, GC, checkpoint): once new objects fill the sequence gap below
+// an orphan, a crash would put the orphan back inside the consecutive
+// prefix and recovery would resurrect its stale data. No new object
+// may be written while an orphan remains, so a persistently failing
+// sweep surfaces as a write-path error — never an Open failure.
+func (s *Store) sweepOrphansLocked() error {
+	for seq := range s.orphans {
+		if err := s.deleteObject(seq); err != nil {
+			return fmt.Errorf("blockstore: sweeping orphan object %d: %w", seq, err)
+		}
+		delete(s.orphans, seq)
+	}
+	return nil
 }
 
 func (s *Store) readCheckpointObject(seq uint32) (*checkpointPayload, error) {
@@ -164,6 +194,12 @@ func (s *Store) replayObject(seq uint32) error {
 	size, err := s.cfg.Store.Size(s.ctx, s.name(seq))
 	if err != nil {
 		return err
+	}
+	// A header that decoded but promises more data than the object
+	// holds is a torn PUT — classify it as corruption so open() treats
+	// it as the crash gap.
+	if want := int64(hdr.hdrSectors)*block.SectorSize + int64(h.DataLen); size < want {
+		return fmt.Errorf("%w: object %d truncated to %d of %d bytes", journal.ErrCorrupt, seq, size, want)
 	}
 
 	switch h.Type {

@@ -20,9 +20,13 @@ import (
 // first missing sequence number, delete anything beyond it) already
 // handles that.
 
-// maxUploadAttempts bounds automatic resubmission of a failed upload
-// within one fence; each explicit Seal/Checkpoint grants a fresh budget.
-const maxUploadAttempts = 3
+// uploadAttempts bounds automatic resubmission of a failed upload
+// within one fence; each explicit Seal/Checkpoint grants a fresh
+// budget. It is the same knob as the backend retry policy
+// (Config.Retry), so "how hard do we try" is one setting: each PUT
+// already retries transient errors inside the Retrier, and the fence
+// resubmits a persistently failed object this many times on top.
+func (s *Store) uploadAttempts() int { return s.cfg.Retry.Attempts() }
 
 // inflightObj is a sealed object whose PUT has been issued (or failed
 // and awaits resubmission) but whose map commit has not yet happened.
@@ -48,6 +52,9 @@ type inflightObj struct {
 // record a nextSeq beyond an uncommitted object, or recovery replay
 // (which covers only seqs after the checkpoint) would skip it.
 func (s *Store) sealAsyncLocked() error {
+	if err := s.sweepOrphansLocked(); err != nil {
+		return err
+	}
 	if s.batch.empty() {
 		return nil
 	}
@@ -107,7 +114,7 @@ func (s *Store) reserveUploadSlotLocked() error {
 	maxInflight := 2 * s.cfg.UploadDepth
 	for len(s.inflight) >= maxInflight {
 		if front := s.inflight[0]; front.done && front.err != nil {
-			if front.attempts >= maxUploadAttempts {
+			if front.attempts >= s.uploadAttempts() {
 				return fmt.Errorf("blockstore: object %d upload failed after %d attempts: %w", front.seq, front.attempts, front.err)
 			}
 			s.resubmitFailedLocked()
@@ -133,24 +140,33 @@ func (s *Store) startUploadLocked(inf *inflightObj) {
 		<-s.uploadSem
 		s.mu.Lock()
 		inf.done, inf.err = true, err
+		var post func()
 		if err == nil {
-			s.commitReadyLocked()
+			post = s.commitReadyLocked()
 		}
 		s.commitCond.Broadcast()
 		s.mu.Unlock()
+		if post != nil {
+			post()
+		}
 	}()
 }
 
 // commitReadyLocked applies, strictly in sequence order, every
 // successfully uploaded object at the front of the in-flight list:
-// map installation, accounting, durable watermark (and the OnDestage
-// callback that unlocks write-cache eviction), then the post-seal GC
-// trigger. Called with s.mu held from the upload completion path.
-func (s *Store) commitReadyLocked() {
+// map installation, accounting, durable watermark. It returns a
+// closure (nil when there is nothing to do) the caller must run AFTER
+// releasing s.mu: the OnDestage callback and the commit-triggered GC
+// pass execute off the lock, so a slow callback or a full collection
+// cannot stall every later commit, and a callback that reaches back
+// into the store cannot deadlock. Called with s.mu held from the
+// upload completion path.
+func (s *Store) commitReadyLocked() func() {
+	var watermark uint64
 	for len(s.inflight) > 0 {
 		inf := s.inflight[0]
 		if !inf.done || inf.err != nil {
-			return
+			break
 		}
 		s.inflight = s.inflight[1:]
 		s.inflightBytes -= inf.fill
@@ -159,17 +175,45 @@ func (s *Store) commitReadyLocked() {
 		s.installObject(inf.info, inf.mapped, inf.trims)
 		if inf.maxWrite > s.durableWriteSeq {
 			s.durableWriteSeq = inf.maxWrite
-			if s.cfg.OnDestage != nil {
-				s.cfg.OnDestage(s.durableWriteSeq)
-			}
+			watermark = s.durableWriteSeq
 		}
 		s.sinceCkpt++
-		if !s.aborting && s.cfg.GCLowWater > 0 && s.utilizationLocked() < s.cfg.GCLowWater {
-			if err := s.gcLocked(); err != nil && s.asyncErr == nil {
-				s.asyncErr = err
-			}
+	}
+	needGC := false
+	if !s.aborting && !s.gcBusy && s.cfg.GCLowWater > 0 &&
+		s.utilizationLocked() < s.cfg.GCLowWater {
+		// Claim the GC trigger under the lock so concurrent commits
+		// start at most one pass; fences wait for it via commitCond.
+		needGC = true
+		s.gcBusy = true
+	}
+	cb := s.cfg.OnDestage
+	if (watermark == 0 || cb == nil) && !needGC {
+		return nil
+	}
+	return func() {
+		if watermark > 0 && cb != nil {
+			cb(watermark)
+		}
+		if needGC {
+			s.commitTriggeredGC()
 		}
 	}
+}
+
+// commitTriggeredGC runs the GC pass claimed by commitReadyLocked on
+// the upload-completion goroutine, after s.mu was dropped. Failures
+// land in asyncErr and surface at the next fence.
+func (s *Store) commitTriggeredGC() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.aborting && !s.readOnly {
+		if err := s.gcLocked(); err != nil && s.asyncErr == nil {
+			s.asyncErr = err
+		}
+	}
+	s.gcBusy = false
+	s.commitCond.Broadcast()
 }
 
 // resubmitFailedLocked reissues every failed upload.
@@ -182,16 +226,19 @@ func (s *Store) resubmitFailedLocked() {
 }
 
 // waitInflightLocked blocks until the in-flight list drains (every
-// object committed), resubmitting failures up to maxUploadAttempts.
-// On persistent failure the object stays in the list so a later fence
-// can retry it; the error is returned to the caller.
+// object committed) and any commit-triggered GC pass finishes,
+// resubmitting failures up to the fence attempt budget. On persistent
+// failure the object stays in the list so a later fence can retry it;
+// the error is returned to the caller.
 func (s *Store) waitInflightLocked() error {
-	for len(s.inflight) > 0 {
-		if front := s.inflight[0]; front.done && front.err != nil {
-			if front.attempts >= maxUploadAttempts {
-				return fmt.Errorf("blockstore: object %d upload failed after %d attempts: %w", front.seq, front.attempts, front.err)
+	for len(s.inflight) > 0 || s.gcBusy {
+		if len(s.inflight) > 0 {
+			if front := s.inflight[0]; front.done && front.err != nil {
+				if front.attempts >= s.uploadAttempts() {
+					return fmt.Errorf("blockstore: object %d upload failed after %d attempts: %w", front.seq, front.attempts, front.err)
+				}
+				s.resubmitFailedLocked()
 			}
-			s.resubmitFailedLocked()
 		}
 		s.commitCond.Wait()
 	}
@@ -233,7 +280,7 @@ func (s *Store) Abort() {
 	s.aborting = true
 	s.readOnly = true
 	for {
-		busy := false
+		busy := s.gcBusy
 		for _, inf := range s.inflight {
 			if !inf.done {
 				busy = true

@@ -97,6 +97,42 @@ func (w *Writer) Barrier() error {
 	return nil
 }
 
+// Rebind points the writer at a new disk (e.g. the volume reopened
+// after a crash) so the recorded history can keep growing across
+// crash/recover cycles.
+func (w *Writer) Rebind(d vdisk.Disk) error {
+	if d.Size()/block.BlockSize != w.blocks {
+		return fmt.Errorf("consistency: rebind to disk of %d blocks, history has %d",
+			d.Size()/block.BlockSize, w.blocks)
+	}
+	w.disk = d
+	return nil
+}
+
+// Prune discards the history of writes newer than v. After a crash
+// recovered to prefix v, those writes are gone for good — auditing
+// future states against them would demand data the disk never promised
+// to keep. The committed watermark is clamped to v; the version
+// counter is not, so post-recovery writes never reuse a lost version.
+func (w *Writer) Prune(v uint64) {
+	for b, versions := range w.history {
+		kept := versions[:0]
+		for _, ver := range versions {
+			if ver <= v {
+				kept = append(kept, ver)
+			}
+		}
+		if len(kept) == 0 {
+			delete(w.history, b)
+		} else {
+			w.history[b] = kept
+		}
+	}
+	if w.committed > v {
+		w.committed = v
+	}
+}
+
 // Committed returns the newest committed version.
 func (w *Writer) Committed() uint64 { return w.committed }
 

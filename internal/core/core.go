@@ -89,6 +89,11 @@ type Options struct {
 	// in the original prototype semantics. Used as the baseline in
 	// benchmarks and ablations.
 	SyncDestage bool
+	// Retry is the backend retry policy (see objstore.RetryPolicy):
+	// every backend operation retries transient failures with
+	// exponential backoff under one per-op attempt budget. The zero
+	// value selects the defaults; MaxAttempts < 0 disables retries.
+	Retry objstore.RetryPolicy
 }
 
 func (o *Options) setDefaults() {
@@ -365,6 +370,7 @@ func (d *Disk) storeConfig() blockstore.Config {
 		GCHighWater:     d.opts.GCHighWater,
 		CheckpointEvery: d.opts.CheckpointEvery,
 		OnDestage:       func(ws uint64) { d.wc.SetDestaged(ws) },
+		Retry:           d.opts.Retry,
 	}
 	if !d.opts.SyncDestage && !d.readOnly {
 		cfg.UploadDepth = d.opts.UploadDepth

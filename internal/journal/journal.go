@@ -9,6 +9,7 @@ package journal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
@@ -17,6 +18,13 @@ import (
 
 // Magic identifies an LSVD log record ("LSVD" little-endian).
 const Magic uint32 = 0x4456534c
+
+// ErrCorrupt tags every decode failure — short buffer, bad magic,
+// impossible lengths, CRC mismatch — so callers can tell a truncated
+// or torn record (errors.Is(err, ErrCorrupt)) apart from an I/O error
+// fetching it. Backend recovery uses this to treat a torn tail object
+// as the crash gap rather than a fatal error.
+var ErrCorrupt = errors.New("journal: corrupt record")
 
 // Type discriminates log records and backend objects.
 type Type uint32
@@ -162,11 +170,11 @@ func encode(h *Header, data []byte, hdrAlign, totalAlign int) ([]byte, error) {
 // header and the header's encoded length (including alignment padding).
 func DecodeHeader(buf []byte) (*Header, int, error) {
 	if len(buf) < headerFixed {
-		return nil, 0, fmt.Errorf("journal: short header: %d bytes", len(buf))
+		return nil, 0, fmt.Errorf("%w: short header: %d bytes", ErrCorrupt, len(buf))
 	}
 	le := binary.LittleEndian
 	if m := le.Uint32(buf); m != Magic {
-		return nil, 0, fmt.Errorf("journal: bad magic %#x", m)
+		return nil, 0, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, m)
 	}
 	h := &Header{
 		Type:     Type(le.Uint32(buf[4:])),
@@ -177,7 +185,7 @@ func DecodeHeader(buf []byte) (*Header, int, error) {
 	hdrLen := int(le.Uint32(buf[12:]))
 	n := int(le.Uint32(buf[40:]))
 	if hdrLen < HeaderSize(n) || hdrLen > len(buf) {
-		return nil, 0, fmt.Errorf("journal: header length %d invalid for %d extents (buf %d)", hdrLen, n, len(buf))
+		return nil, 0, fmt.Errorf("%w: header length %d invalid for %d extents (buf %d)", ErrCorrupt, hdrLen, n, len(buf))
 	}
 	if n > 0 {
 		h.Extents = make([]ExtentEntry, n)
@@ -198,7 +206,7 @@ func DecodeHeader(buf []byte) (*Header, int, error) {
 // data bytes.
 func Verify(hdrBytes, data []byte) error {
 	if len(hdrBytes) < headerFixed {
-		return fmt.Errorf("journal: short header")
+		return fmt.Errorf("%w: short header", ErrCorrupt)
 	}
 	le := binary.LittleEndian
 	want := le.Uint32(hdrBytes[crcOffset:])
@@ -208,7 +216,7 @@ func Verify(hdrBytes, data []byte) error {
 	crc := crc32.Update(0, castagnoli, tmp)
 	crc = crc32.Update(crc, castagnoli, data)
 	if crc != want {
-		return fmt.Errorf("journal: CRC mismatch: computed %#x, stored %#x", crc, want)
+		return fmt.Errorf("%w: CRC mismatch: computed %#x, stored %#x", ErrCorrupt, crc, want)
 	}
 	return nil
 }
@@ -226,7 +234,7 @@ func Decode(buf []byte, align4K bool) (*Header, []byte, int, error) {
 		total = (total + block.BlockSize - 1) &^ (block.BlockSize - 1)
 	}
 	if total > len(buf) {
-		return nil, nil, 0, fmt.Errorf("journal: record of %d bytes exceeds buffer %d", total, len(buf))
+		return nil, nil, 0, fmt.Errorf("%w: record of %d bytes exceeds buffer %d", ErrCorrupt, total, len(buf))
 	}
 	data := buf[hdrLen : hdrLen+int(h.DataLen)]
 	if err := Verify(buf[:hdrLen], data); err != nil {

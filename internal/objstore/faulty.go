@@ -1,0 +1,302 @@
+package objstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by Faulty-injected failures. The
+// Retrier classifies it as transient.
+var ErrInjected = errors.New("objstore: injected fault")
+
+// FaultRates holds an independent failure probability per operation
+// type. Zero means that operation never fails probabilistically.
+type FaultRates struct {
+	Put, Get, GetRange, Delete, List, Size float64
+}
+
+// UniformRates returns FaultRates with the same probability p for
+// every operation type.
+func UniformRates(p float64) FaultRates {
+	return FaultRates{Put: p, Get: p, GetRange: p, Delete: p, List: p, Size: p}
+}
+
+// FaultConfig describes a seeded probabilistic fault regime for Arm.
+type FaultConfig struct {
+	// Seed makes the fault sequence deterministic for a fixed sequence
+	// of operations.
+	Seed int64
+	// Rates are per-op failure probabilities.
+	Rates FaultRates
+	// Latency, when non-zero, delays every operation by a uniformly
+	// random duration in [Latency/2, 3*Latency/2).
+	Latency time.Duration
+	// TornWrites models a PUT whose connection died mid-transfer: an
+	// injected Put failure of a NOT-yet-existing object may leave a
+	// truncated prefix of the data behind. Overwrites never tear —
+	// real object stores replace atomically, so a failed overwrite
+	// leaves the previous object (e.g. the superblock) intact.
+	TornWrites bool
+}
+
+type faultOp int
+
+const (
+	opPut faultOp = iota
+	opGet
+	opGetRange
+	opDelete
+	opList
+	opSize
+)
+
+func (r FaultRates) rate(op faultOp) float64 {
+	switch op {
+	case opPut:
+		return r.Put
+	case opGet:
+		return r.Get
+	case opGetRange:
+		return r.GetRange
+	case opDelete:
+		return r.Delete
+	case opList:
+		return r.List
+	case opSize:
+		return r.Size
+	}
+	return 0
+}
+
+// Faulty wraps a Store and fails operations on demand: explicitly
+// armed per-object failures (FailPuts/FailDeletes), every-Nth-mutation
+// failures, and a seeded probabilistic regime with injected latency
+// and torn writes (Arm). Used to test retry and recovery paths.
+type Faulty struct {
+	Inner Store
+
+	mu        sync.Mutex
+	cfg       FaultConfig
+	rng       *rand.Rand // non-nil while armed
+	failEvery int        // fail every Nth mutation (0 = never)
+	n         int
+	failPuts  map[string]int // per-name put failures left; <0 = forever
+	failDels  map[string]int // per-name delete failures left; <0 = forever
+
+	injected atomic.Uint64
+	torn     atomic.Uint64
+}
+
+// NewFaulty wraps inner with no faults armed.
+func NewFaulty(inner Store) *Faulty {
+	return &Faulty{
+		Inner:    inner,
+		failPuts: make(map[string]int),
+		failDels: make(map[string]int),
+	}
+}
+
+// Arm enables the seeded probabilistic fault regime. Explicitly armed
+// per-name failures and FailEveryNth keep working alongside it.
+func (s *Faulty) Arm(cfg FaultConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg = cfg
+	s.rng = rand.New(rand.NewSource(cfg.Seed))
+}
+
+// Disarm clears every armed fault: the probabilistic regime, the
+// every-Nth counter and all per-name failures.
+func (s *Faulty) Disarm() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg = FaultConfig{}
+	s.rng = nil
+	s.failEvery = 0
+	s.n = 0
+	s.failPuts = make(map[string]int)
+	s.failDels = make(map[string]int)
+}
+
+// FailEveryNth arms a failure on every nth mutating call (Put/Delete);
+// 0 disarms it.
+func (s *Faulty) FailEveryNth(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failEvery = n
+	s.n = 0
+}
+
+// FailPut arms a one-shot failure for a specific object name.
+func (s *Faulty) FailPut(name string) { s.FailPuts(name, 1) }
+
+// FailPuts arms the next n Puts of name to fail. n < 0 fails them
+// forever; n == 0 heals the name.
+func (s *Faulty) FailPuts(name string, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n == 0 {
+		delete(s.failPuts, name)
+		return
+	}
+	s.failPuts[name] = n
+}
+
+// FailDeletes arms the next n Deletes of name to fail. n < 0 fails
+// them forever; n == 0 heals the name.
+func (s *Faulty) FailDeletes(name string, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n == 0 {
+		delete(s.failDels, name)
+		return
+	}
+	s.failDels[name] = n
+}
+
+// InjectedFaults returns the number of failures injected so far.
+func (s *Faulty) InjectedFaults() uint64 { return s.injected.Load() }
+
+// TornPuts returns the number of failed Puts that left a truncated
+// object behind.
+func (s *Faulty) TornPuts() uint64 { return s.torn.Load() }
+
+// takeArmed consumes one armed failure for name from m if any.
+func takeArmed(m map[string]int, name string) bool {
+	n, ok := m[name]
+	if !ok {
+		return false
+	}
+	if n > 0 {
+		if n == 1 {
+			delete(m, name)
+		} else {
+			m[name] = n - 1
+		}
+	}
+	return true
+}
+
+// decide rolls the dice for one operation: the latency to inject,
+// whether to fail, and — for torn Puts — how many payload bytes to
+// leave behind (-1 = none; len(data) models a PUT that completed but
+// whose acknowledgement was lost).
+func (s *Faulty) decide(op faultOp, name string, putLen int) (delay time.Duration, fail bool, tear int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tear = -1
+	if s.rng != nil && s.cfg.Latency > 0 {
+		delay = s.cfg.Latency/2 + time.Duration(s.rng.Int63n(int64(s.cfg.Latency)))
+	}
+	switch op {
+	case opPut:
+		fail = takeArmed(s.failPuts, name)
+	case opDelete:
+		fail = takeArmed(s.failDels, name)
+	}
+	if !fail && s.failEvery > 0 && (op == opPut || op == opDelete) {
+		s.n++
+		if s.n%s.failEvery == 0 {
+			fail = true
+		}
+	}
+	if !fail && s.rng != nil {
+		if r := s.cfg.Rates.rate(op); r > 0 && s.rng.Float64() < r {
+			fail = true
+		}
+	}
+	if fail {
+		s.injected.Add(1)
+		if op == opPut && s.cfg.TornWrites && s.rng != nil && putLen > 0 {
+			tear = s.rng.Intn(putLen + 1)
+		}
+	}
+	return delay, fail, tear
+}
+
+// Put implements Store.
+func (s *Faulty) Put(ctx context.Context, name string, data []byte) error {
+	delay, fail, tear := s.decide(opPut, name, len(data))
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		if tear >= 0 {
+			// Torn PUT: leave a truncated object behind, but never
+			// clobber an existing one (atomic-replace backends keep
+			// the old object when an overwrite fails).
+			if _, err := s.Inner.Size(ctx, name); errors.Is(err, ErrNotFound) {
+				if s.Inner.Put(ctx, name, append([]byte(nil), data[:tear]...)) == nil {
+					s.torn.Add(1)
+				}
+			}
+		}
+		return fmt.Errorf("%w: put %q", ErrInjected, name)
+	}
+	return s.Inner.Put(ctx, name, data)
+}
+
+// Get implements Store.
+func (s *Faulty) Get(ctx context.Context, name string) ([]byte, error) {
+	delay, fail, _ := s.decide(opGet, name, 0)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return nil, fmt.Errorf("%w: get %q", ErrInjected, name)
+	}
+	return s.Inner.Get(ctx, name)
+}
+
+// GetRange implements Store.
+func (s *Faulty) GetRange(ctx context.Context, name string, off, length int64) ([]byte, error) {
+	delay, fail, _ := s.decide(opGetRange, name, 0)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return nil, fmt.Errorf("%w: getrange %q", ErrInjected, name)
+	}
+	return s.Inner.GetRange(ctx, name, off, length)
+}
+
+// Delete implements Store.
+func (s *Faulty) Delete(ctx context.Context, name string) error {
+	delay, fail, _ := s.decide(opDelete, name, 0)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return fmt.Errorf("%w: delete %q", ErrInjected, name)
+	}
+	return s.Inner.Delete(ctx, name)
+}
+
+// List implements Store.
+func (s *Faulty) List(ctx context.Context, prefix string) ([]string, error) {
+	delay, fail, _ := s.decide(opList, prefix, 0)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return nil, fmt.Errorf("%w: list %q", ErrInjected, prefix)
+	}
+	return s.Inner.List(ctx, prefix)
+}
+
+// Size implements Store.
+func (s *Faulty) Size(ctx context.Context, name string) (int64, error) {
+	delay, fail, _ := s.decide(opSize, name, 0)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return 0, fmt.Errorf("%w: size %q", ErrInjected, name)
+	}
+	return s.Inner.Size(ctx, name)
+}

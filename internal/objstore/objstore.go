@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -20,6 +21,15 @@ import (
 
 // ErrNotFound is returned for GETs and DELETEs of missing objects.
 var ErrNotFound = errors.New("objstore: object not found")
+
+// ErrBadName is returned for syntactically invalid object names (path
+// escapes, absolute paths, reserved temp names). It is terminal under
+// retry: no number of attempts makes a bad name valid.
+var ErrBadName = errors.New("objstore: invalid object name")
+
+// ErrBadRange is returned when a range request's offset lies outside
+// the object. Terminal under retry.
+var ErrBadRange = errors.New("objstore: invalid range")
 
 // Store is the S3-like backend interface. Objects are immutable by
 // convention (only the volume superblock is ever overwritten);
@@ -107,7 +117,7 @@ func (s *Mem) GetRange(_ context.Context, name string, off, length int64) ([]byt
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	if off < 0 || off > obj.size {
-		return nil, fmt.Errorf("objstore: range offset %d outside object %s of %d bytes", off, name, obj.size)
+		return nil, fmt.Errorf("%w: offset %d outside object %s of %d bytes", ErrBadRange, off, name, obj.size)
 	}
 	if length < 0 || off+length > obj.size {
 		length = obj.size - off
@@ -190,11 +200,25 @@ func min64(a, b int64) int64 {
 	return b
 }
 
+// tmpPrefix begins every temp file Dir.Put stages before its rename.
+// '#' never appears in valid object names (path rejects it below), so
+// List can filter temp files exactly without ever hiding a legitimate
+// object, and a Put of "<name>.tmp" cannot collide with staging files.
+const tmpPrefix = "#tmp#"
+
 // Dir is a directory-backed Store for real deployments: each object is
 // a file; names may contain '/' which map to subdirectories.
 type Dir struct {
 	root string
+
+	// NoSync skips the fsyncs in Put. Puts remain atomic (tmp+rename)
+	// but are no longer crash-durable: an acknowledged object can
+	// vanish if the host crashes before writeback. Benchmarks may set
+	// it; deployments that care about §3.3 durability must not.
+	NoSync bool
+
 	mu   sync.Mutex // serializes Put's tmp-rename per store
+	tmpN uint64     // staging-file counter, under mu
 }
 
 // NewDir returns a store rooted at dir, creating it if necessary.
@@ -205,30 +229,90 @@ func NewDir(dir string) (*Dir, error) {
 	return &Dir{root: dir}, nil
 }
 
+// NewDirNoSync returns a directory store with durability fsyncs
+// disabled — faster, but acknowledged objects may be lost on host
+// crash.
+func NewDirNoSync(dir string) (*Dir, error) {
+	s, err := NewDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.NoSync = true
+	return s, nil
+}
+
 func (s *Dir) path(name string) (string, error) {
 	clean := filepath.Clean(name)
 	if clean == "." || strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
-		return "", fmt.Errorf("objstore: invalid object name %q", name)
+		return "", fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	for _, seg := range strings.Split(filepath.ToSlash(clean), "/") {
+		if strings.HasPrefix(seg, tmpPrefix) {
+			return "", fmt.Errorf("%w: %q uses reserved temp prefix", ErrBadName, name)
+		}
 	}
 	return filepath.Join(s.root, clean), nil
 }
 
-// Put implements Store with an atomic tmp+rename.
+// Put implements Store with an atomic, crash-durable tmp+rename: the
+// staged file is fsynced before the rename and the parent directory
+// after, so an acknowledged Put survives a host crash (unless NoSync).
 func (s *Dir) Put(_ context.Context, name string, data []byte) error {
 	p, err := s.path(name)
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	s.tmpN++
+	tmp := filepath.Join(dir, fmt.Sprintf("%s%d.%d", tmpPrefix, os.Getpid(), s.tmpN))
+	if err := s.writeTemp(tmp, data); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, p)
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if s.NoSync {
+		return nil
+	}
+	return syncDir(dir)
+}
+
+func (s *Dir) writeTemp(tmp string, data []byte) error {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if !s.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a preceding rename in it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Get implements Store.
@@ -263,7 +347,7 @@ func (s *Dir) GetRange(_ context.Context, name string, off, length int64) ([]byt
 		return nil, err
 	}
 	if off < 0 || off > st.Size() {
-		return nil, fmt.Errorf("objstore: range offset %d outside object %s of %d bytes", off, name, st.Size())
+		return nil, fmt.Errorf("%w: offset %d outside object %s of %d bytes", ErrBadRange, off, name, st.Size())
 	}
 	if length < 0 || off+length > st.Size() {
 		length = st.Size() - off
@@ -300,7 +384,7 @@ func (s *Dir) List(_ context.Context, prefix string) ([]string, error) {
 			return err
 		}
 		rel = filepath.ToSlash(rel)
-		if strings.HasSuffix(rel, ".tmp") {
+		if strings.HasPrefix(path.Base(rel), tmpPrefix) {
 			return nil
 		}
 		if strings.HasPrefix(rel, prefix) {

@@ -5,7 +5,10 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 )
 
 var ctx = context.Background()
@@ -37,9 +40,20 @@ func storeContract(t *testing.T, s Store) {
 	if err != nil || !bytes.Equal(got, data[10:]) {
 		t.Fatalf("open range: %v %q", err, got)
 	}
-	// Offset past end is an error.
-	if _, err := s.GetRange(ctx, "vol.00000001", int64(len(data)+1), 1); err == nil {
-		t.Fatal("offset past end accepted")
+	// Range starting exactly at the object boundary is empty, not an
+	// error (recovery probes object tails this way).
+	got, err = s.GetRange(ctx, "vol.00000001", int64(len(data)), 8)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("boundary range: %v %q", err, got)
+	}
+	// Range ending exactly at the boundary returns the full run.
+	got, err = s.GetRange(ctx, "vol.00000001", int64(len(data)-3), 3)
+	if err != nil || string(got) != "dog" {
+		t.Fatalf("exact tail range: %v %q", err, got)
+	}
+	// Offset past end is an error, and a classified one.
+	if _, err := s.GetRange(ctx, "vol.00000001", int64(len(data)+1), 1); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("offset past end: %v", err)
 	}
 	// Size.
 	if n, err := s.Size(ctx, "vol.00000001"); err != nil || n != int64(len(data)) {
@@ -98,6 +112,26 @@ func TestDirContract(t *testing.T) {
 }
 func TestMeteredContract(t *testing.T) { storeContract(t, NewMetered(NewMem())) }
 func TestFaultyContract(t *testing.T)  { storeContract(t, NewFaulty(NewMem())) }
+func TestRetrierContract(t *testing.T) { storeContract(t, NewRetrier(NewMem(), RetryPolicy{})) }
+
+// The composed stack the torture harness uses: a Retrier over a Faulty
+// store injecting failures on a third of all operations. With a
+// 16-attempt budget the contract must pass as if the store were
+// healthy.
+func TestRetrierOverFaultyContract(t *testing.T) {
+	faulty := NewFaulty(NewMem())
+	faulty.Arm(FaultConfig{Seed: 42, Rates: UniformRates(0.33)})
+	r := NewRetrier(faulty, RetryPolicy{
+		MaxAttempts: 16, BaseDelay: 10 * time.Microsecond, MaxDelay: 100 * time.Microsecond,
+	})
+	storeContract(t, r)
+	if faulty.InjectedFaults() == 0 {
+		t.Fatal("fault regime never fired; the test proves nothing")
+	}
+	if r.Retries() == 0 {
+		t.Fatal("retrier absorbed no failures")
+	}
+}
 
 func TestSlimZeroTail(t *testing.T) {
 	s := NewMemSlim()
@@ -161,6 +195,49 @@ func TestDirNameValidation(t *testing.T) {
 	if err != nil || len(names) != 1 || names[0] != "vol/sub/obj.1" {
 		t.Fatalf("list: %v %v", names, err)
 	}
+}
+
+// TestDirTmpNaming covers the temp-file bugs: an object legitimately
+// named "*.tmp" must be storable and listable (the old List filter hid
+// it), abandoned staging files must stay invisible, and the reserved
+// "#tmp#" prefix is rejected as an object name so staging files can
+// never collide with a real object.
+func TestDirTmpNaming(t *testing.T) {
+	root := t.TempDir()
+	s, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "vol.00000001.tmp", []byte("legit")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.List(ctx, "vol.")
+	if err != nil || len(names) != 1 || names[0] != "vol.00000001.tmp" {
+		t.Fatalf(".tmp object hidden: %v %v", names, err)
+	}
+	// An abandoned staging file (crash between create and rename) must
+	// not surface as an object.
+	if err := os.WriteFile(filepath.Join(root, "#tmp#999.1"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err = s.List(ctx, "")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("staging file listed: %v %v", names, err)
+	}
+	// The staging prefix is not a valid object name anywhere in a path.
+	for _, bad := range []string{"#tmp#1", "vol/#tmp#x", "#tmp#"} {
+		if err := s.Put(ctx, bad, []byte("x")); !errors.Is(err, ErrBadName) {
+			t.Fatalf("reserved name %q: %v", bad, err)
+		}
+	}
+}
+
+func TestDirNoSync(t *testing.T) {
+	s, err := NewDirNoSync(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeContract(t, s)
 }
 
 func TestMeteredCounts(t *testing.T) {

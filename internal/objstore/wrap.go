@@ -2,8 +2,6 @@ package objstore
 
 import (
 	"context"
-	"errors"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -118,90 +116,4 @@ func (s *Metered) ModeledTime(qd int) time.Duration {
 		}
 	}
 	return e
-}
-
-// ErrInjected is the error returned by Faulty-injected failures.
-var ErrInjected = errors.New("objstore: injected fault")
-
-// Faulty wraps a Store and fails operations on demand; used to test
-// retry and recovery paths.
-type Faulty struct {
-	Inner Store
-
-	mu        sync.Mutex
-	failEvery int // fail every Nth mutation (0 = never)
-	n         int
-	failPuts  map[string]bool // explicit put failures by name
-}
-
-// NewFaulty wraps inner with no faults armed.
-func NewFaulty(inner Store) *Faulty {
-	return &Faulty{Inner: inner, failPuts: make(map[string]bool)}
-}
-
-// FailEveryNth arms a failure on every nth mutating call (Put/Delete).
-func (s *Faulty) FailEveryNth(n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.failEvery = n
-	s.n = 0
-}
-
-// FailPut arms a one-shot failure for a specific object name.
-func (s *Faulty) FailPut(name string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.failPuts[name] = true
-}
-
-func (s *Faulty) shouldFail(name string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.failPuts[name] {
-		delete(s.failPuts, name)
-		return true
-	}
-	if s.failEvery > 0 {
-		s.n++
-		if s.n%s.failEvery == 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// Put implements Store.
-func (s *Faulty) Put(ctx context.Context, name string, data []byte) error {
-	if s.shouldFail(name) {
-		return ErrInjected
-	}
-	return s.Inner.Put(ctx, name, data)
-}
-
-// Get implements Store.
-func (s *Faulty) Get(ctx context.Context, name string) ([]byte, error) {
-	return s.Inner.Get(ctx, name)
-}
-
-// GetRange implements Store.
-func (s *Faulty) GetRange(ctx context.Context, name string, off, length int64) ([]byte, error) {
-	return s.Inner.GetRange(ctx, name, off, length)
-}
-
-// Delete implements Store.
-func (s *Faulty) Delete(ctx context.Context, name string) error {
-	if s.shouldFail(name) {
-		return ErrInjected
-	}
-	return s.Inner.Delete(ctx, name)
-}
-
-// List implements Store.
-func (s *Faulty) List(ctx context.Context, prefix string) ([]string, error) {
-	return s.Inner.List(ctx, prefix)
-}
-
-// Size implements Store.
-func (s *Faulty) Size(ctx context.Context, name string) (int64, error) {
-	return s.Inner.Size(ctx, name)
 }

@@ -62,6 +62,9 @@ type BlockDevice = vdisk.Disk
 // ObjectStore is the S3-like backend interface.
 type ObjectStore = objstore.Store
 
+// RetryPolicy configures backend retry/backoff (see VolumeOptions.Retry).
+type RetryPolicy = objstore.RetryPolicy
+
 // CacheDevice is the local SSD abstraction.
 type CacheDevice = simdev.Device
 
@@ -100,6 +103,13 @@ type VolumeOptions struct {
 	UploadDepth       int  // concurrent backend object PUTs (4)
 	DestageQueueDepth int  // queued writes between ack and destage (256)
 	SyncDestage       bool // disable the pipeline: destage inline (off)
+
+	// Retry is the backend retry policy: transient store failures are
+	// retried with exponential backoff + jitter under one per-op
+	// attempt budget across reads, uploads, GC and recovery. The zero
+	// value selects the defaults (4 attempts, 2 ms base backoff);
+	// MaxAttempts < 0 disables retries.
+	Retry RetryPolicy
 }
 
 func (o VolumeOptions) coreOptions() core.Options {
@@ -117,6 +127,7 @@ func (o VolumeOptions) coreOptions() core.Options {
 		UploadDepth:       o.UploadDepth,
 		DestageQueueDepth: o.DestageQueueDepth,
 		SyncDestage:       o.SyncDestage,
+		Retry:             o.Retry,
 	}
 	if o.PrefetchBytes > 0 {
 		opts.PrefetchSectors = uint32(o.PrefetchBytes / block.SectorSize)
@@ -150,8 +161,14 @@ func OpenSnapshot(ctx context.Context, o VolumeOptions, snapshot string) (*Disk,
 // MemStore returns an in-memory object store (tests, experiments).
 func MemStore() ObjectStore { return objstore.NewMem() }
 
-// DirStore returns an object store backed by a directory tree.
+// DirStore returns an object store backed by a directory tree. Puts
+// are atomic and crash-durable (fsync before and after the rename).
 func DirStore(dir string) (ObjectStore, error) { return objstore.NewDir(dir) }
+
+// DirStoreNoSync returns a directory store with the durability fsyncs
+// disabled — faster, but an acknowledged object can vanish if the
+// host crashes before writeback. Benchmarks only.
+func DirStoreNoSync(dir string) (ObjectStore, error) { return objstore.NewDirNoSync(dir) }
 
 // MemCacheDevice returns an in-memory cache device of the given size.
 func MemCacheDevice(size int64) CacheDevice { return simdev.NewMem(size) }
