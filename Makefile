@@ -7,7 +7,7 @@ GO ?= go
 # race detector, including the destage stress tests.
 RACE_PKGS := ./internal/core ./internal/blockstore ./internal/writecache ./internal/nbd ./internal/consistency
 
-.PHONY: all build vet test race bench fault check clean
+.PHONY: all build vet test race bench bench-read fault check clean
 
 all: check
 
@@ -37,7 +37,14 @@ fault:
 bench:
 	$(GO) test -run xxx -bench 'DiskWriteAck|DiskConcurrentReads' -benchtime 2s .
 
+# Read-miss-path benchmarks (cold seqread + QD-sweep random read
+# against a simulated-latency backend), recording BENCH_readpath.json.
+# The same test runs without the env var as a smoke check in `check`.
+bench-read:
+	LSVD_READBENCH_OUT=BENCH_readpath.json $(GO) test -count=1 -run TestReadPathQDSweep -v .
+
 check: build vet test race fault
+	$(GO) test -count=1 -run TestReadPathQDSweep .
 
 clean:
 	$(GO) clean -testcache

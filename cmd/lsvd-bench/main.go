@@ -27,6 +27,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	uploadDepth := flag.Int("upload-depth", 0, "concurrent backend object uploads per volume (0 = library default)")
 	syncDestage := flag.Bool("sync-destage", false, "disable the async destage pipeline (destage inline, for before/after comparisons)")
+	fetchDepth := flag.Int("fetch-depth", 0, "concurrent backend range GETs on the read-miss path (0 = library default, 1 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -40,7 +41,7 @@ func main() {
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
 		names = experiments.Names()
 	}
-	env := experiments.Env{Scale: *scale, Seed: *seed, UploadDepth: *uploadDepth, SyncDestage: *syncDestage}
+	env := experiments.Env{Scale: *scale, Seed: *seed, UploadDepth: *uploadDepth, SyncDestage: *syncDestage, FetchDepth: *fetchDepth}
 	ctx := context.Background()
 
 	exit := 0

@@ -82,6 +82,8 @@ func main() {
 		fmt.Printf("live data:    %d MiB of %d MiB (util %.2f)\n",
 			st.LiveSectors*block.SectorSize/(1<<20), st.DataSectors*block.SectorSize/(1<<20), s.Utilization())
 		fmt.Printf("map extents:  %d\n", st.MapExtents)
+		fmt.Printf("read path:    %d GETs, %d deduped, %d runs coalesced, %d header fetches\n",
+			st.FetchGETs, st.FetchesDeduped, st.RunsCoalesced, st.HeaderFetches)
 		if base != "" {
 			fmt.Printf("clone of:     %s@%d\n", base, baseSeq)
 		}

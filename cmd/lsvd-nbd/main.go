@@ -49,6 +49,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:10809", "NBD listen address")
 	storeNoSync := flag.Bool("store-nosync", false, "skip object-store fsyncs (faster, loses crash durability)")
 	retryAttempts := flag.Int("retry-attempts", 0, "backend retry attempt budget per op (0 = default, <0 disables retries)")
+	fetchDepth := flag.Int("fetch-depth", 0, "concurrent backend range GETs on the read-miss path (0 = default, 1 = serial)")
 	flag.Parse()
 
 	if *storeDir == "" || *cachePath == "" {
@@ -72,7 +73,8 @@ func main() {
 	}
 	opts := lsvd.VolumeOptions{
 		Name: *volume, Store: store, Cache: cache,
-		Retry: lsvd.RetryPolicy{MaxAttempts: *retryAttempts},
+		Retry:      lsvd.RetryPolicy{MaxAttempts: *retryAttempts},
+		FetchDepth: *fetchDepth,
 	}
 	ctx := context.Background()
 

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"lsvd/internal/block"
 	"lsvd/internal/extmap"
@@ -78,6 +79,10 @@ type Config struct {
 	// policy; the upload pipeline's per-fence resubmission budget is
 	// Retry.Attempts() as well. MaxAttempts < 0 disables wrapping.
 	Retry objstore.RetryPolicy
+	// FetchDepth bounds the number of concurrent backend range GETs the
+	// read-miss fetch path (FetchSpan) keeps in flight across all
+	// readers. 0 leaves the pool unbounded; 1 serializes miss fetches.
+	FetchDepth int
 }
 
 func (c *Config) setDefaults() {
@@ -143,11 +148,22 @@ type Stats struct {
 	DeferredDeletes int
 	OrphanObjects   int    // stranded objects whose deletion failed, awaiting sweep
 	BackendRetries  uint64 // transient backend failures absorbed by the Retrier
+	FetchGETs       uint64 // backend range GETs issued by the read-miss fetch path
+	FetchesDeduped  uint64 // span fetches served by joining another reader's in-flight GET
+	RunsCoalesced   uint64 // extra map runs folded into an existing span GET
+	HeaderFetches   uint64 // object header fetches that went to the backend
 }
 
 // Store is a log-structured block store for one volume.
+//
+// mu is an RWMutex: mutators and multi-step invariants take the write
+// lock exactly as before (commitCond sits on its write side), while
+// pure readers — map lookups, name resolution, stats — share the read
+// lock so concurrent readers never serialize behind each other or
+// behind a backend fetch (no backend I/O happens under mu at all; see
+// fetch.go and the GC lock-drop protocol in gc.go).
 type Store struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	cfg Config
 	ctx context.Context
 
@@ -195,10 +211,26 @@ type Store struct {
 
 	hdrCache map[uint32]*hdrEntry
 
+	// Header fetch singleflight (read.go): concurrent misses on the
+	// same object's header share one backend fetch, issued without mu.
+	hdrMu      sync.Mutex
+	hdrFlights map[uint32]*hdrFlight
+
+	// Read-miss fetch machinery (fetch.go): in-flight/retained window
+	// table and the bounded fetcher pool.
+	fetchMu  sync.Mutex
+	flights  map[fetchKey]*flight
+	fetchSem chan struct{} // nil when FetchDepth == 0 (unbounded)
+
 	stats struct {
 		bytesAppended, bytesPut, bytesCoalesced uint64
 		gcBytesCopied, gcRuns, objectsDeleted   uint64
 		checkpoints, uploadRetries              uint64
+	}
+
+	// Read-path counters are atomics: the fetch path never holds mu.
+	fetchStats struct {
+		gets, deduped, coalesced, headerFetches atomic.Uint64
 	}
 }
 
@@ -255,18 +287,23 @@ func Create(ctx context.Context, cfg Config) (*Store, error) {
 
 func newStore(ctx context.Context, cfg Config) *Store {
 	s := &Store{
-		cfg:      cfg,
-		ctx:      ctx,
-		m:        extmap.New(),
-		objects:  make(map[uint32]*objInfo),
-		hdrCache: make(map[uint32]*hdrEntry),
-		cleaned:  make(map[uint32]bool),
-		orphans:  make(map[uint32]bool),
+		cfg:        cfg,
+		ctx:        ctx,
+		m:          extmap.New(),
+		objects:    make(map[uint32]*objInfo),
+		hdrCache:   make(map[uint32]*hdrEntry),
+		hdrFlights: make(map[uint32]*hdrFlight),
+		flights:    make(map[fetchKey]*flight),
+		cleaned:    make(map[uint32]bool),
+		orphans:    make(map[uint32]bool),
 	}
 	s.batch = newBatch(cfg.BatchBytes, cfg.NoCoalesce)
 	s.commitCond = sync.NewCond(&s.mu)
 	if cfg.UploadDepth > 0 {
 		s.uploadSem = make(chan struct{}, cfg.UploadDepth)
+	}
+	if cfg.FetchDepth > 0 {
+		s.fetchSem = make(chan struct{}, cfg.FetchDepth)
 	}
 	return s
 }
@@ -277,16 +314,16 @@ func (s *Store) VolSectors() block.LBA { return s.volSectors }
 // DurableWriteSeq returns the newest client write sequence durable in
 // the backend (the destage watermark).
 func (s *Store) DurableWriteSeq() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.durableWriteSeq
 }
 
 // Utilization returns live/total over the volume's own data objects;
 // 1.0 when empty.
 func (s *Store) Utilization() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.utilizationLocked()
 }
 
@@ -322,8 +359,8 @@ func (s *Store) recomputeUtilLocked() {
 
 // Stats returns a statistics snapshot.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st := Stats{
 		Objects: len(s.objects), NextSeq: s.nextSeq, MapExtents: s.m.Len(),
 		BytesAppended: s.stats.bytesAppended, BytesPut: s.stats.bytesPut,
@@ -334,6 +371,10 @@ func (s *Store) Stats() Stats {
 		InflightObjects: len(s.inflight), UploadRetries: s.stats.uploadRetries,
 		DeferredDeletes: len(s.deferred) + len(s.pending),
 		OrphanObjects:   len(s.orphans),
+		FetchGETs:       s.fetchStats.gets.Load(),
+		FetchesDeduped:  s.fetchStats.deduped.Load(),
+		RunsCoalesced:   s.fetchStats.coalesced.Load(),
+		HeaderFetches:   s.fetchStats.headerFetches.Load(),
 	}
 	if r, ok := s.cfg.Store.(*objstore.Retrier); ok {
 		st.BackendRetries = r.Retries()

@@ -1,11 +1,18 @@
 package blockstore
 
 import (
+	"errors"
 	"sort"
 
 	"lsvd/internal/block"
 	"lsvd/internal/journal"
 )
+
+// errGCAborted abandons a GC pass mid-collection when Abort lands
+// during one of the lock drops below; the victim is left uncleaned (its
+// live data was not fully relocated) and the error never escapes
+// gcLocked.
+var errGCAborted = errors.New("blockstore: gc pass aborted")
 
 // RunGC runs garbage collection until overall utilization reaches the
 // high-water mark or no further progress is possible (§3.5).
@@ -18,13 +25,32 @@ func (s *Store) RunGC() error {
 	return s.gcLocked()
 }
 
-// gcLocked implements the Greedy cleaning algorithm [Rosenblum &
+// gcLocked claims the single GC slot and runs one pass. Backend I/O
+// inside a pass (header fetches, source-data reads) drops s.mu, so the
+// gcBusy claim — shared with the commit-triggered trigger in upload.go
+// — is what keeps passes single-flight; fences and Abort wait for it
+// via commitCond.
+func (s *Store) gcLocked() error {
+	for s.gcBusy {
+		s.commitCond.Wait()
+	}
+	if s.aborting {
+		return nil
+	}
+	s.gcBusy = true
+	err := s.gcPassLocked()
+	s.gcBusy = false
+	s.commitCond.Broadcast()
+	return err
+}
+
+// gcPassLocked implements the Greedy cleaning algorithm [Rosenblum &
 // Ousterhout]: repeatedly collect the least-utilized object, copying
 // its remaining live data into fresh GC objects, until utilization
 // recovers. Cleaned objects are deleted only after the next checkpoint
 // (so recovery never sees holes, §3.3) and deletion is further deferred
-// while a snapshot pins them (§3.6).
-func (s *Store) gcLocked() error {
+// while a snapshot pins them (§3.6). Caller owns the gcBusy claim.
+func (s *Store) gcPassLocked() error {
 	if err := s.sweepOrphansLocked(); err != nil {
 		return err
 	}
@@ -48,7 +74,10 @@ func (s *Store) gcLocked() error {
 				float64(o.liveSectors)/float64(o.dataSectors) >= 0.999 {
 				continue
 			}
-			if err := s.collectLocked(o); err != nil {
+			if err := s.collectLocked(seq); err != nil {
+				if errors.Is(err, errGCAborted) {
+					return nil
+				}
 				return err
 			}
 			progress = true
@@ -62,7 +91,7 @@ func (s *Store) gcLocked() error {
 
 // victimCandidatesLocked returns collectable objects sorted by
 // ascending live ratio. The candidate list is consumed in bulk by
-// gcLocked so the O(objects) scan amortizes over many collections.
+// gcPassLocked so the O(objects) scan amortizes over many collections.
 func (s *Store) victimCandidatesLocked() []uint32 {
 	type cand struct {
 		seq   uint32
@@ -100,13 +129,24 @@ type gcPiece struct {
 	srcOff block.LBA // sector offset within source object
 }
 
-// collectLocked relocates the live data of victim into new GC objects
-// and schedules the victim for deletion.
-func (s *Store) collectLocked(victim *objInfo) error {
-	pieces, err := s.livePiecesLocked(victim)
+// collectLocked relocates the live data of the victim into new GC
+// objects and schedules the victim for deletion. The victim's header
+// may need a backend fetch, which drops s.mu; the victim and the pass
+// are revalidated after reacquisition (the gcBusy claim keeps passes
+// single-flight, but seals, commits and lookups proceed meanwhile).
+func (s *Store) collectLocked(seq uint32) error {
+	hdr, err := s.headerGCLocked(seq)
 	if err != nil {
 		return err
 	}
+	if s.aborting {
+		return errGCAborted
+	}
+	victim := s.objects[seq]
+	if victim == nil || s.cleaned[seq] {
+		return nil
+	}
+	pieces := s.livePiecesLocked(victim, hdr)
 	if s.cfg.DefragHoleSectors > 0 {
 		pieces = s.plugHolesLocked(pieces)
 	}
@@ -140,11 +180,7 @@ func (s *Store) collectLocked(victim *objInfo) error {
 // retrieve the object header, which lists the live extents held in
 // that object at the time of its creation; only these ranges need be
 // examined").
-func (s *Store) livePiecesLocked(victim *objInfo) ([]gcPiece, error) {
-	hdr, err := s.headerL(victim.seq)
-	if err != nil {
-		return nil, err
-	}
+func (s *Store) livePiecesLocked(victim *objInfo, hdr *hdrEntry) []gcPiece {
 	var pieces []gcPiece
 	for _, e := range hdr.extents {
 		if e.SrcSeq == trimMarker {
@@ -178,7 +214,7 @@ func (s *Store) livePiecesLocked(victim *objInfo) ([]gcPiece, error) {
 		out = append(out, p)
 		prevEnd = p.ext.End()
 	}
-	return out, nil
+	return out
 }
 
 // plugHolesLocked adds small inter-piece gaps so that the relocated
@@ -223,29 +259,47 @@ func (s *Store) plugHolesLocked(pieces []gcPiece) []gcPiece {
 }
 
 // writeGCObjectLocked reads the pieces (preferring the local cache,
-// §3.5) and seals them into one GC object.
+// §3.5) and seals them into one GC object. Backend source reads drop
+// s.mu — the sources are immutable objects, and installation is
+// conditional on the map still pointing at the copied data, so
+// concurrent seals/trims during the drop at worst make parts of the GC
+// object dead at birth (accounted below). The sequence number is taken
+// only after the read phase, under the same continuous critical
+// section as the PUT and install, exactly as before.
 func (s *Store) writeGCObjectLocked(pieces []gcPiece) error {
+	bufs := make([][]byte, len(pieces))
+	for i, p := range pieces {
+		data := make([]byte, p.ext.Bytes())
+		if p.srcObj != 0 && (s.cfg.FetchFromCache == nil || !s.cfg.FetchFromCache(p.ext, data)) {
+			name := s.name(p.srcObj)
+			s.mu.Unlock()
+			got, err := s.cfg.Store.GetRange(s.ctx, name, p.srcOff.Bytes(), p.ext.Bytes())
+			s.mu.Lock()
+			if err != nil {
+				return err
+			}
+			if s.aborting {
+				return errGCAborted
+			}
+			copy(data, got)
+		}
+		bufs[i] = data
+	}
+
 	var buf []byte
 	exts := make([]journal.ExtentEntry, 0, len(pieces))
 	offs := make([]int64, 0, len(pieces))
 	seq := s.nextSeq
-	for _, p := range pieces {
-		data := make([]byte, p.ext.Bytes())
+	for i, p := range pieces {
 		srcSeq := uint64(p.srcObj)
 		if p.srcObj == 0 {
 			// Zero-fill plug: a fresh write of zeros, installed
 			// unconditionally like client data.
 			srcSeq = uint64(seq)
-		} else if s.cfg.FetchFromCache == nil || !s.cfg.FetchFromCache(p.ext, data) {
-			got, err := s.cfg.Store.GetRange(s.ctx, s.name(p.srcObj), p.srcOff.Bytes(), p.ext.Bytes())
-			if err != nil {
-				return err
-			}
-			copy(data, got)
 		}
 		exts = append(exts, journal.ExtentEntry{LBA: p.ext.LBA, Sectors: p.ext.Sectors, SrcSeq: srcSeq})
 		offs = append(offs, int64(len(buf)))
-		buf = append(buf, data...)
+		buf = append(buf, bufs[i]...)
 	}
 
 	obj, info, mapped, err := s.buildObject(seq, journal.TypeGC, s.durableWriteSeq, exts, offs, buf)

@@ -12,9 +12,17 @@ import (
 // (object, sector-offset) targets, absent runs are uninitialized disk
 // ranges that read as zeros (§3.2).
 func (s *Store) Lookup(ext block.Extent) []extmap.Run {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.m.Lookup(ext)
+}
+
+// LookupInto is Lookup appending into a caller-owned buffer, so hot
+// read paths can look up many extents with one allocation.
+func (s *Store) LookupInto(dst []extmap.Run, ext block.Extent) []extmap.Run {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.LookupAppend(dst, ext)
 }
 
 // ReadRun fetches the data for one present run returned by Lookup,
@@ -23,9 +31,9 @@ func (s *Store) ReadRun(run extmap.Run) ([]byte, error) {
 	if !run.Present {
 		return nil, fmt.Errorf("blockstore: ReadRun on absent run %v", run.Extent)
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	name := s.name(run.Target.Obj)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	data, err := s.cfg.Store.GetRange(s.ctx, name, run.Target.Off.Bytes(), run.Bytes())
 	if err != nil {
 		return nil, err
@@ -49,109 +57,89 @@ type Prefetched struct {
 // the paper's temporal prefetch (§3.2): the extras are whatever
 // virtual-disk ranges were logged next to the requested data, verified
 // still live in the map before being returned.
+//
+// It is a convenience wrapper over FetchSpan/WindowExtras for callers
+// fetching one run at a time; the core's read path drives those
+// directly so it can scatter into the caller's buffer and keep the
+// window alive across the asynchronous cache admission.
 func (s *Store) FetchRun(run extmap.Run, windowSectors uint32) ([]byte, []Prefetched, error) {
-	if windowSectors == 0 {
-		data, err := s.ReadRun(run)
-		return data, nil, err
-	}
-	s.mu.Lock()
-	obj := s.objects[run.Target.Obj]
-	name := s.name(run.Target.Obj)
-	s.mu.Unlock()
-	if obj == nil {
-		data, err := s.ReadRun(run)
-		return data, nil, err
-	}
-
-	// Clamp the fetch window to the object's data region.
-	dataStart := block.LBA(obj.hdrSectors)
-	dataEnd := dataStart + block.LBA(obj.dataSectors)
-	lo := run.Target.Off
-	hi := lo + block.LBA(run.Sectors) + block.LBA(windowSectors)
-	if hi > dataEnd {
-		hi = dataEnd
-	}
-	if lo < dataStart {
-		lo = dataStart
-	}
-	raw, err := s.cfg.Store.GetRange(s.ctx, name, lo.Bytes(), (hi - lo).Bytes())
+	f, err := s.FetchSpan([]extmap.Run{run}, windowSectors)
 	if err != nil {
 		return nil, nil, err
 	}
-	hi = lo + block.LBA(len(raw)>>block.SectorShift)
-
-	reqOff := (run.Target.Off - lo).Bytes()
-	if reqOff < 0 || reqOff+run.Bytes() > int64(len(raw)) {
-		return nil, nil, fmt.Errorf("blockstore: prefetch window lost requested range")
-	}
-	reqData := raw[reqOff : reqOff+run.Bytes()]
-
-	// Map the rest of the window back to vLBAs via the object header,
-	// keeping only portions the map still assigns to this object.
-	hdr, err := s.header(run.Target.Obj)
+	defer f.Release()
+	sl, err := f.Slice(run)
 	if err != nil {
-		// Prefetch is best-effort; the primary read still succeeds.
-		return reqData, nil, nil
+		return nil, nil, err
 	}
+	data := append(make([]byte, 0, len(sl)), sl...)
 	var extras []Prefetched
-	cursor := dataStart
-	s.mu.Lock()
-	for _, e := range hdr.extents {
-		if e.SrcSeq == trimMarker {
-			continue
-		}
-		extOff := cursor
-		cursor += block.LBA(e.Sectors)
-		// Portion of this extent inside the fetched window.
-		wLo := max(extOff, lo)
-		wHi := min(cursor, hi)
-		if wLo >= wHi {
-			continue
-		}
-		vext := block.Extent{LBA: e.LBA + (wLo - extOff), Sectors: uint32(wHi - wLo)}
-		// Skip the requested run itself.
-		if vext.LBA >= run.LBA && vext.End() <= run.End() {
-			continue
-		}
-		for _, live := range s.m.Lookup(vext) {
-			if !live.Present || live.Target.Obj != run.Target.Obj {
-				continue
-			}
-			off := (live.Target.Off - lo).Bytes()
-			if off < 0 || off+live.Bytes() > int64(len(raw)) {
-				continue
-			}
-			d := make([]byte, live.Bytes())
-			copy(d, raw[off:])
-			extras = append(extras, Prefetched{Ext: live.Extent, Data: d})
-		}
+	if windowSectors > 0 {
+		extras = s.WindowExtras(f, []block.Extent{run.Extent})
 	}
-	s.mu.Unlock()
-	return reqData, extras, nil
+	return data, extras, nil
 }
 
-// header returns the cached or fetched extent header of an object.
+// hdrFlight is an in-progress header fetch shared by concurrent misses.
+type hdrFlight struct {
+	done chan struct{}
+	h    *hdrEntry
+	err  error
+}
+
+// header returns the cached or fetched extent header of an object. On a
+// cache miss the backend fetch happens WITHOUT s.mu held, guarded by a
+// per-seq in-flight entry so concurrent misses share one fetch and map
+// lookups never stall behind a header GET (previously headerL fetched
+// under the store lock, serializing every lookup behind the backend).
 func (s *Store) header(seq uint32) (*hdrEntry, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.headerL(seq)
+	s.mu.RLock()
+	h, ok := s.hdrCache[seq]
+	name := s.name(seq)
+	s.mu.RUnlock()
+	if ok {
+		return h, nil
+	}
+	s.hdrMu.Lock()
+	if f, ok := s.hdrFlights[seq]; ok {
+		s.hdrMu.Unlock()
+		<-f.done
+		return f.h, f.err
+	}
+	f := &hdrFlight{done: make(chan struct{})}
+	s.hdrFlights[seq] = f
+	s.hdrMu.Unlock()
+
+	s.fetchStats.headerFetches.Add(1)
+	f.h, f.err = fetchHeader(s, name)
+	if f.err == nil {
+		s.mu.Lock()
+		// The object may have been deleted while we fetched; caching
+		// its header is harmless (pruned like any other entry).
+		s.hdrCache[seq] = f.h
+		s.pruneHdrCache()
+		s.mu.Unlock()
+	}
+	s.hdrMu.Lock()
+	delete(s.hdrFlights, seq)
+	s.hdrMu.Unlock()
+	close(f.done)
+	return f.h, f.err
 }
 
-// headerL is header with s.mu held; the backend fetch happens under
-// the lock, which is acceptable for the paper's synchronous prototype
-// semantics (the GC and recovery paths that use it are stop-the-world
-// anyway).
-func (s *Store) headerL(seq uint32) (*hdrEntry, error) {
+// headerGCLocked returns seq's header for a GC pass holding s.mu,
+// dropping the lock for the backend fetch on a cache miss. Callers must
+// revalidate any map/object state captured before the call (the gcBusy
+// claim keeps passes single-flight, but seals and commits proceed while
+// the lock is down).
+func (s *Store) headerGCLocked(seq uint32) (*hdrEntry, error) {
 	if h, ok := s.hdrCache[seq]; ok {
 		return h, nil
 	}
-	h, err := fetchHeader(s, s.name(seq))
-	if err != nil {
-		return nil, err
-	}
-	s.hdrCache[seq] = h
-	s.pruneHdrCache()
-	return h, nil
+	s.mu.Unlock()
+	h, err := s.header(seq)
+	s.mu.Lock()
+	return h, err
 }
 
 func fetchHeader(s *Store, name string) (*hdrEntry, error) {

@@ -1,0 +1,160 @@
+package blockstore
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"lsvd/internal/block"
+	"lsvd/internal/objstore"
+)
+
+// slowRangeStore delays range GETs so concurrent cold readers overlap.
+type slowRangeStore struct {
+	objstore.Store
+	delay time.Duration
+}
+
+func (s *slowRangeStore) GetRange(ctx context.Context, name string, off, length int64) ([]byte, error) {
+	time.Sleep(s.delay)
+	return s.Store.GetRange(ctx, name, off, length)
+}
+
+// TestHeaderSingleflight: concurrent cold header readers share one
+// backend fetch (the old headerL issued it under s.mu, serializing
+// every lookup behind the GET and re-fetching per caller).
+func TestHeaderSingleflight(t *testing.T) {
+	slow := &slowRangeStore{Store: objstore.NewMem(), delay: 5 * time.Millisecond}
+	met := objstore.NewMetered(slow)
+	s := newVolume(t, met, Config{})
+	data := bytes.Repeat([]byte{7}, 64*1024)
+	if err := s.Append(1, block.Extent{LBA: 0, Sectors: 128}, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	seq := uint32(s.Stats().NextSeq - 1)
+
+	// Evict the header cached at install time so every caller is cold.
+	s.mu.Lock()
+	s.hdrCache = make(map[uint32]*hdrEntry)
+	s.mu.Unlock()
+	met.Reset()
+
+	const callers = 8
+	var (
+		wg   sync.WaitGroup
+		hdrs [callers]*hdrEntry
+		errs [callers]error
+	)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			hdrs[i], errs[i] = s.header(seq)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if hdrs[i] != hdrs[0] {
+			t.Fatal("callers decoded separate header copies")
+		}
+	}
+	if n := s.Stats().HeaderFetches; n != 1 {
+		t.Fatalf("%d concurrent cold header reads did %d backend fetches, want 1", callers, n)
+	}
+	if got := met.Stats().GetRanges; got > 2 {
+		t.Fatalf("header singleflight issued %d range GETs, want <=2 (probe + tail)", got)
+	}
+}
+
+// TestFetchSpanWindowDedup: concurrent FetchSpan calls for runs inside
+// the same aligned window share one range GET, and joiners see the
+// Shared flag.
+func TestFetchSpanWindowDedup(t *testing.T) {
+	slow := &slowRangeStore{Store: objstore.NewMem(), delay: 5 * time.Millisecond}
+	met := objstore.NewMetered(slow)
+	s := newVolume(t, met, Config{FetchDepth: 8})
+	data := bytes.Repeat([]byte{9}, 256*1024)
+	if err := s.Append(1, block.Extent{LBA: 0, Sectors: 512}, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	met.Reset()
+
+	// Two disjoint 4 KiB runs, same 128 KiB window.
+	const window = 256 // sectors
+	runsA := s.Lookup(block.Extent{LBA: 0, Sectors: 8})
+	runsB := s.Lookup(block.Extent{LBA: 64, Sectors: 8})
+	if len(runsA) != 1 || !runsA[0].Present || len(runsB) != 1 || !runsB[0].Present {
+		t.Fatalf("unexpected lookup shape: %v %v", runsA, runsB)
+	}
+
+	const callers = 6
+	var (
+		wg     sync.WaitGroup
+		shared [callers]bool
+		errs   [callers]error
+	)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			runs := runsA
+			if i%2 == 1 {
+				runs = runsB
+			}
+			f, err := s.FetchSpan(runs, window)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer f.Release()
+			shared[i] = f.Shared
+			got, err := f.Slice(runs[0])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(got, data[:4096]) { // uniform payload
+				t.Error("window slice returned wrong bytes")
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := met.Stats().GetRanges; n != 1 {
+		t.Fatalf("same-window concurrent fetches issued %d GETs, want 1", n)
+	}
+	nShared := 0
+	for _, sh := range shared {
+		if sh {
+			nShared++
+		}
+	}
+	if nShared != callers-1 {
+		t.Fatalf("%d of %d fetchers joined the flight, want %d", nShared, callers, callers-1)
+	}
+	st := s.Stats()
+	if st.FetchGETs != 1 || st.FetchesDeduped != uint64(callers-1) {
+		t.Fatalf("stats: GETs=%d deduped=%d, want 1/%d", st.FetchGETs, st.FetchesDeduped, callers-1)
+	}
+}

@@ -1,6 +1,7 @@
 package blockstore
 
 import (
+	"errors"
 	"fmt"
 
 	"lsvd/internal/block"
@@ -202,13 +203,15 @@ func (s *Store) commitReadyLocked() func() {
 }
 
 // commitTriggeredGC runs the GC pass claimed by commitReadyLocked on
-// the upload-completion goroutine, after s.mu was dropped. Failures
-// land in asyncErr and surface at the next fence.
+// the upload-completion goroutine, after s.mu was dropped. It already
+// owns the gcBusy claim, so it enters gcPassLocked directly (gcLocked
+// would wait on its own claim). Failures land in asyncErr and surface
+// at the next fence.
 func (s *Store) commitTriggeredGC() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.aborting && !s.readOnly {
-		if err := s.gcLocked(); err != nil && s.asyncErr == nil {
+		if err := s.gcPassLocked(); err != nil && !errors.Is(err, errGCAborted) && s.asyncErr == nil {
 			s.asyncErr = err
 		}
 	}

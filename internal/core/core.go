@@ -80,6 +80,14 @@ type Options struct {
 	// destage pipeline keeps in flight. Default 4. Map commit stays
 	// strictly in sequence order regardless.
 	UploadDepth int
+	// FetchDepth is the number of concurrent backend range GETs the
+	// read-miss path keeps in flight (the fetcher pool). A single
+	// read's misses fan out across it, adjacent misses in the same
+	// object coalesce into one range GET, and concurrent readers
+	// missing on the same window share a single GET. Default 8; 1
+	// serializes all miss fetches (the pre-pipeline behavior, used as
+	// the benchmark baseline).
+	FetchDepth int
 	// DestageQueueDepth is the capacity of the in-memory destage queue
 	// between WriteAt and the destager goroutine; a full queue blocks
 	// the writer (§3.2 backpressure). Default 256 requests.
@@ -118,6 +126,9 @@ func (o *Options) setDefaults() {
 	if o.UploadDepth <= 0 {
 		o.UploadDepth = 4
 	}
+	if o.FetchDepth <= 0 {
+		o.FetchDepth = 8
+	}
 	if o.DestageQueueDepth <= 0 {
 		o.DestageQueueDepth = 256
 	}
@@ -135,6 +146,16 @@ type Stats struct {
 	WriteSeq                      uint64
 	RecoveredReplayed             int // cache records replayed to backend at open
 	DestageQueued                 int // requests waiting in the destage queue
+
+	// Read-miss pipeline counters (GET amplification for bench runs):
+	// the first three mirror the block store's fetch-path counters,
+	// PrefetchHitSectors mirrors the read cache's, and
+	// AdmissionsDropped counts cache admissions shed under pressure.
+	BackendGETs        uint64
+	FetchesDeduped     uint64
+	RunsCoalesced      uint64
+	PrefetchHitSectors uint64
+	AdmissionsDropped  uint64
 
 	WriteCache writecache.Stats
 	ReadCache  readcache.Stats
@@ -195,6 +216,10 @@ type Disk struct {
 	// and self-invalidates its inserts if it changed, so a stale fetch
 	// can never linger in the read cache past a concurrent overwrite.
 	rcGen atomic.Uint64
+
+	// adm applies read-cache admissions (demand fills + temporal
+	// prefetch) on a background goroutine, off the read ack path.
+	adm admitter
 
 	c                 counters
 	recoveredReplayed int
@@ -343,6 +368,7 @@ func OpenSnapshot(ctx context.Context, opts Options, snapshot string) (*Disk, er
 	}
 	d.volSectors = d.bs.VolSectors()
 	d.writeSeq.Store(d.bs.DurableWriteSeq())
+	d.startPipeline()
 	return d, nil
 }
 
@@ -371,6 +397,7 @@ func (d *Disk) storeConfig() blockstore.Config {
 		CheckpointEvery: d.opts.CheckpointEvery,
 		OnDestage:       func(ws uint64) { d.wc.SetDestaged(ws) },
 		Retry:           d.opts.Retry,
+		FetchDepth:      d.opts.FetchDepth,
 	}
 	if !d.opts.SyncDestage && !d.readOnly {
 		cfg.UploadDepth = d.opts.UploadDepth
@@ -381,9 +408,10 @@ func (d *Disk) storeConfig() blockstore.Config {
 	return cfg
 }
 
-// startPipeline launches the destager goroutine; no-op for synchronous
-// or read-only disks.
+// startPipeline launches the read-path admitter (every disk reads) and
+// the destager goroutine (skipped for synchronous or read-only disks).
 func (d *Disk) startPipeline() {
+	d.adm.start(d)
 	if d.readOnly || d.opts.SyncDestage {
 		return
 	}
@@ -616,82 +644,11 @@ func (d *Disk) ReadAt(p []byte, off int64) error {
 			}
 		}
 	}
-	// (3) Block store, with temporal prefetch into the read cache.
-	for _, miss := range missesRC {
-		if err := d.readBackend(ext, miss, p); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// readBackend serves one read-cache miss from the block store. A
-// concurrent GC can delete an object between the map lookup and the
-// range GET; the map has by then moved on to the relocated copy, so
-// the read is simply retried.
-func (d *Disk) readBackend(ext, miss block.Extent, p []byte) error {
-	const maxRetries = 3
-	for attempt := 0; ; attempt++ {
-		err := d.tryReadBackend(ext, miss, p)
-		if err == nil || !errors.Is(err, objstore.ErrNotFound) || attempt >= maxRetries {
-			return err
-		}
-	}
-}
-
-func (d *Disk) tryReadBackend(ext, miss block.Extent, p []byte) error {
-	epoch := d.rcGen.Load()
-	for _, run := range d.bs.Lookup(miss) {
-		sub := p[(run.LBA - ext.LBA).Bytes():][:run.Bytes()]
-		if !run.Present {
-			clear(sub)
-			d.c.zeroFillSectors.Add(uint64(run.Sectors))
-			continue
-		}
-		data, extras, err := d.bs.FetchRun(run, d.opts.PrefetchSectors)
-		if err != nil {
-			return err
-		}
-		copy(sub, data)
-		d.c.backendReadSectors.Add(uint64(run.Sectors))
-		if err := d.rc.Insert(run.Extent, data); err != nil {
-			return err
-		}
-		inserted := append(make([]block.Extent, 0, 1+len(extras)), run.Extent)
-		for _, ex := range extras {
-			// Never let prefetched (older) data shadow the write
-			// cache: it is inserted only into the read cache,
-			// which the write cache precedes on lookup; but we
-			// must not overwrite newer read-cache content either,
-			// so only insert ranges the read cache doesn't have.
-			if err := d.insertIfAbsent(ex.Ext, ex.Data); err != nil {
-				return err
-			}
-			d.c.prefetchedSectors.Add(uint64(ex.Ext.Sectors))
-			inserted = append(inserted, ex.Ext)
-		}
-		// If a write or trim landed while we were fetching, what we
-		// just inserted may already be stale — the writer's
-		// Invalidate could have run before our Insert. Drop it; the
-		// authoritative copy is in the write cache / newer log.
-		if d.rcGen.Load() != epoch {
-			for _, ie := range inserted {
-				d.rc.Invalidate(ie)
-			}
-		}
-	}
-	return nil
-}
-
-func (d *Disk) insertIfAbsent(ext block.Extent, data []byte) error {
-	for _, run := range d.rc.Lookup(ext) {
-		if run.Present {
-			continue
-		}
-		sub := data[(run.LBA - ext.LBA).Bytes():][:run.Bytes()]
-		if err := d.rc.Insert(run.Extent, sub); err != nil {
-			return err
-		}
+	// (3) Block store: all remaining misses fan out across the fetcher
+	// pool, with temporal prefetch admitted to the read cache off the
+	// ack path (readpath.go).
+	if len(missesRC) > 0 {
+		return d.readBackend(ext, missesRC, p)
 	}
 	return nil
 }
@@ -792,7 +749,12 @@ func (d *Disk) Close() error {
 		return nil
 	}
 	d.closed = true
+	// Stop the admitter on every exit path (queued windows are
+	// released); the happy paths drain it first so admissions land in
+	// the read cache before it is persisted.
+	defer d.adm.stop()
 	if d.readOnly {
+		d.adm.drain()
 		return d.rc.Persist()
 	}
 	var derr error
@@ -824,6 +786,7 @@ func (d *Disk) Close() error {
 	if err := d.wc.Close(); err != nil {
 		return err
 	}
+	d.adm.drain()
 	return d.rc.Persist()
 }
 
@@ -843,6 +806,7 @@ func (d *Disk) Kill() {
 		close(d.quit)
 		<-d.done
 	}
+	d.adm.stop()
 	d.bs.Abort()
 }
 
@@ -892,6 +856,7 @@ func (d *Disk) Stats() Stats {
 		PrefetchedSectors:    d.c.prefetchedSectors.Load(),
 		WriteSeq:             d.writeSeq.Load(),
 		RecoveredReplayed:    d.recoveredReplayed,
+		AdmissionsDropped:    d.adm.dropped.Load(),
 	}
 	if d.ch != nil {
 		st.DestageQueued = len(d.ch)
@@ -899,6 +864,10 @@ func (d *Disk) Stats() Stats {
 	st.WriteCache = d.wc.Stats()
 	st.ReadCache = d.rc.Stats()
 	st.Backend = d.bs.Stats()
+	st.BackendGETs = st.Backend.FetchGETs
+	st.FetchesDeduped = st.Backend.FetchesDeduped
+	st.RunsCoalesced = st.Backend.RunsCoalesced
+	st.PrefetchHitSectors = st.ReadCache.PrefetchHitSectors
 	return st
 }
 

@@ -37,6 +37,9 @@ type Env struct {
 	// SyncDestage forces the synchronous destage path everywhere, for
 	// before/after comparisons of the async pipeline.
 	SyncDestage bool
+	// FetchDepth overrides core.Options.FetchDepth (1 serializes the
+	// read-miss path, for before/after comparisons of the fan-out).
+	FetchDepth int
 }
 
 // DefaultEnv is the scale used by the bench harness.
@@ -49,6 +52,9 @@ func (e Env) tune(opts *core.Options) {
 	}
 	if e.SyncDestage {
 		opts.SyncDestage = true
+	}
+	if e.FetchDepth != 0 {
+		opts.FetchDepth = e.FetchDepth
 	}
 }
 

@@ -380,29 +380,58 @@ func rechunk(flat []entry) [][]entry {
 // Lookup returns the coverage of ext, in order, as alternating present
 // and absent runs; absent runs have Present=false and zero Target.
 func (m *Map) Lookup(ext block.Extent) []Run {
+	return m.LookupAppend(nil, ext)
+}
+
+// LookupAppend is Lookup appending into dst, for hot read paths that
+// reuse a caller-owned buffer across calls. A nil dst is allocated once
+// with exact worst-case capacity (n overlapping entries produce at most
+// 2n+1 runs), so Lookup itself costs a single allocation.
+func (m *Map) LookupAppend(dst []Run, ext block.Extent) []Run {
 	if ext.Empty() {
-		return nil
+		return dst
 	}
-	var out []Run
-	cursor := ext.LBA
 	c0, i0, c1, i1 := m.affected(ext)
+	if dst == nil {
+		dst = make([]Run, 0, 2*m.rangeCount(c0, i0, c1, i1)+1)
+	}
+	cursor := ext.LBA
 	m.forRange(c0, i0, c1, i1, func(e entry) {
 		ov, ok := e.ext().Intersect(ext)
 		if !ok {
 			return
 		}
 		if ov.LBA > cursor {
-			out = append(out, Run{Extent: block.Extent{LBA: cursor, Sectors: uint32(ov.LBA - cursor)}})
+			dst = append(dst, Run{Extent: block.Extent{LBA: cursor, Sectors: uint32(ov.LBA - cursor)}})
 		}
 		sub := e.shift(ov.LBA - e.start)
 		sub.sectors = ov.Sectors
-		out = append(out, sub.run())
+		dst = append(dst, sub.run())
 		cursor = ov.End()
 	})
 	if cursor < ext.End() {
-		out = append(out, Run{Extent: block.Extent{LBA: cursor, Sectors: uint32(ext.End() - cursor)}})
+		dst = append(dst, Run{Extent: block.Extent{LBA: cursor, Sectors: uint32(ext.End() - cursor)}})
 	}
-	return out
+	return dst
+}
+
+// rangeCount returns the number of entries in the half-open global
+// range returned by affected.
+func (m *Map) rangeCount(c0, i0, c1, i1 int) int {
+	if c0 >= len(m.chunks) {
+		return 0
+	}
+	if c0 == c1 {
+		return i1 - i0
+	}
+	n := len(m.chunks[c0]) - i0
+	for c := c0 + 1; c < c1 && c < len(m.chunks); c++ {
+		n += len(m.chunks[c])
+	}
+	if c1 < len(m.chunks) {
+		n += i1
+	}
+	return n
 }
 
 // Foreach calls fn for every extent in ascending order; returning false

@@ -440,3 +440,60 @@ func BenchmarkLookup(b *testing.B) {
 		m.Lookup(ext(block.LBA(rng.Intn(1<<22)), 64))
 	}
 }
+
+func BenchmarkLookupAppend(b *testing.B) {
+	m := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		m.Update(ext(block.LBA(rng.Intn(1<<22)), 32), tgt(uint32(i%1000+1), block.LBA(i*32)))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var buf []Run
+	for i := 0; i < b.N; i++ {
+		buf = m.LookupAppend(buf[:0], ext(block.LBA(rng.Intn(1<<22)), 64))
+	}
+}
+
+func TestLookupAppendMatchesLookup(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			m.Delete(ext(block.LBA(rng.Intn(1<<16)), uint32(rng.Intn(200)+1)))
+		default:
+			m.Update(ext(block.LBA(rng.Intn(1<<16)), uint32(rng.Intn(200)+1)), tgt(uint32(i%100+1), block.LBA(i)))
+		}
+	}
+	mustInvariants(t, m)
+	buf := make([]Run, 0, 8)
+	for i := 0; i < 2000; i++ {
+		e := ext(block.LBA(rng.Intn(1<<16)), uint32(rng.Intn(400)+1))
+		want := m.Lookup(e)
+		if got := m.Lookup(e); cap(got) > 0 && len(got) > cap(got) {
+			t.Fatalf("lookup realloc: len %d cap %d", len(got), cap(got))
+		}
+		buf = m.LookupAppend(buf[:0], e)
+		if len(buf) != len(want) {
+			t.Fatalf("extent %v: LookupAppend %d runs, Lookup %d", e, len(buf), len(want))
+		}
+		for j := range want {
+			if buf[j] != want[j] {
+				t.Fatalf("extent %v run %d: got %+v want %+v", e, j, buf[j], want[j])
+			}
+		}
+		// Prefix of buf untouched by future reslices: also check a
+		// non-empty dst prefix is preserved.
+		pre := append([]Run(nil), want...)
+		both := m.LookupAppend(pre, e)
+		if len(both) != 2*len(want) {
+			t.Fatalf("extent %v: append to prefix gave %d runs, want %d", e, len(both), 2*len(want))
+		}
+		for j := range want {
+			if both[j] != want[j] || both[len(want)+j] != want[j] {
+				t.Fatalf("extent %v: prefix not preserved", e)
+			}
+		}
+	}
+}

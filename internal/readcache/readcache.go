@@ -63,12 +63,13 @@ type slab struct {
 
 // Stats reports cache activity.
 type Stats struct {
-	Slabs, LiveSlabs  int
-	Hits, Misses      uint64
-	Inserts           uint64
-	SlabEvictions     uint64
-	MapExtents        int
-	PersistedMapBytes int64
+	Slabs, LiveSlabs   int
+	Hits, Misses       uint64
+	Inserts            uint64
+	SlabEvictions      uint64
+	MapExtents         int
+	PersistedMapBytes  int64
+	PrefetchHitSectors uint64 // hit sectors that were inserted by prefetch
 }
 
 // Cache is a slab-based SSD read cache.
@@ -85,15 +86,22 @@ type Cache struct {
 	nextGen   uint32
 
 	m *extmap.Map
+	// pf marks vLBA ranges whose cached copy came from temporal
+	// prefetch rather than a demand miss; hits on them feed the
+	// PrefetchHitSectors counter (how much the read-ahead actually
+	// earned). Stats-only: it is not persisted, so a restart merely
+	// forgets the tags.
+	pf *extmap.Map
 
 	hits, misses, inserts, evictions uint64
+	pfHitSectors                     uint64
 	persistedBytes                   int64
 }
 
 // New builds a read cache on dev, attempting to load a persisted map.
 func New(dev simdev.Device, cfg Config) (*Cache, error) {
 	cfg.setDefaults()
-	c := &Cache{dev: dev, cfg: cfg, m: extmap.New(), active: -1, nextGen: 1}
+	c := &Cache{dev: dev, cfg: cfg, m: extmap.New(), pf: extmap.New(), active: -1, nextGen: 1}
 	c.dataStart = block.BlockSize + cfg.MapBytes
 	n := (dev.Size() - c.dataStart) / cfg.SlabBytes
 	if n < 2 {
@@ -121,6 +129,7 @@ func (c *Cache) Lookup(ext block.Extent) []extmap.Run {
 			if s := c.slabOfTarget(r.Target); s != nil {
 				s.lastHit = c.clock
 			}
+			c.notePrefetchHit(r.Extent)
 		}
 	}
 	if hit {
@@ -129,6 +138,19 @@ func (c *Cache) Lookup(ext block.Extent) []extmap.Run {
 		c.misses++
 	}
 	return runs
+}
+
+// notePrefetchHit credits hit sectors that prefetch (rather than a
+// demand miss) brought into the cache.
+func (c *Cache) notePrefetchHit(ext block.Extent) {
+	if c.pf.Len() == 0 {
+		return
+	}
+	for _, pr := range c.pf.Lookup(ext) {
+		if pr.Present {
+			c.pfHitSectors += uint64(pr.Sectors)
+		}
+	}
 }
 
 func (c *Cache) slabOfTarget(t extmap.Target) *slab {
@@ -170,6 +192,7 @@ func (c *Cache) ReadExtent(ext block.Extent, buf []byte) ([]extmap.Run, error) {
 		if s := c.slabOfTarget(r.Target); s != nil {
 			s.lastHit = c.clock
 		}
+		c.notePrefetchHit(r.Extent)
 		off := (r.LBA - ext.LBA).Bytes()
 		if err := c.dev.ReadAt(buf[off:off+r.Bytes()], r.Target.Off.Bytes()); err != nil {
 			return nil, err
@@ -186,11 +209,28 @@ func (c *Cache) ReadExtent(ext block.Extent, buf []byte) ([]extmap.Run, error) {
 // Insert stores fetched backend data for ext, splitting across slabs
 // as needed and evicting old slabs when the cache is full.
 func (c *Cache) Insert(ext block.Extent, data []byte) error {
+	return c.insert(ext, data, false)
+}
+
+// InsertPrefetched is Insert for data brought in by temporal prefetch
+// rather than a demand miss; later hits on it are counted separately
+// so bench runs can report what the read-ahead earned.
+func (c *Cache) InsertPrefetched(ext block.Extent, data []byte) error {
+	return c.insert(ext, data, true)
+}
+
+func (c *Cache) insert(ext block.Extent, data []byte, prefetched bool) error {
 	if int64(len(data)) != ext.Bytes() {
 		return fmt.Errorf("readcache: extent %v does not match %d data bytes", ext, len(data))
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if prefetched {
+		// Identity target (Off = LBA) so adjacent tags merge in the map.
+		c.pf.Update(ext, extmap.Target{Off: ext.LBA})
+	} else if c.pf.Len() > 0 {
+		c.pf.Delete(ext) // demand data over a prefetched range drops the tag
+	}
 	for ext.Sectors > 0 {
 		s, err := c.writableSlab()
 		if err != nil {
@@ -288,6 +328,17 @@ func (c *Cache) evict(idx int) {
 			}
 		}
 	}
+	// Drop prefetch tags for whatever the eviction actually removed
+	// (overlapping data re-inserted into newer slabs keeps its tag).
+	if c.pf.Len() > 0 {
+		for _, ext := range s.inserted {
+			for _, r := range c.m.Lookup(ext) {
+				if !r.Present {
+					c.pf.Delete(r.Extent)
+				}
+			}
+		}
+	}
 	s.inserted = nil
 	s.fill = 0
 	s.lastHit = 0
@@ -300,6 +351,9 @@ func (c *Cache) Invalidate(ext block.Extent) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m.Delete(ext)
+	if c.pf.Len() > 0 {
+		c.pf.Delete(ext)
+	}
 }
 
 // Persist writes the map to the reserved region (best effort; §3.2:
@@ -404,6 +458,7 @@ func (c *Cache) Stats() Stats {
 		Slabs: len(c.slabs), LiveSlabs: live,
 		Hits: c.hits, Misses: c.misses, Inserts: c.inserts,
 		SlabEvictions: c.evictions, MapExtents: c.m.Len(),
-		PersistedMapBytes: c.persistedBytes,
+		PersistedMapBytes:  c.persistedBytes,
+		PrefetchHitSectors: c.pfHitSectors,
 	}
 }

@@ -104,6 +104,11 @@ type VolumeOptions struct {
 	DestageQueueDepth int  // queued writes between ack and destage (256)
 	SyncDestage       bool // disable the pipeline: destage inline (off)
 
+	// FetchDepth bounds concurrent backend range GETs on the
+	// read-miss path (8); 1 serializes misses as before the parallel
+	// read pipeline.
+	FetchDepth int
+
 	// Retry is the backend retry policy: transient store failures are
 	// retried with exponential backoff + jitter under one per-op
 	// attempt budget across reads, uploads, GC and recovery. The zero
@@ -127,6 +132,7 @@ func (o VolumeOptions) coreOptions() core.Options {
 		UploadDepth:       o.UploadDepth,
 		DestageQueueDepth: o.DestageQueueDepth,
 		SyncDestage:       o.SyncDestage,
+		FetchDepth:        o.FetchDepth,
 		Retry:             o.Retry,
 	}
 	if o.PrefetchBytes > 0 {

@@ -1,0 +1,218 @@
+package lsvd
+
+// Read-miss-path benchmark (paper §4.2.1, Fig 6/7): a QD sweep of
+// random 4 KiB cold reads and a cold 1 MiB sequential read against a
+// backend with simulated range-GET latency, comparing the serial miss
+// path (FetchDepth 1, the pre-fan-out behavior) with the parallel
+// fetcher pool. Runs as a quick smoke test under `make check`; `make
+// bench-read` sets LSVD_READBENCH_OUT to record BENCH_readpath.json
+// for the perf trajectory.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"lsvd/internal/objstore"
+)
+
+// slowGetStore adds a fixed latency to every backend range GET,
+// modeling an S3 endpoint (paper Table 6: ~5.9 ms per range request;
+// we use 2 ms to keep the smoke run fast — only ratios matter).
+type slowGetStore struct {
+	ObjectStore
+	delay time.Duration
+}
+
+func (s *slowGetStore) GetRange(ctx context.Context, name string, off, length int64) ([]byte, error) {
+	time.Sleep(s.delay)
+	return s.ObjectStore.GetRange(ctx, name, off, length)
+}
+
+const benchGetLatency = 2 * time.Millisecond
+
+type readBenchResult struct {
+	Name       string  `json:"name"`
+	FetchDepth int     `json:"fetch_depth"`
+	QD         int     `json:"qd"`
+	Ops        int     `json:"ops"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	MBPerSec   float64 `json:"mb_per_s"`
+	GETsPerOp  float64 `json:"gets_per_op"`
+}
+
+// newColdReadDisk seeds blocks 4 KiB apart at a 64 KiB stride (so the
+// map keeps one run per block), destages, and reopens with an empty
+// cache: every read must take the backend miss path.
+func newColdReadDisk(t *testing.T, met *objstore.Metered, fetchDepth, blocks int) *Disk {
+	t.Helper()
+	opts := VolumeOptions{
+		Name:  fmt.Sprintf("readbench-%d", fetchDepth),
+		Store: met, Cache: MemCacheDevice(256 * MiB),
+		Size:       int64(blocks) * 64 * KiB * 2,
+		BatchBytes: 1 * MiB,
+		// One-sector window: no temporal prefetch, no window sharing —
+		// the sweep measures pure miss fan-out.
+		PrefetchBytes: 512,
+		FetchDepth:    fetchDepth,
+	}
+	d, err := Create(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	for b := 0; b < blocks; b++ {
+		buf[0] = byte(b)
+		if err := d.WriteAt(buf, int64(b)*64*KiB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	opts.Cache = MemCacheDevice(256 * MiB)
+	d, err = Open(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestReadPathQDSweep measures random 4 KiB cold-read throughput at
+// queue depths 1..8 for FetchDepth 1 (serial baseline) and 8, plus the
+// cold fragmented 1 MiB sequential read, and asserts the parallel path
+// clears 2x the serial throughput at QD 8.
+func TestReadPathQDSweep(t *testing.T) {
+	var results []readBenchResult
+	throughput := map[int]float64{} // FetchDepth -> QD8 MB/s
+
+	for _, depth := range []int{1, 8} {
+		for _, qd := range []int{1, 2, 4, 8} {
+			const perWorker = 20
+			blocks := qd * perWorker
+			met := objstore.NewMetered(&slowGetStore{ObjectStore: MemStore(), delay: benchGetLatency})
+			d := newColdReadDisk(t, met, depth, blocks)
+			met.Reset()
+
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < qd; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					rd := make([]byte, 4096)
+					// Each worker owns a disjoint shuffled block range:
+					// all reads stay cold, none dedup against another.
+					order := rng.Perm(perWorker)
+					for _, i := range order {
+						if err := d.ReadAt(rd, int64(w*perWorker+i)*64*KiB); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			ops := qd * perWorker
+			gets := met.Stats().GetRanges
+			res := readBenchResult{
+				Name: "rand4k-cold", FetchDepth: depth, QD: qd, Ops: ops,
+				NsPerOp:   elapsed.Nanoseconds() / int64(ops),
+				MBPerSec:  float64(ops) * 4096 / elapsed.Seconds() / 1e6,
+				GETsPerOp: float64(gets) / float64(ops),
+			}
+			results = append(results, res)
+			if qd == 8 {
+				throughput[depth] = res.MBPerSec
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rand4k-cold depth=%d qd=%d: %6.0f ns/op %6.2f MB/s %4.2f GETs/op",
+				depth, qd, float64(res.NsPerOp), res.MBPerSec, res.GETsPerOp)
+		}
+	}
+
+	// Cold 1 MiB sequential read over a fragmented map: 16 blocks of
+	// 64 KiB were destaged into separate batches, so the read fans out
+	// across several objects.
+	for _, depth := range []int{1, 8} {
+		met := objstore.NewMetered(&slowGetStore{ObjectStore: MemStore(), delay: benchGetLatency})
+		opts := VolumeOptions{
+			Name:  fmt.Sprintf("seqbench-%d", depth),
+			Store: met, Cache: MemCacheDevice(256 * MiB),
+			Size: 64 * MiB, BatchBytes: 256 * KiB,
+			PrefetchBytes: 512, FetchDepth: depth,
+		}
+		d, err := Create(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk := make([]byte, 64*KiB)
+		for off := int64(0); off < 1*MiB; off += int64(len(chunk)) {
+			chunk[0] = byte(off >> 16)
+			if err := d.WriteAt(chunk, off); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Flush(); err != nil { // one object per chunk
+				t.Fatal(err)
+			}
+		}
+		if err := d.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		opts.Cache = MemCacheDevice(256 * MiB)
+		d, err = Open(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		met.Reset()
+		rd := make([]byte, 1*MiB)
+		start := time.Now()
+		if err := d.ReadAt(rd, 0); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		gets := met.Stats().GetRanges
+		results = append(results, readBenchResult{
+			Name: "seqread-1m-cold", FetchDepth: depth, QD: 1, Ops: 1,
+			NsPerOp:   elapsed.Nanoseconds(),
+			MBPerSec:  1.0 / elapsed.Seconds(),
+			GETsPerOp: float64(gets),
+		})
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seqread-1m-cold depth=%d: %.2f ms, %d GETs", depth, float64(elapsed.Microseconds())/1000, gets)
+	}
+
+	// Acceptance: >=2x at QD 8 vs the serial path under the same
+	// simulated backend latency.
+	if throughput[8] < 2*throughput[1] {
+		t.Errorf("QD8 parallel path %.2f MB/s < 2x serial %.2f MB/s", throughput[8], throughput[1])
+	}
+
+	if out := os.Getenv("LSVD_READBENCH_OUT"); out != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", out)
+	}
+}
