@@ -3,22 +3,28 @@
 GO ?= go
 
 # Packages whose concurrency is load-bearing (the async destage
-# pipeline and the NBD worker pool); `make race` runs them under the
-# race detector, including the destage stress tests.
-RACE_PKGS := ./internal/core ./internal/blockstore ./internal/writecache ./internal/nbd ./internal/consistency
+# pipeline, the shared read arena, the multi-volume host, and the NBD
+# worker pool); `make race` runs them under the race detector,
+# including the destage stress tests.
+RACE_PKGS := ./internal/core ./internal/blockstore ./internal/writecache ./internal/nbd ./internal/consistency ./internal/host ./internal/readcache
 
-.PHONY: all build vet test race bench bench-read fault check clean
+.PHONY: all build fmt vet test race bench bench-read bench-multivol fault check clean
 
 all: check
 
 build:
 	$(GO) build ./...
 
+# Formatting gate: fail if any tracked Go file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l . | grep -v '^related/' || true); \
+	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -43,8 +49,15 @@ bench:
 bench-read:
 	LSVD_READBENCH_OUT=BENCH_readpath.json $(GO) test -count=1 -run TestReadPathQDSweep -v .
 
-check: build vet test race fault
-	$(GO) test -count=1 -run TestReadPathQDSweep .
+# Multi-volume host benchmark (§3.7 shared-SSD packing): aggregate
+# write throughput as 1→8 volumes share one host, plus a fairness
+# sweep, recording BENCH_multivol.json. Runs without the env var as a
+# smoke check in `check`.
+bench-multivol:
+	LSVD_MULTIVOL_OUT=BENCH_multivol.json $(GO) test -count=1 -run TestMultiVolScaling -v .
+
+check: build fmt vet test race fault
+	$(GO) test -count=1 -run 'TestReadPathQDSweep|TestMultiVolScaling' .
 
 clean:
 	$(GO) clean -testcache

@@ -9,38 +9,57 @@
 //	lsvd-ctl -store DIR gc VOLUME
 //	lsvd-ctl -store DIR checkpoint VOLUME
 //	lsvd-ctl -store DIR fsck VOLUME
+//	lsvd-ctl -store DIR [-cache FILE] volumes
+//
+// `volumes` lists every volume of a multi-volume host bucket
+// (key layout "vol/<name>/…", slot table at "host/slots") with
+// per-volume stats, a host-aggregate line, and — when the host's
+// cache SSD image is given via -cache — the shared read arena's
+// per-volume occupancy, so cross-tenant fairness is observable.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"lsvd/internal/block"
 	"lsvd/internal/blockstore"
+	"lsvd/internal/host"
 	"lsvd/internal/objstore"
+	"lsvd/internal/simdev"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lsvd-ctl -store DIR {create|info|snapshot|delete-snapshot|clone|gc|checkpoint|fsck} ARGS...")
+	fmt.Fprintln(os.Stderr, "usage: lsvd-ctl -store DIR [-cache FILE] {create|info|snapshot|delete-snapshot|clone|gc|checkpoint|fsck|volumes} ARGS...")
 	os.Exit(2)
 }
 
 func main() {
 	storeDir := flag.String("store", "", "object store directory (required)")
+	cachePath := flag.String("cache", "", "host cache SSD image (volumes: arena occupancy)")
+	maxVolumes := flag.Int("max-volumes", 0, "host slot count the cache was carved with (default 8)")
+	wcFrac := flag.Float64("wc-frac", 0, "host write-cache fraction the cache was carved with (default 0.2)")
 	flag.Parse()
 	args := flag.Args()
 	if *storeDir == "" || len(args) < 1 {
 		usage()
 	}
-	store, err := objstore.NewDir(*storeDir)
+	dirStore, err := objstore.NewDir(*storeDir)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Meter every backend op this invocation performs, so the
+	// host-aggregate line reports real GET/PUT counts.
+	meter := &objstore.Metered{Inner: dirStore}
+	var store objstore.Store = meter
 	ctx := context.Background()
 
 	openVol := func(name string) *blockstore.Store {
@@ -145,6 +164,63 @@ func main() {
 		}
 		fmt.Println("checkpointed")
 
+	case "volumes":
+		if len(rest) != 0 {
+			usage()
+		}
+		names := hostVolumes(ctx, store)
+		if len(names) == 0 {
+			fmt.Println("no host volumes (bucket has no host/slots table)")
+			return
+		}
+		var totalObjects int
+		var totalLive, totalData uint64
+		for _, name := range names {
+			vs, err := objstore.NewPrefixed(store, "vol/"+name+"/")
+			if err != nil {
+				log.Fatal(err)
+			}
+			s, err := blockstore.Open(ctx, blockstore.Config{Volume: name, Store: vs})
+			if err != nil {
+				fmt.Printf("volume %-12s ERROR: %v\n", name, err)
+				continue
+			}
+			st := s.Stats()
+			totalObjects += st.Objects
+			totalLive += st.LiveSectors
+			totalData += st.DataSectors
+			fmt.Printf("volume %-12s %8d MiB  %4d objects  util %.2f  map %d extents\n",
+				name, s.VolSectors().Bytes()/(1<<20), st.Objects, s.Utilization(), st.MapExtents)
+		}
+		ops := meter.Stats()
+		fmt.Printf("host: %d volumes, %d objects, %d MiB live of %d MiB, BackendGETs %d PUTs %d\n",
+			len(names), totalObjects,
+			totalLive*block.SectorSize/(1<<20), totalData*block.SectorSize/(1<<20),
+			ops.Gets+ops.GetRanges, ops.Puts)
+		if *cachePath != "" {
+			fi, err := os.Stat(*cachePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dev, err := simdev.OpenFile(*cachePath, fi.Size())
+			if err != nil {
+				log.Fatal(err)
+			}
+			ast, err := host.InspectArena(dev, *maxVolumes, *wcFrac, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("arena: %d/%d slabs live (%d MiB each), fair share %d slabs/volume\n",
+				ast.LiveSlabs, ast.Slabs, ast.SlabBytes/(1<<20), ast.FairShareSlabs)
+			for _, occ := range ast.Views {
+				name := occ.Volume
+				if name == "" {
+					name = "(default)"
+				}
+				fmt.Printf("arena: %-12s %3d slabs  %6d KiB cached\n", name, occ.Slabs, occ.Bytes/1024)
+			}
+		}
+
 	case "fsck":
 		if len(rest) != 1 {
 			usage()
@@ -160,6 +236,39 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// hostVolumes reads the host's volume list from its slot table,
+// falling back to listing the "vol/" namespace.
+func hostVolumes(ctx context.Context, store objstore.Store) []string {
+	set := map[string]bool{}
+	if raw, err := store.Get(ctx, "host/slots"); err == nil {
+		var f struct {
+			Slots map[string]int `json:"slots"`
+		}
+		if json.Unmarshal(raw, &f) == nil {
+			for name := range f.Slots {
+				set[name] = true
+			}
+		}
+	} else if !errors.Is(err, objstore.ErrNotFound) {
+		log.Fatal(err)
+	}
+	if keys, err := store.List(ctx, "vol/"); err == nil {
+		for _, k := range keys {
+			if rest, ok := strings.CutPrefix(k, "vol/"); ok {
+				if name, _, ok := strings.Cut(rest, "/"); ok && name != "" {
+					set[name] = true
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func parseSize(s string) (int64, error) {

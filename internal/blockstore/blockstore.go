@@ -83,6 +83,16 @@ type Config struct {
 	// read-miss fetch path (FetchSpan) keeps in flight across all
 	// readers. 0 leaves the pool unbounded; 1 serializes miss fetches.
 	FetchDepth int
+
+	// UploadSem / FetchSem, when non-nil, replace the store-private
+	// concurrency semaphores with shared ones, so a multi-volume host
+	// can impose ONE global upload budget and ONE global fetch budget
+	// across every volume hitting the same backend session. Capacity is
+	// the channel's; the matching Depth still gates whether the bound
+	// applies at all (UploadDepth > 0 / FetchDepth > 0) and still sizes
+	// per-store derived limits (upload maxInflight = 2*UploadDepth).
+	UploadSem chan struct{}
+	FetchSem  chan struct{}
 }
 
 func (c *Config) setDefaults() {
@@ -300,9 +310,15 @@ func newStore(ctx context.Context, cfg Config) *Store {
 	s.batch = newBatch(cfg.BatchBytes, cfg.NoCoalesce)
 	s.commitCond = sync.NewCond(&s.mu)
 	if cfg.UploadDepth > 0 {
-		s.uploadSem = make(chan struct{}, cfg.UploadDepth)
+		if cfg.UploadSem != nil {
+			s.uploadSem = cfg.UploadSem
+		} else {
+			s.uploadSem = make(chan struct{}, cfg.UploadDepth)
+		}
 	}
-	if cfg.FetchDepth > 0 {
+	if cfg.FetchSem != nil {
+		s.fetchSem = cfg.FetchSem
+	} else if cfg.FetchDepth > 0 {
 		s.fetchSem = make(chan struct{}, cfg.FetchDepth)
 	}
 	return s
@@ -367,7 +383,7 @@ func (s *Store) Stats() Stats {
 		BytesCoalesced: s.stats.bytesCoalesced, GCBytesCopied: s.stats.gcBytesCopied,
 		GCRuns: s.stats.gcRuns, ObjectsDeleted: s.stats.objectsDeleted,
 		Checkpoints: s.stats.checkpoints, DurableWriteSeq: s.durableWriteSeq,
-		PendingBatch: s.batch.fill + s.inflightBytes,
+		PendingBatch:    s.batch.fill + s.inflightBytes,
 		InflightObjects: len(s.inflight), UploadRetries: s.stats.uploadRetries,
 		DeferredDeletes: len(s.deferred) + len(s.pending),
 		OrphanObjects:   len(s.orphans),
@@ -376,8 +392,19 @@ func (s *Store) Stats() Stats {
 		RunsCoalesced:   s.fetchStats.coalesced.Load(),
 		HeaderFetches:   s.fetchStats.headerFetches.Load(),
 	}
-	if r, ok := s.cfg.Store.(*objstore.Retrier); ok {
-		st.BackendRetries = r.Retries()
+	// The store chain may nest a namespace wrapper (host volumes are
+	// Retrier(Prefixed(raw)) or Prefixed(Retrier(raw))): walk it to
+	// find the Retrier.
+	for inner := s.cfg.Store; inner != nil; {
+		switch v := inner.(type) {
+		case *objstore.Retrier:
+			st.BackendRetries = v.Retries()
+			inner = nil
+		case *objstore.Prefixed:
+			inner = v.Inner()
+		default:
+			inner = nil
+		}
 	}
 	for _, o := range s.objects {
 		if o.typ == journal.TypeData || o.typ == journal.TypeGC {

@@ -153,7 +153,7 @@ func (s *Store) FetchSpan(runs []extmap.Run, windowSectors uint32) (*Fetch, erro
 		<-s.fetchSem
 	}
 	if err == nil && int64(len(raw)) < (hi-lo).Bytes() {
-		err = fmt.Errorf("blockstore: short object read: %d of %d bytes", len(raw), (hi-lo).Bytes())
+		err = fmt.Errorf("blockstore: short object read: %d of %d bytes", len(raw), (hi - lo).Bytes())
 	}
 	f.raw, f.err = raw, err
 	if err != nil {

@@ -104,6 +104,94 @@ type Options struct {
 	Retry objstore.RetryPolicy
 }
 
+// HostOptions is the host-owned half of Options: the shared hardware
+// (cache SSD, backend session) and the global concurrency budgets a
+// multi-volume host divides among its tenants. In a single-volume
+// deployment these are just the matching Options fields.
+type HostOptions struct {
+	Store           objstore.Store
+	CacheDev        simdev.Device
+	WriteCacheFrac  float64
+	ReadCachePolicy readcache.Policy
+	UploadDepth     int
+	FetchDepth      int
+	Retry           objstore.RetryPolicy
+}
+
+// VolumeOptions is the per-volume half of Options: identity, geometry
+// and data-path tuning that each volume chooses independently of its
+// neighbors on the host.
+type VolumeOptions struct {
+	Volume                    string
+	VolBytes                  int64
+	BatchBytes                int64
+	GCLowWater, GCHighWater   float64
+	PrefetchSectors           uint32
+	CheckpointEvery           int
+	WriteCacheCheckpointEvery int
+	ReadbackThroughSSD        bool
+	DisableGCCacheFetch       bool
+	DestageQueueDepth         int
+	SyncDestage               bool
+}
+
+// Split separates Options into its host-level and volume-level halves.
+func (o Options) Split() (HostOptions, VolumeOptions) {
+	return HostOptions{
+			Store: o.Store, CacheDev: o.CacheDev,
+			WriteCacheFrac: o.WriteCacheFrac, ReadCachePolicy: o.ReadCachePolicy,
+			UploadDepth: o.UploadDepth, FetchDepth: o.FetchDepth, Retry: o.Retry,
+		}, VolumeOptions{
+			Volume: o.Volume, VolBytes: o.VolBytes, BatchBytes: o.BatchBytes,
+			GCLowWater: o.GCLowWater, GCHighWater: o.GCHighWater,
+			PrefetchSectors: o.PrefetchSectors, CheckpointEvery: o.CheckpointEvery,
+			WriteCacheCheckpointEvery: o.WriteCacheCheckpointEvery,
+			ReadbackThroughSSD:        o.ReadbackThroughSSD,
+			DisableGCCacheFetch:       o.DisableGCCacheFetch,
+			DestageQueueDepth:         o.DestageQueueDepth, SyncDestage: o.SyncDestage,
+		}
+}
+
+// Combine reassembles full Options from the two halves (inverse of
+// Split).
+func Combine(h HostOptions, v VolumeOptions) Options {
+	return Options{
+		Volume: v.Volume, Store: h.Store, CacheDev: h.CacheDev,
+		VolBytes: v.VolBytes, WriteCacheFrac: h.WriteCacheFrac,
+		BatchBytes: v.BatchBytes, GCLowWater: v.GCLowWater, GCHighWater: v.GCHighWater,
+		PrefetchSectors: v.PrefetchSectors, ReadCachePolicy: h.ReadCachePolicy,
+		CheckpointEvery:           v.CheckpointEvery,
+		WriteCacheCheckpointEvery: v.WriteCacheCheckpointEvery,
+		ReadbackThroughSSD:        v.ReadbackThroughSSD,
+		DisableGCCacheFetch:       v.DisableGCCacheFetch,
+		UploadDepth:               h.UploadDepth, FetchDepth: h.FetchDepth,
+		DestageQueueDepth: v.DestageQueueDepth, SyncDestage: v.SyncDestage,
+		Retry: h.Retry,
+	}
+}
+
+// Resources injects host-owned shared resources into a Disk. When nil
+// (the single-volume constructors), the disk owns its CacheDev
+// exclusively and builds private pools; when set, Options.CacheDev is
+// ignored and the disk runs on the host's carve-outs:
+//
+//   - WCDev: this volume's write-cache log section of the shared SSD.
+//   - ReadCache: this volume's view of the host's shared read-cache
+//     arena (fair eviction across volumes happens inside the arena).
+//   - UploadSem/FetchSem: the host-wide backend concurrency budgets;
+//     every volume's destage PUTs and miss-path GETs draw from these
+//     same channels, so Options.UploadDepth/FetchDepth only size the
+//     per-volume derived limits.
+//   - OnClose: invoked exactly once when the disk shuts down (Close or
+//     Kill), so the host can release the volume's slot.
+type Resources struct {
+	WCDev     simdev.Device
+	ReadCache *readcache.Cache
+	UploadSem chan struct{}
+	FetchSem  chan struct{}
+	OnClose   func()
+}
+
 func (o *Options) setDefaults() {
 	if o.WriteCacheFrac == 0 {
 		o.WriteCacheFrac = 0.2
@@ -194,6 +282,11 @@ type destageReq struct {
 type Disk struct {
 	opts Options
 
+	// res is non-nil for host-managed disks (shared SSD + pools); the
+	// release once-guard fires OnClose exactly once across Close/Kill.
+	res     *Resources
+	release sync.Once
+
 	wc *writecache.Cache
 	rc *readcache.Cache
 	bs *blockstore.Store
@@ -236,19 +329,22 @@ var _ vdisk.Disk = (*Disk)(nil)
 // Create initializes a new LSVD volume on a fresh cache device and
 // backend prefix.
 func Create(ctx context.Context, opts Options) (*Disk, error) {
+	return CreateShared(ctx, opts, nil)
+}
+
+// CreateShared is Create with host-injected shared resources (res may
+// be nil, which is plain Create).
+func CreateShared(ctx context.Context, opts Options, res *Resources) (*Disk, error) {
 	opts.setDefaults()
 	if opts.VolBytes <= 0 || opts.VolBytes%block.SectorSize != 0 {
 		return nil, fmt.Errorf("core: invalid volume size %d", opts.VolBytes)
 	}
 	d := &Disk{opts: opts, volSectors: block.LBAFromBytes(opts.VolBytes)}
-	wcDev, rcDev, err := splitCache(opts)
+	wcDev, err := d.attachCaches(res)
 	if err != nil {
 		return nil, err
 	}
 	if d.wc, err = writecache.Format(wcDev, wcConfig(opts, wcDev)); err != nil {
-		return nil, err
-	}
-	if d.rc, err = readcache.New(rcDev, rcConfig(opts, rcDev)); err != nil {
 		return nil, err
 	}
 	if d.bs, err = blockstore.Create(ctx, d.storeConfig()); err != nil {
@@ -256,6 +352,33 @@ func Create(ctx context.Context, opts Options) (*Disk, error) {
 	}
 	d.startPipeline()
 	return d, nil
+}
+
+// attachCaches resolves the disk's write-cache device and read cache:
+// host-injected carve-outs when res is non-nil, otherwise an exclusive
+// static split of Options.CacheDev (the historical single-volume
+// layout).
+func (d *Disk) attachCaches(res *Resources) (simdev.Device, error) {
+	if res != nil {
+		d.res = res
+		d.rc = res.ReadCache
+		return res.WCDev, nil
+	}
+	wcDev, rcDev, err := splitCache(d.opts)
+	if err != nil {
+		return nil, err
+	}
+	if d.rc, err = readcache.New(rcDev, rcConfig(d.opts, rcDev)); err != nil {
+		return nil, err
+	}
+	return wcDev, nil
+}
+
+// released fires the host's OnClose hook exactly once (Close or Kill).
+func (d *Disk) released() {
+	if d.res != nil && d.res.OnClose != nil {
+		d.release.Do(d.res.OnClose)
+	}
 }
 
 // wcConfig and rcConfig scale the metadata reservations to the cache
@@ -272,27 +395,22 @@ func wcConfig(opts Options, dev simdev.Device) writecache.Config {
 }
 
 func rcConfig(opts Options, dev simdev.Device) readcache.Config {
-	mapBytes := dev.Size() / 8
-	if mapBytes > 16*block.MiB {
-		mapBytes = 16 * block.MiB
-	}
-	if mapBytes < block.BlockSize {
-		mapBytes = block.BlockSize
-	}
-	slab := int64(4 * block.MiB)
-	for slab > 256<<10 && (dev.Size()-mapBytes)/slab < 8 {
-		slab /= 2
-	}
-	return readcache.Config{Policy: opts.ReadCachePolicy, MapBytes: mapBytes, SlabBytes: slab}
+	return readcache.SizedConfig(dev.Size(), opts.ReadCachePolicy)
 }
 
 // Open recovers an LSVD volume: the cache log is replayed, the backend
 // recovered by the prefix rule, and any committed writes present in
 // the cache but missing from the backend are re-sent (§3.3).
 func Open(ctx context.Context, opts Options) (*Disk, error) {
+	return OpenShared(ctx, opts, nil)
+}
+
+// OpenShared is Open with host-injected shared resources (res may be
+// nil, which is plain Open).
+func OpenShared(ctx context.Context, opts Options, res *Resources) (*Disk, error) {
 	opts.setDefaults()
 	d := &Disk{opts: opts}
-	wcDev, rcDev, err := splitCache(opts)
+	wcDev, err := d.attachCaches(res)
 	if err != nil {
 		return nil, err
 	}
@@ -305,9 +423,6 @@ func Open(ctx context.Context, opts Options) (*Disk, error) {
 		}
 	}
 	d.wc = wc
-	if d.rc, err = readcache.New(rcDev, rcConfig(opts, rcDev)); err != nil {
-		return nil, err
-	}
 	if d.bs, err = blockstore.Open(ctx, d.storeConfig()); err != nil {
 		return nil, err
 	}
@@ -404,6 +519,10 @@ func (d *Disk) storeConfig() blockstore.Config {
 	}
 	if !d.opts.DisableGCCacheFetch {
 		cfg.FetchFromCache = d.fetchFromWriteCache
+	}
+	if d.res != nil {
+		cfg.UploadSem = d.res.UploadSem
+		cfg.FetchSem = d.res.FetchSem
 	}
 	return cfg
 }
@@ -751,7 +870,9 @@ func (d *Disk) Close() error {
 	d.closed = true
 	// Stop the admitter on every exit path (queued windows are
 	// released); the happy paths drain it first so admissions land in
-	// the read cache before it is persisted.
+	// the read cache before it is persisted. The host's OnClose fires
+	// once the disk is down, whatever path got it there.
+	defer d.released()
 	defer d.adm.stop()
 	if d.readOnly {
 		d.adm.drain()
@@ -808,6 +929,7 @@ func (d *Disk) Kill() {
 	}
 	d.adm.stop()
 	d.bs.Abort()
+	d.released()
 }
 
 // Snapshot creates a named snapshot (§3.6) after fencing the pipeline

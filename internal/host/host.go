@@ -1,0 +1,549 @@
+// Package host packs many LSVD volumes onto one cache SSD and one
+// backend session (paper §3.7: a single local SSD is partitioned
+// between the virtual disks of a host; the evaluation runs many
+// volumes against one backend pool). A Host owns the shared hardware
+// and the global budgets, and volumes lease from it:
+//
+//   - The SSD's write-cache region is statically carved into
+//     MaxVolumes equal log sections, one per volume slot, so a
+//     neighbor's burst can never consume another volume's log space.
+//   - The rest of the SSD is ONE shared read-cache arena: all volumes
+//     draw slabs from the same pool, with per-volume occupancy
+//     accounting and fair eviction (a hot volume can only evict a
+//     neighbor above its proportional share — see readcache.Arena).
+//   - Backend uploads and miss fetches across ALL volumes share one
+//     upload semaphore and one fetch semaphore, so the host's total
+//     backend concurrency is bounded regardless of tenant count.
+//   - Each volume's objects live under its own key prefix
+//     ("vol/<name>/…", objstore.Prefixed), so volumes are created,
+//     listed and deleted independently inside one bucket.
+//
+// Volume-name → slot assignments persist in a small JSON object at
+// key "host/slots", so reopening a host reattaches every volume to
+// the write-cache section holding its log.
+package host
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+
+	"lsvd/internal/block"
+	"lsvd/internal/core"
+	"lsvd/internal/nbd"
+	"lsvd/internal/objstore"
+	"lsvd/internal/readcache"
+	"lsvd/internal/simdev"
+)
+
+// Options configures a Host: the shared hardware and the global
+// budgets. Per-volume knobs live in core.VolumeOptions, passed to
+// Create/Open.
+type Options struct {
+	// Store is the backend bucket shared by every volume.
+	Store objstore.Store
+	// CacheDev is the host's cache SSD, shared by every volume.
+	CacheDev simdev.Device
+
+	// MaxVolumes is the number of write-cache slots carved from the
+	// SSD (default 8). It bounds how many volumes the host can serve;
+	// the read-cache arena is shared dynamically and needs no slots.
+	MaxVolumes int
+	// WriteCacheFrac is the fraction of the SSD carved into
+	// write-cache slots; the rest is the shared read arena. Default
+	// 0.2, as in the single-volume layout.
+	WriteCacheFrac float64
+	// ReadCachePolicy selects the arena's slab eviction policy.
+	ReadCachePolicy readcache.Policy
+
+	// UploadDepth / FetchDepth are the HOST-WIDE backend concurrency
+	// budgets: at most UploadDepth object PUTs and FetchDepth range
+	// GETs in flight across all volumes combined. Defaults 4 and 8
+	// (the single-volume defaults — one tenant gets what it had;
+	// eight tenants share it, which is the point).
+	UploadDepth int
+	FetchDepth  int
+
+	// Retry is the backend retry policy every volume inherits.
+	Retry objstore.RetryPolicy
+
+	// FlatKeys serves a single volume with the historical flat key
+	// layout ("<name>.<seq>" at bucket root, no slot metadata, no op
+	// metering) so the pre-host lsvd.Open API stays byte-compatible
+	// with existing buckets. Requires MaxVolumes == 1 (or 0, which
+	// then defaults to 1).
+	FlatKeys bool
+}
+
+func (o *Options) setDefaults() error {
+	if o.MaxVolumes == 0 {
+		if o.FlatKeys {
+			o.MaxVolumes = 1
+		} else {
+			o.MaxVolumes = 8
+		}
+	}
+	if o.FlatKeys && o.MaxVolumes != 1 {
+		return fmt.Errorf("host: FlatKeys requires MaxVolumes == 1, got %d", o.MaxVolumes)
+	}
+	if o.MaxVolumes < 1 {
+		return fmt.Errorf("host: MaxVolumes %d < 1", o.MaxVolumes)
+	}
+	if o.WriteCacheFrac == 0 {
+		o.WriteCacheFrac = 0.2
+	}
+	if o.UploadDepth <= 0 {
+		o.UploadDepth = 4
+	}
+	if o.FetchDepth <= 0 {
+		o.FetchDepth = 8
+	}
+	return nil
+}
+
+// slotsKey is where the volume→slot table lives in the bucket.
+const slotsKey = "host/slots"
+
+// volPrefix is the key namespace of one volume.
+func volPrefix(name string) string { return "vol/" + name + "/" }
+
+type slotsFile struct {
+	Version int            `json:"version"`
+	Slots   map[string]int `json:"slots"`
+}
+
+// Host owns one cache SSD and one backend session and serves
+// MaxVolumes volumes on top of them.
+type Host struct {
+	opts  Options
+	store objstore.Store    // what volumes see (metered unless FlatKeys)
+	meter *objstore.Metered // nil in FlatKeys mode
+
+	arena     *readcache.Arena
+	slotBytes int64
+	uploadSem chan struct{}
+	fetchSem  chan struct{}
+
+	mu     sync.Mutex
+	slots  map[string]int        // volume name -> write-cache slot
+	open   map[string]*core.Disk // volumes currently open
+	closed bool
+}
+
+// New opens a host on the SSD + bucket: the SSD is carved (write-cache
+// slots + shared arena), the volume→slot table is loaded, and the
+// global semaphores are built. Volumes are then opened individually.
+func New(ctx context.Context, opts Options) (*Host, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	if opts.Store == nil || opts.CacheDev == nil {
+		return nil, fmt.Errorf("host: Store and CacheDev are required")
+	}
+	h := &Host{
+		opts:  opts,
+		store: opts.Store,
+		slots: make(map[string]int),
+		open:  make(map[string]*core.Disk),
+	}
+	if !opts.FlatKeys {
+		h.meter = &objstore.Metered{Inner: opts.Store}
+		h.store = h.meter
+	}
+
+	var arenaDev simdev.Device
+	var err error
+	h.slotBytes, arenaDev, err = carve(opts.CacheDev, opts.MaxVolumes, opts.WriteCacheFrac)
+	if err != nil {
+		return nil, err
+	}
+	h.arena, err = readcache.NewArena(arenaDev, readcache.SizedConfig(arenaDev.Size(), opts.ReadCachePolicy))
+	if err != nil {
+		return nil, fmt.Errorf("host: arena: %w", err)
+	}
+
+	h.uploadSem = make(chan struct{}, opts.UploadDepth)
+	h.fetchSem = make(chan struct{}, opts.FetchDepth)
+
+	if !opts.FlatKeys {
+		if err := h.loadSlots(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// carve splits the SSD: MaxVolumes equal write-cache slots at the
+// front, the shared read arena on the remainder.
+func carve(dev simdev.Device, maxVolumes int, frac float64) (int64, simdev.Device, error) {
+	total := dev.Size()
+	wcBytes := int64(float64(total)*frac) &^ (block.BlockSize - 1)
+	slotBytes := (wcBytes / int64(maxVolumes)) &^ (block.BlockSize - 1)
+	wcBytes = slotBytes * int64(maxVolumes)
+	if slotBytes <= 0 {
+		return 0, nil, fmt.Errorf("host: cache of %d bytes cannot hold %d write-cache slots", total, maxVolumes)
+	}
+	arenaDev, err := simdev.NewSection(dev, wcBytes, total-wcBytes)
+	if err != nil {
+		return 0, nil, fmt.Errorf("host: arena carve: %w", err)
+	}
+	return slotBytes, arenaDev, nil
+}
+
+// InspectArena loads the persisted read-arena occupancy of a host
+// cache device without opening any volume (offline observability:
+// lsvd-ctl). The geometry arguments must match the host that wrote
+// the device; zero values select the host defaults.
+func InspectArena(dev simdev.Device, maxVolumes int, frac float64, policy readcache.Policy) (readcache.ArenaStats, error) {
+	if maxVolumes <= 0 {
+		maxVolumes = 8
+	}
+	if frac == 0 {
+		frac = 0.2
+	}
+	_, arenaDev, err := carve(dev, maxVolumes, frac)
+	if err != nil {
+		return readcache.ArenaStats{}, err
+	}
+	a, err := readcache.NewArena(arenaDev, readcache.SizedConfig(arenaDev.Size(), policy))
+	if err != nil {
+		return readcache.ArenaStats{}, err
+	}
+	return a.Stats(), nil
+}
+
+func (h *Host) loadSlots(ctx context.Context) error {
+	raw, err := h.opts.Store.Get(ctx, slotsKey)
+	if err != nil {
+		if errors.Is(err, objstore.ErrNotFound) {
+			return nil // fresh bucket
+		}
+		return fmt.Errorf("host: loading %s: %w", slotsKey, err)
+	}
+	var f slotsFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("host: parsing %s: %w", slotsKey, err)
+	}
+	for name, slot := range f.Slots {
+		if slot < 0 || slot >= h.opts.MaxVolumes {
+			return fmt.Errorf("host: %s assigns %q slot %d outside 0..%d (MaxVolumes shrank?)",
+				slotsKey, name, slot, h.opts.MaxVolumes-1)
+		}
+		h.slots[name] = slot
+	}
+	return nil
+}
+
+// saveSlots persists the slot table (mu held).
+func (h *Host) saveSlots(ctx context.Context) error {
+	if h.opts.FlatKeys {
+		return nil
+	}
+	raw, err := json.Marshal(slotsFile{Version: 1, Slots: h.slots})
+	if err != nil {
+		return err
+	}
+	return h.opts.Store.Put(ctx, slotsKey, raw)
+}
+
+func checkVolName(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, "/\\") || strings.Contains(name, "#tmp#") {
+		return fmt.Errorf("host: invalid volume name %q", name)
+	}
+	return nil
+}
+
+// volStore returns the namespaced backend view of one volume.
+func (h *Host) volStore(name string) (objstore.Store, error) {
+	if h.opts.FlatKeys {
+		return h.store, nil
+	}
+	return objstore.NewPrefixed(h.store, volPrefix(name))
+}
+
+// leaseLocked reserves the volume's slot and marks it open (mu held).
+// assign controls whether a missing name gets a fresh slot.
+func (h *Host) leaseLocked(name string, assign bool) (int, error) {
+	if h.closed {
+		return 0, fmt.Errorf("host: closed")
+	}
+	if _, isOpen := h.open[name]; isOpen {
+		return 0, fmt.Errorf("host: volume %q is already open", name)
+	}
+	slot, ok := h.slots[name]
+	if !ok {
+		if !assign {
+			return 0, fmt.Errorf("host: unknown volume %q", name)
+		}
+		used := make([]bool, h.opts.MaxVolumes)
+		for _, s := range h.slots {
+			if s >= 0 && s < len(used) {
+				used[s] = true
+			}
+		}
+		slot = -1
+		for i, u := range used {
+			if !u {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			return 0, fmt.Errorf("host: all %d volume slots in use", h.opts.MaxVolumes)
+		}
+		h.slots[name] = slot
+	}
+	// Reserve against concurrent Create/Open of the same name; the
+	// entry is replaced with the real disk (or removed) by the caller.
+	h.open[name] = nil
+	return slot, nil
+}
+
+// resources builds the core.Resources lease for one volume.
+func (h *Host) resources(name string, slot int) (*core.Resources, error) {
+	wcDev, err := simdev.NewSection(h.opts.CacheDev, int64(slot)*h.slotBytes, h.slotBytes)
+	if err != nil {
+		return nil, fmt.Errorf("host: slot %d carve: %w", slot, err)
+	}
+	viewName := name
+	if h.opts.FlatKeys {
+		viewName = "" // the historical single-view arena name
+	}
+	return &core.Resources{
+		WCDev:     wcDev,
+		ReadCache: h.arena.Open(viewName),
+		UploadSem: h.uploadSem,
+		FetchSem:  h.fetchSem,
+		OnClose: func() {
+			h.mu.Lock()
+			delete(h.open, name)
+			h.mu.Unlock()
+		},
+	}, nil
+}
+
+// coreOptions assembles the full core.Options for one volume: the
+// host-level half from the host, the volume-level half from v.
+func (h *Host) coreOptions(name string, v core.VolumeOptions) (core.Options, error) {
+	st, err := h.volStore(name)
+	if err != nil {
+		return core.Options{}, err
+	}
+	v.Volume = name
+	return core.Combine(core.HostOptions{
+		Store:           st,
+		WriteCacheFrac:  h.opts.WriteCacheFrac, // unused with Resources, kept coherent
+		ReadCachePolicy: h.opts.ReadCachePolicy,
+		UploadDepth:     h.opts.UploadDepth,
+		FetchDepth:      h.opts.FetchDepth,
+		Retry:           h.opts.Retry,
+	}, v), nil
+}
+
+func (h *Host) openVolume(ctx context.Context, name string, v core.VolumeOptions, create bool) (*core.Disk, error) {
+	if err := checkVolName(name); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	// A flat-key host has no slot table: Open of a pre-host bucket
+	// self-assigns the (only) slot.
+	slot, err := h.leaseLocked(name, create || h.opts.FlatKeys)
+	if err != nil {
+		h.mu.Unlock()
+		return nil, err
+	}
+	if create {
+		if err := h.saveSlots(ctx); err != nil {
+			delete(h.open, name)
+			delete(h.slots, name)
+			h.mu.Unlock()
+			return nil, err
+		}
+	}
+	h.mu.Unlock()
+
+	fail := func(err error) (*core.Disk, error) {
+		h.mu.Lock()
+		delete(h.open, name)
+		if create {
+			delete(h.slots, name)
+			_ = h.saveSlots(ctx) // best effort rollback
+		}
+		h.mu.Unlock()
+		return nil, err
+	}
+	opts, err := h.coreOptions(name, v)
+	if err != nil {
+		return fail(err)
+	}
+	res, err := h.resources(name, slot)
+	if err != nil {
+		return fail(err)
+	}
+	var d *core.Disk
+	if create {
+		d, err = core.CreateShared(ctx, opts, res)
+	} else {
+		d, err = core.OpenShared(ctx, opts, res)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	h.mu.Lock()
+	h.open[name] = d
+	h.mu.Unlock()
+	return d, nil
+}
+
+// Create initializes a new volume on a free write-cache slot.
+// v.VolBytes must be set; v.Volume is overridden with name.
+func (h *Host) Create(ctx context.Context, name string, v core.VolumeOptions) (*core.Disk, error) {
+	return h.openVolume(ctx, name, v, true)
+}
+
+// Open recovers an existing volume (crash recovery included, exactly
+// as the single-volume core.Open).
+func (h *Host) Open(ctx context.Context, name string, v core.VolumeOptions) (*core.Disk, error) {
+	return h.openVolume(ctx, name, v, false)
+}
+
+// Delete removes a volume: its slot, its arena view, and every object
+// under its key prefix. The volume must not be open.
+func (h *Host) Delete(ctx context.Context, name string) error {
+	if err := checkVolName(name); err != nil {
+		return err
+	}
+	if h.opts.FlatKeys {
+		return fmt.Errorf("host: flat-key hosts do not manage volume lifecycles")
+	}
+	h.mu.Lock()
+	if _, isOpen := h.open[name]; isOpen {
+		h.mu.Unlock()
+		return fmt.Errorf("host: volume %q is open", name)
+	}
+	if _, ok := h.slots[name]; !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("host: unknown volume %q", name)
+	}
+	delete(h.slots, name)
+	err := h.saveSlots(ctx)
+	h.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	h.arena.Purge(name)
+	vs, err := h.volStore(name)
+	if err != nil {
+		return err
+	}
+	names, err := vs.List(ctx, "")
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := vs.Delete(ctx, n); err != nil {
+			return fmt.Errorf("host: deleting %q of volume %q: %w", n, name, err)
+		}
+	}
+	return nil
+}
+
+// Volumes lists every volume the host knows (open or not), sorted.
+func (h *Host) Volumes() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.slots))
+	for name := range h.slots {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Disk returns the open disk for name, if any.
+func (h *Host) Disk(name string) (*core.Disk, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.open[name]
+	return d, ok && d != nil
+}
+
+// openSnapshot returns the open volumes (name-sorted), skipping
+// reserved-but-not-yet-open entries.
+func (h *Host) openSnapshot() []nbd.Export {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]nbd.Export, 0, len(h.open))
+	for name, d := range h.open {
+		if d != nil {
+			out = append(out, nbd.Export{Name: name, Disk: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NBDServer builds an NBD server exporting every currently-open
+// volume under its name.
+func (h *Host) NBDServer() *nbd.Server {
+	srv := nbd.NewServer(h.openSnapshot()...)
+	return srv
+}
+
+// ServeNBD exports every open volume over NBD on ln, blocking until
+// the listener closes.
+func (h *Host) ServeNBD(ln net.Listener) error {
+	return h.NBDServer().Serve(ln)
+}
+
+// VolumeStats is one open volume's stats row.
+type VolumeStats struct {
+	Name  string
+	Stats core.Stats
+}
+
+// Stats is the host-aggregate picture: per-open-volume stats, the
+// shared arena's occupancy table, and host-wide backend op counts
+// (zero-valued on FlatKeys hosts, which do not meter).
+type Stats struct {
+	Volumes []VolumeStats
+	Arena   readcache.ArenaStats
+	Backend objstore.Stats
+}
+
+// Stats snapshots the host.
+func (h *Host) Stats() Stats {
+	var st Stats
+	for _, e := range h.openSnapshot() {
+		st.Volumes = append(st.Volumes, VolumeStats{Name: e.Name, Stats: e.Disk.(*core.Disk).Stats()})
+	}
+	st.Arena = h.arena.Stats()
+	if h.meter != nil {
+		st.Backend = h.meter.Stats()
+	}
+	return st
+}
+
+// Close closes every open volume (draining and checkpointing each)
+// and persists the shared arena.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+	var first error
+	for _, e := range h.openSnapshot() {
+		if err := e.Disk.(*core.Disk).Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := h.arena.Persist(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

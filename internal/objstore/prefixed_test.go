@@ -1,0 +1,134 @@
+package objstore
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestPrefixedScopesOperations(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMem()
+	a, err := NewPrefixed(inner, "vol/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPrefixed(inner, "vol/b/")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.Put(ctx, "obj.1", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(ctx, "obj.1", []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same name, different namespaces, different objects.
+	got, err := a.Get(ctx, "obj.1")
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("a.Get = %q, %v", got, err)
+	}
+	got, err = b.Get(ctx, "obj.1")
+	if err != nil || string(got) != "beta" {
+		t.Fatalf("b.Get = %q, %v", got, err)
+	}
+
+	// The inner store sees prefixed keys.
+	if _, err := inner.Get(ctx, "vol/a/obj.1"); err != nil {
+		t.Fatalf("inner key missing: %v", err)
+	}
+
+	// Size and ranges are scoped too.
+	if n, err := a.Size(ctx, "obj.1"); err != nil || n != 5 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if r, err := b.GetRange(ctx, "obj.1", 1, 2); err != nil || string(r) != "et" {
+		t.Fatalf("GetRange = %q, %v", r, err)
+	}
+
+	// List strips the prefix and never leaks the sibling namespace.
+	names, err := a.List(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "obj.1" {
+		t.Fatalf("a.List = %v", names)
+	}
+
+	// Delete is scoped: a's object goes, b's stays.
+	if err := a.Delete(ctx, "obj.1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Get(ctx, "obj.1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("a.Get after delete: %v", err)
+	}
+	if _, err := b.Get(ctx, "obj.1"); err != nil {
+		t.Fatalf("b lost its object: %v", err)
+	}
+}
+
+func TestPrefixedRejectsEscapes(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMem()
+	if err := inner.Put(ctx, "secret", []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPrefixed(inner, "vol/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"", ".", "..", "../secret", "x/../../secret", "/secret",
+		"a//b", "a/./b", "x/..",
+	}
+	for _, name := range bad {
+		if _, err := p.Get(ctx, name); !errors.Is(err, ErrBadName) {
+			t.Errorf("Get(%q) = %v, want ErrBadName", name, err)
+		}
+		if err := p.Put(ctx, name, []byte("x")); !errors.Is(err, ErrBadName) {
+			t.Errorf("Put(%q) = %v, want ErrBadName", name, err)
+		}
+		if err := p.Delete(ctx, name); !errors.Is(err, ErrBadName) {
+			t.Errorf("Delete(%q) = %v, want ErrBadName", name, err)
+		}
+		if _, err := p.Size(ctx, name); !errors.Is(err, ErrBadName) {
+			t.Errorf("Size(%q) = %v, want ErrBadName", name, err)
+		}
+	}
+	if _, err := p.List(ctx, "../"); !errors.Is(err, ErrBadName) {
+		t.Errorf("List escape = %v, want ErrBadName", err)
+	}
+	// The secret object was never reachable.
+	if got, err := inner.Get(ctx, "secret"); err != nil || string(got) != "s" {
+		t.Fatalf("secret disturbed: %q, %v", got, err)
+	}
+}
+
+func TestPrefixedBadPrefixRejected(t *testing.T) {
+	for _, prefix := range []string{"/abs", "..", "a/../..", "a//b"} {
+		if _, err := NewPrefixed(NewMem(), prefix); !errors.Is(err, ErrBadName) {
+			t.Errorf("NewPrefixed(%q) = %v, want ErrBadName", prefix, err)
+		}
+	}
+}
+
+func TestPrefixedIdentity(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMem()
+	p, err := NewPrefixed(inner, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(ctx, "vol.00000001", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inner.Get(ctx, "vol.00000001"); err != nil {
+		t.Fatalf("identity wrapper moved the key: %v", err)
+	}
+	names, err := p.List(ctx, "vol.")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+}

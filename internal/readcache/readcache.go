@@ -6,6 +6,18 @@
 // in-memory extent map from vLBA to SSD location that is periodically
 // persisted to a reserved region to avoid cold restarts (§3.2).
 //
+// The slab pool is a shared Arena (§3.7: one local SSD statically
+// partitioned between the host's virtual disks — except the read cache
+// is shared dynamically rather than carved up): every volume on a host
+// opens a named view (Cache) with its own extent map, while all views
+// draw slabs from one pool. Each slab is owned by exactly one view, so
+// the arena can account occupancy per volume and evict fairly: a slab
+// is only ever reclaimed from a view holding more than its
+// proportional share of the pool, which means a hot volume churning
+// the arena can never push a cold volume below its share — the
+// foreground/background interference guard the multi-tenant host
+// needs.
+//
 // Write-after-read hazards — a backend fetch racing with a newer client
 // write — are handled two ways: reads always consult the write cache
 // first (§3.1), and the core invalidates overlapping read-cache entries
@@ -24,7 +36,7 @@ import (
 	"lsvd/internal/simdev"
 )
 
-// Policy selects the slab eviction policy.
+// Policy selects the slab eviction policy (within the victim view).
 type Policy int
 
 const (
@@ -34,7 +46,7 @@ const (
 	LRU
 )
 
-// Config configures a read cache.
+// Config configures a read-cache arena.
 type Config struct {
 	// SlabBytes is the allocation/eviction unit. Default 4 MiB.
 	SlabBytes int64
@@ -53,81 +65,249 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// SizedConfig scales the metadata reservation and slab size to the
+// cache device so small experiment caches still hold a useful number
+// of slabs (>= 8 where possible). Both the single-volume core and the
+// multi-volume host size their arenas with it, so the two paths agree.
+func SizedConfig(devBytes int64, policy Policy) Config {
+	mapBytes := devBytes / 8
+	if mapBytes > 16*block.MiB {
+		mapBytes = 16 * block.MiB
+	}
+	if mapBytes < block.BlockSize {
+		mapBytes = block.BlockSize
+	}
+	slab := int64(4 * block.MiB)
+	for slab > 256<<10 && (devBytes-mapBytes)/slab < 8 {
+		slab /= 2
+	}
+	return Config{Policy: policy, MapBytes: mapBytes, SlabBytes: slab}
+}
+
+// noOwner marks a slab no view owns.
+const noOwner = -1
+
 type slab struct {
 	idx      int
 	gen      uint32 // generation: bumped on reuse, stored in map targets
+	owner    int    // view id owning every byte in the slab, or noOwner
+	stale    bool   // restored for a persisted view that has not reopened
 	fill     int64  // bytes used
 	lastHit  uint64 // logical clock of last lookup hit
 	inserted []block.Extent
+
+	// pendingOwnerName names the persisted owner of a stale slab until
+	// that view reopens and adopts it.
+	pendingOwnerName string
 }
 
-// Stats reports cache activity.
+// Stats reports one view's cache activity plus the arena-wide slab
+// picture it shares.
 type Stats struct {
-	Slabs, LiveSlabs   int
+	Slabs, LiveSlabs   int // arena-wide
 	Hits, Misses       uint64
 	Inserts            uint64
-	SlabEvictions      uint64
+	SlabEvictions      uint64 // arena-wide
 	MapExtents         int
 	PersistedMapBytes  int64
 	PrefetchHitSectors uint64 // hit sectors that were inserted by prefetch
+
+	// OwnedSlabs/OwnedBytes are this view's arena occupancy;
+	// FairShareSlabs is the proportional floor fair eviction protects.
+	OwnedSlabs     int
+	OwnedBytes     int64
+	FairShareSlabs int
 }
 
-// Cache is a slab-based SSD read cache.
-type Cache struct {
+// Occupancy is one view's row in the arena-wide accounting.
+type Occupancy struct {
+	Volume string
+	Slabs  int
+	Bytes  int64
+}
+
+// ArenaStats is the arena-wide picture: slab totals and the per-view
+// occupancy table (sorted by view creation order).
+type ArenaStats struct {
+	Slabs, LiveSlabs int
+	SlabBytes        int64
+	Evictions        uint64
+	FairShareSlabs   int
+	Views            []Occupancy
+}
+
+// Arena is a slab pool on one cache device shared by any number of
+// per-volume views. All state is guarded by one mutex: data-path reads
+// hold it across lookup+read so slab reuse cannot race a read.
+type Arena struct {
 	mu  sync.Mutex
 	dev simdev.Device
 	cfg Config
 
 	dataStart int64
 	slabs     []*slab
-	order     []int // fill/reuse order (FIFO queue of slab indices)
-	active    int   // slab currently being filled, -1 if none
+	views     []*Cache
+	byName    map[string]*Cache
 	clock     uint64
 	nextGen   uint32
+
+	evictions      uint64
+	persistedBytes int64
+
+	// pending holds persisted view maps (keyed by name) awaiting their
+	// Open; stale slab ownership is tracked on the slabs themselves.
+	pending map[string][]byte
+}
+
+// Cache is one volume's view of an Arena: a private extent map over
+// the shared slab pool. The single-volume New constructor returns a
+// one-view arena, so existing callers see the historical behavior.
+type Cache struct {
+	a    *Arena
+	id   int
+	name string
 
 	m *extmap.Map
 	// pf marks vLBA ranges whose cached copy came from temporal
 	// prefetch rather than a demand miss; hits on them feed the
-	// PrefetchHitSectors counter (how much the read-ahead actually
-	// earned). Stats-only: it is not persisted, so a restart merely
-	// forgets the tags.
+	// PrefetchHitSectors counter. Stats-only: it is not persisted.
 	pf *extmap.Map
 
-	hits, misses, inserts, evictions uint64
-	pfHitSectors                     uint64
-	persistedBytes                   int64
+	active int // slab being filled, -1 if none
+
+	hits, misses, inserts uint64
+	pfHitSectors          uint64
 }
 
-// New builds a read cache on dev, attempting to load a persisted map.
-func New(dev simdev.Device, cfg Config) (*Cache, error) {
+// NewArena builds a shared read-cache arena on dev, attempting to load
+// persisted state (slab table + per-view maps).
+func NewArena(dev simdev.Device, cfg Config) (*Arena, error) {
 	cfg.setDefaults()
-	c := &Cache{dev: dev, cfg: cfg, m: extmap.New(), pf: extmap.New(), active: -1, nextGen: 1}
-	c.dataStart = block.BlockSize + cfg.MapBytes
-	n := (dev.Size() - c.dataStart) / cfg.SlabBytes
+	a := &Arena{
+		dev: dev, cfg: cfg, nextGen: 1,
+		byName:  make(map[string]*Cache),
+		pending: make(map[string][]byte),
+	}
+	a.dataStart = block.BlockSize + cfg.MapBytes
+	n := (dev.Size() - a.dataStart) / cfg.SlabBytes
 	if n < 2 {
 		return nil, fmt.Errorf("readcache: device of %d bytes holds %d slabs; need >= 2", dev.Size(), n)
 	}
 	for i := 0; i < int(n); i++ {
-		c.slabs = append(c.slabs, &slab{idx: i})
+		a.slabs = append(a.slabs, &slab{idx: i, owner: noOwner})
 	}
-	c.loadMap() // best effort; failure just means a cold cache
-	return c, nil
+	a.loadState() // best effort; failure just means a cold cache
+	return a, nil
 }
 
-func (c *Cache) slabBase(idx int) int64 { return c.dataStart + int64(idx)*c.cfg.SlabBytes }
+// New builds a single-view read cache on dev (the pre-arena API): a
+// fresh arena with one anonymous view.
+func New(dev simdev.Device, cfg Config) (*Cache, error) {
+	a, err := NewArena(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Open(""), nil
+}
 
-// Lookup returns the cache's coverage of ext and bumps hit statistics.
+// Open returns the named view, creating it if needed. Reopening a name
+// returns the same view — a volume that closes and reopens on a live
+// host finds its cached data warm. If a persisted map for the name was
+// loaded, it is restored (entries validated against the slab table).
+func (a *Arena) Open(name string) *Cache {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if v, ok := a.byName[name]; ok {
+		return v
+	}
+	v := &Cache{a: a, id: len(a.views), name: name, m: extmap.New(), pf: extmap.New(), active: -1}
+	a.views = append(a.views, v)
+	a.byName[name] = v
+	if raw, ok := a.pending[name]; ok {
+		delete(a.pending, name)
+		a.restoreView(v, raw)
+	}
+	return v
+}
+
+// Purge drops every cached byte and map entry of the named view and
+// returns its slabs to the free pool (volume deletion). The view stays
+// registered; its next inserts start cold.
+func (a *Arena) Purge(name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.pending, name)
+	v, ok := a.byName[name]
+	if !ok {
+		return
+	}
+	for _, s := range a.slabs {
+		if s.owner == v.id {
+			s.gen, s.owner, s.fill, s.lastHit, s.inserted, s.stale = 0, noOwner, 0, 0, nil, false
+		}
+	}
+	v.m.Reset()
+	v.pf.Reset()
+	v.active = -1
+}
+
+// Views returns the registered view names in creation order.
+func (a *Arena) Views() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, len(a.views))
+	for i, v := range a.views {
+		out[i] = v.name
+	}
+	return out
+}
+
+func (a *Arena) slabBase(idx int) int64 { return a.dataStart + int64(idx)*a.cfg.SlabBytes }
+
+// fairShareSlabs is the proportional occupancy floor: the slab pool
+// divided by the number of registered views. Eviction never reclaims
+// from a view at or below it while any view is above it.
+func (a *Arena) fairShareSlabs() int {
+	n := len(a.views)
+	if n == 0 {
+		n = 1
+	}
+	share := len(a.slabs) / n
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+func (a *Arena) ownedSlabs(id int) (slabs int, bytes int64) {
+	for _, s := range a.slabs {
+		if s.owner == id {
+			slabs++
+			bytes += s.fill
+		}
+	}
+	return slabs, bytes
+}
+
+// Name returns the view's name ("" for the single-volume view).
+func (c *Cache) Name() string { return c.name }
+
+// Arena returns the arena backing this view.
+func (c *Cache) Arena() *Arena { return c.a }
+
+// Lookup returns the view's coverage of ext and bumps hit statistics.
 func (c *Cache) Lookup(ext block.Extent) []extmap.Run {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	a := c.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	runs := c.m.Lookup(ext)
 	hit := false
 	for _, r := range runs {
 		if r.Present {
 			hit = true
-			c.clock++
-			if s := c.slabOfTarget(r.Target); s != nil {
-				s.lastHit = c.clock
+			a.clock++
+			if s := a.slabOfTarget(c, r.Target); s != nil {
+				s.lastHit = a.clock
 			}
 			c.notePrefetchHit(r.Extent)
 		}
@@ -153,16 +333,22 @@ func (c *Cache) notePrefetchHit(ext block.Extent) {
 	}
 }
 
-func (c *Cache) slabOfTarget(t extmap.Target) *slab {
+// slabOfTarget resolves a map target to its slab iff the slab still
+// holds this view's generation of the data.
+func (a *Arena) slabOfTarget(c *Cache, t extmap.Target) *slab {
 	off := t.Off.Bytes()
-	if off < c.dataStart {
+	if off < a.dataStart {
 		return nil
 	}
-	idx := int((off - c.dataStart) / c.cfg.SlabBytes)
-	if idx < 0 || idx >= len(c.slabs) || c.slabs[idx].gen != t.Obj {
+	idx := int((off - a.dataStart) / a.cfg.SlabBytes)
+	if idx < 0 || idx >= len(a.slabs) {
 		return nil
 	}
-	return c.slabs[idx]
+	s := a.slabs[idx]
+	if s.gen != t.Obj || s.owner != c.id {
+		return nil
+	}
+	return s
 }
 
 // ReadAt reads cached data previously located via Lookup. Under
@@ -170,7 +356,7 @@ func (c *Cache) slabOfTarget(t extmap.Target) *slab {
 // on the data path should use ReadExtent, which holds the lock across
 // lookup and read.
 func (c *Cache) ReadAt(t extmap.Target, buf []byte) error {
-	return c.dev.ReadAt(buf, t.Off.Bytes())
+	return c.a.dev.ReadAt(buf, t.Off.Bytes())
 }
 
 // ReadExtent looks up ext, bumps hit statistics, and reads every
@@ -179,8 +365,9 @@ func (c *Cache) ReadAt(t extmap.Target, buf []byte) error {
 // eviction cannot reuse the space mid-read. Absent runs are returned
 // untouched for the caller's next level.
 func (c *Cache) ReadExtent(ext block.Extent, buf []byte) ([]extmap.Run, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	a := c.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	runs := c.m.Lookup(ext)
 	hit := false
 	for _, r := range runs {
@@ -188,13 +375,13 @@ func (c *Cache) ReadExtent(ext block.Extent, buf []byte) ([]extmap.Run, error) {
 			continue
 		}
 		hit = true
-		c.clock++
-		if s := c.slabOfTarget(r.Target); s != nil {
-			s.lastHit = c.clock
+		a.clock++
+		if s := a.slabOfTarget(c, r.Target); s != nil {
+			s.lastHit = a.clock
 		}
 		c.notePrefetchHit(r.Extent)
 		off := (r.LBA - ext.LBA).Bytes()
-		if err := c.dev.ReadAt(buf[off:off+r.Bytes()], r.Target.Off.Bytes()); err != nil {
+		if err := a.dev.ReadAt(buf[off:off+r.Bytes()], r.Target.Off.Bytes()); err != nil {
 			return nil, err
 		}
 	}
@@ -207,7 +394,7 @@ func (c *Cache) ReadExtent(ext block.Extent, buf []byte) ([]extmap.Run, error) {
 }
 
 // Insert stores fetched backend data for ext, splitting across slabs
-// as needed and evicting old slabs when the cache is full.
+// as needed and evicting old slabs when the arena is full.
 func (c *Cache) Insert(ext block.Extent, data []byte) error {
 	return c.insert(ext, data, false)
 }
@@ -223,8 +410,9 @@ func (c *Cache) insert(ext block.Extent, data []byte, prefetched bool) error {
 	if int64(len(data)) != ext.Bytes() {
 		return fmt.Errorf("readcache: extent %v does not match %d data bytes", ext, len(data))
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	a := c.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if prefetched {
 		// Identity target (Off = LBA) so adjacent tags merge in the map.
 		c.pf.Update(ext, extmap.Target{Off: ext.LBA})
@@ -232,19 +420,19 @@ func (c *Cache) insert(ext block.Extent, data []byte, prefetched bool) error {
 		c.pf.Delete(ext) // demand data over a prefetched range drops the tag
 	}
 	for ext.Sectors > 0 {
-		s, err := c.writableSlab()
+		s, err := a.writableSlab(c)
 		if err != nil {
 			return err
 		}
-		room := c.cfg.SlabBytes - s.fill
+		room := a.cfg.SlabBytes - s.fill
 		take := ext.Bytes()
 		if take > room {
 			take = room &^ (block.SectorSize - 1)
 		}
 		sectors := uint32(take >> block.SectorShift)
 		sub := block.Extent{LBA: ext.LBA, Sectors: sectors}
-		off := c.slabBase(s.idx) + s.fill
-		if err := c.dev.WriteAt(data[:take], off); err != nil {
+		off := a.slabBase(s.idx) + s.fill
+		if err := a.dev.WriteAt(data[:take], off); err != nil {
 			return err
 		}
 		c.m.Update(sub, extmap.Target{Obj: s.gen, Off: block.LBAFromBytes(off)})
@@ -258,142 +446,214 @@ func (c *Cache) insert(ext block.Extent, data []byte, prefetched bool) error {
 	return nil
 }
 
-// writableSlab returns the active slab with space, advancing to a
-// fresh or evicted slab as needed.
-func (c *Cache) writableSlab() (*slab, error) {
-	if c.active >= 0 && c.slabs[c.active].fill < c.cfg.SlabBytes {
-		return c.slabs[c.active], nil
-	}
-	// Find an unused slab.
-	for _, s := range c.slabs {
-		if s.gen == 0 {
-			s.gen = c.nextGen
-			c.nextGen++
-			c.active = s.idx
-			c.order = append(c.order, s.idx)
+// writableSlab returns the view's active slab if it has space, or
+// claims a fresh slab: free first, then stale (persisted for a view
+// that never reopened), then a fair eviction.
+func (a *Arena) writableSlab(c *Cache) (*slab, error) {
+	if c.active >= 0 {
+		if s := a.slabs[c.active]; s.owner == c.id && s.fill < a.cfg.SlabBytes {
 			return s, nil
 		}
+		c.active = -1 // evicted out from under us or full
 	}
-	// Evict one.
-	victim := c.pickVictim()
-	c.evict(victim)
-	s := c.slabs[victim]
-	s.gen = c.nextGen
-	c.nextGen++
-	c.active = s.idx
-	c.order = append(c.order, s.idx)
-	return s, nil
+	// A never-used slab, else the oldest stale one.
+	var claim *slab
+	for _, s := range a.slabs {
+		if s.owner != noOwner {
+			continue
+		}
+		if s.gen == 0 {
+			claim = s
+			break
+		}
+		if s.stale && (claim == nil || s.gen < claim.gen) {
+			claim = s
+		}
+	}
+	if claim == nil {
+		victim := a.pickVictim(c)
+		if victim < 0 {
+			return nil, fmt.Errorf("readcache: no evictable slab")
+		}
+		a.evict(victim)
+		claim = a.slabs[victim]
+	}
+	claim.gen = a.nextGen
+	a.nextGen++
+	claim.owner = c.id
+	claim.stale = false
+	claim.fill = 0
+	claim.inserted = nil
+	c.active = claim.idx
+	return claim, nil
 }
 
-func (c *Cache) pickVictim() int {
-	switch c.cfg.Policy {
-	case LRU:
-		best, bestHit := -1, uint64(1<<63)
-		for _, s := range c.slabs {
-			if s.idx == c.active {
-				continue
+// pickVictim chooses the slab to evict for requester c: the victim
+// view is the one holding the most slabs among views over the fair
+// share — so a view at or below its proportional floor is untouchable
+// while anyone (including the requester) is over it — and within the
+// victim view the policy picks FIFO-oldest (lowest generation) or LRU.
+// Active slabs are spared unless they are the view's only slab.
+func (a *Arena) pickVictim(c *Cache) int {
+	share := a.fairShareSlabs()
+	owned := make([]int, len(a.views))
+	for _, s := range a.slabs {
+		if s.owner >= 0 && s.owner < len(owned) {
+			owned[s.owner]++
+		}
+	}
+	victim := -1
+	for id, n := range owned {
+		if n > share && (victim < 0 || n > owned[victim]) {
+			victim = id
+		}
+	}
+	if victim < 0 {
+		// No view is over its share (the pool divides exactly): the
+		// requester recycles its own slabs; a requester with none takes
+		// from the largest holder.
+		if owned[c.id] > 0 {
+			victim = c.id
+		} else {
+			for id, n := range owned {
+				if victim < 0 || n > owned[victim] {
+					victim = id
+				}
 			}
-			if s.lastHit < bestHit {
+			if victim < 0 || owned[victim] == 0 {
+				return -1
+			}
+		}
+	}
+	v := a.views[victim]
+	best := -1
+	var bestGen uint32
+	var bestHit uint64
+	for _, s := range a.slabs {
+		if s.owner != victim || s.idx == v.active {
+			continue
+		}
+		switch a.cfg.Policy {
+		case LRU:
+			if best < 0 || s.lastHit < bestHit {
 				best, bestHit = s.idx, s.lastHit
 			}
-		}
-		return best
-	default: // FIFO: oldest in fill order that isn't active
-		for i, idx := range c.order {
-			if idx != c.active {
-				c.order = append(c.order[:i], c.order[i+1:]...)
-				return idx
+		default: // FIFO: generations are assigned in fill order
+			if best < 0 || s.gen < bestGen {
+				best, bestGen = s.idx, s.gen
 			}
 		}
-		return 0
 	}
+	if best < 0 && v.active >= 0 && a.slabs[v.active].owner == victim {
+		best = v.active // only the active slab is left
+	}
+	return best
 }
 
-func (c *Cache) evict(idx int) {
-	s := c.slabs[idx]
-	lo := block.LBAFromBytes(c.slabBase(idx))
-	hi := lo + block.LBA(c.cfg.SlabBytes>>block.SectorShift)
+// evict empties one slab: the owning view's map entries for it are
+// dropped (so a later read misses instead of reading recycled bytes).
+func (a *Arena) evict(idx int) {
+	s := a.slabs[idx]
+	if s.owner == noOwner {
+		return
+	}
+	v := a.views[s.owner]
+	lo := block.LBAFromBytes(a.slabBase(idx))
+	hi := lo + block.LBA(a.cfg.SlabBytes>>block.SectorShift)
 	gen := s.gen
 	for _, ext := range s.inserted {
-		c.m.DeleteIf(ext, func(r extmap.Run) bool {
+		v.m.DeleteIf(ext, func(r extmap.Run) bool {
 			return r.Target.Obj == gen && r.Target.Off >= lo && r.Target.Off < hi
 		})
 	}
-	if c.cfg.Policy == LRU {
-		// Remove from order queue too (FIFO removes in pickVictim).
-		for i, o := range c.order {
-			if o == idx {
-				c.order = append(c.order[:i], c.order[i+1:]...)
-				break
-			}
-		}
-	}
 	// Drop prefetch tags for whatever the eviction actually removed
 	// (overlapping data re-inserted into newer slabs keeps its tag).
-	if c.pf.Len() > 0 {
+	if v.pf.Len() > 0 {
 		for _, ext := range s.inserted {
-			for _, r := range c.m.Lookup(ext) {
+			for _, r := range v.m.Lookup(ext) {
 				if !r.Present {
-					c.pf.Delete(r.Extent)
+					v.pf.Delete(r.Extent)
 				}
 			}
 		}
 	}
+	if v.active == idx {
+		v.active = -1
+	}
 	s.inserted = nil
 	s.fill = 0
 	s.lastHit = 0
-	c.evictions++
+	s.owner = noOwner
+	s.stale = false
+	a.evictions++
 }
 
 // Invalidate drops any cached data overlapping ext (called by the core
 // on every client write).
 func (c *Cache) Invalidate(ext block.Extent) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	a := c.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	c.m.Delete(ext)
 	if c.pf.Len() > 0 {
 		c.pf.Delete(ext)
 	}
 }
 
-// Persist writes the map to the reserved region (best effort; §3.2:
-// "the read cache map is periodically persisted to SSD").
-func (c *Cache) Persist() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	mapBytes, err := c.m.MarshalBinary()
+// persistVersion tags the reserved-region layout: v2 adds per-slab
+// ownership and multiple named view maps. v1 blobs (or any parse
+// failure) load as a cold cache, which is safe.
+const persistVersion = 2
+
+// Persist writes the arena state — slab table plus every view's map —
+// to the reserved region (best effort; §3.2: "the read cache map is
+// periodically persisted to SSD").
+func (c *Cache) Persist() error { return c.a.Persist() }
+
+// Persist writes the arena state to the reserved region.
+func (a *Arena) Persist() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var w payloadWriter
+	w.u32(persistVersion)
+	w.u32(uint32(len(a.slabs)))
+	for _, s := range a.slabs {
+		w.u32(s.gen)
+		w.u64(uint64(s.fill))
+		owner := int32(noOwner)
+		if s.owner >= 0 {
+			owner = int32(s.owner)
+		}
+		w.u32(uint32(owner))
+	}
+	w.u32(uint32(len(a.views)))
+	for _, v := range a.views {
+		mapBytes, err := v.m.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		w.str(v.name)
+		w.bytes(mapBytes)
+	}
+	rec, err := journal.Encode(&journal.Header{Type: journal.TypeCheckpoint, Seq: 1, DataLen: uint64(len(w.buf))}, w.buf, true)
 	if err != nil {
 		return err
 	}
-	// Slab table: idx, gen, fill per slab.
-	table := make([]byte, 4+len(c.slabs)*16)
-	binary.LittleEndian.PutUint32(table, uint32(len(c.slabs)))
-	for i, s := range c.slabs {
-		p := table[4+i*16:]
-		binary.LittleEndian.PutUint32(p, s.gen)
-		binary.LittleEndian.PutUint64(p[4:], uint64(s.fill))
-		binary.LittleEndian.PutUint32(p[12:], 0)
+	if int64(len(rec)) > a.cfg.MapBytes {
+		return fmt.Errorf("readcache: persisted map of %d bytes exceeds reserved %d", len(rec), a.cfg.MapBytes)
 	}
-	payload := append(table, mapBytes...)
-	rec, err := journal.Encode(&journal.Header{Type: journal.TypeCheckpoint, Seq: 1, DataLen: uint64(len(payload))}, payload, true)
-	if err != nil {
+	if err := a.dev.WriteAt(rec, block.BlockSize); err != nil {
 		return err
 	}
-	if int64(len(rec)) > c.cfg.MapBytes {
-		return fmt.Errorf("readcache: persisted map of %d bytes exceeds reserved %d", len(rec), c.cfg.MapBytes)
-	}
-	if err := c.dev.WriteAt(rec, block.BlockSize); err != nil {
-		return err
-	}
-	c.persistedBytes = int64(len(rec))
-	return c.dev.Flush()
+	a.persistedBytes = int64(len(rec))
+	return a.dev.Flush()
 }
 
-// loadMap attempts to restore a persisted map; any failure leaves the
-// cache cold, which is safe.
-func (c *Cache) loadMap() {
+// loadState attempts to restore persisted arena state; any failure
+// leaves the arena cold, which is safe.
+func (a *Arena) loadState() {
 	hdr := make([]byte, block.BlockSize)
-	if err := c.dev.ReadAt(hdr, block.BlockSize); err != nil {
+	if err := a.dev.ReadAt(hdr, block.BlockSize); err != nil {
 		return
 	}
 	h, _, err := journal.DecodeHeader(hdr)
@@ -402,63 +662,240 @@ func (c *Cache) loadMap() {
 	}
 	total := int64(journal.AlignedHeaderSize(len(h.Extents))) + int64(h.DataLen)
 	total = (total + block.BlockSize - 1) &^ (block.BlockSize - 1)
-	if total > c.cfg.MapBytes {
+	if total > a.cfg.MapBytes {
 		return
 	}
 	full := make([]byte, total)
-	if err := c.dev.ReadAt(full, block.BlockSize); err != nil {
+	if err := a.dev.ReadAt(full, block.BlockSize); err != nil {
 		return
 	}
 	_, payload, _, err := journal.Decode(full, true)
-	if err != nil || len(payload) < 4 {
+	if err != nil {
 		return
 	}
-	n := int(binary.LittleEndian.Uint32(payload))
-	if n != len(c.slabs) || len(payload) < 4+n*16 {
+	r := payloadReader{buf: payload}
+	if r.u32() != persistVersion {
 		return
 	}
+	n := int(r.u32())
+	if r.err != nil || n != len(a.slabs) {
+		return
+	}
+	type slabState struct {
+		gen   uint32
+		fill  int64
+		owner int32
+	}
+	state := make([]slabState, n)
 	maxGen := uint32(0)
-	for i := 0; i < n; i++ {
-		p := payload[4+i*16:]
-		c.slabs[i].gen = binary.LittleEndian.Uint32(p)
-		c.slabs[i].fill = int64(binary.LittleEndian.Uint64(p[4:]))
-		if c.slabs[i].gen > maxGen {
-			maxGen = c.slabs[i].gen
-		}
-		if c.slabs[i].gen != 0 {
-			c.order = append(c.order, i)
+	for i := range state {
+		state[i].gen = r.u32()
+		state[i].fill = int64(r.u64())
+		state[i].owner = int32(r.u32())
+		if state[i].gen > maxGen {
+			maxGen = state[i].gen
 		}
 	}
-	c.nextGen = maxGen + 1
-	if err := c.m.UnmarshalBinary(payload[4+n*16:]); err != nil {
-		c.m.Reset()
+	nviews := int(r.u32())
+	if r.err != nil || nviews < 0 || nviews > n {
 		return
 	}
-	// Rebuild per-slab insert lists from the map so future evictions
-	// can clean their entries.
-	c.m.Foreach(func(ext block.Extent, t extmap.Target) bool {
-		if s := c.slabOfTarget(t); s != nil {
+	names := make([]string, nviews)
+	maps := make([][]byte, nviews)
+	for i := 0; i < nviews; i++ {
+		names[i] = r.str()
+		maps[i] = r.bytes()
+	}
+	if r.err != nil {
+		return
+	}
+	// Commit: slab table first, then stash each view's map for its
+	// Open. Restored slabs are "stale" until their view reopens; a
+	// stale slab is reclaimable without a fairness pass.
+	for i, st := range state {
+		s := a.slabs[i]
+		s.gen = st.gen
+		s.fill = st.fill
+		s.owner = noOwner
+		s.stale = st.gen != 0 && st.owner >= 0 && int(st.owner) < nviews
+		if s.stale {
+			s.pendingOwnerName = names[st.owner]
+		}
+	}
+	a.nextGen = maxGen + 1
+	for i, name := range names {
+		if len(maps[i]) > 0 {
+			a.pending[name] = maps[i]
+		}
+	}
+}
+
+// restoreView adopts the stale slabs persisted for v and loads its
+// map, dropping any entry that no longer matches a slab it owns (the
+// slab may have been reclaimed between load and open).
+func (a *Arena) restoreView(v *Cache, raw []byte) {
+	for _, s := range a.slabs {
+		if s.stale && s.pendingOwnerName == v.name {
+			s.owner = v.id
+			s.stale = false
+			s.pendingOwnerName = ""
+		}
+	}
+	m := extmap.New()
+	if err := m.UnmarshalBinary(raw); err != nil {
+		return
+	}
+	// Validate entries against the adopted slabs and rebuild the
+	// per-slab insert lists so future evictions can clean them.
+	type drop struct{ ext block.Extent }
+	var drops []drop
+	m.Foreach(func(ext block.Extent, t extmap.Target) bool {
+		if s := a.slabOfTargetID(v.id, t); s != nil {
 			s.inserted = append(s.inserted, ext)
+		} else {
+			drops = append(drops, drop{ext})
 		}
 		return true
 	})
+	for _, d := range drops {
+		m.Delete(d.ext)
+	}
+	v.m = m
 }
 
-// Stats returns a snapshot of statistics.
+func (a *Arena) slabOfTargetID(id int, t extmap.Target) *slab {
+	off := t.Off.Bytes()
+	if off < a.dataStart {
+		return nil
+	}
+	idx := int((off - a.dataStart) / a.cfg.SlabBytes)
+	if idx < 0 || idx >= len(a.slabs) {
+		return nil
+	}
+	s := a.slabs[idx]
+	if s.gen != t.Obj || s.owner != id {
+		return nil
+	}
+	return s
+}
+
+// Stats returns a snapshot of this view's statistics plus the shared
+// slab picture.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	a := c.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	live := 0
-	for _, s := range c.slabs {
-		if s.gen != 0 {
+	for _, s := range a.slabs {
+		if s.gen != 0 && (s.owner != noOwner || s.stale) {
 			live++
 		}
 	}
+	ownedSlabs, ownedBytes := a.ownedSlabs(c.id)
 	return Stats{
-		Slabs: len(c.slabs), LiveSlabs: live,
+		Slabs: len(a.slabs), LiveSlabs: live,
 		Hits: c.hits, Misses: c.misses, Inserts: c.inserts,
-		SlabEvictions: c.evictions, MapExtents: c.m.Len(),
-		PersistedMapBytes:  c.persistedBytes,
+		SlabEvictions: a.evictions, MapExtents: c.m.Len(),
+		PersistedMapBytes:  a.persistedBytes,
 		PrefetchHitSectors: c.pfHitSectors,
+		OwnedSlabs:         ownedSlabs,
+		OwnedBytes:         ownedBytes,
+		FairShareSlabs:     a.fairShareSlabs(),
 	}
 }
+
+// Stats returns the arena-wide picture with the per-view occupancy
+// table.
+func (a *Arena) Stats() ArenaStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := ArenaStats{
+		Slabs: len(a.slabs), SlabBytes: a.cfg.SlabBytes,
+		Evictions: a.evictions, FairShareSlabs: a.fairShareSlabs(),
+	}
+	for _, s := range a.slabs {
+		if s.gen != 0 && (s.owner != noOwner || s.stale) {
+			st.LiveSlabs++
+		}
+	}
+	for _, v := range a.views {
+		slabs, bytes := a.ownedSlabs(v.id)
+		st.Views = append(st.Views, Occupancy{Volume: v.name, Slabs: slabs, Bytes: bytes})
+	}
+	// Persisted occupancy of views that have not reopened (offline
+	// inspection sees every volume's footprint this way).
+	stale := make(map[string]int)
+	for _, s := range a.slabs {
+		if s.stale {
+			if i, ok := stale[s.pendingOwnerName]; ok {
+				st.Views[i].Slabs++
+				st.Views[i].Bytes += s.fill
+			} else {
+				stale[s.pendingOwnerName] = len(st.Views)
+				st.Views = append(st.Views, Occupancy{Volume: s.pendingOwnerName, Slabs: 1, Bytes: s.fill})
+			}
+		}
+	}
+	return st
+}
+
+// --- persistence payload codec ---
+
+type payloadWriter struct{ buf []byte }
+
+func (w *payloadWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *payloadWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *payloadWriter) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.buf = append(w.buf, p...)
+}
+
+func (w *payloadWriter) str(s string) { w.bytes([]byte(s)) }
+
+type payloadReader struct {
+	buf []byte
+	err error
+}
+
+func (r *payloadReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.buf) < n {
+		r.err = fmt.Errorf("truncated at %d (need %d)", len(r.buf), n)
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *payloadReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *payloadReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *payloadReader) bytes() []byte { return r.take(int(r.u32())) }
+
+func (r *payloadReader) str() string { return string(r.bytes()) }

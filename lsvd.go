@@ -35,6 +35,7 @@ import (
 	"lsvd/internal/block"
 	"lsvd/internal/blockstore"
 	"lsvd/internal/core"
+	"lsvd/internal/host"
 	"lsvd/internal/nbd"
 	"lsvd/internal/objstore"
 	"lsvd/internal/readcache"
@@ -141,15 +142,44 @@ func (o VolumeOptions) coreOptions() core.Options {
 	return opts
 }
 
-// Create initializes a new volume.
+// flatHost builds the single-volume host every Create/Open runs on:
+// one slot covering the whole write-cache region, the historical flat
+// key layout, and the volume's own depths as the (single-tenant)
+// host-wide budgets. Multi-volume deployments use OpenHost instead.
+func (o VolumeOptions) flatHost(ctx context.Context) (*Host, error) {
+	return host.New(ctx, host.Options{
+		Store:           o.Store,
+		CacheDev:        o.Cache,
+		FlatKeys:        true,
+		WriteCacheFrac:  o.WriteCacheFraction,
+		ReadCachePolicy: o.ReadCachePolicy,
+		UploadDepth:     o.UploadDepth,
+		FetchDepth:      o.FetchDepth,
+		Retry:           o.Retry,
+	})
+}
+
+// Create initializes a new volume. It is a thin one-volume host: the
+// same code path that packs eight volumes onto a shared SSD serves a
+// single volume with the pre-host key layout and cache split.
 func Create(ctx context.Context, o VolumeOptions) (*Disk, error) {
-	return core.Create(ctx, o.coreOptions())
+	h, err := o.flatHost(ctx)
+	if err != nil {
+		return nil, err
+	}
+	_, v := o.coreOptions().Split()
+	return h.Create(ctx, o.Name, v)
 }
 
 // Open recovers an existing volume: local log replay, backend prefix
 // recovery, and re-destage of any writes the backend is missing.
 func Open(ctx context.Context, o VolumeOptions) (*Disk, error) {
-	return core.Open(ctx, o.coreOptions())
+	h, err := o.flatHost(ctx)
+	if err != nil {
+		return nil, err
+	}
+	_, v := o.coreOptions().Split()
+	return h.Open(ctx, o.Name, v)
 }
 
 // Clone creates a new volume sharing the base volume's objects up to
@@ -201,3 +231,63 @@ func ServeNBD(ln net.Listener, name string, disk BlockDevice, more ...struct {
 // Replicator lazily copies a volume's object stream to a second store
 // for asynchronous (geo-)replication.
 type Replicator = replica.Replicator
+
+// Host packs many volumes onto one cache SSD and one backend bucket:
+// per-volume write-cache log slots, one shared read-cache arena with
+// fair eviction, host-wide upload/fetch concurrency budgets, and
+// per-volume key namespaces ("vol/<name>/…"). See internal/host.
+type Host = host.Host
+
+// HostStats is the host-aggregate picture: per-volume stats, arena
+// occupancy, and backend op counts.
+type HostStats = host.Stats
+
+// VolumeSpec is the per-volume half of the configuration for volumes
+// created/opened on a Host (size, batch size, GC water marks, destage
+// tuning). Host-level knobs — cache split, budgets, retry — live in
+// HostOptions.
+type VolumeSpec = core.VolumeOptions
+
+// HostOptions configures OpenHost.
+type HostOptions struct {
+	// Store is the backend bucket shared by all volumes.
+	Store ObjectStore
+	// Cache is the host's cache SSD shared by all volumes.
+	Cache CacheDevice
+	// MaxVolumes is the number of write-cache slots carved from the
+	// SSD (default 8).
+	MaxVolumes int
+	// WriteCacheFraction is the SSD share carved into write-cache
+	// slots (default 0.2); the rest is the shared read arena.
+	WriteCacheFraction float64
+	// ReadCachePolicy selects the arena eviction policy.
+	ReadCachePolicy readcache.Policy
+	// UploadDepth / FetchDepth are host-wide backend concurrency
+	// budgets shared by every volume (defaults 4 and 8).
+	UploadDepth int
+	FetchDepth  int
+	// Retry is the backend retry policy every volume inherits.
+	Retry RetryPolicy
+}
+
+// OpenHost opens a multi-volume host on one SSD and one bucket:
+//
+//	h, _ := lsvd.OpenHost(ctx, lsvd.HostOptions{Store: store, Cache: cache})
+//	vm1, _ := h.Create(ctx, "vm1", lsvd.VolumeSpec{VolBytes: 100 * lsvd.GiB})
+//	vm2, _ := h.Create(ctx, "vm2", lsvd.VolumeSpec{VolBytes: 50 * lsvd.GiB})
+//	go h.ServeNBD(ln) // one endpoint, one export per volume
+//
+// Volumes lease per-volume write-log slots and share the read arena
+// and backend budgets; h.Close() closes every open volume.
+func OpenHost(ctx context.Context, o HostOptions) (*Host, error) {
+	return host.New(ctx, host.Options{
+		Store:           o.Store,
+		CacheDev:        o.Cache,
+		MaxVolumes:      o.MaxVolumes,
+		WriteCacheFrac:  o.WriteCacheFraction,
+		ReadCachePolicy: o.ReadCachePolicy,
+		UploadDepth:     o.UploadDepth,
+		FetchDepth:      o.FetchDepth,
+		Retry:           o.Retry,
+	})
+}
