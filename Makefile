@@ -8,7 +8,17 @@ GO ?= go
 # including the destage stress tests.
 RACE_PKGS := ./internal/core ./internal/blockstore ./internal/writecache ./internal/nbd ./internal/consistency ./internal/host ./internal/readcache
 
-.PHONY: all build fmt vet test race bench bench-read bench-multivol fault check clean
+# Native fuzz targets (package,function); fuzz-smoke runs each for
+# FUZZTIME and replays the checked-in testdata/fuzz corpora.
+FUZZ_TARGETS := \
+	./internal/journal,FuzzDecode \
+	./internal/nbd,FuzzHandshake \
+	./internal/nbd,FuzzRequestStream \
+	./internal/extmap,FuzzOpsOracle \
+	./internal/extmap,FuzzUnmarshalBinary
+FUZZTIME ?= 10s
+
+.PHONY: all build fmt vet test race bench bench-read bench-multivol fault vet-lsvd check-invariant fuzz-smoke check clean
 
 all: check
 
@@ -56,7 +66,33 @@ bench-read:
 bench-multivol:
 	LSVD_MULTIVOL_OUT=BENCH_multivol.json $(GO) test -count=1 -run TestMultiVolScaling -v .
 
-check: build fmt vet test race fault
+# Custom analyzer suite (DESIGN.md §5e): prove every analyzer against
+# its seeded testdata (zero missed, zero spurious findings), then run
+# the built driver over the whole module.
+vet-lsvd:
+	$(GO) test -count=1 ./internal/analysis/...
+	$(GO) build -o bin/lsvd-vet ./cmd/lsvd-vet
+	./bin/lsvd-vet ./...
+
+# Runtime invariant layer: rebuild with -tags lsvdcheck so the asserts,
+# lock-order tracking, and goroutine guards are compiled in, then run
+# the fault-torture and concurrency stress packages under the race
+# detector.
+check-invariant:
+	LSVD_FAULT_SEED=1 $(GO) test -count=1 -tags lsvdcheck -race \
+		$(RACE_PKGS) ./internal/invariant
+
+# Replay the checked-in seed corpora, then give each fuzz target
+# FUZZTIME of coverage-guided exploration.
+fuzz-smoke:
+	$(GO) test -count=1 -run Fuzz ./internal/journal ./internal/nbd ./internal/extmap
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%,*}; fn=$${t#*,}; \
+		echo "fuzz $$fn ($$pkg, $(FUZZTIME))"; \
+		$(GO) test $$pkg -fuzz="^$$fn$$" -fuzztime=$(FUZZTIME); \
+	done
+
+check: build fmt vet test race fault vet-lsvd check-invariant fuzz-smoke
 	$(GO) test -count=1 -run 'TestReadPathQDSweep|TestMultiVolScaling' .
 
 clean:

@@ -1,0 +1,52 @@
+// lsvd-vet runs the lsvd analyzer suite (lockheld, lockorder,
+// errclass, sectmath, goroguard, annform — see DESIGN.md §5e) over the
+// module and exits non-zero if any diagnostic survives its
+// //lsvd:ignore filter. Stdlib only: packages load through
+// `go list -export` and go/importer, not golang.org/x/tools.
+//
+// Usage:
+//
+//	lsvd-vet [-dir root] [packages...]
+//
+// Packages default to ./... relative to -dir (default: the current
+// directory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lsvd/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "module directory to analyze from")
+	list := flag.Bool("analyzers", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, pkgs, err := analysis.NewLoader(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsvd-vet:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(loader, pkgs, analysis.Analyzers())
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lsvd-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

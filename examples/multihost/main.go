@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"lsvd"
+	"lsvd/internal/invariant"
 	"lsvd/internal/nbd"
 )
 
@@ -69,7 +70,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go h.ServeNBD(ln)
+	invariant.Go("multihost-nbd-server", func() { _ = h.ServeNBD(ln) })
 	addr := ln.Addr().String()
 
 	exports, err := nbd.List(addr)

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, position-resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run is invoked once per package; the
+// optional Finish hook runs after every package, for analyzers that
+// accumulate cross-package facts (lockorder's acquired-before graph).
+// Analyzers carrying state between Run and Finish are single-use;
+// Analyzers() hands out fresh instances.
+type Analyzer struct {
+	Name   string
+	Doc    string
+	Run    func(*Pass)
+	Finish func(report func(pos token.Position, format string, args ...any))
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Ann      *Annotations
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic unless an //lsvd:ignore annotation
+// covers pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.Ann.Ignored(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over every package and returns the
+// deduplicated, position-sorted findings.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	anns := make([]*Annotations, len(pkgs))
+	reg := &Registry{}
+	for i, p := range pkgs {
+		anns[i] = buildAnnotations(l.Fset, p, reg)
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for i, p := range pkgs {
+			pass := &Pass{
+				Analyzer: a, Fset: l.Fset, Files: p.Files,
+				Pkg: p.Pkg, Info: p.Info, Ann: anns[i], diags: &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			name := a.Name
+			a.Finish(func(pos token.Position, format string, args ...any) {
+				diags = append(diags, Diagnostic{Pos: pos, Analyzer: name, Message: fmt.Sprintf(format, args...)})
+			})
+		}
+	}
+	return dedupe(diags)
+}
+
+func dedupe(diags []Diagnostic) []Diagnostic {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Registry is module-wide annotation state shared by all packages: the
+// set of declared lock names, so per-package passes can reason about
+// locks a caller in another package may hold.
+type Registry struct {
+	LockNames []string
+}
+
+func (r *Registry) addLock(name string) {
+	for _, n := range r.LockNames {
+		if n == name {
+			return
+		}
+	}
+	r.LockNames = append(r.LockNames, name)
+	sort.Strings(r.LockNames)
+}
+
+// Annotations is the per-package index of lsvd directives:
+//
+//	//lsvd:lock <name>              on a mutex struct field: the lock
+//	                                participates in lockheld/lockorder
+//	                                under the given global name.
+//	//lsvd:classifies-errors        on a function or struct field: backend
+//	                                errors flowing through it are
+//	                                classified transient-vs-terminal.
+//	//lsvd:ignore <reason>          suppresses diagnostics on its own
+//	                                line and the following line; on a
+//	                                function's doc comment, on the whole
+//	                                function. The reason is mandatory.
+type Annotations struct {
+	Global     *Registry
+	Locks      map[types.Object]string // annotated mutex field -> lock name
+	Classifies map[types.Object]bool   // annotated funcs and fields
+
+	lineIgnores map[string]map[int]bool // file -> lines covered
+	fset        *token.FileSet
+	malformed   []token.Pos // directives missing required arguments
+}
+
+// Ignored reports whether an //lsvd:ignore covers the position.
+func (a *Annotations) Ignored(pos token.Position) bool {
+	lines := a.lineIgnores[pos.Filename]
+	return lines[pos.Line]
+}
+
+// IgnoredAt is Ignored for an unresolved token.Pos.
+func (a *Annotations) IgnoredAt(pos token.Pos) bool {
+	return a.Ignored(a.fset.Position(pos))
+}
+
+const (
+	dirLock       = "lsvd:lock"
+	dirClassifies = "lsvd:classifies-errors"
+	dirIgnore     = "lsvd:ignore"
+)
+
+// directive returns the argument of the named directive if the
+// comment group carries it ("" argument, found=true for bare ones).
+func directive(g *ast.CommentGroup, name string) (arg string, found bool) {
+	if g == nil {
+		return "", false
+	}
+	for _, c := range g.List {
+		t := strings.TrimPrefix(c.Text, "//")
+		t = strings.TrimSpace(t)
+		if t == name {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(t, name+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+func buildAnnotations(fset *token.FileSet, p *Package, reg *Registry) *Annotations {
+	a := &Annotations{
+		Global:      reg,
+		Locks:       make(map[types.Object]string),
+		Classifies:  make(map[types.Object]bool),
+		lineIgnores: make(map[string]map[int]bool),
+		fset:        fset,
+	}
+	for _, f := range p.Files {
+		// Line ignores: every comment anywhere in the file.
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				t := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if t != dirIgnore && !strings.HasPrefix(t, dirIgnore+" ") {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(t, dirIgnore))
+				if reason == "" {
+					a.malformed = append(a.malformed, c.Pos())
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				a.coverLine(pos.Filename, pos.Line)
+				a.coverLine(pos.Filename, pos.Line+1)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if _, ok := directive(n.Doc, dirIgnore); ok {
+					start := fset.Position(n.Pos())
+					end := fset.Position(n.End())
+					for line := start.Line; line <= end.Line; line++ {
+						a.coverLine(start.Filename, line)
+					}
+				}
+				if _, ok := directive(n.Doc, dirClassifies); ok {
+					if obj := p.Info.Defs[n.Name]; obj != nil {
+						a.Classifies[obj] = true
+					}
+				}
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					a.fieldDirectives(p, field)
+				}
+			}
+			return true
+		})
+	}
+	return a
+}
+
+func (a *Annotations) fieldDirectives(p *Package, field *ast.Field) {
+	for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if arg, ok := directive(doc, dirLock); ok {
+			// The lock name is the first token; anything after it is
+			// commentary.
+			name := ""
+			if fs := strings.Fields(arg); len(fs) > 0 {
+				name = fs[0]
+			}
+			if name == "" {
+				a.malformed = append(a.malformed, field.Pos())
+				continue
+			}
+			for _, id := range field.Names {
+				if obj := p.Info.Defs[id]; obj != nil {
+					a.Locks[obj] = name
+					a.Global.addLock(name)
+				}
+			}
+		}
+		if _, ok := directive(doc, dirClassifies); ok {
+			for _, id := range field.Names {
+				if obj := p.Info.Defs[id]; obj != nil {
+					a.Classifies[obj] = true
+				}
+			}
+		}
+	}
+}
+
+func (a *Annotations) coverLine(file string, line int) {
+	if a.lineIgnores[file] == nil {
+		a.lineIgnores[file] = make(map[int]bool)
+	}
+	a.lineIgnores[file][line] = true
+}
+
+// annform is the directives analyzer: it reports malformed lsvd
+// directives (an //lsvd:ignore without a reason, an //lsvd:lock
+// without a name), so suppressions always carry their justification.
+func newAnnform() *Analyzer {
+	a := &Analyzer{
+		Name: "annform",
+		Doc:  "lsvd directives must be well-formed (//lsvd:ignore requires a reason, //lsvd:lock a name)",
+	}
+	a.Run = func(pass *Pass) {
+		for _, pos := range pass.Ann.malformed {
+			// Bypass ignore handling: a malformed directive must not
+			// suppress its own report.
+			*pass.diags = append(*pass.diags, Diagnostic{
+				Pos:      pass.Fset.Position(pos),
+				Analyzer: a.Name,
+				Message:  "malformed lsvd directive: //lsvd:ignore requires a reason and //lsvd:lock a name",
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,15 @@
+package analysis
+
+// Analyzers returns fresh instances of the full lsvd-vet suite.
+// Instances carry per-run state (lockorder accumulates the module-wide
+// graph between Run and Finish), so they must not be reused.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		newAnnform(),
+		newErrclass(),
+		newGoroguard(),
+		newLockheld(),
+		newLockorder(),
+		newSectmath(),
+	}
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroguard requires every spawned goroutine to have a panic story: a
+// panic on a naked goroutine kills the whole host process with no
+// chance to fail the one volume it belongs to. Goroutines must either
+// be spawned through invariant.Go (which rewraps the panic with the
+// goroutine's name and stack) or open with `defer func() { recover()
+// ... }()`. The invariant package itself is exempt — it implements the
+// guard.
+func newGoroguard() *Analyzer {
+	a := &Analyzer{
+		Name: "goroguard",
+		Doc:  "goroutines must recover or propagate panics (spawn via invariant.Go)",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Path() == "lsvd/internal/invariant" {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !guardedGo(pass, g) {
+					pass.Reportf(g.Pos(), "goroutine without a panic guard; spawn it via invariant.Go or open with a deferred recover")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// guardedGo accepts `go func() { defer func() { ... recover() ... }();
+// ... }()`. Anything else — naked method values, literals whose first
+// statement is not the guard — is unguarded.
+func guardedGo(pass *Pass, g *ast.GoStmt) bool {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok || len(lit.Body.List) == 0 {
+		return false
+	}
+	def, ok := lit.Body.List[0].(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	deferred, ok := ast.Unparen(def.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(deferred.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "recover" {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

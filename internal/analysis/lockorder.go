@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorder builds the module-wide acquired-before graph over the
+// //lsvd:lock mutexes and fails on cycles: two code paths taking the
+// same pair of locks in opposite orders is a deadlock waiting for the
+// right interleaving, and no test reliably produces it. Direct edges
+// come from acquisitions with another lock held; indirect edges from
+// a global fixpoint over per-function summaries ("locks acquired while
+// L is still held"), materialized only at call sites actually reached
+// with L held — so a helper that takes its own private lock does not
+// manufacture edges for callers that never hold anything. The walker's
+// lock-drop modeling keeps release-then-call-then-reacquire protocols
+// (blockstore header fetch, GC writeback) out of the graph.
+func newLockorder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "the acquired-before graph over //lsvd:lock mutexes must be acyclic",
+	}
+
+	type edge struct{ from, to string }
+	type rootCall struct {
+		lock   string
+		callee string // fn.FullName()
+		pos    token.Position
+	}
+	edges := make(map[edge]token.Position)
+	addEdge := func(e edge, pos token.Position) {
+		if _, ok := edges[e]; !ok {
+			edges[e] = pos
+		}
+	}
+	// awh[fn][L]: locks acquired while the caller's L is still held.
+	awh := make(map[string]map[string]map[string]bool)
+	// heldCalls[fn][L]: module callees invoked while L is still held.
+	heldCalls := make(map[string]map[string]map[string]bool)
+	var rootCalls []rootCall
+	at := func(m map[string]map[string]map[string]bool, fn, l string) map[string]bool {
+		if m[fn] == nil {
+			m[fn] = make(map[string]map[string]bool)
+		}
+		if m[fn][l] == nil {
+			m[fn][l] = make(map[string]bool)
+		}
+		return m[fn][l]
+	}
+	contains := func(held []string, l string) bool {
+		for _, h := range held {
+			if h == l {
+				return true
+			}
+		}
+		return false
+	}
+
+	a.Run = func(pass *Pass) {
+		locks := pass.Ann.Global.LockNames
+		for fn, fd := range declaredFuncs(pass) {
+			key := fn.FullName()
+			walkFunc(pass, fd.Body, nil, flowEvents{
+				onAcquire: func(pos token.Pos, lock string, held []string) {
+					for _, h := range uniqStrings(held) {
+						addEdge(edge{h, lock}, pass.Fset.Position(pos))
+					}
+				},
+				onCall: func(pos token.Pos, callee *types.Func, held []string) {
+					for _, h := range uniqStrings(held) {
+						rootCalls = append(rootCalls, rootCall{h, callee.FullName(), pass.Fset.Position(pos)})
+					}
+				},
+			})
+			for _, l := range locks {
+				lock := l
+				acq := at(awh, key, lock)
+				calls := at(heldCalls, key, lock)
+				walkFunc(pass, fd.Body, []string{lock}, flowEvents{
+					onAcquire: func(pos token.Pos, acquired string, held []string) {
+						if contains(held, lock) {
+							acq[acquired] = true
+						}
+					},
+					onCall: func(pos token.Pos, callee *types.Func, held []string) {
+						if contains(held, lock) {
+							calls[callee.FullName()] = true
+						}
+					},
+				})
+			}
+		}
+	}
+
+	a.Finish = func(report func(pos token.Position, format string, args ...any)) {
+		// Global fixpoint: calling G while L is held imports G's
+		// L-summary (locks acquired, deeper calls).
+		for changed := true; changed; {
+			changed = false
+			for fn := range heldCalls {
+				for l, calls := range heldCalls[fn] {
+					for callee := range calls {
+						for acquired := range awh[callee][l] {
+							if !at(awh, fn, l)[acquired] {
+								at(awh, fn, l)[acquired] = true
+								changed = true
+							}
+						}
+						for deeper := range heldCalls[callee][l] {
+							if !calls[deeper] {
+								calls[deeper] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+		// Materialize indirect edges only at call sites actually made
+		// with the lock held from a normal entry.
+		for _, rc := range rootCalls {
+			for acquired := range awh[rc.callee][rc.lock] {
+				addEdge(edge{rc.lock, acquired}, rc.pos)
+			}
+		}
+
+		succ := make(map[string][]string)
+		for e := range edges {
+			succ[e.from] = append(succ[e.from], e.to)
+		}
+		reaches := func(from, to string) []string {
+			if from == to {
+				return []string{from}
+			}
+			seen := map[string]bool{from: true}
+			var dfs func(n string, path []string) []string
+			dfs = func(n string, path []string) []string {
+				path = append(path, n)
+				if n == to {
+					return path
+				}
+				for _, m := range succ[n] {
+					if !seen[m] {
+						seen[m] = true
+						if p := dfs(m, path); p != nil {
+							return p
+						}
+					}
+				}
+				return nil
+			}
+			return dfs(from, nil)
+		}
+
+		var sorted []edge
+		for e := range edges {
+			sorted = append(sorted, e)
+		}
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].from != sorted[j].from {
+				return sorted[i].from < sorted[j].from
+			}
+			return sorted[i].to < sorted[j].to
+		})
+		for _, e := range sorted {
+			if e.from == e.to {
+				report(edges[e], "lock %s acquired while already held", e.from)
+				continue
+			}
+			if path := reaches(e.to, e.from); path != nil {
+				report(edges[e], "lock order cycle: %s acquired while holding %s, but the reverse order %s -> %s is also established",
+					e.to, e.from, strings.Join(path, " -> "), e.to)
+			}
+		}
+	}
+	return a
+}

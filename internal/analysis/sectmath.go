@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// sectmath flags sector<->byte conversions whose integer types can
+// overflow, truncate, or sign-flip on hostile or merely large inputs.
+// Two rules:
+//
+//   - S1 (scaling width): a conversion to int/int32/uint32 used as an
+//     operand of a multiply or left-shift by a sector-scale constant
+//     (>= 512, or shift >= 9). int(sectors)*512 overflows on 32-bit
+//     platforms; uint32(off64)*512 truncates before scaling.
+//
+//   - S2 (hostile sign-flip): a conversion to int/int64 from a 64-bit
+//     unsigned value (LBAs, on-disk length fields) used in arithmetic,
+//     a make() size, or an index/slice bound. A crafted length like
+//     0xffffffffffffffff converts negative, slips past an upper-bound
+//     check, and panics (or worse) downstream. The sanctioned idiom —
+//     bounds-check the unsigned value first, then convert in a bare
+//     assignment — is deliberately not flagged.
+//
+// The conversion helpers in lsvd/internal/block are the blessed
+// conversion point and carry //lsvd:ignore annotations documenting
+// their bounds argument.
+func newSectmath() *Analyzer {
+	a := &Analyzer{
+		Name: "sectmath",
+		Doc:  "sector/byte integer conversions must not overflow, truncate, or sign-flip",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			var stack []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkConv(pass, call, stack)
+				}
+				stack = append(stack, n)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkConv(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst, ok := tv.Type.(*types.Basic)
+	if !ok {
+		return
+	}
+	src, ok := pass.Info.Types[call.Args[0]].Type.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	parent := enclosing(stack, call)
+
+	// S1: narrow or platform-dependent target scaled by a sector
+	// constant.
+	if c, op, scaled := scaleContext(pass, parent, call); scaled {
+		narrow := dst.Kind() == types.Int32 || dst.Kind() == types.Uint32
+		platform := dst.Kind() == types.Int && (src.Kind() == types.Uint32 || src.Kind() == types.Uint)
+		if (narrow && is64(src)) || platform {
+			pass.Reportf(call.Pos(),
+				"%s(%s) %s %s in sector scaling can overflow or truncate; widen to int64 first (see internal/block)",
+				dst.Name(), src.Name(), op, c)
+			return
+		}
+	}
+
+	// S2: signed target fed from 64-bit unsigned, used where a
+	// negative value bites.
+	if (dst.Kind() == types.Int || dst.Kind() == types.Int64) &&
+		(src.Kind() == types.Uint64 || src.Kind() == types.Uint || src.Kind() == types.Uintptr) {
+		if ctx := hostileContext(parent, call); ctx != "" {
+			pass.Reportf(call.Pos(),
+				"%s(%s) in %s can go negative on hostile input; bounds-check the unsigned value first, then convert",
+				dst.Name(), src.Name(), ctx)
+		}
+	}
+}
+
+func is64(b *types.Basic) bool {
+	switch b.Kind() {
+	case types.Int64, types.Uint64, types.Int, types.Uint, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// enclosing returns the nearest non-paren ancestor of n on the stack.
+func enclosing(stack []ast.Node, n ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	_ = n
+	return nil
+}
+
+// scaleContext reports whether the conversion is an operand of a
+// multiply/shift by a sector-scale constant, returning the constant's
+// text and the operator.
+func scaleContext(pass *Pass, parent ast.Node, conv *ast.CallExpr) (string, string, bool) {
+	be, ok := parent.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.MUL && be.Op != token.SHL) {
+		return "", "", false
+	}
+	other := be.Y
+	if ast.Unparen(be.Y) == conv {
+		if be.Op == token.SHL {
+			return "", "", false // conv is the shift count, not the value
+		}
+		other = be.X
+	}
+	tv, ok := pass.Info.Types[other]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return "", "", false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return "", "", false
+	}
+	if (be.Op == token.MUL && v >= 512) || (be.Op == token.SHL && v >= 9) {
+		return tv.Value.ExactString(), be.Op.String(), true
+	}
+	return "", "", false
+}
+
+// hostileContext classifies where a sign-flip matters: arithmetic,
+// allocation sizes, index and slice bounds.
+func hostileContext(parent ast.Node, conv *ast.CallExpr) string {
+	switch p := parent.(type) {
+	case *ast.BinaryExpr:
+		switch p.Op {
+		case token.ADD, token.SUB, token.MUL, token.SHL:
+			return "arithmetic"
+		}
+	case *ast.IndexExpr:
+		if ast.Unparen(p.Index) == conv {
+			return "an index expression"
+		}
+	case *ast.SliceExpr:
+		if ast.Unparen(p.Low) == conv || ast.Unparen(p.High) == conv || ast.Unparen(p.Max) == conv {
+			return "a slice bound"
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok && id.Name == "make" {
+			for _, arg := range p.Args[1:] {
+				if ast.Unparen(arg) == conv {
+					return "a make() size"
+				}
+			}
+		}
+	}
+	return ""
+}

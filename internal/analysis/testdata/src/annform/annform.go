@@ -1,0 +1,24 @@
+// Package annform is the golden self-test for the directives
+// analyzer: suppressions and lock annotations must carry their
+// arguments, and a malformed directive must not suppress its own
+// report.
+package annform
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex //lsvd:lock
+	// want-prev "malformed lsvd directive"
+	ok sync.Mutex //lsvd:lock ann.ok
+}
+
+func bareIgnore() int {
+	//lsvd:ignore
+	// want-prev "malformed lsvd directive"
+	return 1
+}
+
+func reasonedIgnore() int {
+	//lsvd:ignore self-test: a well-formed suppression reports nothing
+	return 2
+}

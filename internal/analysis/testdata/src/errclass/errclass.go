@@ -1,0 +1,62 @@
+// Package errclass is the golden self-test for the errclass analyzer:
+// raw objstore calls must be flagged; calls through an
+// objstore.Retrier receiver, an //lsvd:classifies-errors field, or an
+// //lsvd:classifies-errors function must not.
+package errclass
+
+import (
+	"context"
+	"errors"
+
+	"lsvd/internal/objstore"
+)
+
+type box struct {
+	raw objstore.Store
+
+	// classified is the wrapped backend handle: setDefaults-style
+	// construction guarantees errors through it are classified.
+	//lsvd:classifies-errors
+	classified objstore.Store
+
+	retrier *objstore.Retrier
+}
+
+func (b *box) rawPut(ctx context.Context) error {
+	return b.raw.Put(ctx, "k", nil) // want "raw objstore.Put call"
+}
+
+func (b *box) rawList(ctx context.Context) error {
+	names, err := b.raw.List(ctx, "v/") // want "raw objstore.List call"
+	_ = names
+	return err
+}
+
+func (b *box) rawDelete(ctx context.Context) error {
+	return b.raw.Delete(ctx, "k") // want "raw objstore.Delete call"
+}
+
+func (b *box) viaClassifiedField(ctx context.Context) error {
+	return b.classified.Put(ctx, "k", nil)
+}
+
+func (b *box) viaRetrier(ctx context.Context) ([]byte, error) {
+	return b.retrier.Get(ctx, "k")
+}
+
+// probeExists does its own classification: ErrNotFound is an expected
+// answer, not a failure to retry.
+//
+//lsvd:classifies-errors
+func (b *box) probeExists(ctx context.Context) (bool, error) {
+	_, err := b.raw.Get(ctx, "k")
+	if errors.Is(err, objstore.ErrNotFound) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+func (b *box) sanctionedRaw(ctx context.Context) error {
+	//lsvd:ignore self-test: super rewrite goes raw by design
+	return b.raw.Put(ctx, "super", nil)
+}

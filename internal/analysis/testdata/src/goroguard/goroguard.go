@@ -1,0 +1,46 @@
+// Package goroguard is the golden self-test for the goroguard
+// analyzer: every spawned goroutine needs a panic guard as its first
+// statement (or an invariant.Go spawn, which is a plain call and
+// therefore trivially clean).
+package goroguard
+
+import "fmt"
+
+func nakedCall() {
+	go fmt.Println("x") // want "goroutine without a panic guard"
+}
+
+func nakedLiteral() {
+	go func() { // want "goroutine without a panic guard"
+		fmt.Println("y")
+	}()
+}
+
+func guarded() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Println("recovered:", r)
+			}
+		}()
+		fmt.Println("z")
+	}()
+}
+
+func guardNotFirst() {
+	go func() { // want "goroutine without a panic guard"
+		fmt.Println("work before the guard is a window with no guard")
+		defer func() { _ = recover() }()
+	}()
+}
+
+func deferWithoutRecover() {
+	go func() { // want "goroutine without a panic guard"
+		defer func() { fmt.Println("bye") }()
+	}()
+}
+
+func sanctionedDetached() {
+	//lsvd:ignore self-test: fire-and-forget logging goroutine
+	go fmt.Println("w")
+}

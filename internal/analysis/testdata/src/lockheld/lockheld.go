@@ -1,0 +1,140 @@
+// Package lockheld is the golden self-test for the lockheld analyzer:
+// every `// want "..."` comment must produce a diagnostic containing
+// the quoted substring on that line, and no other diagnostics may
+// appear. Seeded violations cover each blocking-operation class plus
+// one- and two-level transitive propagation; the unannotated functions
+// pin the false-positive surface (lock-drop protocols, goroutine
+// bodies, branch-balanced releases).
+package lockheld
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"lsvd/internal/objstore"
+)
+
+type store struct {
+	mu sync.Mutex //lsvd:lock test.mu
+	be objstore.Store
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (s *store) directBackend(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.be.Put(ctx, "k", nil) // want "objstore.Put while holding test.mu"
+}
+
+func (s *store) directSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding test.mu"
+	s.mu.Unlock()
+}
+
+func (s *store) channelSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while holding test.mu"
+	s.mu.Unlock()
+}
+
+func (s *store) channelRecv() {
+	s.mu.Lock()
+	<-s.ch // want "channel receive while holding test.mu"
+	s.mu.Unlock()
+}
+
+func (s *store) selectNoDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select without default while holding test.mu"
+	case <-s.ch:
+	}
+}
+
+func (s *store) selectWithDefault() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func (s *store) waitGroup() {
+	s.mu.Lock()
+	s.wg.Wait() // want "sync.WaitGroup.Wait while holding test.mu"
+	s.mu.Unlock()
+}
+
+// helper is clean on its own: no lock held here.
+func (s *store) helper(ctx context.Context) {
+	_, _ = s.be.Get(ctx, "k")
+}
+
+func (s *store) transitive(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.helper(ctx) // want "call to helper may block while holding test.mu"
+}
+
+func (s *store) helper2(ctx context.Context) {
+	s.helper(ctx)
+}
+
+func (s *store) transitiveTwoLevels(ctx context.Context) {
+	s.mu.Lock()
+	s.helper2(ctx) // want "call to helper2 may block while holding test.mu"
+	s.mu.Unlock()
+}
+
+// dropper releases the caller's lock around the backend round-trip —
+// the blockstore's lock-drop protocol. Callers holding test.mu are
+// clean.
+func (s *store) dropper(ctx context.Context) {
+	s.mu.Unlock()
+	_, _ = s.be.Get(ctx, "k")
+	s.mu.Lock()
+}
+
+func (s *store) lockDropProtocol(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropper(ctx)
+}
+
+func (s *store) unlockedThenBlock(ctx context.Context) error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.be.Put(ctx, "k", nil)
+}
+
+func (s *store) branchBalanced(ctx context.Context, early bool) error {
+	s.mu.Lock()
+	if early {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	return s.be.Put(ctx, "k", nil)
+}
+
+func (s *store) goroutineBody(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		// A goroutine does not inherit the spawner's locks.
+		_ = s.be.Put(ctx, "k", nil)
+	}()
+}
+
+func (s *store) sanctioned(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lsvd:ignore self-test: sanctioned blocking under the lock
+	return s.be.Put(ctx, "k", nil)
+}

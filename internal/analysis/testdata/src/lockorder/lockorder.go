@@ -1,0 +1,81 @@
+// Package lockorder is the golden self-test for the lockorder
+// analyzer: a direct two-lock cycle (a<->b), an indirect cycle closed
+// through a call chain (a->c directly, c->a via a helper call), a
+// re-acquisition self-edge, and a private helper lock that must NOT
+// contribute edges because nobody calls it with another lock held.
+package lockorder
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex //lsvd:lock order.a
+	b sync.Mutex //lsvd:lock order.b
+	c sync.Mutex //lsvd:lock order.c
+}
+
+func (p *pair) abOrder() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want "lock order cycle"
+	p.b.Unlock()
+}
+
+func (p *pair) baOrder() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want "lock order cycle"
+	p.a.Unlock()
+}
+
+func (p *pair) aThenC() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.c.Lock() // want "lock order cycle"
+	p.c.Unlock()
+}
+
+func (p *pair) lockA() {
+	p.a.Lock()
+	p.a.Unlock()
+}
+
+func (p *pair) cThenCallA() {
+	p.c.Lock()
+	defer p.c.Unlock()
+	p.lockA() // want "lock order cycle"
+}
+
+type reentry struct {
+	m sync.Mutex //lsvd:lock order.m
+}
+
+func (r *reentry) twice() {
+	r.m.Lock()
+	r.m.Lock() // want "lock order.m acquired while already held"
+	r.m.Unlock()
+	r.m.Unlock()
+}
+
+type inner struct {
+	m sync.Mutex //lsvd:lock order.inner
+}
+
+// poke takes its private lock; because no caller holds another lock
+// across the call, it must not put order.inner into the graph.
+func (i *inner) poke() {
+	i.m.Lock()
+	i.m.Unlock()
+}
+
+func useInnerClean(i *inner) {
+	i.poke()
+}
+
+// dropThenLock releases the caller's lock before taking its own: the
+// walker's lock-drop modeling must not record order.b -> order.a here.
+func (p *pair) dropThenLock() {
+	p.b.Unlock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Lock()
+}

@@ -1,0 +1,61 @@
+// Package sectmath is the golden self-test for the sectmath analyzer:
+// S1 flags narrow/platform-dependent conversions scaled by sector
+// constants, S2 flags signed conversions of 64-bit unsigned values
+// used in arithmetic, allocation sizes, and index/slice bounds. The
+// clean functions pin the sanctioned bound-check-then-convert idiom.
+package sectmath
+
+const sectorSize = 512
+
+func s1PlatformInt(sectors uint32) int {
+	return int(sectors) * 512 // want "int(uint32) * 512 in sector scaling"
+}
+
+func s1NamedConst(sectors uint32) int {
+	return int(sectors) * sectorSize // want "int(uint32) * 512 in sector scaling"
+}
+
+func s1Truncate(off uint64) uint32 {
+	return uint32(off) * 512 // want "uint32(uint64) * 512 in sector scaling"
+}
+
+func s1ShiftTruncate(off uint64) int32 {
+	return int32(off) << 9 // want "int32(uint64) << 9 in sector scaling"
+}
+
+func s2Arithmetic(hdrLen int, dataLen uint64) int {
+	return hdrLen + int(dataLen) // want "int(uint64) in arithmetic can go negative"
+}
+
+func s2MakeSize(dataLen uint64) []byte {
+	return make([]byte, int(dataLen)) // want "int(uint64) in a make() size"
+}
+
+func s2Index(buf []byte, at uint64) byte {
+	return buf[int(at)] // want "int(uint64) in an index expression"
+}
+
+func s2SliceBound(buf []byte, end uint64) []byte {
+	return buf[:int64(end)] // want "int64(uint64) in a slice bound"
+}
+
+// cleanWidening: widening a 32-bit count to int64 before scaling is
+// the sanctioned direction.
+func cleanWidening(sectors uint32) int64 {
+	return int64(sectors) << 9
+}
+
+// cleanBoundCheckThenConvert is the sanctioned hostile-input idiom: a
+// bare assignment after the unsigned bound check.
+func cleanBoundCheckThenConvert(buf []byte, dataLen uint64) ([]byte, bool) {
+	if dataLen > uint64(len(buf)) {
+		return nil, false
+	}
+	n := int(dataLen)
+	return buf[:n], true
+}
+
+func sanctionedConversion(lba uint64) int64 {
+	//lsvd:ignore self-test: bounded by device size at the call site
+	return int64(lba) << 9
+}

@@ -290,7 +290,8 @@ func (c *Cache) writeBackLocked(budget int64) error {
 func (c *Cache) DirtyBytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return int64(c.dirty.MappedSectors()) * block.SectorSize
+	sectors := int64(c.dirty.MappedSectors()) // bounded by the backing disk size
+	return sectors * block.SectorSize
 }
 
 // Stats returns a statistics snapshot.
@@ -298,7 +299,8 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.stats
-	st.DirtyBytes = int64(c.dirty.MappedSectors()) * block.SectorSize
+	dirtySectors := int64(c.dirty.MappedSectors()) // bounded by the backing disk size
+	st.DirtyBytes = dirtySectors * block.SectorSize
 	return st
 }
 

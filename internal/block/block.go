@@ -42,6 +42,8 @@ const (
 type LBA uint64
 
 // Bytes returns the byte offset of the LBA.
+//
+//lsvd:ignore sanctioned conversion point: LBAs are bounded by the device size at admission
 func (l LBA) Bytes() int64 { return int64(l) << SectorShift }
 
 // LBAFromBytes converts a byte offset to sectors; off must be

@@ -5,6 +5,7 @@ import (
 
 	"lsvd/internal/block"
 	"lsvd/internal/extmap"
+	"lsvd/internal/invariant"
 	"lsvd/internal/journal"
 )
 
@@ -146,6 +147,7 @@ func (s *Store) sealLocked() error {
 	if err != nil {
 		return err
 	}
+	//lsvd:ignore sync mode seals inline under mu by design; async mode routes through the upload pipeline
 	if err := s.cfg.Store.Put(s.ctx, objName(s.cfg.Volume, seq), obj); err != nil {
 		return err
 	}
@@ -237,6 +239,8 @@ func (s *Store) buildObject(seq uint32, typ journal.Type, writeSeq uint64, exts 
 // extents use unconditional updates; GC extents (srcSeq < own seq) use
 // conditional no-fill updates so they never clobber newer data.
 func (s *Store) installObject(info *objInfo, mapped []mappedExtent, trims []block.Extent) {
+	invariant.Assertf(s.objects[info.seq] == nil,
+		"blockstore: object %d installed twice", info.seq)
 	// Register the object (and its utilization contribution) before
 	// any map update: in no-coalesce mode an object's own extents
 	// overlap, so displacement accounting must already see it.

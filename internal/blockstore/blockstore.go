@@ -38,7 +38,7 @@ type Config struct {
 	// "<volume>.<8-digit-seq>" so lexical order is log order.
 	Volume string
 	// Store is the backend.
-	Store objstore.Store
+	Store objstore.Store //lsvd:classifies-errors
 	// VolSectors is the virtual disk size in sectors (Create only).
 	VolSectors block.LBA
 	// BatchBytes is the write batch / object payload target (paper:
@@ -173,7 +173,7 @@ type Stats struct {
 // behind a backend fetch (no backend I/O happens under mu at all; see
 // fetch.go and the GC lock-drop protocol in gc.go).
 type Store struct {
-	mu  sync.RWMutex
+	mu  sync.RWMutex //lsvd:lock bs.mu
 	cfg Config
 	ctx context.Context
 
@@ -223,12 +223,12 @@ type Store struct {
 
 	// Header fetch singleflight (read.go): concurrent misses on the
 	// same object's header share one backend fetch, issued without mu.
-	hdrMu      sync.Mutex
+	hdrMu      sync.Mutex //lsvd:lock bs.hdrMu
 	hdrFlights map[uint32]*hdrFlight
 
 	// Read-miss fetch machinery (fetch.go): in-flight/retained window
 	// table and the bounded fetcher pool.
-	fetchMu  sync.Mutex
+	fetchMu  sync.Mutex //lsvd:lock bs.fetchMu
 	flights  map[fetchKey]*flight
 	fetchSem chan struct{} // nil when FetchDepth == 0 (unbounded)
 
@@ -518,6 +518,7 @@ func (s *Store) writeSuper() error {
 	if err != nil {
 		return err
 	}
+	//lsvd:ignore super rewrite is rare control-plane I/O and must be atomic with the in-memory pointers under mu
 	return s.cfg.Store.Put(s.ctx, superName(s.cfg.Volume), raw)
 }
 

@@ -3,6 +3,7 @@ package blockstore
 import (
 	"errors"
 
+	"lsvd/internal/invariant"
 	"lsvd/internal/journal"
 	"lsvd/internal/objstore"
 )
@@ -118,6 +119,7 @@ func (s *Store) checkpointLocked() error {
 	if err != nil {
 		return err
 	}
+	//lsvd:ignore the checkpoint PUT must be atomic with the seq reservation and map snapshot under mu; checkpoints are rare control-plane I/O
 	if err := s.cfg.Store.Put(s.ctx, objName(s.cfg.Volume, seq), rec); err != nil {
 		return err
 	}
@@ -164,10 +166,13 @@ func (s *Store) completeDelete(d deferredDelete) error {
 // an already-missing object succeeds — the orphan sweep may retry a
 // deletion that raced with an earlier success.
 func (s *Store) deleteObject(seq uint32) error {
+	//lsvd:ignore deletion must be atomic with the object-table update under mu; GC is off the data path
 	if err := s.cfg.Store.Delete(s.ctx, s.name(seq)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
 		return err
 	}
 	if o := s.objects[seq]; s.utilCounted(o) {
+		invariant.Assertf(s.utilLive >= uint64(o.liveSectors) && s.utilData >= uint64(o.dataSectors),
+			"blockstore: utilization underflow deleting object %d", seq)
 		// Deleting an object the GC never cleaned (stranded recovery
 		// deletions): remove its utilization contribution.
 		s.utilLive -= uint64(o.liveSectors)

@@ -306,6 +306,7 @@ func (s *Store) writeGCObjectLocked(pieces []gcPiece) error {
 	if err != nil {
 		return err
 	}
+	//lsvd:ignore the GC PUT must complete inside the seq-reservation critical section under mu (see writeGCObjectLocked doc)
 	if err := s.cfg.Store.Put(s.ctx, objName(s.cfg.Volume, seq), obj); err != nil {
 		return err
 	}

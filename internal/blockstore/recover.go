@@ -197,8 +197,14 @@ func (s *Store) replayObject(seq uint32) error {
 	}
 	// A header that decoded but promises more data than the object
 	// holds is a torn PUT — classify it as corruption so open() treats
-	// it as the crash gap.
-	if want := int64(hdr.hdrSectors)*block.SectorSize + int64(h.DataLen); size < want {
+	// it as the crash gap. Bound the 64-bit length field before
+	// converting so a corrupt value cannot wrap the sum negative and
+	// slip past the check.
+	if h.DataLen > uint64(size) {
+		return fmt.Errorf("%w: object %d claims %d data bytes but holds %d", journal.ErrCorrupt, seq, h.DataLen, size)
+	}
+	dataLen := int64(h.DataLen)
+	if want := int64(hdr.hdrSectors)*block.SectorSize + dataLen; size < want {
 		return fmt.Errorf("%w: object %d truncated to %d of %d bytes", journal.ErrCorrupt, seq, size, want)
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"lsvd/internal/block"
 	"lsvd/internal/extmap"
+	"lsvd/internal/invariant"
 	"lsvd/internal/journal"
 )
 
@@ -135,7 +136,7 @@ func (s *Store) startUploadLocked(inf *inflightObj) {
 		s.stats.uploadRetries++
 	}
 	name := objName(s.cfg.Volume, inf.seq)
-	go func() {
+	invariant.Go("blockstore-upload", func() {
 		s.uploadSem <- struct{}{}
 		err := s.cfg.Store.Put(s.ctx, name, inf.obj)
 		<-s.uploadSem
@@ -150,7 +151,7 @@ func (s *Store) startUploadLocked(inf *inflightObj) {
 		if post != nil {
 			post()
 		}
-	}()
+	})
 }
 
 // commitReadyLocked applies, strictly in sequence order, every
@@ -171,6 +172,10 @@ func (s *Store) commitReadyLocked() func() {
 		}
 		s.inflight = s.inflight[1:]
 		s.inflightBytes -= inf.fill
+		invariant.Assertf(s.inflightBytes >= 0,
+			"blockstore: inflight bytes %d negative after committing object %d", s.inflightBytes, inf.info.seq)
+		invariant.Assertf(inf.info.seq < s.nextSeq,
+			"blockstore: committed object %d at or beyond the unreserved seq %d", inf.info.seq, s.nextSeq)
 		s.stats.bytesPut += uint64(len(inf.obj))
 		s.stats.bytesCoalesced += inf.coalesced
 		s.installObject(inf.info, inf.mapped, inf.trims)

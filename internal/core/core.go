@@ -28,6 +28,7 @@ import (
 
 	"lsvd/internal/block"
 	"lsvd/internal/blockstore"
+	"lsvd/internal/invariant"
 	"lsvd/internal/journal"
 	"lsvd/internal/objstore"
 	"lsvd/internal/readcache"
@@ -294,7 +295,7 @@ type Disk struct {
 	volSectors block.LBA
 	readOnly   bool
 
-	wmu      sync.Mutex // orders mutations; guards closed and queue handoff
+	wmu      sync.Mutex //lsvd:lock core.wmu (orders mutations; guards closed and queue handoff)
 	closed   bool
 	writeSeq atomic.Uint64
 
@@ -537,7 +538,7 @@ func (d *Disk) startPipeline() {
 	d.ch = make(chan destageReq, d.opts.DestageQueueDepth)
 	d.quit = make(chan struct{})
 	d.done = make(chan struct{})
-	go d.destage()
+	invariant.Go("core-destage", d.destage)
 }
 
 // destage drains the queue into the block store. On Kill (quit closed)
@@ -545,6 +546,7 @@ func (d *Disk) startPipeline() {
 // writes live on in the cache log and are replayed at the next Open.
 func (d *Disk) destage() {
 	defer close(d.done)
+	var lastWS uint64
 	for {
 		select {
 		case <-d.quit:
@@ -557,6 +559,12 @@ func (d *Disk) destage() {
 				req.flush <- d.bs.Seal()
 				continue
 			}
+			// The queue is FIFO and producers serialize under wmu, so
+			// write sequence numbers reach the block store in order —
+			// the property prefix consistency (§3.1) rests on.
+			invariant.Assertf(req.ws >= lastWS,
+				"core: destage writeSeq regressed: %d after %d", req.ws, lastWS)
+			lastWS = req.ws
 			var err error
 			if req.trim {
 				err = d.bs.Trim(req.ws, req.ext)
@@ -585,6 +593,8 @@ func (d *Disk) pipelineErr() error {
 
 // enqueue hands a request to the destager, blocking while the queue is
 // full (backpressure). Kill unblocks it.
+//
+//lsvd:ignore destage backpressure by design: the write path stalls under wmu when the queue is full; quit unblocks it
 func (d *Disk) enqueue(req destageReq) error {
 	select {
 	case d.ch <- req:
@@ -702,6 +712,8 @@ func (d *Disk) logWithBackpressure(ws uint64, ext block.Extent, p []byte, trim b
 // in the backend: it pushes a flush marker through the destage queue
 // and waits for the destager's Seal — which itself fences the upload
 // pool — to complete.
+//
+//lsvd:ignore flush fence: the caller requires queued destage work durable before returning; blocking under wmu is the contract and quit unblocks it
 func (d *Disk) drainLocked() error {
 	if d.ch == nil {
 		return d.bs.Seal()
@@ -884,6 +896,7 @@ func (d *Disk) Close() error {
 		if err := d.enqueue(destageReq{flush: fl}); err != nil {
 			derr = err
 		} else {
+			//lsvd:ignore Close drains the pipeline under wmu by design; quit unblocks
 			select {
 			case derr = <-fl:
 			case <-d.quit:
@@ -893,6 +906,7 @@ func (d *Disk) Close() error {
 		// No writer can be mid-send: sends happen under wmu with the
 		// closed flag checked, so closing the channel here is safe.
 		close(d.ch)
+		//lsvd:ignore Close waits for the destager goroutine to exit under wmu by design
 		<-d.done
 	}
 	if derr != nil {
@@ -925,6 +939,7 @@ func (d *Disk) Kill() {
 	d.closed = true
 	if d.quit != nil {
 		close(d.quit)
+		//lsvd:ignore Kill waits for the destager to exit; quit is closed so the exit is prompt
 		<-d.done
 	}
 	d.adm.stop()

@@ -30,6 +30,7 @@ import (
 	"lsvd/internal/block"
 	"lsvd/internal/blockstore"
 	"lsvd/internal/extmap"
+	"lsvd/internal/invariant"
 	"lsvd/internal/objstore"
 )
 
@@ -108,7 +109,7 @@ func (d *Disk) fetchMisses(ext block.Extent, misses []block.Extent, p []byte) ([
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		invariant.Go("core-fetch-worker", func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -128,7 +129,7 @@ func (d *Disk) fetchMisses(ext block.Extent, misses []block.Extent, p []byte) ([
 					mu.Unlock()
 				}
 			}
-		}()
+		})
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -271,7 +272,7 @@ func (a *admitter) start(d *Disk) {
 	a.cond = sync.NewCond(&a.mu)
 	a.max = 4 * d.opts.FetchDepth
 	a.done = make(chan struct{})
-	go a.loop(d)
+	invariant.Go("core-admitter", func() { a.loop(d) })
 }
 
 // enqueue hands a window to the admitter; false means the caller keeps
@@ -335,6 +336,7 @@ func (a *admitter) stop() {
 	a.stopped = true
 	a.cond.Broadcast()
 	a.mu.Unlock()
+	//lsvd:ignore shutdown handoff: the loop observes stopped and exits promptly
 	<-a.done
 }
 

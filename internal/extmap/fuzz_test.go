@@ -1,0 +1,127 @@
+package extmap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"lsvd/internal/block"
+)
+
+// FuzzOpsOracle drives the extent map with an arbitrary op stream and
+// checks it against the sector-granular model after every mutation:
+// structural invariants hold, and a checkpoint round trip
+// (MarshalBinary → UnmarshalBinary) reproduces exactly the same
+// mapping. Each op is 5 bytes: kind, lba (2), sectors, obj.
+func FuzzOpsOracle(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 8, 1})
+	f.Add([]byte{0, 0, 0, 8, 1, 1, 0, 4, 8, 0})
+	f.Add([]byte{0, 0, 0, 64, 1, 0, 0, 32, 8, 2, 2, 0, 16, 4, 0})
+	f.Add([]byte{0, 255, 255, 64, 9, 1, 255, 255, 64, 0})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		m := New()
+		md := model{}
+		for len(ops) >= 5 {
+			kind := ops[0]
+			lba := block.LBA(binary.LittleEndian.Uint16(ops[1:3]))
+			e := block.Extent{LBA: lba, Sectors: uint32(ops[3]%64) + 1}
+			obj := uint32(ops[4]) + 1
+			ops = ops[5:]
+			switch kind % 3 {
+			case 0:
+				tgt := Target{Obj: obj, Off: lba * 2}
+				m.Update(e, tgt)
+				md.update(e, tgt)
+			case 1:
+				m.Delete(e)
+				md.del(e)
+			case 2:
+				// UpdateExisting only rewrites sectors already mapped
+				// to an older object — the GC's conditional install.
+				tgt := Target{Obj: obj, Off: lba * 2}
+				m.UpdateExisting(e, tgt, func(r Run) bool { return r.Target.Obj < obj })
+				for i := block.LBA(0); i < block.LBA(e.Sectors); i++ {
+					if old, ok := md[e.LBA+i]; ok && old.Obj < obj {
+						md[e.LBA+i] = tgt.Shift(i)
+					}
+				}
+			}
+			if err := m.checkInvariants(); err != nil {
+				t.Fatalf("invariants after op %d on %v: %v", kind%3, e, err)
+			}
+		}
+		raw, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2 := New()
+		if err := m2.UnmarshalBinary(raw); err != nil {
+			t.Fatalf("round trip rejected own checkpoint: %v", err)
+		}
+		for _, mm := range []*Map{m, m2} {
+			got := map[block.LBA]Target{}
+			for _, r := range mm.Lookup(block.Extent{LBA: 0, Sectors: 1 << 17}) {
+				if !r.Present {
+					continue
+				}
+				for i := block.LBA(0); i < block.LBA(r.Sectors); i++ {
+					got[r.LBA+i] = r.Target.Shift(i)
+				}
+			}
+			if len(got) != len(md) {
+				t.Fatalf("map holds %d sectors, oracle %d", len(got), len(md))
+			}
+			for lba, want := range md {
+				if got[lba] != want {
+					t.Fatalf("sector %d maps to %v, oracle says %v", lba, got[lba], want)
+				}
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalBinary throws hostile bytes at the checkpoint loader —
+// the parser recovery trusts after a crash. It must never panic, must
+// bound allocation by the input length, and anything it accepts must
+// satisfy the structural invariants and survive a round trip.
+func FuzzUnmarshalBinary(f *testing.F) {
+	m := New()
+	m.Update(block.Extent{LBA: 0, Sectors: 16}, Target{Obj: 3, Off: 64})
+	m.Update(block.Extent{LBA: 100, Sectors: 8}, Target{Obj: 4, Off: 0})
+	if raw, err := m.MarshalBinary(); err == nil {
+		f.Add(raw)
+		f.Add(raw[:len(raw)-3])
+		// Entry count inflated past the payload.
+		bad := append([]byte{}, raw...)
+		binary.LittleEndian.PutUint32(bad, 1<<30)
+		f.Add(bad)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m := New()
+		if err := m.UnmarshalBinary(raw); err != nil {
+			return
+		}
+		if err := m.checkInvariants(); err != nil {
+			t.Fatalf("accepted checkpoint violates invariants: %v", err)
+		}
+		again, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2 := New()
+		if err := m2.UnmarshalBinary(again); err != nil {
+			t.Fatalf("re-marshaled checkpoint rejected: %v", err)
+		}
+		raw2, err := m2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, raw2) {
+			t.Fatal("marshal/unmarshal/marshal is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,52 @@
+//go:build ignore
+
+// Generates the checked-in seed corpora for FuzzOpsOracle and
+// FuzzUnmarshalBinary:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"lsvd/internal/block"
+	"lsvd/internal/extmap"
+)
+
+func write(fuzzName, entry string, data []byte) {
+	dir := filepath.Join("testdata", "fuzz", fuzzName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+	if err := os.WriteFile(filepath.Join(dir, entry), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	write("FuzzOpsOracle", "single-update", []byte{0, 0, 0, 8, 1})
+	write("FuzzOpsOracle", "update-delete", []byte{0, 0, 0, 8, 1, 1, 0, 4, 8, 0})
+	write("FuzzOpsOracle", "overlapping", []byte{0, 0, 0, 64, 1, 0, 0, 32, 8, 2, 2, 0, 16, 4, 0})
+	write("FuzzOpsOracle", "high-lba", []byte{0, 255, 255, 64, 9, 1, 255, 255, 64, 0})
+
+	m := extmap.New()
+	m.Update(block.Extent{LBA: 0, Sectors: 16}, extmap.Target{Obj: 3, Off: 64})
+	m.Update(block.Extent{LBA: 100, Sectors: 8}, extmap.Target{Obj: 4, Off: 0})
+	raw, err := m.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("FuzzUnmarshalBinary", "valid", raw)
+	write("FuzzUnmarshalBinary", "truncated", raw[:len(raw)-3])
+	bad := append([]byte{}, raw...)
+	binary.LittleEndian.PutUint32(bad, 1<<30)
+	write("FuzzUnmarshalBinary", "inflated-count", bad)
+	write("FuzzUnmarshalBinary", "empty", nil)
+	write("FuzzUnmarshalBinary", "short", []byte{1, 2, 3, 4, 5})
+}

@@ -35,6 +35,7 @@ import (
 
 	"lsvd/internal/block"
 	"lsvd/internal/core"
+	"lsvd/internal/invariant"
 	"lsvd/internal/nbd"
 	"lsvd/internal/objstore"
 	"lsvd/internal/readcache"
@@ -124,12 +125,23 @@ type Host struct {
 	store objstore.Store    // what volumes see (metered unless FlatKeys)
 	meter *objstore.Metered // nil in FlatKeys mode
 
+	// retry wraps the host's own direct backend operations (slot
+	// table I/O, volume deletion sweeps) with the same transient-error
+	// policy the volumes inherit.
+	retry *objstore.Retrier
+
 	arena     *readcache.Arena
 	slotBytes int64
 	uploadSem chan struct{}
 	fetchSem  chan struct{}
 
-	mu     sync.Mutex
+	// slotsMu serializes slot-table persistence: snapshot-under-mu
+	// plus PUT happen atomically with respect to other writers, so a
+	// later snapshot can never be overwritten by an earlier one. It
+	// is taken before host.mu and never held across volume I/O.
+	slotsMu sync.Mutex
+
+	mu     sync.Mutex            //lsvd:lock host.mu
 	slots  map[string]int        // volume name -> write-cache slot
 	open   map[string]*core.Disk // volumes currently open
 	closed bool
@@ -155,6 +167,7 @@ func New(ctx context.Context, opts Options) (*Host, error) {
 		h.meter = &objstore.Metered{Inner: opts.Store}
 		h.store = h.meter
 	}
+	h.retry = objstore.NewRetrier(h.store, opts.Retry)
 
 	var arenaDev simdev.Device
 	var err error
@@ -218,7 +231,7 @@ func InspectArena(dev simdev.Device, maxVolumes int, frac float64, policy readca
 }
 
 func (h *Host) loadSlots(ctx context.Context) error {
-	raw, err := h.opts.Store.Get(ctx, slotsKey)
+	raw, err := h.retry.Get(ctx, slotsKey)
 	if err != nil {
 		if errors.Is(err, objstore.ErrNotFound) {
 			return nil // fresh bucket
@@ -239,16 +252,32 @@ func (h *Host) loadSlots(ctx context.Context) error {
 	return nil
 }
 
-// saveSlots persists the slot table (mu held).
+// saveSlots persists the slot table. It must be called WITHOUT h.mu:
+// the backend PUT (which can retry through a whole backoff schedule)
+// must never stall Volumes/Disk/Open on the host lock. slotsMu keeps
+// snapshot+PUT atomic across writers, so the persisted table can only
+// move forward.
 func (h *Host) saveSlots(ctx context.Context) error {
 	if h.opts.FlatKeys {
 		return nil
 	}
-	raw, err := json.Marshal(slotsFile{Version: 1, Slots: h.slots})
+	h.slotsMu.Lock()
+	invariant.LockOrder("host.slotsMu")
+	defer h.slotsMu.Unlock()
+	defer invariant.LockRelease("host.slotsMu")
+	h.mu.Lock()
+	invariant.LockOrder("host.mu")
+	f := slotsFile{Version: 1, Slots: make(map[string]int, len(h.slots))}
+	for name, slot := range h.slots {
+		f.Slots[name] = slot
+	}
+	invariant.LockRelease("host.mu")
+	h.mu.Unlock()
+	raw, err := json.Marshal(f)
 	if err != nil {
 		return err
 	}
-	return h.opts.Store.Put(ctx, slotsKey, raw)
+	return h.retry.Put(ctx, slotsKey, raw)
 }
 
 func checkVolName(name string) error {
@@ -272,6 +301,16 @@ func (h *Host) volStore(name string) (objstore.Store, error) {
 func (h *Host) leaseLocked(name string, assign bool) (int, error) {
 	if h.closed {
 		return 0, fmt.Errorf("host: closed")
+	}
+	if invariant.Enabled {
+		// Slot assignments are a bijection: two volumes sharing a
+		// write-cache slot would corrupt each other's logs.
+		seen := make(map[int]string, len(h.slots))
+		for n, s := range h.slots {
+			prev, dup := seen[s]
+			invariant.Assertf(!dup, "host: volumes %q and %q share write-cache slot %d", prev, n, s)
+			seen[s] = n
+		}
 	}
 	if _, isOpen := h.open[name]; isOpen {
 		return 0, fmt.Errorf("host: volume %q is already open", name)
@@ -358,14 +397,6 @@ func (h *Host) openVolume(ctx context.Context, name string, v core.VolumeOptions
 		h.mu.Unlock()
 		return nil, err
 	}
-	if create {
-		if err := h.saveSlots(ctx); err != nil {
-			delete(h.open, name)
-			delete(h.slots, name)
-			h.mu.Unlock()
-			return nil, err
-		}
-	}
 	h.mu.Unlock()
 
 	fail := func(err error) (*core.Disk, error) {
@@ -373,10 +404,17 @@ func (h *Host) openVolume(ctx context.Context, name string, v core.VolumeOptions
 		delete(h.open, name)
 		if create {
 			delete(h.slots, name)
-			_ = h.saveSlots(ctx) // best effort rollback
 		}
 		h.mu.Unlock()
+		if create {
+			_ = h.saveSlots(ctx) // best effort rollback
+		}
 		return nil, err
+	}
+	if create {
+		if err := h.saveSlots(ctx); err != nil {
+			return fail(err)
+		}
 	}
 	opts, err := h.coreOptions(name, v)
 	if err != nil {
@@ -427,14 +465,21 @@ func (h *Host) Delete(ctx context.Context, name string) error {
 		h.mu.Unlock()
 		return fmt.Errorf("host: volume %q is open", name)
 	}
-	if _, ok := h.slots[name]; !ok {
+	slot, ok := h.slots[name]
+	if !ok {
 		h.mu.Unlock()
 		return fmt.Errorf("host: unknown volume %q", name)
 	}
 	delete(h.slots, name)
-	err := h.saveSlots(ctx)
 	h.mu.Unlock()
-	if err != nil {
+	if err := h.saveSlots(ctx); err != nil {
+		// Restore the lease so the volume is not orphaned in memory
+		// while the persisted table still lists it.
+		h.mu.Lock()
+		if _, taken := h.slots[name]; !taken {
+			h.slots[name] = slot
+		}
+		h.mu.Unlock()
 		return err
 	}
 	h.arena.Purge(name)
@@ -442,12 +487,13 @@ func (h *Host) Delete(ctx context.Context, name string) error {
 	if err != nil {
 		return err
 	}
-	names, err := vs.List(ctx, "")
+	vsr := objstore.NewRetrier(vs, h.opts.Retry)
+	names, err := vsr.List(ctx, "")
 	if err != nil {
 		return err
 	}
 	for _, n := range names {
-		if err := vs.Delete(ctx, n); err != nil {
+		if err := vsr.Delete(ctx, n); err != nil {
 			return fmt.Errorf("host: deleting %q of volume %q: %w", n, name, err)
 		}
 	}

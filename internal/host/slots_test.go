@@ -1,0 +1,140 @@
+package host
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lsvd/internal/block"
+	"lsvd/internal/core"
+	"lsvd/internal/objstore"
+	"lsvd/internal/simdev"
+)
+
+// gatedStore blocks Put calls on the slot table until released, and
+// can be switched to fail them terminally — the two backend behaviors
+// the slot-persistence path must survive.
+type gatedStore struct {
+	objstore.Store
+	hold    chan struct{} // non-nil: slot PUTs block until closed
+	reached chan struct{} // signaled once a slot PUT has started
+	fail    atomic.Bool   // slot PUTs return a terminal error
+}
+
+func (g *gatedStore) Put(ctx context.Context, name string, data []byte) error {
+	if name == slotsKey {
+		if g.fail.Load() {
+			return objstore.ErrBadName
+		}
+		if g.hold != nil {
+			select {
+			case g.reached <- struct{}{}:
+			default:
+			}
+			<-g.hold
+		}
+	}
+	return g.Store.Put(ctx, name, data)
+}
+
+// A slow or hung slot-table PUT (it can ride a whole retry backoff
+// schedule) must not stall reads of the host state: Volumes and Disk
+// take only the host lock, and saveSlots must persist off that lock.
+// Regression test for saveSlots blocking on the backend under h.mu.
+func TestSlotSavePersistsOffHostLock(t *testing.T) {
+	ctx := context.Background()
+	g := &gatedStore{
+		Store:   objstore.NewMem(),
+		hold:    make(chan struct{}),
+		reached: make(chan struct{}, 1),
+	}
+	h := testHost(t, g, simdev.NewMem(48*block.MiB), 2)
+
+	created := make(chan error, 1)
+	go func() {
+		_, err := h.Create(ctx, "v1", core.VolumeOptions{VolBytes: 4 * block.MiB})
+		created <- err
+	}()
+	select {
+	case <-g.reached:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Create never reached the slot-table PUT")
+	}
+
+	// The PUT is parked. Host-state reads must still complete.
+	stateRead := make(chan []string, 1)
+	go func() {
+		vols := h.Volumes()
+		h.Disk("v1")
+		stateRead <- vols
+	}()
+	select {
+	case vols := <-stateRead:
+		if len(vols) != 1 || vols[0] != "v1" {
+			t.Fatalf("Volumes during slot PUT: %v, want [v1]", vols)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Volumes/Disk blocked behind the in-flight slot-table PUT")
+	}
+
+	close(g.hold)
+	if err := <-created; err != nil {
+		t.Fatalf("Create failed after release: %v", err)
+	}
+	d, ok := h.Disk("v1")
+	if !ok {
+		t.Fatal("volume not open after Create")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A Delete whose slot-table PUT fails must put the in-memory lease
+// back (the persisted table still names the volume), so the volume is
+// neither orphaned nor double-assignable. Regression test for the
+// rollback path introduced when saveSlots moved off the host lock.
+func TestDeleteRestoresSlotWhenSaveFails(t *testing.T) {
+	ctx := context.Background()
+	g := &gatedStore{Store: objstore.NewMem()}
+	h := testHost(t, g, simdev.NewMem(48*block.MiB), 2)
+
+	d, err := h.Create(ctx, "v1", core.VolumeOptions{VolBytes: 4 * block.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g.fail.Store(true)
+	if err := h.Delete(ctx, "v1"); err == nil {
+		t.Fatal("Delete succeeded despite the slot-table PUT failing")
+	}
+	if vols := h.Volumes(); len(vols) != 1 || vols[0] != "v1" {
+		t.Fatalf("volume list after failed Delete: %v, want [v1]", vols)
+	}
+
+	// With the backend healthy again the volume opens and deletes.
+	d, err = h.Open(ctx, "v1", core.VolumeOptions{})
+	if err != nil {
+		t.Fatalf("Open after failed Delete: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g.fail.Store(false)
+	if err := h.Delete(ctx, "v1"); err != nil {
+		t.Fatalf("Delete after recovery: %v", err)
+	}
+	if vols := h.Volumes(); len(vols) != 0 {
+		t.Fatalf("volume list after Delete: %v, want empty", vols)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

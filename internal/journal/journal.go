@@ -229,14 +229,22 @@ func Decode(buf []byte, align4K bool) (*Header, []byte, int, error) {
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	total := hdrLen + int(h.DataLen)
+	// Bound the length field BEFORE converting: a hostile DataLen
+	// wraps int(h.DataLen) negative, which would slip past the total
+	// check below and panic slicing. DecodeHeader guarantees
+	// hdrLen <= len(buf).
+	if h.DataLen > uint64(len(buf)-hdrLen) {
+		return nil, nil, 0, fmt.Errorf("%w: data length %d exceeds buffer %d", ErrCorrupt, h.DataLen, len(buf))
+	}
+	dataLen := int(h.DataLen)
+	total := hdrLen + dataLen
 	if align4K {
 		total = (total + block.BlockSize - 1) &^ (block.BlockSize - 1)
 	}
 	if total > len(buf) {
 		return nil, nil, 0, fmt.Errorf("%w: record of %d bytes exceeds buffer %d", ErrCorrupt, total, len(buf))
 	}
-	data := buf[hdrLen : hdrLen+int(h.DataLen)]
+	data := buf[hdrLen : hdrLen+dataLen]
 	if err := Verify(buf[:hdrLen], data); err != nil {
 		return nil, nil, 0, err
 	}

@@ -1,0 +1,74 @@
+//go:build ignore
+
+// Generates the checked-in seed corpora for FuzzHandshake and
+// FuzzRequestStream:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Wire constants duplicated from nbd.go (this file is build-ignored
+// and cannot import the internal identifiers it seeds).
+const (
+	iHaveOpt     = 0x49484156454F5054
+	requestMagic = 0x25609513
+)
+
+func write(fuzzName, entry string, stream []byte) {
+	dir := filepath.Join("testdata", "fuzz", fuzzName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(stream)))
+	if err := os.WriteFile(filepath.Join(dir, entry), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func opt(option uint32, payload []byte) []byte {
+	hdr := make([]byte, 16)
+	binary.BigEndian.PutUint64(hdr[0:], iHaveOpt)
+	binary.BigEndian.PutUint32(hdr[8:], option)
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(payload)))
+	return append(hdr, payload...)
+}
+
+func req(typ uint16, handle, offset uint64, length uint32, data []byte) []byte {
+	hdr := make([]byte, 28)
+	binary.BigEndian.PutUint32(hdr[0:], requestMagic)
+	binary.BigEndian.PutUint16(hdr[6:], typ)
+	binary.BigEndian.PutUint64(hdr[8:], handle)
+	binary.BigEndian.PutUint64(hdr[16:], offset)
+	binary.BigEndian.PutUint32(hdr[24:], length)
+	return append(hdr, data...)
+}
+
+func main() {
+	flags := []byte{0, 0, 0, 2} // NBD_FLAG_C_NO_ZEROES
+	goPayload := make([]byte, 7)
+	binary.BigEndian.PutUint32(goPayload, 1)
+	goPayload[4] = 'd'
+
+	write("FuzzHandshake", "abort", append(append([]byte{}, flags...), opt(2, nil)...))
+	write("FuzzHandshake", "list", append(append([]byte{}, flags...), opt(3, nil)...))
+	write("FuzzHandshake", "go", append(append([]byte{}, flags...), opt(7, goPayload)...))
+	write("FuzzHandshake", "export-name", append(append([]byte{}, flags...), opt(1, []byte("d"))...))
+	write("FuzzHandshake", "unknown-option", append(append([]byte{}, flags...), opt(999, []byte("junk"))...))
+	write("FuzzHandshake", "short", []byte{0xff, 0xff})
+
+	write("FuzzRequestStream", "read", req(0, 1, 0, 4096, nil))
+	write("FuzzRequestStream", "write-then-disc",
+		append(req(1, 2, 512, 512, make([]byte, 512)), req(2, 3, 0, 0, nil)...))
+	write("FuzzRequestStream", "flush", req(3, 4, 0, 0, nil))
+	write("FuzzRequestStream", "unknown-command", req(77, 5, 0, 0, nil))
+	write("FuzzRequestStream", "oversized", req(0, 6, 0, 64<<20, nil))
+	write("FuzzRequestStream", "garbage", []byte{1, 2, 3})
+}

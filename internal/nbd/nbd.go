@@ -19,6 +19,7 @@ import (
 	"net"
 	"sync"
 
+	"lsvd/internal/invariant"
 	"lsvd/internal/vdisk"
 )
 
@@ -123,11 +124,11 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		s.wg.Add(1)
-		go func() {
+		invariant.Go("nbd-conn", func() {
 			defer s.wg.Done()
 			defer conn.Close()
 			_ = s.handle(conn)
-		}()
+		})
 	}
 }
 
@@ -298,6 +299,9 @@ func (s *Server) optReply(conn net.Conn, option, reply uint32, data []byte) erro
 	if _, err := conn.Write(hdr); err != nil {
 		return err
 	}
+	if len(data) == 0 {
+		return nil
+	}
 	_, err := conn.Write(data)
 	return err
 }
@@ -355,12 +359,12 @@ func (s *Server) transmission(conn net.Conn, disk vdisk.Disk) error {
 	var workers sync.WaitGroup
 	workers.Add(depth)
 	for i := 0; i < depth; i++ {
-		go func() {
+		invariant.Go("nbd-io-worker", func() {
 			defer workers.Done()
 			for req := range reqs {
 				st.serve(req)
 			}
-		}()
+		})
 	}
 	err := s.readRequests(conn, reqs)
 	close(reqs)

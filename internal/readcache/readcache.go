@@ -32,6 +32,7 @@ import (
 
 	"lsvd/internal/block"
 	"lsvd/internal/extmap"
+	"lsvd/internal/invariant"
 	"lsvd/internal/journal"
 	"lsvd/internal/simdev"
 )
@@ -140,7 +141,7 @@ type ArenaStats struct {
 // per-volume views. All state is guarded by one mutex: data-path reads
 // hold it across lookup+read so slab reuse cannot race a read.
 type Arena struct {
-	mu  sync.Mutex
+	mu  sync.Mutex //lsvd:lock arena.mu
 	dev simdev.Device
 	cfg Config
 
@@ -557,6 +558,8 @@ func (a *Arena) evict(idx int) {
 	if s.owner == noOwner {
 		return
 	}
+	invariant.Assertf(s.owner >= 0 && s.owner < len(a.views),
+		"readcache: slab %d owned by unknown view %d", idx, s.owner)
 	v := a.views[s.owner]
 	lo := block.LBAFromBytes(a.slabBase(idx))
 	hi := lo + block.LBA(a.cfg.SlabBytes>>block.SectorShift)
@@ -593,7 +596,9 @@ func (a *Arena) evict(idx int) {
 func (c *Cache) Invalidate(ext block.Extent) {
 	a := c.a
 	a.mu.Lock()
+	invariant.LockOrder("arena.mu")
 	defer a.mu.Unlock()
+	defer invariant.LockRelease("arena.mu")
 	c.m.Delete(ext)
 	if c.pf.Len() > 0 {
 		c.pf.Delete(ext)
@@ -660,7 +665,14 @@ func (a *Arena) loadState() {
 	if err != nil || h.Type != journal.TypeCheckpoint {
 		return
 	}
-	total := int64(journal.AlignedHeaderSize(len(h.Extents))) + int64(h.DataLen)
+	// Bound the on-disk length field before converting: a corrupt
+	// DataLen would wrap int64 negative, pass the MapBytes ceiling,
+	// and panic in make below.
+	if h.DataLen > uint64(a.cfg.MapBytes) {
+		return
+	}
+	dataLen := int64(h.DataLen)
+	total := int64(journal.AlignedHeaderSize(len(h.Extents))) + dataLen
 	total = (total + block.BlockSize - 1) &^ (block.BlockSize - 1)
 	if total > a.cfg.MapBytes {
 		return

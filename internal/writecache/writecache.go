@@ -29,6 +29,7 @@ import (
 
 	"lsvd/internal/block"
 	"lsvd/internal/extmap"
+	"lsvd/internal/invariant"
 	"lsvd/internal/journal"
 	"lsvd/internal/simdev"
 )
@@ -96,7 +97,7 @@ type Stats struct {
 // lock, so concurrent readers never block each other and an eviction
 // can never reuse log space out from under an in-progress read.
 type Cache struct {
-	mu  sync.RWMutex
+	mu  sync.RWMutex //lsvd:lock wcache.mu
 	dev simdev.Device
 	cfg Config
 
@@ -247,10 +248,17 @@ func (c *Cache) decodeCheckpoint(data []byte) error {
 	c.nextSeq = g(2)
 	c.maxWriteSeq = g(3)
 	c.destagedSeq = g(4)
-	nRing := int(g(5))
-	mapLen := int(g(6))
 	off := 56
 	const ringEntry = 45
+	// Bound both counts against the data actually present BEFORE
+	// converting: hostile 64-bit counts would wrap negative, pass the
+	// truncation check, and panic in make below. This also bounds the
+	// ring allocation by the checkpoint size.
+	if g(5) > uint64(len(data)-off)/ringEntry || g(6) > uint64(len(data)) {
+		return fmt.Errorf("writecache: checkpoint truncated")
+	}
+	nRing := int(g(5))
+	mapLen := int(g(6))
 	if len(data) < off+nRing*ringEntry+mapLen {
 		return fmt.Errorf("writecache: checkpoint truncated")
 	}
@@ -368,7 +376,11 @@ func (c *Cache) replay() error {
 				break
 			}
 		} else {
-			total = int64(journal.AlignedHeaderSize(len(h.Extents))) + int64(h.DataLen)
+			if h.DataLen > uint64(c.logEnd) {
+				break // corrupt length field: would wrap the conversion
+			}
+			dataLen := int64(h.DataLen)
+			total = int64(journal.AlignedHeaderSize(len(h.Extents))) + dataLen
 			total = (total + block.BlockSize - 1) &^ (block.BlockSize - 1)
 			if c.tail+total > c.logEnd {
 				break // would run off the ring: corrupt length
@@ -438,7 +450,9 @@ func (c *Cache) AppendTrim(writeSeq uint64, ext block.Extent) error {
 
 func (c *Cache) append(writeSeq uint64, typ journal.Type, ext block.Extent, data []byte) error {
 	c.mu.Lock()
+	invariant.LockOrder("wcache.mu")
 	defer c.mu.Unlock()
+	defer invariant.LockRelease("wcache.mu")
 
 	hdrLen := int64(journal.AlignedHeaderSize(1))
 	need := hdrLen + int64(len(data))
@@ -501,6 +515,8 @@ func (c *Cache) append(writeSeq uint64, typ journal.Type, ext block.Extent, data
 	if c.tail == c.logEnd {
 		c.tail = c.logStart
 	}
+	invariant.Assert(c.used <= c.logEnd-c.logStart && c.tail >= c.logStart && c.tail < c.logEnd,
+		"writecache: ring accounting out of bounds after append")
 	c.nextSeq++
 	if writeSeq > c.maxWriteSeq {
 		c.maxWriteSeq = writeSeq
@@ -563,6 +579,7 @@ func (c *Cache) evictOne() bool {
 	}
 	c.ring = c.ring[1:]
 	c.used -= r.size
+	invariant.Assert(c.used >= 0, "writecache: used bytes negative after evicting a record")
 	if len(c.ring) > 0 {
 		c.head = c.ring[0].off
 	} else {
