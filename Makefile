@@ -18,7 +18,7 @@ FUZZ_TARGETS := \
 	./internal/extmap,FuzzUnmarshalBinary
 FUZZTIME ?= 10s
 
-.PHONY: all build fmt vet test race bench bench-read bench-multivol fault vet-lsvd check-invariant fuzz-smoke check clean
+.PHONY: all build fmt vet test race bench bench-read bench-multivol bench-multivol-profile fault vet-lsvd check-invariant fuzz-smoke check clean
 
 all: check
 
@@ -65,6 +65,17 @@ bench-read:
 # smoke check in `check`.
 bench-multivol:
 	LSVD_MULTIVOL_OUT=BENCH_multivol.json $(GO) test -count=1 -run TestMultiVolScaling -v .
+
+# Opt-in lock-contention profiling of the scaling sweep (not part of
+# `make check`): reruns bench-multivol with mutex and block profiling
+# enabled, leaving pprof files plus the test binary in profiles/ for
+# `go tool pprof profiles/lsvd.test profiles/multivol-mutex.pb.gz`.
+bench-multivol-profile:
+	mkdir -p profiles
+	$(GO) test -count=1 -run TestMultiVolScaling -v \
+		-mutexprofile profiles/multivol-mutex.pb.gz -mutexprofilefraction 5 \
+		-blockprofile profiles/multivol-block.pb.gz -blockprofilerate 10000 \
+		-o profiles/lsvd.test .
 
 # Custom analyzer suite (DESIGN.md §5e): prove every analyzer against
 # its seeded testdata (zero missed, zero spurious findings), then run

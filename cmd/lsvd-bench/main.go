@@ -28,6 +28,8 @@ func main() {
 	uploadDepth := flag.Int("upload-depth", 0, "concurrent backend object uploads per volume (0 = library default)")
 	syncDestage := flag.Bool("sync-destage", false, "disable the async destage pipeline (destage inline, for before/after comparisons)")
 	fetchDepth := flag.Int("fetch-depth", 0, "concurrent backend range GETs on the read-miss path (0 = library default, 1 = serial)")
+	groupStall := flag.Duration("group-stall", 0, "group-commit leader linger time per cache-log batch (0 = flush immediately)")
+	groupMaxRecords := flag.Int("group-max-records", 0, "record cap per group-commit device write (0 = library default)")
 	flag.Parse()
 
 	if *list {
@@ -41,7 +43,11 @@ func main() {
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
 		names = experiments.Names()
 	}
-	env := experiments.Env{Scale: *scale, Seed: *seed, UploadDepth: *uploadDepth, SyncDestage: *syncDestage, FetchDepth: *fetchDepth}
+	env := experiments.Env{
+		Scale: *scale, Seed: *seed,
+		UploadDepth: *uploadDepth, SyncDestage: *syncDestage, FetchDepth: *fetchDepth,
+		GroupStall: *groupStall, GroupMaxRecords: *groupMaxRecords,
+	}
 	ctx := context.Background()
 
 	exit := 0

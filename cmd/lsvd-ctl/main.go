@@ -197,6 +197,24 @@ func main() {
 			len(names), totalObjects,
 			totalLive*block.SectorSize/(1<<20), totalData*block.SectorSize/(1<<20),
 			ops.Gets+ops.GetRanges, ops.Puts)
+		wps, err := host.LoadWritePathStats(ctx, store)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(wps) > 0 {
+			fmt.Println("write path (last session):")
+			for _, v := range wps {
+				var avg float64
+				if v.GroupBatches > 0 {
+					avg = float64(v.GroupRecords) / float64(v.GroupBatches)
+				}
+				fmt.Printf("  %-12s %8d writes  %6d group batches (avg %.1f recs, hist %s)\n",
+					v.Volume, v.Writes, v.GroupBatches, avg, histString(v.BatchSizeHist))
+				fmt.Printf("  %-12s reserve waits %d  ring kick/fence %d/%d  seal stalls %d  upload grant/borrow/wait %d/%d/%d\n",
+					"", v.ReserveWaits, v.RingKicks, v.RingFences, v.SealStalls,
+					v.UploadGrants, v.UploadBorrows, v.UploadWaits)
+			}
+		}
 		if *cachePath != "" {
 			fi, err := os.Stat(*cachePath)
 			if err != nil {
@@ -269,6 +287,30 @@ func hostVolumes(ctx context.Context, store objstore.Store) []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// histString renders a group-commit batch-size histogram compactly,
+// skipping empty buckets: "1:120 2:34 ≤8:7". Bucket b covers batch
+// sizes up to 2^b records.
+func histString(hist []uint64) string {
+	var b strings.Builder
+	for i, n := range hist {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		if i < 2 {
+			fmt.Fprintf(&b, "%d:%d", i+1, n)
+		} else {
+			fmt.Fprintf(&b, "≤%d:%d", 1<<i, n)
+		}
+	}
+	if b.Len() == 0 {
+		return "empty"
+	}
+	return b.String()
 }
 
 func parseSize(s string) (int64, error) {

@@ -2,11 +2,13 @@ package blockstore
 
 import (
 	"fmt"
+	"sort"
 
 	"lsvd/internal/block"
 	"lsvd/internal/extmap"
 	"lsvd/internal/invariant"
 	"lsvd/internal/journal"
+	"lsvd/internal/objstore"
 )
 
 // batch accumulates client writes until sealed into an object. Writes
@@ -14,11 +16,17 @@ import (
 // backend — which is safe because the object is stored atomically
 // (§3.1: "Writes may thus be coalesced within a single batch, although
 // not across batches").
+//
+// The batch holds REFERENCES to the payloads it is given (segs), laid
+// out at virtual offsets in arrival order; nothing is copied until the
+// object image is gathered at build time. Append's callers therefore
+// hand over ownership of the data.
 type batch struct {
 	capBytes   int64
-	buf        []byte
+	segs       [][]byte // payload references, arrival order
+	segOffs    []int64  // virtual offset of each segment
 	fill       int64
-	m          *extmap.Map // vLBA -> offset in buf (sectors), coalescing index
+	m          *extmap.Map // vLBA -> virtual offset (sectors), coalescing index
 	noCoalesce bool
 	raw        []journal.ExtentEntry // no-coalesce mode: extents in arrival order
 	rawOffs    []int64
@@ -34,9 +42,32 @@ func newBatch(capBytes int64, noCoalesce bool) *batch {
 
 func (b *batch) empty() bool { return b.writes == 0 && len(b.trims) == 0 }
 
+// slices appends zero-copy views of n bytes of batch payload starting
+// at virtual offset off to vec. The views alias the staging buffers
+// the batch retained at Append, which flow to the store uncopied —
+// the ownership handoff documented on Append is what makes that safe.
+// Extent targets never span segments (coalescing splits runs but a
+// run's bytes always come from one write), yet the loop handles
+// crossings anyway — correctness should not hang on that reasoning.
+func (b *batch) slices(vec [][]byte, off, n int64) [][]byte {
+	i := sort.Search(len(b.segOffs), func(i int) bool { return b.segOffs[i] > off }) - 1
+	for n > 0 {
+		seg := b.segs[i][off-b.segOffs[i]:]
+		if int64(len(seg)) > n {
+			seg = seg[:n]
+		}
+		vec = append(vec, seg)
+		off += int64(len(seg))
+		n -= int64(len(seg))
+		i++
+	}
+	return vec
+}
+
 func (b *batch) add(writeSeq uint64, ext block.Extent, data []byte) {
 	off := b.fill
-	b.buf = append(b.buf, data...)
+	b.segs = append(b.segs, data)
+	b.segOffs = append(b.segOffs, off)
 	b.fill += int64(len(data))
 	if b.noCoalesce {
 		b.raw = append(b.raw, journal.ExtentEntry{LBA: ext.LBA, Sectors: ext.Sectors})
@@ -67,7 +98,9 @@ func (b *batch) addTrim(writeSeq uint64, ext block.Extent) {
 }
 
 // Append buffers one client write; the batch is sealed into a backend
-// object when it reaches the configured size (§3.2).
+// object when it reaches the configured size (§3.2). The store takes
+// ownership of data — it keeps a reference until the object holding it
+// commits — so the caller must not modify the buffer after Append.
 func (s *Store) Append(writeSeq uint64, ext block.Extent, data []byte) error {
 	if int64(len(data)) != ext.Bytes() {
 		return fmt.Errorf("blockstore: extent %v does not match %d data bytes", ext, len(data))
@@ -112,20 +145,29 @@ func (s *Store) Seal() error {
 	return s.sealAndWaitLocked()
 }
 
-// sealLocked builds the object for the pending batch, PUTs it, updates
-// the map and accounting, then runs checkpoint/GC policy.
-func (s *Store) sealLocked() error {
-	if err := s.sweepOrphansLocked(); err != nil {
-		return err
+// SealAsync pushes the current batch into the upload pipeline without
+// fencing: it returns once the object is queued, and the commit lands
+// in the background, advancing DurableWriteSeq (and firing OnDestage)
+// when it does. Core uses it as the ring-full "kick" — the records
+// pinning the cache-log head go out as an object while the writer
+// waits for the destage watermark, without draining the pipeline. In
+// synchronous mode it is a plain seal.
+func (s *Store) SealAsync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
 	}
-	b := s.batch
-	if b.empty() {
-		return nil
+	if s.cfg.UploadDepth > 0 {
+		return s.sealAsyncLocked()
 	}
+	return s.sealLocked()
+}
 
-	var exts []journal.ExtentEntry
-	var offs []int64
-	seq := s.nextSeq
+// batchExtents flattens a batch's extent state for object building:
+// trim markers first, then data extents (arrival order in no-coalesce
+// mode, map order otherwise) paired with their virtual batch offsets.
+func batchExtents(b *batch, seq uint32) (exts []journal.ExtentEntry, offs []int64) {
 	for _, t := range b.trims {
 		exts = append(exts, journal.ExtentEntry{LBA: t.LBA, Sectors: t.Sectors, SrcSeq: trimMarker})
 	}
@@ -142,16 +184,31 @@ func (s *Store) sealLocked() error {
 			return true
 		})
 	}
+	return exts, offs
+}
 
-	obj, info, mapped, err := s.buildObject(seq, journal.TypeData, b.maxWrite, exts, offs, b.buf)
+// sealLocked builds the object for the pending batch, PUTs it, updates
+// the map and accounting, then runs checkpoint/GC policy.
+func (s *Store) sealLocked() error {
+	if err := s.sweepOrphansLocked(); err != nil {
+		return err
+	}
+	b := s.batch
+	if b.empty() {
+		return nil
+	}
+
+	seq := s.nextSeq
+	exts, offs := batchExtents(b, seq)
+	obj, info, mapped, err := s.buildObject(seq, journal.TypeData, b.maxWrite, exts, offs, b.slices)
 	if err != nil {
 		return err
 	}
 	//lsvd:ignore sync mode seals inline under mu by design; async mode routes through the upload pipeline
-	if err := s.cfg.Store.Put(s.ctx, objName(s.cfg.Volume, seq), obj); err != nil {
+	if err := objstore.PutVec(s.ctx, s.cfg.Store, objName(s.cfg.Volume, seq), obj); err != nil {
 		return err
 	}
-	s.stats.bytesPut += uint64(len(obj))
+	s.stats.bytesPut += uint64(objstore.VecLen(obj))
 	s.stats.bytesCoalesced += b.coalesced
 	s.installObject(info, mapped, b.trims)
 
@@ -179,29 +236,30 @@ func (s *Store) sealLocked() error {
 	return nil
 }
 
-// buildObject assembles an object image: header (padded to a sector
-// boundary so data offsets are sector-addressable) followed by the data
-// for each non-trim extent, gathered from src at the given offsets.
-// It returns the image, the object's table entry, and the data extents
-// paired with their in-object sector offsets for map installation.
+// buildObject assembles an object image as a VECTOR: the encoded
+// header (padded to a sector boundary so data offsets are
+// sector-addressable) followed by zero-copy views of each non-trim
+// extent's payload, produced by slices(vec, srcOff, n) from the
+// caller's payload store. No contiguous image is materialized — the
+// CRC runs over the pieces (journal.EncodeHeader) and the store
+// receives the vector (objstore.PutVec), so payload bytes are not
+// copied at all between the write-path staging buffers and the
+// backend. It returns the vector, the object's table entry, and the
+// data extents paired with their in-object sector offsets for map
+// installation. It reads no Store state and is safe to call without
+// s.mu.
 type mappedExtent struct {
 	ext    block.Extent
 	srcSeq uint64
 	target extmap.Target
 }
 
-func (s *Store) buildObject(seq uint32, typ journal.Type, writeSeq uint64, exts []journal.ExtentEntry, offs []int64, src []byte) ([]byte, *objInfo, []mappedExtent, error) {
+func (s *Store) buildObject(seq uint32, typ journal.Type, writeSeq uint64, exts []journal.ExtentEntry, offs []int64, slices func(vec [][]byte, srcOff, n int64) [][]byte) ([][]byte, *objInfo, []mappedExtent, error) {
 	hdrBytes := journal.HeaderSize(len(exts))
 	hdrBytes = (hdrBytes + block.SectorSize - 1) &^ (block.SectorSize - 1)
 	hdrSectors := uint32(hdrBytes / block.SectorSize)
 
-	var dataLen int64
-	for _, e := range exts {
-		if e.SrcSeq != trimMarker {
-			dataLen += int64(e.Sectors) << block.SectorShift
-		}
-	}
-	data := make([]byte, dataLen)
+	vec := make([][]byte, 1, 1+len(offs))
 	var mapped []mappedExtent
 	cursor := int64(0)
 	di := 0 // index into offs (non-trim extents only)
@@ -210,7 +268,7 @@ func (s *Store) buildObject(seq uint32, typ journal.Type, writeSeq uint64, exts 
 			continue
 		}
 		n := int64(e.Sectors) << block.SectorShift
-		copy(data[cursor:cursor+n], src[offs[di]:offs[di]+n])
+		vec = slices(vec, offs[di], n)
 		mapped = append(mapped, mappedExtent{
 			ext:    block.Extent{LBA: e.LBA, Sectors: e.Sectors},
 			srcSeq: e.SrcSeq,
@@ -220,18 +278,19 @@ func (s *Store) buildObject(seq uint32, typ journal.Type, writeSeq uint64, exts 
 		di++
 	}
 
-	h := &journal.Header{Type: typ, Seq: uint64(seq), WriteSeq: writeSeq, Extents: exts, DataLen: uint64(dataLen)}
-	rec, err := journal.EncodeSectorHeader(h, data)
+	h := &journal.Header{Type: typ, Seq: uint64(seq), WriteSeq: writeSeq, Extents: exts, DataLen: uint64(cursor)}
+	hdr, err := journal.EncodeHeader(h, block.SectorSize, vec[1:]...)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	vec[0] = hdr
 
 	info := &objInfo{
-		seq: seq, typ: typ, totalBytes: int64(len(rec)),
-		hdrSectors: hdrSectors, dataSectors: uint32(dataLen >> block.SectorShift),
-		liveSectors: uint32(dataLen >> block.SectorShift), writeSeq: writeSeq,
+		seq: seq, typ: typ, totalBytes: int64(hdrBytes) + cursor,
+		hdrSectors: hdrSectors, dataSectors: uint32(cursor >> block.SectorShift),
+		liveSectors: uint32(cursor >> block.SectorShift), writeSeq: writeSeq,
 	}
-	return rec, info, mapped, nil
+	return vec, info, mapped, nil
 }
 
 // installObject applies a sealed object's effects to the map and the

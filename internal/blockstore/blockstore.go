@@ -22,6 +22,7 @@ import (
 
 	"lsvd/internal/block"
 	"lsvd/internal/extmap"
+	"lsvd/internal/iosched"
 	"lsvd/internal/journal"
 	"lsvd/internal/objstore"
 )
@@ -84,15 +85,24 @@ type Config struct {
 	// readers. 0 leaves the pool unbounded; 1 serializes miss fetches.
 	FetchDepth int
 
-	// UploadSem / FetchSem, when non-nil, replace the store-private
-	// concurrency semaphores with shared ones, so a multi-volume host
-	// can impose ONE global upload budget and ONE global fetch budget
-	// across every volume hitting the same backend session. Capacity is
-	// the channel's; the matching Depth still gates whether the bound
-	// applies at all (UploadDepth > 0 / FetchDepth > 0) and still sizes
-	// per-store derived limits (upload maxInflight = 2*UploadDepth).
-	UploadSem chan struct{}
-	FetchSem  chan struct{}
+	// UploadGate, when non-nil, replaces the store-private upload
+	// concurrency bound with a shared iosched.Gate: a multi-volume host
+	// imposes ONE global PUT budget while the gate guarantees each
+	// registered volume a minimum share of it, so a hot neighbor cannot
+	// starve this volume's destage. UploadID names this store to the
+	// gate (the host registers/unregisters it around the volume's
+	// lifetime). UploadDepth still gates whether the async pipeline
+	// runs at all and sizes per-store derived limits (upload
+	// maxInflight = 2*UploadDepth).
+	UploadGate *iosched.Gate
+	UploadID   string
+
+	// FetchSem, when non-nil, replaces the store-private fetch
+	// semaphore with a shared one: one global budget of concurrent
+	// miss-path range GETs across every volume on the backend session.
+	// Capacity is the channel's; FetchDepth still gates whether the
+	// bound applies at all.
+	FetchSem chan struct{}
 }
 
 func (c *Config) setDefaults() {
@@ -155,6 +165,10 @@ type Stats struct {
 	PendingBatch    int64 // batched + in-flight client bytes not yet committed
 	InflightObjects int   // sealed objects whose upload/commit is pending
 	UploadRetries   uint64
+	SealStalls      uint64 // seals that blocked on a full upload pipeline
+	UploadGrants    uint64 // upload slots granted within this volume's gate share
+	UploadBorrows   uint64 // upload slots borrowed beyond the share (idle capacity)
+	UploadWaits     uint64 // upload slot acquisitions that blocked on the gate
 	DeferredDeletes int
 	OrphanObjects   int    // stranded objects whose deletion failed, awaiting sweep
 	BackendRetries  uint64 // transient backend failures absorbed by the Retrier
@@ -200,12 +214,13 @@ type Store struct {
 	batch *batch
 
 	// Asynchronous upload pipeline state (Config.UploadDepth > 0):
-	// sealed objects awaiting upload/commit in sequence order, with a
-	// semaphore bounding concurrent PUTs and a condition variable (on
-	// mu) signalled at every upload completion.
+	// sealed objects awaiting build/upload/commit in sequence order,
+	// with a gate bounding concurrent build+PUTs and a condition
+	// variable (on mu) signalled at every upload completion.
 	inflight      []*inflightObj
 	inflightBytes int64
-	uploadSem     chan struct{}
+	gate          *iosched.Gate
+	gateID        string
 	commitCond    *sync.Cond
 	aborting      bool
 	gcBusy        bool  // a commit-triggered GC pass is running off the lock
@@ -235,7 +250,7 @@ type Store struct {
 	stats struct {
 		bytesAppended, bytesPut, bytesCoalesced uint64
 		gcBytesCopied, gcRuns, objectsDeleted   uint64
-		checkpoints, uploadRetries              uint64
+		checkpoints, uploadRetries, sealStalls  uint64
 	}
 
 	// Read-path counters are atomics: the fetch path never holds mu.
@@ -310,10 +325,11 @@ func newStore(ctx context.Context, cfg Config) *Store {
 	s.batch = newBatch(cfg.BatchBytes, cfg.NoCoalesce)
 	s.commitCond = sync.NewCond(&s.mu)
 	if cfg.UploadDepth > 0 {
-		if cfg.UploadSem != nil {
-			s.uploadSem = cfg.UploadSem
+		if cfg.UploadGate != nil {
+			s.gate, s.gateID = cfg.UploadGate, cfg.UploadID
 		} else {
-			s.uploadSem = make(chan struct{}, cfg.UploadDepth)
+			s.gate = iosched.NewGate(cfg.UploadDepth)
+			s.gate.Register(s.gateID) // sole user: full capacity is its share
 		}
 	}
 	if cfg.FetchSem != nil {
@@ -385,12 +401,17 @@ func (s *Store) Stats() Stats {
 		Checkpoints: s.stats.checkpoints, DurableWriteSeq: s.durableWriteSeq,
 		PendingBatch:    s.batch.fill + s.inflightBytes,
 		InflightObjects: len(s.inflight), UploadRetries: s.stats.uploadRetries,
+		SealStalls:      s.stats.sealStalls,
 		DeferredDeletes: len(s.deferred) + len(s.pending),
 		OrphanObjects:   len(s.orphans),
 		FetchGETs:       s.fetchStats.gets.Load(),
 		FetchesDeduped:  s.fetchStats.deduped.Load(),
 		RunsCoalesced:   s.fetchStats.coalesced.Load(),
 		HeaderFetches:   s.fetchStats.headerFetches.Load(),
+	}
+	if s.gate != nil {
+		gs := s.gate.Stats(s.gateID)
+		st.UploadGrants, st.UploadBorrows, st.UploadWaits = gs.Grants, gs.Borrows, gs.Waits
 	}
 	// The store chain may nest a namespace wrapper (host volumes are
 	// Retrier(Prefixed(raw)) or Prefixed(Retrier(raw))): walk it to

@@ -6,6 +6,7 @@ import (
 
 	"lsvd/internal/block"
 	"lsvd/internal/journal"
+	"lsvd/internal/objstore"
 )
 
 // errGCAborted abandons a GC pass mid-collection when Abort lands
@@ -286,10 +287,10 @@ func (s *Store) writeGCObjectLocked(pieces []gcPiece) error {
 		bufs[i] = data
 	}
 
-	var buf []byte
 	exts := make([]journal.ExtentEntry, 0, len(pieces))
 	offs := make([]int64, 0, len(pieces))
 	seq := s.nextSeq
+	var copied int64
 	for i, p := range pieces {
 		srcSeq := uint64(p.srcObj)
 		if p.srcObj == 0 {
@@ -298,20 +299,37 @@ func (s *Store) writeGCObjectLocked(pieces []gcPiece) error {
 			srcSeq = uint64(seq)
 		}
 		exts = append(exts, journal.ExtentEntry{LBA: p.ext.LBA, Sectors: p.ext.Sectors, SrcSeq: srcSeq})
-		offs = append(offs, int64(len(buf)))
-		buf = append(buf, bufs[i]...)
+		offs = append(offs, copied)
+		copied += int64(len(bufs[i]))
 	}
 
-	obj, info, mapped, err := s.buildObject(seq, journal.TypeGC, s.durableWriteSeq, exts, offs, buf)
+	// The pieces concatenated form the virtual payload; the slicer
+	// walks them like the batch path walks its segments, emitting
+	// zero-copy views.
+	slices := func(vec [][]byte, srcOff, n int64) [][]byte {
+		i := sort.Search(len(offs), func(i int) bool { return offs[i] > srcOff }) - 1
+		for n > 0 {
+			piece := bufs[i][srcOff-offs[i]:]
+			if int64(len(piece)) > n {
+				piece = piece[:n]
+			}
+			vec = append(vec, piece)
+			srcOff += int64(len(piece))
+			n -= int64(len(piece))
+			i++
+		}
+		return vec
+	}
+	obj, info, mapped, err := s.buildObject(seq, journal.TypeGC, s.durableWriteSeq, exts, offs, slices)
 	if err != nil {
 		return err
 	}
 	//lsvd:ignore the GC PUT must complete inside the seq-reservation critical section under mu (see writeGCObjectLocked doc)
-	if err := s.cfg.Store.Put(s.ctx, objName(s.cfg.Volume, seq), obj); err != nil {
+	if err := objstore.PutVec(s.ctx, s.cfg.Store, objName(s.cfg.Volume, seq), obj); err != nil {
 		return err
 	}
-	s.stats.bytesPut += uint64(len(obj))
-	s.stats.gcBytesCopied += uint64(len(buf))
+	s.stats.bytesPut += uint64(objstore.VecLen(obj))
+	s.stats.gcBytesCopied += uint64(copied)
 	s.installObject(info, mapped, nil)
 	s.nextSeq++
 	s.sinceCkpt++

@@ -5,22 +5,23 @@ import (
 	"fmt"
 
 	"lsvd/internal/block"
-	"lsvd/internal/extmap"
 	"lsvd/internal/invariant"
 	"lsvd/internal/journal"
+	"lsvd/internal/objstore"
 )
 
 // Asynchronous upload pipeline. With Config.UploadDepth > 0, sealing a
-// batch builds the object image and hands it to a bounded pool of
-// concurrent PUTs instead of uploading inline; the next batch starts
-// filling immediately. Map and watermark commit remains strictly in
-// sequence order — an object's extents are installed and
-// durableWriteSeq advanced only once every earlier object has
-// committed — so DurableWriteSeq and the §3.4 prefix-consistency rule
-// are exactly as in the synchronous path. A crash can strand
-// out-of-order uploads on the backend; recovery's gap rule (stop at the
-// first missing sequence number, delete anything beyond it) already
-// handles that.
+// batch only snapshots it and reserves its sequence number under s.mu;
+// the object image is marshalled inside the upload goroutine — off the
+// batch lock, so the next batch fills (and other volumes' writers run)
+// while the previous object is still being built and PUT. Map and
+// watermark commit remains strictly in sequence order — an object's
+// extents are installed and durableWriteSeq advanced only once every
+// earlier object has committed — so DurableWriteSeq and the §3.4
+// prefix-consistency rule are exactly as in the synchronous path. A
+// crash can strand out-of-order uploads on the backend; recovery's gap
+// rule (stop at the first missing sequence number, delete anything
+// beyond it) already handles that.
 
 // uploadAttempts bounds automatic resubmission of a failed upload
 // within one fence; each explicit Seal/Checkpoint grants a fresh
@@ -34,13 +35,24 @@ func (s *Store) uploadAttempts() int { return s.cfg.Retry.Attempts() }
 // and awaits resubmission) but whose map commit has not yet happened.
 type inflightObj struct {
 	seq       uint32
-	obj       []byte
-	info      *objInfo
-	mapped    []mappedExtent
 	trims     []block.Extent
 	coalesced uint64
 	maxWrite  uint64
 	fill      int64 // client bytes the batch held (for PendingBatch)
+
+	// Build inputs, snapshotted at seal time. The first upload attempt
+	// marshals the object vector off s.mu and publishes obj/info/mapped
+	// under it (dropping exts/offs); resubmissions reuse the vector,
+	// whose payload views keep the batch's staging buffers alive. Only
+	// the single active upload goroutine touches these fields between
+	// done=false and done=true, so the handoff is race-free.
+	b    *batch
+	exts []journal.ExtentEntry
+	offs []int64
+
+	obj    [][]byte // header + zero-copy payload views
+	info   *objInfo
+	mapped []mappedExtent
 
 	done     bool
 	err      error
@@ -74,31 +86,11 @@ func (s *Store) sealAsyncLocked() error {
 
 	b := s.batch
 	seq := s.nextSeq
-	var exts []journal.ExtentEntry
-	var offs []int64
-	for _, t := range b.trims {
-		exts = append(exts, journal.ExtentEntry{LBA: t.LBA, Sectors: t.Sectors, SrcSeq: trimMarker})
-	}
-	if b.noCoalesce {
-		for i, e := range b.raw {
-			e.SrcSeq = uint64(seq)
-			exts = append(exts, e)
-			offs = append(offs, b.rawOffs[i])
-		}
-	} else {
-		b.m.Foreach(func(ext block.Extent, t extmap.Target) bool {
-			exts = append(exts, journal.ExtentEntry{LBA: ext.LBA, Sectors: ext.Sectors, SrcSeq: uint64(seq)})
-			offs = append(offs, t.Off.Bytes())
-			return true
-		})
-	}
-	obj, info, mapped, err := s.buildObject(seq, journal.TypeData, b.maxWrite, exts, offs, b.buf)
-	if err != nil {
-		return err
-	}
+	exts, offs := batchExtents(b, seq)
 	inf := &inflightObj{
-		seq: seq, obj: obj, info: info, mapped: mapped, trims: b.trims,
-		coalesced: b.coalesced, maxWrite: b.maxWrite, fill: b.fill,
+		seq: seq, trims: b.trims, coalesced: b.coalesced,
+		maxWrite: b.maxWrite, fill: b.fill,
+		b: b, exts: exts, offs: offs,
 	}
 	s.inflight = append(s.inflight, inf)
 	s.inflightBytes += b.fill
@@ -111,9 +103,11 @@ func (s *Store) sealAsyncLocked() error {
 // reserveUploadSlotLocked waits until the in-flight list has room for
 // another object (2x UploadDepth, so uploads stay saturated while
 // commits lag), resubmitting failed uploads so a stuck front cannot
-// wedge the pipeline.
+// wedge the pipeline. Seals that block here are counted: a rising
+// SealStalls means the backend (or the upload share) is the wall.
 func (s *Store) reserveUploadSlotLocked() error {
 	maxInflight := 2 * s.cfg.UploadDepth
+	stalled := false
 	for len(s.inflight) >= maxInflight {
 		if front := s.inflight[0]; front.done && front.err != nil {
 			if front.attempts >= s.uploadAttempts() {
@@ -121,14 +115,20 @@ func (s *Store) reserveUploadSlotLocked() error {
 			}
 			s.resubmitFailedLocked()
 		}
+		if !stalled {
+			stalled = true
+			s.stats.sealStalls++
+		}
 		s.commitCond.Wait()
 	}
 	return nil
 }
 
-// startUploadLocked issues (or reissues) the PUT for inf on a fresh
-// goroutine, bounded by the upload semaphore. The semaphore is acquired
-// inside the goroutine so the caller never blocks holding s.mu.
+// startUploadLocked issues (or reissues) the build+PUT for inf on a
+// fresh goroutine, bounded by the upload gate. The gate is acquired
+// inside the goroutine so the caller never blocks holding s.mu, and
+// the object marshal happens under the gate slot too — it is part of
+// the upload's cost, and keeping it off s.mu is the point.
 func (s *Store) startUploadLocked(inf *inflightObj) {
 	inf.done, inf.err = false, nil
 	inf.attempts++
@@ -136,10 +136,26 @@ func (s *Store) startUploadLocked(inf *inflightObj) {
 		s.stats.uploadRetries++
 	}
 	name := objName(s.cfg.Volume, inf.seq)
+	obj := inf.obj // non-nil on resubmission: the image is built once
 	invariant.Go("blockstore-upload", func() {
-		s.uploadSem <- struct{}{}
-		err := s.cfg.Store.Put(s.ctx, name, inf.obj)
-		<-s.uploadSem
+		s.gate.Acquire(s.gateID)
+		var err error
+		if obj == nil {
+			var info *objInfo
+			var mapped []mappedExtent
+			obj, info, mapped, err = s.buildObject(inf.seq, journal.TypeData,
+				inf.maxWrite, inf.exts, inf.offs, inf.b.slices)
+			if err == nil {
+				s.mu.Lock()
+				inf.obj, inf.info, inf.mapped = obj, info, mapped
+				inf.b, inf.exts, inf.offs = nil, nil, nil
+				s.mu.Unlock()
+			}
+		}
+		if err == nil {
+			err = objstore.PutVec(s.ctx, s.cfg.Store, name, obj)
+		}
+		s.gate.Release(s.gateID)
 		s.mu.Lock()
 		inf.done, inf.err = true, err
 		var post func()
@@ -176,7 +192,7 @@ func (s *Store) commitReadyLocked() func() {
 			"blockstore: inflight bytes %d negative after committing object %d", s.inflightBytes, inf.info.seq)
 		invariant.Assertf(inf.info.seq < s.nextSeq,
 			"blockstore: committed object %d at or beyond the unreserved seq %d", inf.info.seq, s.nextSeq)
-		s.stats.bytesPut += uint64(len(inf.obj))
+		s.stats.bytesPut += uint64(objstore.VecLen(inf.obj))
 		s.stats.bytesCoalesced += inf.coalesced
 		s.installObject(inf.info, inf.mapped, inf.trims)
 		if inf.maxWrite > s.durableWriteSeq {

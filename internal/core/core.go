@@ -25,10 +25,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lsvd/internal/block"
 	"lsvd/internal/blockstore"
 	"lsvd/internal/invariant"
+	"lsvd/internal/iosched"
 	"lsvd/internal/journal"
 	"lsvd/internal/objstore"
 	"lsvd/internal/readcache"
@@ -93,6 +95,14 @@ type Options struct {
 	// between WriteAt and the destager goroutine; a full queue blocks
 	// the writer (§3.2 backpressure). Default 256 requests.
 	DestageQueueDepth int
+	// GroupCommitStall is how long the write-cache group-commit
+	// leader lingers for followers before flushing a batch, trading
+	// single-writer ack latency for bigger batches under concurrency.
+	// Default 0: flush whatever has queued, immediately.
+	GroupCommitStall time.Duration
+	// GroupCommitMaxRecords caps how many queued log records one
+	// group-commit device write may absorb. Default 128.
+	GroupCommitMaxRecords int
 	// SyncDestage disables the background pipeline: WriteAt forwards
 	// to the block store inline and uploads happen synchronously, as
 	// in the original prototype semantics. Used as the baseline in
@@ -179,18 +189,21 @@ func Combine(h HostOptions, v VolumeOptions) Options {
 //   - WCDev: this volume's write-cache log section of the shared SSD.
 //   - ReadCache: this volume's view of the host's shared read-cache
 //     arena (fair eviction across volumes happens inside the arena).
-//   - UploadSem/FetchSem: the host-wide backend concurrency budgets;
+//   - UploadGate/FetchSem: the host-wide backend concurrency budgets;
 //     every volume's destage PUTs and miss-path GETs draw from these
-//     same channels, so Options.UploadDepth/FetchDepth only size the
-//     per-volume derived limits.
+//     shared pools, so Options.UploadDepth/FetchDepth only size the
+//     per-volume derived limits. The gate guarantees each registered
+//     volume a minimum share of the PUT budget (UploadID names this
+//     volume to it); the host owns registration.
 //   - OnClose: invoked exactly once when the disk shuts down (Close or
 //     Kill), so the host can release the volume's slot.
 type Resources struct {
-	WCDev     simdev.Device
-	ReadCache *readcache.Cache
-	UploadSem chan struct{}
-	FetchSem  chan struct{}
-	OnClose   func()
+	WCDev      simdev.Device
+	ReadCache  *readcache.Cache
+	UploadGate *iosched.Gate
+	UploadID   string
+	FetchSem   chan struct{}
+	OnClose    func()
 }
 
 func (o *Options) setDefaults() {
@@ -233,8 +246,10 @@ type Stats struct {
 	ZeroFillSectors               uint64
 	PrefetchedSectors             uint64
 	WriteSeq                      uint64
-	RecoveredReplayed             int // cache records replayed to backend at open
-	DestageQueued                 int // requests waiting in the destage queue
+	RecoveredReplayed             int    // cache records replayed to backend at open
+	DestageQueued                 int    // requests waiting in the destage queue
+	RingKicks                     uint64 // ring-full: non-fencing seals kicked
+	RingFences                    uint64 // ring-full: watermark stalled, full fence
 
 	// Read-miss pipeline counters (GET amplification for bench runs):
 	// the first three mirror the block store's fetch-path counters,
@@ -262,15 +277,83 @@ type counters struct {
 	prefetchedSectors             atomic.Uint64
 }
 
+// stagePoolCap bounds the staging-buffer freelist; beyond it, dead
+// buffers fall to the garbage collector.
+const stagePoolCap = 64
+
+// stagedBuf tracks one write's staging buffer until the destage
+// watermark passes its sequence number.
+type stagedBuf struct {
+	ws  uint64
+	buf []byte
+}
+
+// stagePool recycles write-path staging buffers. WriteAt copies the
+// caller's payload into a staging buffer whose ownership then flows
+// through the destage queue, the block-store batch and the object
+// vector; the buffer dies when its object commits. Recycling at the
+// destage watermark (the commit is what advances it) keeps the hot
+// write path from allocating — and the garbage collector from
+// scanning — a fresh buffer per write.
+type stagePool struct {
+	mu      sync.Mutex
+	free    [][]byte    // LIFO of dead buffers
+	pending []stagedBuf // in-flight, appended in ws order under wmu
+}
+
+func (p *stagePool) get(n int) []byte {
+	p.mu.Lock()
+	for len(p.free) > 0 {
+		b := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		if cap(b) >= n {
+			p.mu.Unlock()
+			return b[:n]
+		}
+		// Wrong size class (workload changed write size): drop it and
+		// keep looking; the freelist re-fills at the new size.
+	}
+	p.mu.Unlock()
+	return make([]byte, n)
+}
+
+// track records a buffer now owned by the destage pipeline. Callers
+// serialize under wmu, so pending stays ws-ordered.
+func (p *stagePool) track(ws uint64, buf []byte) {
+	p.mu.Lock()
+	p.pending = append(p.pending, stagedBuf{ws: ws, buf: buf})
+	p.mu.Unlock()
+}
+
+// destaged releases every buffer at or below the watermark: its object
+// has committed (commits are strictly in write order), so nothing
+// references the bytes anymore.
+func (p *stagePool) destaged(ws uint64) {
+	p.mu.Lock()
+	i := 0
+	for ; i < len(p.pending) && p.pending[i].ws <= ws; i++ {
+		if len(p.free) < stagePoolCap {
+			p.free = append(p.free, p.pending[i].buf)
+		}
+	}
+	if i > 0 {
+		p.pending = p.pending[:copy(p.pending, p.pending[i:])]
+	}
+	p.mu.Unlock()
+}
+
 // destageReq is one unit of work for the destager goroutine: a logged
-// write or trim to forward to the block store, or a flush marker
-// (non-nil reply channel) that seals and fences the pipeline.
+// write or trim to forward to the block store, a flush marker (non-nil
+// reply channel) that seals and fences the pipeline, or a kick — a
+// non-fencing seal issued by ring-full backpressure, which needs the
+// records ahead of it uploaded but not the whole pipeline drained.
 type destageReq struct {
 	ws    uint64
 	ext   block.Extent
 	data  []byte // nil for trims
 	trim  bool
 	flush chan error
+	kick  bool
 }
 
 // Disk is an LSVD virtual disk. Mutations (write/trim) are ordered by
@@ -304,6 +387,14 @@ type Disk struct {
 	quit chan struct{} // closed by Kill: drop the queue, stop now
 	done chan struct{} // closed when the destager exits
 	perr atomic.Pointer[error]
+
+	// destageTick is pulsed (non-blocking, capacity 1) whenever the
+	// destage watermark advances or the pipeline fails; a writer stalled
+	// on a full ring sleeps on it instead of fencing the pipeline.
+	destageTick chan struct{}
+	ringKicks   atomic.Uint64 // non-fencing seals issued by ring-full backpressure
+	ringFences  atomic.Uint64 // full fences after the watermark stalled
+	stage       stagePool     // staging buffers recycled at the destage watermark
 
 	// rcGen is bumped by every write/trim before it invalidates the
 	// read cache. A backend reader records the epoch before fetching
@@ -340,7 +431,7 @@ func CreateShared(ctx context.Context, opts Options, res *Resources) (*Disk, err
 	if opts.VolBytes <= 0 || opts.VolBytes%block.SectorSize != 0 {
 		return nil, fmt.Errorf("core: invalid volume size %d", opts.VolBytes)
 	}
-	d := &Disk{opts: opts, volSectors: block.LBAFromBytes(opts.VolBytes)}
+	d := &Disk{opts: opts, volSectors: block.LBAFromBytes(opts.VolBytes), destageTick: make(chan struct{}, 1)}
 	wcDev, err := d.attachCaches(res)
 	if err != nil {
 		return nil, err
@@ -392,7 +483,12 @@ func wcConfig(opts Options, dev simdev.Device) writecache.Config {
 	if ckpt < 2*block.BlockSize {
 		ckpt = 2 * block.BlockSize
 	}
-	return writecache.Config{CheckpointBytes: ckpt &^ (block.BlockSize - 1), CheckpointEvery: opts.WriteCacheCheckpointEvery}
+	return writecache.Config{
+		CheckpointBytes: ckpt &^ (block.BlockSize - 1),
+		CheckpointEvery: opts.WriteCacheCheckpointEvery,
+		GroupStall:      opts.GroupCommitStall,
+		GroupMaxRecords: opts.GroupCommitMaxRecords,
+	}
 }
 
 func rcConfig(opts Options, dev simdev.Device) readcache.Config {
@@ -410,7 +506,7 @@ func Open(ctx context.Context, opts Options) (*Disk, error) {
 // nil, which is plain Open).
 func OpenShared(ctx context.Context, opts Options, res *Resources) (*Disk, error) {
 	opts.setDefaults()
-	d := &Disk{opts: opts}
+	d := &Disk{opts: opts, destageTick: make(chan struct{}, 1)}
 	wcDev, err := d.attachCaches(res)
 	if err != nil {
 		return nil, err
@@ -466,7 +562,7 @@ func OpenShared(ctx context.Context, opts Options, res *Resources) (*Disk, error
 func OpenSnapshot(ctx context.Context, opts Options, snapshot string) (*Disk, error) {
 	opts.setDefaults()
 	opts.GCLowWater = 0
-	d := &Disk{opts: opts, readOnly: true}
+	d := &Disk{opts: opts, readOnly: true, destageTick: make(chan struct{}, 1)}
 	wcDev, rcDev, err := splitCache(opts)
 	if err != nil {
 		return nil, err
@@ -511,9 +607,13 @@ func (d *Disk) storeConfig() blockstore.Config {
 		GCLowWater:      d.opts.GCLowWater,
 		GCHighWater:     d.opts.GCHighWater,
 		CheckpointEvery: d.opts.CheckpointEvery,
-		OnDestage:       func(ws uint64) { d.wc.SetDestaged(ws) },
-		Retry:           d.opts.Retry,
-		FetchDepth:      d.opts.FetchDepth,
+		OnDestage: func(ws uint64) {
+			d.wc.SetDestaged(ws)
+			d.stage.destaged(ws)
+			d.notifyDestage()
+		},
+		Retry:      d.opts.Retry,
+		FetchDepth: d.opts.FetchDepth,
 	}
 	if !d.opts.SyncDestage && !d.readOnly {
 		cfg.UploadDepth = d.opts.UploadDepth
@@ -522,7 +622,8 @@ func (d *Disk) storeConfig() blockstore.Config {
 		cfg.FetchFromCache = d.fetchFromWriteCache
 	}
 	if d.res != nil {
-		cfg.UploadSem = d.res.UploadSem
+		cfg.UploadGate = d.res.UploadGate
+		cfg.UploadID = d.res.UploadID
 		cfg.FetchSem = d.res.FetchSem
 	}
 	return cfg
@@ -559,6 +660,16 @@ func (d *Disk) destage() {
 				req.flush <- d.bs.Seal()
 				continue
 			}
+			if req.kick {
+				// Every record queued before the kick is now in the
+				// batch; seal it without waiting so the commit (and the
+				// OnDestage watermark pulse the kicker sleeps on) can
+				// land while writes continue.
+				if err := d.bs.SealAsync(); err != nil {
+					d.failPipeline(err)
+				}
+				continue
+			}
 			// The queue is FIFO and producers serialize under wmu, so
 			// write sequence numbers reach the block store in order —
 			// the property prefix consistency (§3.1) rests on.
@@ -579,9 +690,20 @@ func (d *Disk) destage() {
 }
 
 // failPipeline records the first destage failure; it is surfaced to
-// the client on the next mutation or fence.
+// the client on the next mutation or fence. The tick wakes any writer
+// sleeping on destage progress so it sees the error promptly.
 func (d *Disk) failPipeline(err error) {
 	d.perr.CompareAndSwap(nil, &err)
+	d.notifyDestage()
+}
+
+// notifyDestage pulses the destage-progress channel. Non-blocking: a
+// pending tick already carries the same information.
+func (d *Disk) notifyDestage() {
+	select {
+	case d.destageTick <- struct{}{}:
+	default:
+	}
 }
 
 func (d *Disk) pipelineErr() error {
@@ -604,12 +726,17 @@ func (d *Disk) enqueue(req destageReq) error {
 	}
 }
 
-// fetchFromWriteCache serves destage (GC, §3.5) and SSD-readback
-// (§3.7) reads from the write cache when the data is fully resident.
-// It is called with the block store lock held; it only touches the
-// write cache, which has its own lock.
+// fetchFromWriteCache serves GC source reads (§3.5) from the write
+// cache when the data is fully resident AND fully destaged. The
+// destaged restriction is load-bearing for crash consistency: the GC
+// copies what the backend map says the victim holds, and the cache's
+// newest bytes for an LBA may belong to a younger acknowledged write
+// that has not committed to an object yet — publishing those in a GC
+// object would let recovery see data from beyond the durable prefix
+// (§3.4). It is called with the block store lock held; it only
+// touches the write cache, which has its own lock.
 func (d *Disk) fetchFromWriteCache(ext block.Extent, buf []byte) bool {
-	return d.wc.ReadFull(ext, buf)
+	return d.wc.ReadFullDestaged(ext, buf)
 }
 
 // Size returns the disk size in bytes.
@@ -629,6 +756,13 @@ func (d *Disk) checkIO(p []byte, off int64) (block.Extent, error) {
 // WriteAt implements vdisk.Disk: the write is persisted to the cache
 // log (acknowledged) and queued for background destage (§3.2). It does
 // not wait for the backend.
+//
+// The hot path holds wmu only for metadata — sequence assignment, ring
+// reservation, destage-queue handoff — so concurrent writers pipeline:
+// the payload copy happens before the lock and the cache-SSD append
+// (group commit) after it. FIFO writeSeq order into the destage queue
+// is preserved because both the sequence and the queue slot are taken
+// under the same wmu hold.
 func (d *Disk) WriteAt(p []byte, off int64) error {
 	ext, err := d.checkIO(p, off)
 	if err != nil {
@@ -640,6 +774,61 @@ func (d *Disk) WriteAt(p []byte, off int64) error {
 	if err := d.pipelineErr(); err != nil {
 		return err
 	}
+	if d.opts.SyncDestage || d.opts.ReadbackThroughSSD {
+		return d.writeInline(p, ext)
+	}
+
+	// Stage before the lock: the destage pipeline (and the block-store
+	// batch, which holds references) outlives the caller's ownership
+	// of p. The buffer comes from the recycle pool and returns to it
+	// when its object commits.
+	clone := d.stage.get(len(p))
+	copy(clone, p)
+
+	d.wmu.Lock()
+	if d.readOnly {
+		d.wmu.Unlock()
+		return ErrReadOnly
+	}
+	if d.closed {
+		d.wmu.Unlock()
+		return ErrClosed
+	}
+	ws := d.writeSeq.Add(1)
+	res, err := d.reserveWithBackpressure(ws, journal.TypeData, ext, len(p))
+	if err != nil {
+		d.wmu.Unlock()
+		return err
+	}
+	d.stage.track(ws, clone)
+	qerr := d.enqueue(destageReq{ws: ws, ext: ext, data: clone})
+	d.wmu.Unlock()
+
+	// Off the lock: the payload lands on the cache SSD via the group
+	// commit leader; Commit returns when this write is readable. The
+	// reservation contract requires the Commit even if the enqueue
+	// failed (a killed disk's record is simply never destaged — crash
+	// semantics).
+	if err := d.wc.Commit(res, p); err != nil {
+		return err
+	}
+	if qerr != nil {
+		return qerr
+	}
+	// Drop any stale read-cache copy (write-after-read hazard), and
+	// bump the epoch so an in-flight backend fetch self-invalidates.
+	d.rcGen.Add(1)
+	d.rc.Invalidate(ext)
+	d.c.writes.Add(1)
+	d.c.bytesWritten.Add(uint64(len(p)))
+	return nil
+}
+
+// writeInline is the fully serialized write path for the SyncDestage
+// and ReadbackThroughSSD modes (prototype baselines): everything —
+// log append, read-cache invalidation, destage — happens under wmu,
+// as before the group-commit pipeline.
+func (d *Disk) writeInline(p []byte, ext block.Extent) error {
 	d.wmu.Lock()
 	defer d.wmu.Unlock()
 	if d.readOnly {
@@ -653,23 +842,21 @@ func (d *Disk) WriteAt(p []byte, off int64) error {
 	if err := d.logWithBackpressure(ws, ext, p, false); err != nil {
 		return err
 	}
-	// Drop any stale read-cache copy (write-after-read hazard), and
-	// bump the epoch so an in-flight backend fetch self-invalidates.
 	d.rcGen.Add(1)
 	d.rc.Invalidate(ext)
 
 	// Hand off to the destager. The prototype's destage path reads the
 	// data back off the SSD (§3.7/Table 6); the in-memory handoff
 	// models the userspace rewrite (and must copy, since the caller
-	// owns p after we return).
-	src := p
+	// owns p after we return and the block-store batch keeps a
+	// reference to what it is given).
+	src := make([]byte, len(p))
 	if d.opts.ReadbackThroughSSD {
-		src = make([]byte, len(p))
 		if !d.wc.ReadFull(ext, src) {
 			copy(src, p) // should not happen; fall back to the caller's copy
 		}
-	} else if !d.opts.SyncDestage {
-		src = append(make([]byte, 0, len(p)), p...)
+	} else {
+		copy(src, p)
 	}
 	if d.opts.SyncDestage {
 		if err := d.bs.Append(ws, ext, src); err != nil {
@@ -705,6 +892,96 @@ func (d *Disk) logWithBackpressure(ws uint64, ext block.Extent, p []byte, trim b
 		if err := d.drainLocked(); err != nil {
 			return err
 		}
+	}
+}
+
+// destageGrace bounds how long a ring-full writer sleeps waiting for
+// the destage watermark before concluding it has stalled and falling
+// back to the full fence (which resubmits failed uploads and surfaces
+// their errors). Healthy pipelines tick far faster than this.
+const destageGrace = 20 * time.Millisecond
+
+// graceRounds is how many consecutive destageGrace expiries a
+// ring-full writer tolerates before escalating to the fence. One
+// silent grace usually means scheduler starvation, not a wedged
+// pipeline (a loaded host can leave a healthy destager unscheduled
+// for tens of milliseconds); the fence adds a full pipeline flush on
+// top of that load, so escalating on the first silence makes the
+// stall strictly worse.
+const graceRounds = 3
+
+// reserveWithBackpressure claims cache-log space for one mutation
+// under wmu; the payload commit happens off wmu. A full ring means the
+// records pinning the head have not destaged yet, so the writer kicks
+// a non-fencing seal — the partial backend batch holding them goes out
+// as an object — and dozes until the destage watermark advances,
+// retrying as commits land and the head evicts. This is §3.2's "no
+// writes accepted until cache space is freed" as flow control rather
+// than stop-and-go: the volume's upload pipeline keeps running (and
+// other volumes keep the shared backend busy) while this writer waits.
+// Only a stalled watermark escalates to the full destage fence.
+func (d *Disk) reserveWithBackpressure(ws uint64, typ journal.Type, ext block.Extent, dataLen int) (*writecache.Reservation, error) {
+	kicked := false
+	fences := 0
+	for {
+		res, err := d.wc.Reserve(ws, typ, ext, dataLen)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, writecache.ErrFull) {
+			return nil, err
+		}
+		if perr := d.pipelineErr(); perr != nil {
+			return nil, perr
+		}
+		if d.ch != nil {
+			if !kicked {
+				kicked = true
+				d.ringKicks.Add(1)
+				if qerr := d.enqueue(destageReq{kick: true}); qerr != nil {
+					return nil, qerr
+				}
+			}
+			progressed := false
+			for round := 0; round < graceRounds; round++ {
+				if d.awaitDestage() {
+					progressed = true
+					break
+				}
+			}
+			if progressed {
+				continue
+			}
+		}
+		// Watermark stalled (or there is no pipeline to wait on):
+		// escalate to the fence, then retry.
+		if fences >= 2 {
+			return nil, err
+		}
+		fences++
+		d.ringFences.Add(1)
+		if err := d.drainLocked(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// awaitDestage sleeps until destage progress is signalled or the grace
+// period expires; true means progress. It deliberately holds wmu — a
+// volume with a full ring admits no writes — while the destager and
+// the upload pipeline, which never take wmu, drain the backlog.
+//
+//lsvd:ignore ring-full backpressure: blocking under wmu is the contract (no writes admitted until the ring drains); the drain side never takes wmu, the grace timer bounds the wait, and quit unblocks on Kill
+func (d *Disk) awaitDestage() bool {
+	t := time.NewTimer(destageGrace)
+	defer t.Stop()
+	select {
+	case <-d.destageTick:
+		return true
+	case <-t.C:
+		return false
+	case <-d.quit:
+		return false // killed: the fence path surfaces ErrClosed
 	}
 }
 
@@ -813,6 +1090,43 @@ func (d *Disk) Trim(off, length int64) error {
 	if err := d.pipelineErr(); err != nil {
 		return err
 	}
+	if d.opts.SyncDestage || d.opts.ReadbackThroughSSD {
+		return d.trimInline(ext)
+	}
+
+	d.wmu.Lock()
+	if d.readOnly {
+		d.wmu.Unlock()
+		return ErrReadOnly
+	}
+	if d.closed {
+		d.wmu.Unlock()
+		return ErrClosed
+	}
+	ws := d.writeSeq.Add(1)
+	res, err := d.reserveWithBackpressure(ws, journal.TypeTrim, ext, 0)
+	if err != nil {
+		d.wmu.Unlock()
+		return err
+	}
+	qerr := d.enqueue(destageReq{ws: ws, ext: ext, trim: true})
+	d.wmu.Unlock()
+
+	if err := d.wc.Commit(res, nil); err != nil {
+		return err
+	}
+	if qerr != nil {
+		return qerr
+	}
+	d.rcGen.Add(1)
+	d.rc.Invalidate(ext)
+	d.c.trims.Add(1)
+	return nil
+}
+
+// trimInline mirrors writeInline for discards in the serialized
+// baseline modes.
+func (d *Disk) trimInline(ext block.Extent) error {
 	d.wmu.Lock()
 	defer d.wmu.Unlock()
 	if d.readOnly {
@@ -942,6 +1256,10 @@ func (d *Disk) Kill() {
 		//lsvd:ignore Kill waits for the destager to exit; quit is closed so the exit is prompt
 		<-d.done
 	}
+	// Writers that passed wmu before the kill may still be committing
+	// their cache-log group writes; wait them out so nothing touches
+	// the (possibly host-shared) device after Kill returns.
+	d.wc.Quiesce()
 	d.adm.stop()
 	d.bs.Abort()
 	d.released()
@@ -994,6 +1312,8 @@ func (d *Disk) Stats() Stats {
 		WriteSeq:             d.writeSeq.Load(),
 		RecoveredReplayed:    d.recoveredReplayed,
 		AdmissionsDropped:    d.adm.dropped.Load(),
+		RingKicks:            d.ringKicks.Load(),
+		RingFences:           d.ringFences.Load(),
 	}
 	if d.ch != nil {
 		st.DestageQueued = len(d.ch)

@@ -40,6 +40,12 @@ type Env struct {
 	// FetchDepth overrides core.Options.FetchDepth (1 serializes the
 	// read-miss path, for before/after comparisons of the fan-out).
 	FetchDepth int
+	// GroupStall overrides core.Options.GroupCommitStall, the time
+	// the group-commit leader lingers for followers per batch.
+	GroupStall time.Duration
+	// GroupMaxRecords overrides core.Options.GroupCommitMaxRecords,
+	// the record cap of one group-commit device write.
+	GroupMaxRecords int
 }
 
 // DefaultEnv is the scale used by the bench harness.
@@ -55,6 +61,12 @@ func (e Env) tune(opts *core.Options) {
 	}
 	if e.FetchDepth != 0 {
 		opts.FetchDepth = e.FetchDepth
+	}
+	if e.GroupStall != 0 {
+		opts.GroupCommitStall = e.GroupStall
+	}
+	if e.GroupMaxRecords != 0 {
+		opts.GroupCommitMaxRecords = e.GroupMaxRecords
 	}
 }
 

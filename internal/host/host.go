@@ -12,8 +12,11 @@
 //     accounting and fair eviction (a hot volume can only evict a
 //     neighbor above its proportional share — see readcache.Arena).
 //   - Backend uploads and miss fetches across ALL volumes share one
-//     upload semaphore and one fetch semaphore, so the host's total
-//     backend concurrency is bounded regardless of tenant count.
+//     upload gate and one fetch semaphore, so the host's total backend
+//     concurrency is bounded regardless of tenant count; the gate
+//     additionally guarantees every open volume a minimum share of the
+//     upload budget (iosched.Gate), so one hot volume cannot starve
+//     its neighbors' destage pipelines.
 //   - Each volume's objects live under its own key prefix
 //     ("vol/<name>/…", objstore.Prefixed), so volumes are created,
 //     listed and deleted independently inside one bucket.
@@ -36,6 +39,7 @@ import (
 	"lsvd/internal/block"
 	"lsvd/internal/core"
 	"lsvd/internal/invariant"
+	"lsvd/internal/iosched"
 	"lsvd/internal/nbd"
 	"lsvd/internal/objstore"
 	"lsvd/internal/readcache"
@@ -130,10 +134,10 @@ type Host struct {
 	// policy the volumes inherit.
 	retry *objstore.Retrier
 
-	arena     *readcache.Arena
-	slotBytes int64
-	uploadSem chan struct{}
-	fetchSem  chan struct{}
+	arena      *readcache.Arena
+	slotBytes  int64
+	uploadGate *iosched.Gate
+	fetchSem   chan struct{}
 
 	// slotsMu serializes slot-table persistence: snapshot-under-mu
 	// plus PUT happen atomically with respect to other writers, so a
@@ -180,7 +184,7 @@ func New(ctx context.Context, opts Options) (*Host, error) {
 		return nil, fmt.Errorf("host: arena: %w", err)
 	}
 
-	h.uploadSem = make(chan struct{}, opts.UploadDepth)
+	h.uploadGate = iosched.NewGate(opts.UploadDepth)
 	h.fetchSem = make(chan struct{}, opts.FetchDepth)
 
 	if !opts.FlatKeys {
@@ -344,7 +348,9 @@ func (h *Host) leaseLocked(name string, assign bool) (int, error) {
 	return slot, nil
 }
 
-// resources builds the core.Resources lease for one volume.
+// resources builds the core.Resources lease for one volume,
+// registering it on the shared upload gate so it is guaranteed a
+// minimum share of the host's PUT budget while open.
 func (h *Host) resources(name string, slot int) (*core.Resources, error) {
 	wcDev, err := simdev.NewSection(h.opts.CacheDev, int64(slot)*h.slotBytes, h.slotBytes)
 	if err != nil {
@@ -354,12 +360,15 @@ func (h *Host) resources(name string, slot int) (*core.Resources, error) {
 	if h.opts.FlatKeys {
 		viewName = "" // the historical single-view arena name
 	}
+	h.uploadGate.Register(name)
 	return &core.Resources{
-		WCDev:     wcDev,
-		ReadCache: h.arena.Open(viewName),
-		UploadSem: h.uploadSem,
-		FetchSem:  h.fetchSem,
+		WCDev:      wcDev,
+		ReadCache:  h.arena.Open(viewName),
+		UploadGate: h.uploadGate,
+		UploadID:   name,
+		FetchSem:   h.fetchSem,
 		OnClose: func() {
+			h.uploadGate.Unregister(name)
 			h.mu.Lock()
 			delete(h.open, name)
 			h.mu.Unlock()
@@ -400,6 +409,7 @@ func (h *Host) openVolume(ctx context.Context, name string, v core.VolumeOptions
 	h.mu.Unlock()
 
 	fail := func(err error) (*core.Disk, error) {
+		h.uploadGate.Unregister(name) // no-op unless resources() registered it
 		h.mu.Lock()
 		delete(h.open, name)
 		if create {
@@ -577,19 +587,113 @@ func (h *Host) Stats() Stats {
 }
 
 // Close closes every open volume (draining and checkpointing each)
-// and persists the shared arena.
+// and persists the shared arena. Each volume's write-path counters
+// are snapshotted after its close drains (so close-time seals and
+// uploads are counted; the gate retires counters rather than losing
+// them) and persisted at statsKey, keeping the session's group-commit
+// and upload-pipeline behavior observable offline via
+// `lsvd-ctl volumes`.
 func (h *Host) Close() error {
 	h.mu.Lock()
 	h.closed = true
 	h.mu.Unlock()
 	var first error
+	var rows []WritePathCounters
 	for _, e := range h.openSnapshot() {
-		if err := e.Disk.(*core.Disk).Close(); err != nil && first == nil {
+		d := e.Disk.(*core.Disk)
+		if err := d.Close(); err != nil && first == nil {
 			first = err
 		}
+		rows = append(rows, writePathCounters(e.Name, d.Stats()))
 	}
 	if err := h.arena.Persist(); err != nil && first == nil {
 		first = err
 	}
+	// Advisory observability only: a failed snapshot PUT never turns a
+	// clean close into an error.
+	h.persistStats(rows)
 	return first
+}
+
+// statsKey is where the last session's write-path counter snapshot
+// lives in the bucket.
+const statsKey = "host/stats"
+
+// WritePathCounters is one volume's write-path counter snapshot:
+// group-commit activity in the cache log, ring flow-control events,
+// and the seal/upload pipeline's stall and share accounting.
+type WritePathCounters struct {
+	Volume        string   `json:"volume"`
+	Writes        uint64   `json:"writes"`
+	GroupBatches  uint64   `json:"group_batches"`
+	GroupRecords  uint64   `json:"group_records"`
+	DevWrites     uint64   `json:"dev_writes"`
+	ReserveWaits  uint64   `json:"reserve_waits"`
+	BatchSizeHist []uint64 `json:"batch_size_hist"` // buckets 1,2,≤4,≤8,…
+	RingKicks     uint64   `json:"ring_kicks"`
+	RingFences    uint64   `json:"ring_fences"`
+	SealStalls    uint64   `json:"seal_stalls"`
+	UploadGrants  uint64   `json:"upload_grants"`
+	UploadBorrows uint64   `json:"upload_borrows"`
+	UploadWaits   uint64   `json:"upload_waits"`
+}
+
+type statsFile struct {
+	Version int                 `json:"version"`
+	Volumes []WritePathCounters `json:"volumes"`
+}
+
+// writePathCounters flattens one volume's Stats into its snapshot row.
+func writePathCounters(name string, st core.Stats) WritePathCounters {
+	hist := make([]uint64, len(st.WriteCache.BatchSizeHist))
+	copy(hist, st.WriteCache.BatchSizeHist[:])
+	return WritePathCounters{
+		Volume:        name,
+		Writes:        st.Writes,
+		GroupBatches:  st.WriteCache.GroupBatches,
+		GroupRecords:  st.WriteCache.GroupRecords,
+		DevWrites:     st.WriteCache.DevWrites,
+		ReserveWaits:  st.WriteCache.ReserveWaits,
+		BatchSizeHist: hist,
+		RingKicks:     st.RingKicks,
+		RingFences:    st.RingFences,
+		SealStalls:    st.Backend.SealStalls,
+		UploadGrants:  st.Backend.UploadGrants,
+		UploadBorrows: st.Backend.UploadBorrows,
+		UploadWaits:   st.Backend.UploadWaits,
+	}
+}
+
+// persistStats writes the snapshot; FlatKeys hosts have no reserved
+// key namespace to write into, so they skip it.
+func (h *Host) persistStats(rows []WritePathCounters) {
+	if h.opts.FlatKeys {
+		return
+	}
+	f := statsFile{Version: 1, Volumes: rows}
+	raw, err := json.Marshal(f)
+	if err != nil {
+		return
+	}
+	_ = h.retry.Put(context.Background(), statsKey, raw)
+}
+
+// LoadWritePathStats reads the write-path counter snapshot persisted
+// by the last clean host Close. A bucket no host has closed yet (or a
+// snapshot from a future format) yields nil, nil.
+//
+//lsvd:classifies-errors
+func LoadWritePathStats(ctx context.Context, store objstore.Store) ([]WritePathCounters, error) {
+	raw, err := store.Get(ctx, statsKey)
+	if err != nil {
+		if errors.Is(err, objstore.ErrNotFound) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var f statsFile
+	if err := json.Unmarshal(raw, &f); err != nil || f.Version != 1 {
+		return nil, nil
+	}
+	return f.Volumes, nil
 }

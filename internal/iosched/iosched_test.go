@@ -1,0 +1,162 @@
+package iosched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	g := NewGate(3)
+	g.Register("a")
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Acquire("a")
+			n := cur.Add(1)
+			for {
+				m := max.Load()
+				if n <= m || max.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			g.Release("a")
+		}()
+	}
+	wg.Wait()
+	if m := max.Load(); m > 3 {
+		t.Fatalf("gate admitted %d concurrent holders, capacity 3", m)
+	}
+	st := g.Stats("a")
+	if st.Grants+st.Borrows != 20 {
+		t.Fatalf("grants %d + borrows %d != 20 acquisitions", st.Grants, st.Borrows)
+	}
+	if st.Held != 0 {
+		t.Fatalf("still holding %d after drain", st.Held)
+	}
+}
+
+func TestGateMinimumShare(t *testing.T) {
+	// Capacity 4, two users: each is guaranteed 2 slots. The hog takes
+	// all 4 (2 guaranteed + 2 borrowed); the victim must still get a
+	// slot as soon as one frees, even though the hog has more queued.
+	g := NewGate(4)
+	g.Register("hog")
+	g.Register("victim")
+
+	for i := 0; i < 4; i++ {
+		g.Acquire("hog")
+	}
+	// Queue more hog demand plus one victim request.
+	hogGot := make(chan struct{}, 8)
+	for i := 0; i < 4; i++ {
+		go func() {
+			g.Acquire("hog")
+			hogGot <- struct{}{}
+		}()
+	}
+	victimGot := make(chan struct{})
+	go func() {
+		g.Acquire("victim")
+		close(victimGot)
+	}()
+
+	// Let everyone park, then free exactly one slot.
+	time.Sleep(20 * time.Millisecond)
+	g.Release("hog")
+
+	select {
+	case <-victimGot:
+	case <-time.After(2 * time.Second):
+		t.Fatal("victim starved: released slot went to the over-share hog")
+	}
+	select {
+	case <-hogGot:
+		t.Fatal("hog acquired past its share while the victim waited")
+	default:
+	}
+	if st := g.Stats("victim"); st.Grants != 1 || st.Waits != 1 {
+		t.Fatalf("victim stats %+v, want 1 grant after 1 wait", st)
+	}
+
+	// Drain: victim done, then hog's queued demand proceeds.
+	g.Release("victim")
+	for i := 0; i < 4; i++ {
+		<-hogGot
+		g.Release("hog")
+	}
+	for i := 0; i < 3; i++ {
+		g.Release("hog")
+	}
+}
+
+func TestGateBorrowsIdleCapacity(t *testing.T) {
+	// Two registered users but only one active: it may exceed its
+	// minimum share (2 of 4) and use the whole gate.
+	g := NewGate(4)
+	g.Register("busy")
+	g.Register("idle")
+	done := make(chan struct{}, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			g.Acquire("busy")
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("work conservation failed: idle capacity not borrowed")
+		}
+	}
+	st := g.Stats("busy")
+	if st.Borrows == 0 {
+		t.Fatalf("stats %+v: expected borrowed slots beyond the share of 2", st)
+	}
+	for i := 0; i < 4; i++ {
+		g.Release("busy")
+	}
+}
+
+func TestGateUnknownUserBorrows(t *testing.T) {
+	g := NewGate(2)
+	g.Acquire("anon") // no registration: pure borrower, still bounded
+	g.Acquire("anon")
+	done := make(chan struct{})
+	go func() {
+		g.Acquire("anon")
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("gate exceeded capacity for anonymous users")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Release("anon")
+	<-done
+	g.Release("anon")
+	g.Release("anon")
+}
+
+func TestGateUnregisterGrowsShares(t *testing.T) {
+	g := NewGate(4)
+	g.Register("a")
+	g.Register("b")
+	g.Unregister("b")
+	if got := g.minShare(); got != 4 {
+		t.Fatalf("share after unregister = %d, want full capacity 4", got)
+	}
+}
+
+func (g *Gate) minShare() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.minShareLocked()
+}

@@ -143,6 +143,17 @@ func encode(h *Header, data []byte, hdrAlign, totalAlign int) ([]byte, error) {
 	total := hs + len(data)
 	total = (total + totalAlign - 1) / totalAlign * totalAlign
 	buf := make([]byte, total)
+	putHeader(buf, h, hs)
+	copy(buf[hs:], data)
+	crc := crc32.Update(0, castagnoli, buf[:hs])
+	crc = crc32.Update(crc, castagnoli, data)
+	binary.LittleEndian.PutUint32(buf[crcOffset:], crc)
+	return buf, nil
+}
+
+// putHeader writes h's fields into buf[:hs] with the CRC field zero;
+// buf[:hs] must already be zeroed (freshly allocated or cleared).
+func putHeader(buf []byte, h *Header, hs int) {
 	le := binary.LittleEndian
 	le.PutUint32(buf[0:], Magic)
 	le.PutUint32(buf[4:], uint32(h.Type))
@@ -158,11 +169,52 @@ func encode(h *Header, data []byte, hdrAlign, totalAlign int) ([]byte, error) {
 		le.PutUint64(buf[off+12:], e.SrcSeq)
 		off += entrySize
 	}
-	copy(buf[hs:], data)
-	crc := crc32.Update(0, castagnoli, buf[:hs])
-	crc = crc32.Update(crc, castagnoli, data)
-	le.PutUint32(buf[crcOffset:], crc)
+}
+
+// EncodeHeader serializes only the record header, padded to hdrAlign,
+// with the CRC computed as if the data slices followed the header
+// contiguously. The result decodes identically to Encode's header, but
+// the payload is never copied: callers issue one vectored device write
+// of [header, data...] instead of materializing the full record.
+func EncodeHeader(h *Header, hdrAlign int, data ...[]byte) ([]byte, error) {
+	var n uint64
+	for _, d := range data {
+		n += uint64(len(d))
+	}
+	if n != h.DataLen {
+		return nil, fmt.Errorf("journal: header DataLen %d != data %d", h.DataLen, n)
+	}
+	hs := HeaderSize(len(h.Extents))
+	hs = (hs + hdrAlign - 1) / hdrAlign * hdrAlign
+	buf := make([]byte, hs)
+	putHeader(buf, h, hs)
+	crc := crc32.Update(0, castagnoli, buf)
+	for _, d := range data {
+		crc = crc32.Update(crc, castagnoli, d)
+	}
+	binary.LittleEndian.PutUint32(buf[crcOffset:], crc)
 	return buf, nil
+}
+
+// EncodeInto stamps h's header over the front of buf, whose data
+// payload must already be in place at buf[hdrLen:hdrLen+h.DataLen]
+// with hdrLen the hdrAlign-padded header size. It returns hdrLen.
+// This builds a record in a single caller-owned allocation — the
+// backend object path uses it to gather extents directly into the
+// final object image instead of copying data twice.
+func EncodeInto(h *Header, buf []byte, hdrAlign int) (int, error) {
+	hs := HeaderSize(len(h.Extents))
+	hs = (hs + hdrAlign - 1) / hdrAlign * hdrAlign
+	if uint64(len(buf)) < uint64(hs)+h.DataLen {
+		return 0, fmt.Errorf("journal: buffer of %d bytes too small for header %d + data %d", len(buf), hs, h.DataLen)
+	}
+	dl := int(h.DataLen) // safe: bounds-checked against len(buf) above
+	clear(buf[:hs])
+	putHeader(buf, h, hs)
+	crc := crc32.Update(0, castagnoli, buf[:hs])
+	crc = crc32.Update(crc, castagnoli, buf[hs:hs+dl])
+	binary.LittleEndian.PutUint32(buf[crcOffset:], crc)
+	return hs, nil
 }
 
 // DecodeHeader parses a header from the front of buf without verifying

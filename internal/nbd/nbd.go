@@ -12,6 +12,7 @@
 package nbd
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -375,38 +376,46 @@ func (s *Server) transmission(conn net.Conn, disk vdisk.Disk) error {
 	return err
 }
 
+// requestHdrLen is the wire size of a transmission request header:
+// magic u32, flags u16, type u16, handle u64, offset u64, length u32.
+const requestHdrLen = 28
+
 // readRequests parses the request stream, feeding workers until DISC,
-// EOF or a protocol error.
+// EOF or a protocol error. The stream is read through one buffered
+// reader with the fixed header decoded by hand, so a request header
+// and its write payload are typically absorbed by a single socket read
+// and no per-request reflection (binary.Read) or header allocation
+// happens on the hot path.
 func (s *Server) readRequests(conn net.Conn, reqs chan<- ioRequest) error {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var hdr [requestHdrLen]byte
 	for {
-		var req struct {
-			Magic  uint32
-			Flags  uint16
-			Type   uint16
-			Handle uint64
-			Offset uint64
-			Length uint32
-		}
-		if err := binary.Read(conn, binary.BigEndian, &req); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return err
 		}
-		if req.Magic != requestMagic {
-			return fmt.Errorf("nbd: bad request magic %#x", req.Magic)
+		be := binary.BigEndian
+		if magic := be.Uint32(hdr[0:]); magic != requestMagic {
+			return fmt.Errorf("nbd: bad request magic %#x", magic)
 		}
-		if req.Length > maxRequestLen {
-			return fmt.Errorf("nbd: request of %d bytes too large", req.Length)
+		r := ioRequest{
+			typ:    be.Uint16(hdr[6:]), // hdr[4:6] is command flags (none supported)
+			handle: be.Uint64(hdr[8:]),
+			offset: be.Uint64(hdr[16:]),
+			length: be.Uint32(hdr[24:]),
 		}
-		r := ioRequest{typ: req.Type, handle: req.Handle, offset: req.Offset, length: req.Length}
-		if req.Type == cmdWrite {
-			r.data = make([]byte, req.Length)
-			if _, err := io.ReadFull(conn, r.data); err != nil {
+		if r.length > maxRequestLen {
+			return fmt.Errorf("nbd: request of %d bytes too large", r.length)
+		}
+		if r.typ == cmdWrite {
+			r.data = make([]byte, r.length)
+			if _, err := io.ReadFull(br, r.data); err != nil {
 				return err
 			}
 		}
-		if req.Type == cmdDisc {
+		if r.typ == cmdDisc {
 			return nil
 		}
 		reqs <- r
@@ -455,21 +464,21 @@ func (c *connState) serve(req ioRequest) {
 
 // reply writes a simple reply header plus optional read payload as one
 // critical section, so concurrent workers cannot interleave a header
-// into another reply's data.
+// into another reply's data. Header and payload go out as one vectored
+// write (net.Buffers → writev on TCP), so the payload is neither
+// copied into a combined buffer nor sent as a separate small segment.
 func (c *connState) reply(handle uint64, errno uint32, data []byte) {
-	var buf [16]byte
-	binary.BigEndian.PutUint32(buf[0:], simpleReplyMagic)
-	binary.BigEndian.PutUint32(buf[4:], errno)
-	binary.BigEndian.PutUint64(buf[8:], handle)
+	var hdr [16]byte
+	binary.BigEndian.PutUint32(hdr[0:], simpleReplyMagic)
+	binary.BigEndian.PutUint32(hdr[4:], errno)
+	binary.BigEndian.PutUint64(hdr[8:], handle)
+	bufs := net.Buffers{hdr[:]}
+	if len(data) > 0 {
+		bufs = append(bufs, data)
+	}
 	c.replyMu.Lock()
 	defer c.replyMu.Unlock()
-	if _, err := c.conn.Write(buf[:]); err != nil {
+	if _, err := bufs.WriteTo(c.conn); err != nil {
 		c.fail(err)
-		return
-	}
-	if len(data) > 0 {
-		if _, err := c.conn.Write(data); err != nil {
-			c.fail(err)
-		}
 	}
 }

@@ -241,6 +241,27 @@ func (s *Faulty) Put(ctx context.Context, name string, data []byte) error {
 	return s.Inner.Put(ctx, name, data)
 }
 
+// PutV implements VectorPutter. Fault decisions (including torn PUTs)
+// see the concatenated image, exactly as Put would.
+func (s *Faulty) PutV(ctx context.Context, name string, bufs [][]byte) error {
+	total := VecLen(bufs)
+	delay, fail, tear := s.decide(opPut, name, int(total))
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		if tear >= 0 {
+			if _, err := s.Inner.Size(ctx, name); errors.Is(err, ErrNotFound) {
+				if s.Inner.Put(ctx, name, VecJoin(bufs)[:tear]) == nil {
+					s.torn.Add(1)
+				}
+			}
+		}
+		return fmt.Errorf("%w: put %q", ErrInjected, name)
+	}
+	return PutVec(ctx, s.Inner, name, bufs)
+}
+
 // Get implements Store.
 func (s *Faulty) Get(ctx context.Context, name string) ([]byte, error) {
 	delay, fail, _ := s.decide(opGet, name, 0)

@@ -52,6 +52,44 @@ type Store interface {
 	Size(ctx context.Context, name string) (int64, error)
 }
 
+// VectorPutter is an optional Store extension: PutV stores the
+// concatenation of bufs under name without requiring the caller to
+// assemble a contiguous image first. The write path builds objects as
+// a header plus references into payload staging buffers; a store that
+// implements PutV saves one full copy of every object. All wrappers in
+// this package forward it, so the zero-copy path survives Prefixed,
+// Retrier, Metered and Faulty stacking.
+type VectorPutter interface {
+	PutV(ctx context.Context, name string, bufs [][]byte) error
+}
+
+// PutVec stores the concatenation of bufs, via PutV when the store
+// supports it and a contiguous copy otherwise.
+func PutVec(ctx context.Context, s Store, name string, bufs [][]byte) error {
+	if vp, ok := s.(VectorPutter); ok {
+		return vp.PutV(ctx, name, bufs)
+	}
+	return s.Put(ctx, name, VecJoin(bufs))
+}
+
+// VecLen sums the lengths of bufs.
+func VecLen(bufs [][]byte) int64 {
+	var n int64
+	for _, b := range bufs {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// VecJoin concatenates bufs into one buffer.
+func VecJoin(bufs [][]byte) []byte {
+	out := make([]byte, 0, VecLen(bufs))
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}
+
 // slimPrefix is the minimum head kept verbatim by the slim memory
 // store; everything up to the last non-zero byte is kept regardless,
 // which always covers object headers.
@@ -97,6 +135,45 @@ func (s *Mem) Put(_ context.Context, name string, data []byte) error {
 	}
 	obj.data = make([]byte, keep)
 	copy(obj.data, data[:keep])
+	s.mu.Lock()
+	s.objects[name] = obj
+	s.mu.Unlock()
+	return nil
+}
+
+// PutV implements VectorPutter: one copy, straight from the caller's
+// pieces into the retained buffer (honoring slim-mode tail elision).
+func (s *Mem) PutV(_ context.Context, name string, bufs [][]byte) error {
+	size := VecLen(bufs)
+	keep := size
+	if s.Slim {
+		keep = 0
+		pos := size
+		for i := len(bufs) - 1; i >= 0; i-- {
+			pos -= int64(len(bufs[i]))
+			if nz := lastNonZero(bufs[i]); nz >= 0 {
+				keep = pos + int64(nz) + 1
+				break
+			}
+		}
+		if keep < slimPrefix {
+			keep = slimPrefix
+		}
+		if keep > size {
+			keep = size
+		}
+	}
+	obj := memObject{size: size, data: make([]byte, 0, keep)}
+	for _, b := range bufs {
+		room := keep - int64(len(obj.data))
+		if room <= 0 {
+			break
+		}
+		if int64(len(b)) > room {
+			b = b[:room]
+		}
+		obj.data = append(obj.data, b...)
+	}
 	s.mu.Lock()
 	s.objects[name] = obj
 	s.mu.Unlock()

@@ -75,6 +75,15 @@ func (s *Prefixed) Put(ctx context.Context, name string, data []byte) error {
 	return s.inner.Put(ctx, full, data)
 }
 
+// PutV implements VectorPutter.
+func (s *Prefixed) PutV(ctx context.Context, name string, bufs [][]byte) error {
+	full, err := s.join(name)
+	if err != nil {
+		return err
+	}
+	return PutVec(ctx, s.inner, full, bufs)
+}
+
 // Get implements Store.
 func (s *Prefixed) Get(ctx context.Context, name string) ([]byte, error) {
 	full, err := s.join(name)

@@ -145,6 +145,11 @@ func (s *Retrier) do(ctx context.Context, op func() error) error {
 	}
 }
 
+// PutV implements VectorPutter.
+func (s *Retrier) PutV(ctx context.Context, name string, bufs [][]byte) error {
+	return s.do(ctx, func() error { return PutVec(ctx, s.Inner, name, bufs) })
+}
+
 // Put implements Store.
 func (s *Retrier) Put(ctx context.Context, name string, data []byte) error {
 	return s.do(ctx, func() error { return s.Inner.Put(ctx, name, data) })

@@ -45,6 +45,13 @@ func (s *Metered) Put(ctx context.Context, name string, data []byte) error {
 	return s.Inner.Put(ctx, name, data)
 }
 
+// PutV implements VectorPutter.
+func (s *Metered) PutV(ctx context.Context, name string, bufs [][]byte) error {
+	s.puts.Add(1)
+	s.bytesPut.Add(uint64(VecLen(bufs)))
+	return PutVec(ctx, s.Inner, name, bufs)
+}
+
 // Get implements Store.
 func (s *Metered) Get(ctx context.Context, name string) ([]byte, error) {
 	s.gets.Add(1)

@@ -19,13 +19,24 @@
 // and only after the core marks them destaged to the backend; the map
 // is periodically checkpointed to a reserved SSD region to bound
 // replay time (§3.3).
+//
+// Appends use a reserve/commit group-commit protocol (DESIGN.md §5f):
+// Reserve claims ring space and a sequence number under a short
+// metadata-only lock; Commit frames the record off-lock and hands it
+// to a group-commit leader, which lands many queued records with one
+// vectored device write per contiguous span. A write is acknowledged
+// (Commit returns) only after its device write completed and its map
+// update was applied in sequence order, so Flush stays a single device
+// flush with no extra fencing.
 package writecache
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"lsvd/internal/block"
 	"lsvd/internal/extmap"
@@ -34,8 +45,8 @@ import (
 	"lsvd/internal/simdev"
 )
 
-// ErrFull is returned by Append when the log cannot admit the record
-// because the head of the ring has not yet been destaged to the
+// ErrFull is returned by Reserve/Append when the log cannot admit the
+// record because the head of the ring has not yet been destaged to the
 // backend; the caller must destage and mark progress, then retry.
 var ErrFull = errors.New("writecache: log full of un-destaged records")
 
@@ -54,6 +65,18 @@ type Config struct {
 	// appended records. Default 8192. Zero disables automatic
 	// checkpoints (explicit Checkpoint calls still work).
 	CheckpointEvery int
+
+	// GroupMaxRecords caps how many queued records one group-commit
+	// device write absorbs. Default 128.
+	GroupMaxRecords int
+	// GroupMaxBytes caps the byte size of one group-commit batch.
+	// Default 8 MiB.
+	GroupMaxBytes int64
+	// GroupStall is how long the group-commit leader lingers after
+	// draining its queue, waiting for more writers to batch with,
+	// before giving up leadership. Zero (the default) never stalls:
+	// batching comes only from natural concurrency.
+	GroupStall time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -63,7 +86,22 @@ func (c *Config) setDefaults() {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 8192
 	}
+	if c.GroupMaxRecords == 0 {
+		c.GroupMaxRecords = 128
+	}
+	if c.GroupMaxBytes == 0 {
+		c.GroupMaxBytes = 8 * block.MiB
+	}
 }
+
+type recState uint8
+
+const (
+	// recWritten: device write complete and map update applied.
+	recWritten recState = iota
+	// recReserved: ring space claimed, group device write pending.
+	recReserved
+)
 
 // record is the in-memory ring index entry for one live log record.
 type record struct {
@@ -73,9 +111,15 @@ type record struct {
 	writeSeq uint64
 	typ      journal.Type
 	ext      block.Extent // data extent (zero for pads)
+	state    recState
 }
 
 func (r *record) dataOff() int64 { return r.off + int64(journal.AlignedHeaderSize(1)) }
+
+// BatchHistBuckets is the number of group-commit batch-size histogram
+// buckets: batch sizes 1, 2, 3-4, 5-8, ... in powers of two, with the
+// last bucket collecting everything larger.
+const BatchHistBuckets = 9
 
 // Stats reports cache occupancy and activity.
 type Stats struct {
@@ -90,12 +134,55 @@ type Stats struct {
 	MaxWriteSeq   uint64 // newest client write in the log
 	DestagedSeq   uint64 // newest client write known durable remotely
 	RecoveredRecs int    // records replayed at open
+
+	// Group-commit activity.
+	GroupBatches  uint64                   // group device-write rounds
+	GroupRecords  uint64                   // records landed by those rounds
+	DevWrites     uint64                   // vectored span writes issued
+	ReserveWaits  uint64                   // Reserve blocked on an in-flight group write
+	BatchSizeHist [BatchHistBuckets]uint64 // batch-size distribution (1,2,≤4,≤8,…)
 }
 
+// batchHistBucket maps a batch size to its histogram bucket.
+func batchHistBucket(n int) int {
+	b := 0
+	for n > 1 && b < BatchHistBuckets-1 {
+		n = (n + 1) / 2
+		b++
+	}
+	return b
+}
+
+// pendingRec is one committed-but-unwritten record queued for the
+// group-commit leader: the framed header, the caller's payload, and
+// the completion signal closed once the record is written and mapped.
+type pendingRec struct {
+	rec  *record
+	hdr  []byte
+	data []byte
+	pad  int64
+	done chan struct{}
+	err  error
+}
+
+// Reservation is a claim on ring space returned by Reserve; exactly
+// one Commit must follow every successful Reserve.
+type Reservation struct {
+	rec     *record
+	dataLen int
+}
+
+// zeroPad backs the trailing-padding slices of vectored record writes;
+// records are 4 KiB-padded, so a record's tail pad is < 4 KiB.
+var zeroPad [block.BlockSize]byte
+
 // Cache is a log-structured write-back cache on a block device.
-// Mutations take the write lock; lookups and data reads share the read
-// lock, so concurrent readers never block each other and an eviction
-// can never reuse log space out from under an in-progress read.
+// Metadata mutations take the write lock; lookups and data reads share
+// the read lock, so concurrent readers never block each other and an
+// eviction can never reuse log space out from under an in-progress
+// read. Group-commit device writes run outside the lock entirely:
+// they touch only reserved (unmapped, unevictable) ring space, which
+// no reader can reach.
 type Cache struct {
 	mu  sync.RWMutex //lsvd:lock wcache.mu
 	dev simdev.Device
@@ -110,10 +197,31 @@ type Cache struct {
 	superGen         uint64
 	ckptSlot         int // which slot the next checkpoint uses (0/1)
 
-	ring []record // FIFO of live records, oldest first
+	ring []*record // FIFO of live records, oldest first
 	m    *extmap.Map
 
+	// Group-commit state. gmu guards only the commit queue, leadership
+	// flag and in-flight commit count, and is never held together with
+	// mu.
+	gmu        sync.Mutex //lsvd:lock wcache.gmu
+	commitq    []*pendingRec
+	leaderBusy bool
+	committing int        // Commit calls between enqueue and ack
+	qcond      *sync.Cond // broadcast when committing drops to zero
+
+	// mapSeq is the next record sequence whose map update may be
+	// applied; pendingMap holds device-written records (nil for pads,
+	// which are written inline at reserve time) awaiting their turn so
+	// that map updates — and therefore acks — happen in reserve order.
+	mapSeq      uint64
+	pendingMap  map[uint64]*pendingRec
+	writtenCond *sync.Cond // broadcast when records transition to written
+	ioErr       error      // sticky group device-write failure
+
 	appends, evictions, checkpoints uint64
+	groupBatches, groupRecords      uint64
+	devWrites, reserveWaits         uint64
+	batchHist                       [BatchHistBuckets]uint64
 	sinceCkpt                       int
 	recovered                       int
 }
@@ -122,12 +230,14 @@ type Cache struct {
 func Format(dev simdev.Device, cfg Config) (*Cache, error) {
 	cfg.setDefaults()
 	c := &Cache{dev: dev, cfg: cfg, m: extmap.New(), nextSeq: 1}
+	c.init()
 	c.logStart = ckptStart + cfg.CheckpointBytes
 	c.logEnd = dev.Size() &^ (block.BlockSize - 1)
 	if c.logEnd-c.logStart < 4*block.MiB {
 		return nil, fmt.Errorf("writecache: device of %d bytes too small (log area %d)", dev.Size(), c.logEnd-c.logStart)
 	}
 	c.head, c.tail = c.logStart, c.logStart
+	c.mapSeq = c.nextSeq
 	if err := c.checkpointLocked(); err != nil {
 		return nil, err
 	}
@@ -140,6 +250,7 @@ func Format(dev simdev.Device, cfg Config) (*Cache, error) {
 func Open(dev simdev.Device, cfg Config) (*Cache, error) {
 	cfg.setDefaults()
 	c := &Cache{dev: dev, cfg: cfg, m: extmap.New()}
+	c.init()
 	c.logStart = ckptStart + cfg.CheckpointBytes
 	c.logEnd = dev.Size() &^ (block.BlockSize - 1)
 	if err := c.loadCheckpoint(); err != nil {
@@ -148,7 +259,14 @@ func Open(dev simdev.Device, cfg Config) (*Cache, error) {
 	if err := c.replay(); err != nil {
 		return nil, err
 	}
+	c.mapSeq = c.nextSeq
 	return c, nil
+}
+
+func (c *Cache) init() {
+	c.pendingMap = make(map[uint64]*pendingRec)
+	c.writtenCond = sync.NewCond(&c.mu)
+	c.qcond = sync.NewCond(&c.gmu)
 }
 
 // superblock payload: generation, checkpoint slot, checkpoint length.
@@ -204,27 +322,31 @@ func (c *Cache) readSuper() (gen uint64, slot uint32, ckptLen int64, err error) 
 	return best, slot, ckptLen, nil
 }
 
-// checkpoint payload layout.
-func (c *Cache) encodeCheckpoint() ([]byte, error) {
+// checkpoint payload layout. The checkpoint covers only the written
+// prefix of the ring — records whose group device write has completed
+// and whose map update has been applied. Reserved-but-unwritten
+// records are cut off at a truncated tail/nextSeq; if their device
+// writes land before a crash, the replay scan recovers them.
+func (c *Cache) encodeCheckpoint(ring []*record, tail int64, nextSeq uint64) ([]byte, error) {
 	mapBytes, err := c.m.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
 	// head, tail, nextSeq, maxWriteSeq, destagedSeq, nRing, mapLen
-	buf := make([]byte, 0, 7*8+len(c.ring)*44+len(mapBytes))
+	buf := make([]byte, 0, 7*8+len(ring)*44+len(mapBytes))
 	var scratch [8]byte
 	put64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(scratch[:], v)
 		buf = append(buf, scratch[:]...)
 	}
 	put64(uint64(c.head))
-	put64(uint64(c.tail))
-	put64(c.nextSeq)
+	put64(uint64(tail))
+	put64(nextSeq)
 	put64(c.maxWriteSeq)
 	put64(c.destagedSeq)
-	put64(uint64(len(c.ring)))
+	put64(uint64(len(ring)))
 	put64(uint64(len(mapBytes)))
-	for _, r := range c.ring {
+	for _, r := range ring {
 		put64(uint64(r.off))
 		put64(uint64(r.size))
 		put64(r.seq)
@@ -262,11 +384,11 @@ func (c *Cache) decodeCheckpoint(data []byte) error {
 	if len(data) < off+nRing*ringEntry+mapLen {
 		return fmt.Errorf("writecache: checkpoint truncated")
 	}
-	c.ring = make([]record, 0, nRing)
+	c.ring = make([]*record, 0, nRing)
 	c.used = 0
 	for i := 0; i < nRing; i++ {
 		p := data[off:]
-		r := record{
+		r := &record{
 			off:      int64(binary.LittleEndian.Uint64(p)),
 			size:     int64(binary.LittleEndian.Uint64(p[8:])),
 			seq:      binary.LittleEndian.Uint64(p[16:]),
@@ -298,7 +420,17 @@ func (c *Cache) Checkpoint() error {
 }
 
 func (c *Cache) checkpointLocked() error {
-	payload, err := c.encodeCheckpoint()
+	// Snapshot the written prefix: the map holds exactly the updates of
+	// records with seq < mapSeq, and the ring is in seq order, so the
+	// prefix boundary is the first non-written entry.
+	ring, tail, nextSeq := c.ring, c.tail, c.nextSeq
+	for i, r := range c.ring {
+		if r.state != recWritten {
+			ring, tail, nextSeq = c.ring[:i], r.off, r.seq
+			break
+		}
+	}
+	payload, err := c.encodeCheckpoint(ring, tail, nextSeq)
 	if err != nil {
 		return err
 	}
@@ -401,7 +533,7 @@ func (c *Cache) replay() error {
 }
 
 func (c *Cache) applyRecord(h *journal.Header, off, size int64) {
-	r := record{off: off, size: size, seq: h.Seq, writeSeq: h.WriteSeq, typ: h.Type}
+	r := &record{off: off, size: size, seq: h.Seq, writeSeq: h.WriteSeq, typ: h.Type}
 	if len(h.Extents) > 0 {
 		r.ext = block.Extent{LBA: h.Extents[0].LBA, Sectors: h.Extents[0].Sectors}
 	}
@@ -433,32 +565,52 @@ func (c *Cache) freeAt(tail int64) int64 {
 	return c.head - tail
 }
 
-// Append persists one client write to the log. writeSeq is the global
-// client write sequence number assigned by the core; ErrFull means the
-// ring has no reclaimable space and the caller must destage first.
+// Append persists one client write to the log, blocking until it is
+// written and indexed: a Reserve/Commit pair for callers without
+// concurrency of their own.
 func (c *Cache) Append(writeSeq uint64, ext block.Extent, data []byte) error {
-	if int64(len(data)) != ext.Bytes() {
-		return fmt.Errorf("writecache: extent %v does not match %d data bytes", ext, len(data))
+	res, err := c.Reserve(writeSeq, journal.TypeData, ext, len(data))
+	if err != nil {
+		return err
 	}
-	return c.append(writeSeq, journal.TypeData, ext, data)
+	return c.Commit(res, data)
 }
 
 // AppendTrim logs a discard of ext.
 func (c *Cache) AppendTrim(writeSeq uint64, ext block.Extent) error {
-	return c.append(writeSeq, journal.TypeTrim, ext, nil)
+	res, err := c.Reserve(writeSeq, journal.TypeTrim, ext, 0)
+	if err != nil {
+		return err
+	}
+	return c.Commit(res, nil)
 }
 
-func (c *Cache) append(writeSeq uint64, typ journal.Type, ext block.Extent, data []byte) error {
+// Reserve claims log space and a sequence number for one client write
+// under a short metadata-only critical section; the payload I/O
+// happens in Commit, off this lock. Reservation order defines the
+// record sequence order, and acknowledgment (Commit return) follows
+// that order, so callers that reserve under their own pipeline lock
+// get ring order == their pipeline order. Every successful Reserve
+// must be followed by exactly one Commit. ErrFull means the ring has
+// no reclaimable space and the caller must destage first, then retry.
+func (c *Cache) Reserve(writeSeq uint64, typ journal.Type, ext block.Extent, dataLen int) (*Reservation, error) {
+	if typ == journal.TypeData && int64(dataLen) != ext.Bytes() {
+		return nil, fmt.Errorf("writecache: extent %v does not match %d data bytes", ext, dataLen)
+	}
 	c.mu.Lock()
 	invariant.LockOrder("wcache.mu")
 	defer c.mu.Unlock()
 	defer invariant.LockRelease("wcache.mu")
 
+	if c.ioErr != nil {
+		return nil, c.ioErr
+	}
+
 	hdrLen := int64(journal.AlignedHeaderSize(1))
-	need := hdrLen + int64(len(data))
+	need := hdrLen + int64(dataLen)
 	need = (need + block.BlockSize - 1) &^ (block.BlockSize - 1)
 	if need > c.logEnd-c.logStart-int64(block.BlockSize) {
-		return fmt.Errorf("writecache: record of %d bytes exceeds log of %d", need, c.logEnd-c.logStart)
+		return nil, fmt.Errorf("writecache: record of %d bytes exceeds log of %d", need, c.logEnd-c.logStart)
 	}
 
 	// Make room: wrap with a pad record when the front of the ring has
@@ -478,37 +630,30 @@ func (c *Cache) append(writeSeq uint64, typ journal.Type, ext block.Extent, data
 			}
 			if frontRoom >= need+2*guard {
 				if err := c.writePad(); err != nil {
-					return err
+					return nil, err
 				}
 				continue
 			}
 		}
-		if !c.evictOne() {
-			return ErrFull
+		if c.evictOne() {
+			continue
 		}
+		// The head is not reclaimable. If it is destaged but its group
+		// device write is still in flight, wait for the leader to land
+		// it; otherwise the caller must destage first.
+		if len(c.ring) > 0 && c.ring[0].state == recReserved &&
+			(c.ring[0].typ == journal.TypePad || c.ring[0].writeSeq <= c.destagedSeq) {
+			c.reserveWaits++
+			c.writtenCond.Wait()
+			if c.ioErr != nil {
+				return nil, c.ioErr
+			}
+			continue
+		}
+		return nil, ErrFull
 	}
 
-	h := &journal.Header{
-		Type:     typ,
-		Seq:      c.nextSeq,
-		WriteSeq: writeSeq,
-		Extents:  []journal.ExtentEntry{{LBA: ext.LBA, Sectors: ext.Sectors}},
-		DataLen:  uint64(len(data)),
-	}
-	rec, err := journal.Encode(h, data, true)
-	if err != nil {
-		return err
-	}
-	if err := c.dev.WriteAt(rec, c.tail); err != nil {
-		return err
-	}
-	r := record{off: c.tail, size: int64(len(rec)), seq: c.nextSeq, writeSeq: writeSeq, typ: typ, ext: ext}
-	switch typ {
-	case journal.TypeData:
-		c.m.Update(ext, extmap.Target{Off: block.LBAFromBytes(r.dataOff())})
-	case journal.TypeTrim:
-		c.m.Update(ext, extmap.Target{Off: trimTombstoneOff})
-	}
+	r := &record{off: c.tail, size: need, seq: c.nextSeq, writeSeq: writeSeq, typ: typ, ext: ext, state: recReserved}
 	c.ring = append(c.ring, r)
 	c.used += r.size
 	c.tail += r.size
@@ -516,23 +661,231 @@ func (c *Cache) append(writeSeq uint64, typ journal.Type, ext block.Extent, data
 		c.tail = c.logStart
 	}
 	invariant.Assert(c.used <= c.logEnd-c.logStart && c.tail >= c.logStart && c.tail < c.logEnd,
-		"writecache: ring accounting out of bounds after append")
+		"writecache: ring accounting out of bounds after reserve")
 	c.nextSeq++
-	if writeSeq > c.maxWriteSeq {
-		c.maxWriteSeq = writeSeq
-	}
 	c.appends++
 	c.sinceCkpt++
 	if c.cfg.CheckpointEvery > 0 && c.sinceCkpt >= c.cfg.CheckpointEvery {
-		return c.checkpointLocked()
+		if err := c.checkpointLocked(); err != nil {
+			return nil, err
+		}
 	}
-	return nil
+	return &Reservation{rec: r, dataLen: dataLen}, nil
+}
+
+// Commit frames the reserved record and queues it for the group-commit
+// leader; it returns once the record's device write has completed and
+// its map update has been applied (in reservation order), i.e. once
+// the write may be acknowledged. The caller's data buffer is written
+// directly to the device — it must stay untouched until Commit
+// returns, and the cache does not retain it afterwards.
+func (c *Cache) Commit(res *Reservation, data []byte) error {
+	if len(data) != res.dataLen {
+		return fmt.Errorf("writecache: commit of %d bytes does not match reservation of %d", len(data), res.dataLen)
+	}
+	r := res.rec
+	hdr, err := journal.EncodeHeader(&journal.Header{
+		Type:     r.typ,
+		Seq:      r.seq,
+		WriteSeq: r.writeSeq,
+		Extents:  []journal.ExtentEntry{{LBA: r.ext.LBA, Sectors: r.ext.Sectors}},
+		DataLen:  uint64(len(data)),
+	}, block.BlockSize, data)
+	if err != nil {
+		return err
+	}
+	pr := &pendingRec{
+		rec:  r,
+		hdr:  hdr,
+		data: data,
+		pad:  r.size - int64(len(hdr)) - int64(len(data)),
+		done: make(chan struct{}),
+	}
+
+	c.gmu.Lock()
+	invariant.LockOrder("wcache.gmu")
+	c.commitq = append(c.commitq, pr)
+	c.committing++
+	lead := !c.leaderBusy
+	if lead {
+		c.leaderBusy = true
+	}
+	invariant.LockRelease("wcache.gmu")
+	c.gmu.Unlock()
+
+	if lead {
+		c.runLeader()
+	}
+	<-pr.done
+
+	c.gmu.Lock()
+	c.committing--
+	if c.committing == 0 {
+		c.qcond.Broadcast()
+	}
+	c.gmu.Unlock()
+	return pr.err
+}
+
+// Quiesce blocks until no Commit is in flight — no group device write
+// can be running or about to run. Shutdown paths (Close, Kill) use it
+// so that once they return, nothing is still writing to the device:
+// a host may hand the volume's SSD section to a new tenant.
+func (c *Cache) Quiesce() {
+	c.gmu.Lock()
+	for c.committing > 0 {
+		c.qcond.Wait()
+	}
+	c.gmu.Unlock()
+}
+
+// runLeader drains the commit queue in batches, issuing one vectored
+// device write per contiguous ring span, then applying map updates and
+// acknowledgments in sequence order. Exactly one leader runs at a
+// time; followers just queue and wait, which is what turns N
+// concurrent appends into one device barrier (group commit).
+func (c *Cache) runLeader() {
+	stalled := false
+	c.gmu.Lock()
+	invariant.LockOrder("wcache.gmu")
+	for {
+		if len(c.commitq) == 0 {
+			if c.cfg.GroupStall > 0 && !stalled {
+				invariant.LockRelease("wcache.gmu")
+				c.gmu.Unlock()
+				time.Sleep(c.cfg.GroupStall)
+				stalled = true
+				c.gmu.Lock()
+				invariant.LockOrder("wcache.gmu")
+				continue
+			}
+			break
+		}
+		stalled = false
+		take, bytes := 0, int64(0)
+		for take < len(c.commitq) && take < c.cfg.GroupMaxRecords {
+			sz := c.commitq[take].rec.size
+			if take > 0 && bytes+sz > c.cfg.GroupMaxBytes {
+				break
+			}
+			bytes += sz
+			take++
+		}
+		batch := make([]*pendingRec, take)
+		copy(batch, c.commitq)
+		c.commitq = c.commitq[take:]
+		invariant.LockRelease("wcache.gmu")
+		c.gmu.Unlock()
+
+		c.writeGroup(batch)
+
+		c.gmu.Lock()
+		invariant.LockOrder("wcache.gmu")
+	}
+	c.leaderBusy = false
+	invariant.LockRelease("wcache.gmu")
+	c.gmu.Unlock()
+}
+
+// writeGroup lands one batch: records are sorted by ring offset and
+// merged into contiguous spans, each written with a single vectored
+// device write straight from the callers' buffers (header, payload,
+// zero pad — no staging copy). Then, under the metadata lock, map
+// updates are applied in sequence order and the records acknowledged.
+func (c *Cache) writeGroup(batch []*pendingRec) {
+	sort.Slice(batch, func(i, j int) bool { return batch[i].rec.off < batch[j].rec.off })
+	var werr error
+	spans := uint64(0)
+	for i := 0; i < len(batch) && werr == nil; {
+		spanOff := batch[i].rec.off
+		next := spanOff
+		var bufs [][]byte
+		for ; i < len(batch) && batch[i].rec.off == next; i++ {
+			pr := batch[i]
+			bufs = append(bufs, pr.hdr)
+			if len(pr.data) > 0 {
+				bufs = append(bufs, pr.data)
+			}
+			if pr.pad > 0 {
+				bufs = append(bufs, zeroPad[:pr.pad])
+			}
+			next += pr.rec.size
+		}
+		spans++
+		werr = simdev.WriteVec(c.dev, spanOff, bufs...)
+	}
+
+	c.mu.Lock()
+	invariant.LockOrder("wcache.mu")
+	if c.ioErr != nil {
+		werr = c.ioErr
+	}
+	if werr != nil {
+		// A hole in the log chain is unrecoverable for everything
+		// behind it: poison the cache and fail every waiter.
+		c.ioErr = werr
+		for _, pr := range batch {
+			pr.err = werr
+			close(pr.done)
+		}
+		for seq, pr := range c.pendingMap {
+			delete(c.pendingMap, seq)
+			if pr != nil {
+				pr.err = werr
+				close(pr.done)
+			}
+		}
+	} else {
+		for _, pr := range batch {
+			c.pendingMap[pr.rec.seq] = pr
+		}
+		c.drainMapChainLocked()
+		c.groupBatches++
+		c.groupRecords += uint64(len(batch))
+		c.devWrites += spans
+		c.batchHist[batchHistBucket(len(batch))]++
+	}
+	c.writtenCond.Broadcast()
+	invariant.LockRelease("wcache.mu")
+	c.mu.Unlock()
+}
+
+// drainMapChainLocked applies map updates for device-written records
+// in strict sequence order, acknowledging each as it lands. In-order
+// application keeps the cache map and the (FIFO-destaged) backend
+// agreeing on the winner of overlapping writes, and defers every ack
+// behind its predecessors so an acknowledged write is always readable.
+func (c *Cache) drainMapChainLocked() {
+	for {
+		pr, ok := c.pendingMap[c.mapSeq]
+		if !ok {
+			return
+		}
+		delete(c.pendingMap, c.mapSeq)
+		c.mapSeq++
+		if pr == nil {
+			continue // pad: no map entry, no waiter
+		}
+		r := pr.rec
+		switch r.typ {
+		case journal.TypeData:
+			c.m.Update(r.ext, extmap.Target{Off: block.LBAFromBytes(r.dataOff())})
+		case journal.TypeTrim:
+			c.m.Update(r.ext, extmap.Target{Off: trimTombstoneOff})
+		}
+		r.state = recWritten
+		if r.writeSeq > c.maxWriteSeq {
+			c.maxWriteSeq = r.writeSeq
+		}
+		close(pr.done)
+	}
 }
 
 // writePad claims the space from tail to the end of the log with a pad
 // record so the next record starts at logStart. Only the 4 KiB header
 // is written; the skipped length rides in the header's extent entry, so
-// no zero payload is materialized.
+// no zero payload is materialized. Pads are written inline under the
+// metadata lock — they are rare and keep the ring geometry simple.
 func (c *Cache) writePad() error {
 	padLen := c.logEnd - c.tail
 	h := &journal.Header{
@@ -547,20 +900,32 @@ func (c *Cache) writePad() error {
 	if err := c.dev.WriteAt(rec, c.tail); err != nil {
 		return err
 	}
-	c.ring = append(c.ring, record{off: c.tail, size: padLen, seq: c.nextSeq, typ: journal.TypePad})
+	c.ring = append(c.ring, &record{off: c.tail, size: padLen, seq: c.nextSeq, typ: journal.TypePad})
 	c.used += padLen
+	// Keep the in-order map chain moving past the pad's sequence slot.
+	if c.mapSeq == c.nextSeq {
+		c.mapSeq++
+		c.drainMapChainLocked()
+	} else {
+		c.pendingMap[c.nextSeq] = nil
+	}
 	c.nextSeq++
 	c.tail = c.logStart
 	return nil
 }
 
 // evictOne reclaims the oldest record if the backend has it; the map
-// entries still pointing at its data are dropped.
+// entries still pointing at its data are dropped. Records whose group
+// device write is still in flight are never reclaimed — the leader
+// would otherwise overwrite freshly reserved space.
 func (c *Cache) evictOne() bool {
 	if len(c.ring) == 0 {
 		return false
 	}
 	r := c.ring[0]
+	if r.state != recWritten {
+		return false
+	}
 	if (r.typ == journal.TypeData || r.typ == journal.TypeTrim) && r.writeSeq > c.destagedSeq {
 		return false
 	}
@@ -602,8 +967,9 @@ func (c *Cache) SetDestaged(writeSeq uint64) {
 
 // Flush is the commit barrier: one device flush makes every prior log
 // record durable (§3.2). No metadata writes are needed. The read lock
-// suffices: any append that has been acknowledged finished its device
-// write before releasing the write lock, so the flush covers it.
+// suffices: an append is only acknowledged (Commit returns) after its
+// group device write completed, so the flush covers every
+// acknowledged append.
 func (c *Cache) Flush() error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -644,7 +1010,9 @@ func (c *Cache) ReadAt(t extmap.Target, buf []byte) error {
 // matching positions of buf (len(buf) == ext.Bytes()), all under one
 // lock acquisition so a concurrent eviction cannot reuse the log space
 // mid-read. Absent runs are returned untouched for the caller's next
-// cache level.
+// cache level. The map only ever points at device-written records, so
+// a concurrent group-commit device write (which runs off-lock) can
+// never be observed here.
 func (c *Cache) ReadExtent(ext block.Extent, buf []byte) ([]extmap.Run, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -667,10 +1035,43 @@ func (c *Cache) ReadExtent(ext block.Extent, buf []byte) ([]extmap.Run, error) {
 
 // ReadFull fills buf with the cache's data for ext if the extent is
 // fully resident, holding the lock across the device reads. Used by
-// the destage/GC fetch path (§3.5) and the SSD readback mode (§3.7).
+// the SSD readback mode (§3.7), where the newest logged bytes are
+// exactly what the caller wants.
 func (c *Cache) ReadFull(ext block.Extent, buf []byte) bool {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	return c.readFullLocked(ext, buf)
+}
+
+// ReadFullDestaged is ReadFull restricted to destaged data: it fails
+// when any un-destaged record overlaps ext, so the bytes it returns
+// are exactly the extent's backend-committed version. The GC fetch
+// path (§3.5) needs that distinction — the newest cached bytes may
+// belong to an acknowledged write whose object has not committed yet,
+// and copying those into a GC object would publish data from the
+// future: after a crash, recovery installs the GC object and the
+// image is no longer a prefix of the acknowledged writes (§3.4).
+func (c *Cache) ReadFullDestaged(ext block.Extent, buf []byte) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	// The ring is writeSeq-ordered (records are reserved under the
+	// caller's write mutex), so the un-destaged records form a suffix.
+	for i := len(c.ring) - 1; i >= 0; i-- {
+		r := c.ring[i]
+		if r.typ != journal.TypeData && r.typ != journal.TypeTrim {
+			continue
+		}
+		if r.writeSeq <= c.destagedSeq {
+			break
+		}
+		if r.ext.Overlaps(ext) {
+			return false
+		}
+	}
+	return c.readFullLocked(ext, buf)
+}
+
+func (c *Cache) readFullLocked(ext block.Extent, buf []byte) bool {
 	runs := c.m.Lookup(ext)
 	for _, run := range runs {
 		// Tombstones count as not-resident: the destage/GC callers want
@@ -694,7 +1095,7 @@ func (c *Cache) ReadFull(ext block.Extent, buf []byte) bool {
 // the backend (§3.3 "rewind and replay").
 func (c *Cache) RecordsAfter(writeSeq uint64, fn func(writeSeq uint64, typ journal.Type, ext block.Extent, data []byte) error) error {
 	c.mu.RLock()
-	ring := make([]record, len(c.ring))
+	ring := make([]*record, len(c.ring))
 	copy(ring, c.ring)
 	c.mu.RUnlock()
 	for _, r := range ring {
@@ -737,11 +1138,16 @@ func (c *Cache) Stats() Stats {
 		Records: len(c.ring), MapExtents: c.m.Len(),
 		Appends: c.appends, Evictions: c.evictions, Checkpoints: c.checkpoints,
 		MaxWriteSeq: c.maxWriteSeq, DestagedSeq: c.destagedSeq, RecoveredRecs: c.recovered,
+		GroupBatches: c.groupBatches, GroupRecords: c.groupRecords,
+		DevWrites: c.devWrites, ReserveWaits: c.reserveWaits,
+		BatchSizeHist: c.batchHist,
 	}
 }
 
-// Close checkpoints and flushes the cache.
+// Close checkpoints and flushes the cache, after waiting out any
+// in-flight group commits.
 func (c *Cache) Close() error {
+	c.Quiesce()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.checkpointLocked(); err != nil {
