@@ -18,7 +18,7 @@ FUZZ_TARGETS := \
 	./internal/extmap,FuzzUnmarshalBinary
 FUZZTIME ?= 10s
 
-.PHONY: all build fmt vet test race bench bench-read bench-multivol bench-multivol-profile fault vet-lsvd check-invariant fuzz-smoke check clean
+.PHONY: all build fmt vet test race bench bench-read bench-multivol bench-multivol-profile bench-gc fault gc-torture vet-lsvd check-invariant fuzz-smoke check clean
 
 all: check
 
@@ -66,6 +66,22 @@ bench-read:
 bench-multivol:
 	LSVD_MULTIVOL_OUT=BENCH_multivol.json $(GO) test -count=1 -run TestMultiVolScaling -v .
 
+# Paced background GC benchmark (DESIGN.md §5g): sustained skewed
+# overwrites with the service on vs off, gating foreground p99 (≤1.5×
+# the GC-off baseline), measured write amplification (≤ the configured
+# target) and idle convergence back to the watermark, recording
+# BENCH_gc.json. Runs without the env var as a smoke check in `check`.
+bench-gc:
+	LSVD_GCBENCH_OUT=BENCH_gc.json $(GO) test -count=1 -run TestGCSustained -v .
+
+# GC-specific torture: the concurrent-writer fault workload with the
+# paced service deliberately kept hungry, asserting per-writer prefix
+# consistency plus exact utilization accounting across aborted passes
+# and crash recovery. Also runs under `race` and `check-invariant` via
+# RACE_PKGS; this target is the widened standalone sweep.
+gc-torture:
+	LSVD_FAULT_SEED=1 LSVD_FAULT_ITERS=24 $(GO) test -count=1 -run TestGCTorture ./internal/consistency
+
 # Opt-in lock-contention profiling of the scaling sweep (not part of
 # `make check`): reruns bench-multivol with mutex and block profiling
 # enabled, leaving pprof files plus the test binary in profiles/ for
@@ -103,8 +119,8 @@ fuzz-smoke:
 		$(GO) test $$pkg -fuzz="^$$fn$$" -fuzztime=$(FUZZTIME); \
 	done
 
-check: build fmt vet test race fault vet-lsvd check-invariant fuzz-smoke
-	$(GO) test -count=1 -run 'TestReadPathQDSweep|TestMultiVolScaling' .
+check: build fmt vet test race fault gc-torture vet-lsvd check-invariant fuzz-smoke
+	$(GO) test -count=1 -run 'TestReadPathQDSweep|TestMultiVolScaling|TestGCSustained' .
 
 clean:
 	$(GO) clean -testcache

@@ -197,13 +197,18 @@ func main() {
 			len(names), totalObjects,
 			totalLive*block.SectorSize/(1<<20), totalData*block.SectorSize/(1<<20),
 			ops.Gets+ops.GetRanges, ops.Puts)
-		wps, err := host.LoadWritePathStats(ctx, store)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if len(wps) > 0 {
+		// The stats snapshot is advisory observability: a bucket no host
+		// ever closed cleanly (or a snapshot from a different layout) is
+		// normal, so degrade to "n/a" — never to a fatal error.
+		snap, err := host.LoadStatsSnapshot(ctx, store)
+		switch {
+		case err != nil:
+			fmt.Printf("write path (last session): n/a (%v)\n", err)
+		case snap == nil || len(snap.Volumes) == 0:
+			fmt.Println("write path (last session): n/a (no host/stats snapshot)")
+		default:
 			fmt.Println("write path (last session):")
-			for _, v := range wps {
+			for _, v := range snap.Volumes {
 				var avg float64
 				if v.GroupBatches > 0 {
 					avg = float64(v.GroupRecords) / float64(v.GroupBatches)
@@ -213,6 +218,18 @@ func main() {
 				fmt.Printf("  %-12s reserve waits %d  ring kick/fence %d/%d  seal stalls %d  upload grant/borrow/wait %d/%d/%d\n",
 					"", v.ReserveWaits, v.RingKicks, v.RingFences, v.SealStalls,
 					v.UploadGrants, v.UploadBorrows, v.UploadWaits)
+				fmt.Printf("  %-12s runs coalesced %d\n", "", v.RunsCoalesced)
+			}
+			if snap.Version >= 2 {
+				fmt.Println("gc (last session):")
+				for _, v := range snap.Volumes {
+					fmt.Printf("  %-12s %4d runs  %4d victims  %6d MiB copied  waf %.2f measured / %.2f target  pace/backoff/yield %d/%d/%d\n",
+						v.Volume, v.GCRuns, v.GCVictims, v.GCCopiedBytes/(1<<20),
+						v.GCMeasuredWAF, v.GCWAFTarget,
+						v.GCPaceWaits, v.GCBackoffs, v.GCYields)
+				}
+			} else {
+				fmt.Println("gc (last session): n/a (snapshot from an older layout)")
 			}
 		}
 		if *cachePath != "" {

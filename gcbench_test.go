@@ -1,0 +1,209 @@
+package lsvd
+
+// Paced-GC bench (DESIGN.md §5g): a sustained overwrite workload on a
+// small working set generates garbage continuously, once with GC
+// disabled (the baseline) and once with the paced background service
+// on. The gates are the service's contract: foreground ack p99 stays
+// within 1.5x of the GC-off baseline, the measured write amplification
+// under load stays at the configured target, and once the writers
+// stop, the idle trickle converges utilization back to the low-water
+// mark. Runs as a quick smoke test under `make check`; `make bench-gc`
+// sets LSVD_GCBENCH_OUT to record BENCH_gc.json for the trajectory.
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+const (
+	gcBenchWAFTarget = 2.0
+	gcBenchLowWater  = 0.70
+	gcBenchHighWater = 0.75
+)
+
+type gcBenchRun struct {
+	GCOn          bool    `json:"gc_on"`
+	TotalMiB      int64   `json:"total_mib"`
+	MBPerSec      float64 `json:"mb_per_s"`
+	P50WriteUS    float64 `json:"p50_write_us"`
+	P99WriteUS    float64 `json:"p99_write_us"`
+	MeasuredWAF   float64 `json:"measured_waf"` // (appended+gc copies)/appended at drain
+	CopiedKiB     int64   `json:"gc_copied_kib"`
+	WAFTarget     float64 `json:"waf_target,omitempty"`
+	GCRuns        uint64  `json:"gc_runs,omitempty"`
+	GCVictims     uint64  `json:"gc_victims,omitempty"`
+	GCPaceWaits   uint64  `json:"gc_pace_waits,omitempty"`
+	GCYields      uint64  `json:"gc_yields,omitempty"`
+	UtilAtDrain   float64 `json:"util_at_drain"`
+	UtilConverged float64 `json:"util_converged,omitempty"`
+	ConvergeMS    float64 `json:"converge_ms,omitempty"`
+}
+
+type gcBenchReport struct {
+	Off      gcBenchRun `json:"off"`
+	On       gcBenchRun `json:"on"`
+	P99Ratio float64    `json:"p99_ratio"`
+}
+
+// runGCBench overwrites a randomly chosen 3/4 of a 4 MiB working set
+// each round (20 rounds, ~60 MiB total) against a 64 MiB volume. The
+// skew is the point: every sealed object keeps a decaying fraction of
+// live chunks, so collection must genuinely COPY survivors (a full
+// overwrite would leave victims fully dead and the pacing idle), while
+// utilization without GC still sinks far below the low-water mark.
+// Reports ack latency, throughput and the GC counters sampled right at
+// drain — before the idle trickle starts copying on its own clock.
+func runGCBench(t *testing.T, gcOn bool) gcBenchRun {
+	t.Helper()
+	const (
+		workingSet = 4 * MiB
+		chunk      = 64 * KiB
+		rounds     = 20
+	)
+	ctx := context.Background()
+	opts := VolumeOptions{
+		Name:  "gcbench",
+		Store: MemStore(), Cache: MemCacheDevice(64 * MiB),
+		Size:       64 * MiB,
+		BatchBytes: 256 * KiB,
+		GCLowWater: -1, // baseline: GC off
+	}
+	if gcOn {
+		opts.GCLowWater = gcBenchLowWater
+		opts.GCHighWater = gcBenchHighWater
+		opts.GCWAFTarget = gcBenchWAFTarget
+	}
+	d, err := Create(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	buf := make([]byte, chunk)
+	var written int64
+	var lats []time.Duration
+	start := time.Now()
+	for round := 0; round < rounds; round++ {
+		for off := int64(0); off < workingSet; off += chunk {
+			if round > 0 && rng.Intn(4) == 0 {
+				continue // the surviving quarter the GC will have to copy
+			}
+			buf[0], buf[1] = byte(round), byte(off>>16)
+			t0 := time.Now()
+			if err := d.WriteAt(buf, off); err != nil {
+				t.Fatal(err)
+			}
+			written += chunk
+			lats = append(lats, time.Since(t0))
+		}
+	}
+	if err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	bst := d.Backend().Stats()
+	run := gcBenchRun{
+		GCOn:        gcOn,
+		TotalMiB:    written / MiB,
+		MBPerSec:    float64(written) / elapsed.Seconds() / 1e6,
+		MeasuredWAF: 1,
+		CopiedKiB:   int64(bst.GCBytesCopied) / KiB,
+		UtilAtDrain: d.Backend().Utilization(),
+	}
+	if bst.BytesAppended > 0 {
+		run.MeasuredWAF = float64(bst.BytesAppended+bst.GCBytesCopied) / float64(bst.BytesAppended)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		return float64(lats[int(p*float64(len(lats)-1))]) / float64(time.Microsecond)
+	}
+	run.P50WriteUS, run.P99WriteUS = pct(0.50), pct(0.99)
+
+	if gcOn {
+		run.WAFTarget = gcBenchWAFTarget
+		run.GCRuns, run.GCVictims = bst.GCRuns, bst.GCVictims
+		run.GCPaceWaits, run.GCYields = bst.GCPaceWaits, bst.GCYields
+
+		// With the writers gone, the idle trickle must finish the job:
+		// utilization converges up to the low-water mark on its own.
+		conv := time.Now()
+		deadline := conv.Add(30 * time.Second)
+		for d.Backend().Utilization() < gcBenchLowWater {
+			if time.Now().After(deadline) {
+				t.Fatalf("GC never converged: util %.3f, stats %+v",
+					d.Backend().Utilization(), d.Backend().Stats())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		run.ConvergeMS = float64(time.Since(conv)) / float64(time.Millisecond)
+		run.UtilConverged = d.Backend().Utilization()
+		if err := d.Backend().AuditUtilization(); err != nil {
+			t.Fatalf("utilization drift after convergence: %v", err)
+		}
+	}
+	return run
+}
+
+// TestGCSustained is the acceptance gate for the paced GC service plus
+// the recorder behind `make bench-gc`.
+func TestGCSustained(t *testing.T) {
+	report := gcBenchReport{
+		Off: runGCBench(t, false),
+		On:  runGCBench(t, true),
+	}
+	logRun := func(r gcBenchRun) {
+		t.Logf("gc=%v: %d MiB at %.1f MB/s, p50 %.0fµs p99 %.0fµs, waf %.2f (%d KiB copied), util@drain %.3f runs=%d victims=%d paceWaits=%d yields=%d converge=%.0fms util=%.3f",
+			r.GCOn, r.TotalMiB, r.MBPerSec, r.P50WriteUS, r.P99WriteUS, r.MeasuredWAF,
+			r.CopiedKiB, r.UtilAtDrain, r.GCRuns, r.GCVictims, r.GCPaceWaits, r.GCYields,
+			r.ConvergeMS, r.UtilConverged)
+	}
+	logRun(report.Off)
+	logRun(report.On)
+
+	if report.On.GCRuns == 0 || report.On.GCVictims == 0 {
+		t.Fatalf("the service never collected under load: %+v", report.On)
+	}
+	if report.On.CopiedKiB == 0 && report.On.UtilConverged > 0 {
+		t.Errorf("the workload exercised no GC copying — victims were all fully dead: %+v", report.On)
+	}
+	// The WAF gate has headroom for the idle trickle's self-grants: a
+	// writer stall longer than the trickle interval banks one batch of
+	// copy budget beyond the foreground-driven refill.
+	if max := gcBenchWAFTarget * 1.25; report.On.MeasuredWAF > max {
+		t.Errorf("measured WAF %.2f exceeds target %.1f (gate %.2f)",
+			report.On.MeasuredWAF, float64(gcBenchWAFTarget), max)
+	}
+
+	// Latency gate, remeasured on flaky CI hosts like the multi-volume
+	// scaling gate: a paced, gate-yielding collector must not cost the
+	// foreground more than 50% of its ack p99.
+	off, on := report.Off, report.On
+	for retry := 0; on.P99WriteUS > 1.5*off.P99WriteUS && retry < 2; retry++ {
+		off = runGCBench(t, false)
+		on = runGCBench(t, true)
+		t.Logf("gate retry %d: p99 off %.0fµs on %.0fµs", retry+1, off.P99WriteUS, on.P99WriteUS)
+	}
+	if on.P99WriteUS > 1.5*off.P99WriteUS {
+		t.Errorf("GC-on ack p99 %.0fµs > 1.5x GC-off %.0fµs",
+			on.P99WriteUS, off.P99WriteUS)
+	}
+
+	report.P99Ratio = report.On.P99WriteUS / report.Off.P99WriteUS
+	if out := os.Getenv("LSVD_GCBENCH_OUT"); out != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", out)
+	}
+}

@@ -228,7 +228,11 @@ func (s *Store) sealLocked() error {
 			return err
 		}
 	}
-	if s.cfg.GCLowWater > 0 && s.utilizationLocked() < s.cfg.GCLowWater {
+	if s.gcServiceRunning() {
+		// The paced service owns GC triggering: credit its WAF bucket
+		// for the committed payload and let it wake on its own.
+		s.gcRefillLocked(int64(info.dataSectors) * block.SectorSize)
+	} else if s.cfg.GCLowWater > 0 && s.utilizationLocked() < s.cfg.GCLowWater {
 		if err := s.gcLocked(); err != nil {
 			return err
 		}
@@ -295,8 +299,11 @@ func (s *Store) buildObject(seq uint32, typ journal.Type, writeSeq uint64, exts 
 
 // installObject applies a sealed object's effects to the map and the
 // object table. trims lists trim extents to apply first. Fresh data
-// extents use unconditional updates; GC extents (srcSeq < own seq) use
-// conditional no-fill updates so they never clobber newer data.
+// extents (srcSeq == own seq) use unconditional updates; GC-copied
+// extents install only where the map still points at their exact source
+// object; GC zero-fill plugs (srcSeq == 0) fill still-unmapped holes
+// only. Both conditional forms hold for crash replay as well as the
+// live path, so a GC object can never clobber newer data.
 func (s *Store) installObject(info *objInfo, mapped []mappedExtent, trims []block.Extent) {
 	invariant.Assertf(s.objects[info.seq] == nil,
 		"blockstore: object %d installed twice", info.seq)
@@ -315,10 +322,41 @@ func (s *Store) installObject(info *objInfo, mapped []mappedExtent, trims []bloc
 		var displaced []extmap.Run
 		if me.srcSeq == uint64(info.seq) {
 			displaced = s.m.Update(me.ext, me.target)
+		} else if me.srcSeq == 0 {
+			// Zero-fill plug: zeros read as zeros whether mapped or not,
+			// so filling holes is a pure no-op semantically — but any
+			// range that IS mapped (a write that landed during the GC's
+			// lock drops, or, on replay, a lower-seq data object that
+			// committed after the pass sampled the map) holds newer data
+			// and must win. Portions that stayed holes count as live;
+			// the rest of the extent is dead at birth.
+			var filled uint32
+			for _, r := range s.m.Lookup(me.ext) {
+				if !r.Present {
+					filled += r.Sectors
+				}
+			}
+			s.applyDisplaced(s.m.UpdateIf(me.ext, me.target, func(extmap.Run) bool { return false }))
+			if gap := me.ext.Sectors - filled; gap > 0 && info.liveSectors >= gap {
+				info.liveSectors -= gap
+				if s.utilCounted(info) {
+					s.utilLive -= uint64(gap)
+				}
+			}
+			continue
 		} else {
+			// Install only where the map still points at the exact object
+			// this range was copied from. A <= comparison is NOT
+			// equivalent: once GC objects exist, container sequence no
+			// longer orders data by freshness — a GC object's copy of old
+			// data carries a seq above that of later data objects, so
+			// "current target below my source" can hold while the current
+			// target is the newer write (collect a GC victim whose hole
+			// was plugged, replay, and the stale plug would resurrect
+			// over the newer object's data).
 			src := me.srcSeq
 			displaced = s.m.UpdateExisting(me.ext, me.target, func(r extmap.Run) bool {
-				return uint64(r.Target.Obj) <= src
+				return uint64(r.Target.Obj) == src
 			})
 			// Conditional updates may install less than the full
 			// extent; adjust live accounting to what actually mapped.

@@ -55,6 +55,27 @@ type Config struct {
 	// DefragHoleSectors plugs vLBA holes up to this size during GC by
 	// copying extra data, reducing map fragmentation (§4.6). 0 = off.
 	DefragHoleSectors uint32
+	// GCService runs garbage collection as a long-running paced
+	// background goroutine instead of inline commit-triggered passes:
+	// victims are picked by a garbage×age cost model, copy I/O is paced
+	// against the GCWAFTarget token bucket, and backend reads/writes go
+	// through UploadGate as a background borrower with no guaranteed
+	// share. RunGC still forces an immediate unpaced pass. The service
+	// starts only when GCLowWater > 0 and the store is writable.
+	GCService bool
+	// GCWAFTarget bounds the paced service's write amplification:
+	// total backend payload volume (foreground + GC copies) is held at
+	// or below GCWAFTarget × foreground volume, enforced by a token
+	// bucket refilled as foreground commits land (an idle trickle keeps
+	// quiet volumes converging to the watermark). Default 2.0; < 0
+	// disables pacing (the service copies as fast as it can).
+	GCWAFTarget float64
+	// GCBackoff, when set, is polled by the paced service between copy
+	// batches; while it returns true (foreground destage under
+	// pressure) the service defers copying even with budget available.
+	// It is invoked with the store lock held and must not call back
+	// into the Store.
+	GCBackoff func() bool
 	// NoCoalesce disables intra-batch write coalescing (Table 5's
 	// "no merge" mode).
 	NoCoalesce bool
@@ -115,6 +136,9 @@ func (c *Config) setDefaults() {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 32
 	}
+	if c.GCWAFTarget == 0 {
+		c.GCWAFTarget = 2.0
+	}
 	if c.Retry.MaxAttempts >= 0 && c.Store != nil {
 		if _, ok := c.Store.(*objstore.Retrier); !ok {
 			c.Store = objstore.NewRetrier(c.Store, c.Retry)
@@ -159,6 +183,12 @@ type Stats struct {
 	BytesCoalesced  uint64 // client bytes eliminated by batch merge
 	GCBytesCopied   uint64
 	GCRuns          uint64
+	GCVictims       uint64  // objects whose live data the GC relocated
+	GCPaceWaits     uint64  // paced copy batches that waited for WAF budget
+	GCBackoffs      uint64  // paced copy batches deferred to destage pressure
+	GCYields        uint64  // paced passes cut short by a waiting fence
+	GCBudgetBytes   int64   // current WAF token-bucket level
+	GCWAFTarget     float64 // configured write-amplification budget
 	ObjectsDeleted  uint64
 	Checkpoints     uint64
 	DurableWriteSeq uint64
@@ -223,8 +253,23 @@ type Store struct {
 	gateID        string
 	commitCond    *sync.Cond
 	aborting      bool
-	gcBusy        bool  // a commit-triggered GC pass is running off the lock
+	gcBusy        bool  // a GC pass (service, commit-triggered, or RunGC) holds the single slot
 	asyncErr      error // sticky commit-side (GC) failure, surfaced at the next fence
+
+	// Background GC service state (Config.GCService): the service
+	// goroutine sleeps on gcCond (same mutex as commitCond) and is
+	// woken by foreground commits (budget refills / utilization drops),
+	// idle-trickle timers, StopGC and Abort. fenceWaiters counts
+	// waiters in waitInflightLocked/gcLocked/Abort so a paced pass
+	// yields the gcBusy slot promptly instead of stalling a fence on a
+	// budget wait.
+	gcCond       *sync.Cond
+	gcStop       bool
+	gcDone       chan struct{} // non-nil while the service goroutine runs
+	gcBudget     int64         // WAF token bucket, payload bytes the GC may copy
+	gcRefills    uint64        // refill epoch, for idle-grant detection
+	fenceWaiters int
+	gcGateID     string // borrower-only gate identity for GC backend I/O
 
 	// orphans are stranded objects recovery could not delete; they are
 	// swept before every subsequent object PUT so a stale object can
@@ -251,6 +296,8 @@ type Store struct {
 		bytesAppended, bytesPut, bytesCoalesced uint64
 		gcBytesCopied, gcRuns, objectsDeleted   uint64
 		checkpoints, uploadRetries, sealStalls  uint64
+		gcVictims, gcPaceWaits, gcBackoffs      uint64
+		gcYields                                uint64
 	}
 
 	// Read-path counters are atomics: the fetch path never holds mu.
@@ -307,6 +354,7 @@ func Create(ctx context.Context, cfg Config) (*Store, error) {
 	if err := s.checkpointLocked(); err != nil {
 		return nil, err
 	}
+	s.startGCService()
 	return s, nil
 }
 
@@ -324,6 +372,8 @@ func newStore(ctx context.Context, cfg Config) *Store {
 	}
 	s.batch = newBatch(cfg.BatchBytes, cfg.NoCoalesce)
 	s.commitCond = sync.NewCond(&s.mu)
+	s.gcCond = sync.NewCond(&s.mu)
+	s.gcGateID = cfg.UploadID + "#gc"
 	if cfg.UploadDepth > 0 {
 		if cfg.UploadGate != nil {
 			s.gate, s.gateID = cfg.UploadGate, cfg.UploadID
@@ -362,20 +412,72 @@ func (s *Store) Utilization() float64 {
 // utilizationLocked is live/total over the volume's own data objects,
 // excluding objects the GC has already cleaned (their deletion is
 // merely deferred; counting them would make collection look futile and
-// trigger runaway over-collection). The counters are maintained
-// incrementally; recomputeUtilLocked rebuilds them after recovery.
+// trigger runaway over-collection). The running counters cover EVERY
+// own data/GC object — cleaned ones included — and the exclusion is
+// computed here by walking the (checkpoint-bounded) cleaned set. A
+// cleaned object therefore leaves the pool exactly when its delete
+// retires, never earlier: an aborted pass, a crash before the delete,
+// or a snapshot pin cannot strand the counters out of sync with the
+// object table (the drift class the old subtract-at-clean-time scheme
+// allowed).
 func (s *Store) utilizationLocked() float64 {
-	if s.utilData == 0 {
+	live, data := s.utilLive, s.utilData
+	for seq := range s.cleaned {
+		o := s.objects[seq]
+		if o == nil || o.seq <= s.baseSeq ||
+			(o.typ != journal.TypeData && o.typ != journal.TypeGC) {
+			continue
+		}
+		live -= uint64(o.liveSectors)
+		data -= uint64(o.dataSectors)
+	}
+	if data == 0 {
 		return 1.0
 	}
-	return float64(s.utilLive) / float64(s.utilData)
+	return float64(live) / float64(data)
 }
 
 // utilCounted reports whether o participates in the utilization
-// counters (own, non-cleaned data/GC object).
+// counters (own data/GC object, cleaned or not — cleaned objects are
+// excluded on the fly by utilizationLocked and leave the counters at
+// delete retirement).
 func (s *Store) utilCounted(o *objInfo) bool {
-	return o != nil && o.seq > s.baseSeq && !s.cleaned[o.seq] &&
+	return o != nil && o.seq > s.baseSeq &&
 		(o.typ == journal.TypeData || o.typ == journal.TypeGC)
+}
+
+// AuditUtilization recomputes the utilization counters from the object
+// table and fails if they disagree with the running values, or if a
+// cleaned object is awaiting deletion without a pending/deferred entry
+// to retire it. Tests call it after abort/crash/recovery interleavings
+// to prove the accounting cannot drift.
+func (s *Store) AuditUtilization() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var live, data uint64
+	for _, o := range s.objects {
+		if s.utilCounted(o) {
+			live += uint64(o.liveSectors)
+			data += uint64(o.dataSectors)
+		}
+	}
+	if live != s.utilLive || data != s.utilData {
+		return fmt.Errorf("blockstore: utilization counters drifted: have live/data %d/%d, objects sum to %d/%d",
+			s.utilLive, s.utilData, live, data)
+	}
+	retiring := make(map[uint32]bool, len(s.deferred)+len(s.pending))
+	for _, d := range s.deferred {
+		retiring[d.Obj] = true
+	}
+	for _, d := range s.pending {
+		retiring[d.Obj] = true
+	}
+	for seq := range s.cleaned {
+		if s.objects[seq] != nil && !retiring[seq] {
+			return fmt.Errorf("blockstore: cleaned object %d has no pending/deferred delete", seq)
+		}
+	}
+	return nil
 }
 
 // recomputeUtilLocked rebuilds the running counters from the table.
@@ -397,7 +499,10 @@ func (s *Store) Stats() Stats {
 		Objects: len(s.objects), NextSeq: s.nextSeq, MapExtents: s.m.Len(),
 		BytesAppended: s.stats.bytesAppended, BytesPut: s.stats.bytesPut,
 		BytesCoalesced: s.stats.bytesCoalesced, GCBytesCopied: s.stats.gcBytesCopied,
-		GCRuns: s.stats.gcRuns, ObjectsDeleted: s.stats.objectsDeleted,
+		GCRuns: s.stats.gcRuns, GCVictims: s.stats.gcVictims,
+		GCPaceWaits: s.stats.gcPaceWaits, GCBackoffs: s.stats.gcBackoffs,
+		GCYields: s.stats.gcYields, GCBudgetBytes: s.gcBudget,
+		GCWAFTarget: s.cfg.GCWAFTarget, ObjectsDeleted: s.stats.objectsDeleted,
 		Checkpoints: s.stats.checkpoints, DurableWriteSeq: s.durableWriteSeq,
 		PendingBatch:    s.batch.fill + s.inflightBytes,
 		InflightObjects: len(s.inflight), UploadRetries: s.stats.uploadRetries,

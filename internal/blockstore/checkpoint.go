@@ -173,8 +173,11 @@ func (s *Store) deleteObject(seq uint32) error {
 	if o := s.objects[seq]; s.utilCounted(o) {
 		invariant.Assertf(s.utilLive >= uint64(o.liveSectors) && s.utilData >= uint64(o.dataSectors),
 			"blockstore: utilization underflow deleting object %d", seq)
-		// Deleting an object the GC never cleaned (stranded recovery
-		// deletions): remove its utilization contribution.
+		// An object's utilization contribution is removed only here, at
+		// delete retirement — never when the GC merely marks it cleaned
+		// (utilizationLocked excludes cleaned objects on the fly), so an
+		// aborted pass or a crash before the delete cannot strand the
+		// counters.
 		s.utilLive -= uint64(o.liveSectors)
 		s.utilData -= uint64(o.dataSectors)
 	}

@@ -3,55 +3,317 @@ package blockstore
 import (
 	"errors"
 	"sort"
+	"time"
 
 	"lsvd/internal/block"
+	"lsvd/internal/invariant"
 	"lsvd/internal/journal"
 	"lsvd/internal/objstore"
 )
 
+// Garbage collection (§3.5) runs in two modes sharing one pass engine:
+//
+//   - RunGC (and, without Config.GCService, the commit-triggered
+//     inline pass) collects unpaced until the high-water mark — the
+//     discrete semantics tools, tests and the Table 5 simulations
+//     depend on.
+//   - The background service (Config.GCService) is a per-store
+//     goroutine that wakes when utilization drops below the low-water
+//     mark and collects PACED: each copy batch first draws its bytes
+//     from a write-amplification token bucket refilled by foreground
+//     commits (gcRefillLocked), so sustained GC can never push total
+//     backend write volume past GCWAFTarget × foreground volume. An
+//     idle trickle (gcIdleWait/one batch) keeps quiet volumes
+//     converging. The service's backend I/O goes through the upload
+//     gate as a background participant with no guaranteed share, and
+//     a paced pass yields the gcBusy slot whenever a fence is waiting,
+//     so foreground seals, checkpoints and Close never stall behind a
+//     budget wait.
+//
+// Victims are picked by a cost model, score = garbage ratio × age:
+// segment age is the classic LFS cost-benefit proxy for "this
+// object's remaining live data is cold and worth moving once", which
+// beats pure least-utilized ordering under sustained overwrite churn
+// (hot objects keep losing data — collecting them early re-copies
+// bytes that were about to die anyway).
+
 // errGCAborted abandons a GC pass mid-collection when Abort lands
 // during one of the lock drops below; the victim is left uncleaned (its
-// live data was not fully relocated) and the error never escapes
-// gcLocked.
+// live data was not fully relocated) and the error never escapes the
+// pass drivers.
 var errGCAborted = errors.New("blockstore: gc pass aborted")
 
-// RunGC runs garbage collection until overall utilization reaches the
-// high-water mark or no further progress is possible (§3.5).
+// errGCYield cuts a paced pass short because a fence (seal, checkpoint,
+// RunGC, Abort) is waiting on the gcBusy slot. Partially relocated
+// victims stay uncleaned and are re-collected next wake-up.
+var errGCYield = errors.New("blockstore: gc pass yielded to a fence")
+
+// gcIdleWait is how long the paced service waits for a foreground
+// refill before granting itself one batch of copy budget, so a volume
+// with no write traffic still converges to the watermark.
+const gcIdleWait = 5 * time.Millisecond
+
+// RunGC forces an immediate, unpaced collection pass until overall
+// utilization reaches the high-water mark or no further progress is
+// possible (§3.5). With the background service enabled it preempts the
+// paced pass (which yields its slot to fences) and runs inline.
 func (s *Store) RunGC() error {
 	s.mu.Lock()
+	invariant.LockOrder("bs.mu")
 	defer s.mu.Unlock()
+	defer invariant.LockRelease("bs.mu")
 	if s.readOnly {
 		return ErrReadOnly
 	}
 	return s.gcLocked()
 }
 
-// gcLocked claims the single GC slot and runs one pass. Backend I/O
-// inside a pass (header fetches, source-data reads) drops s.mu, so the
-// gcBusy claim — shared with the commit-triggered trigger in upload.go
-// — is what keeps passes single-flight; fences and Abort wait for it
-// via commitCond.
+// gcLocked claims the single GC slot and runs one unpaced pass.
+// Backend I/O inside a pass (header fetches, source-data reads) drops
+// s.mu, so the gcBusy claim — shared with the commit-triggered trigger
+// in upload.go and the background service — is what keeps passes
+// single-flight; fences and Abort wait for it via commitCond.
 func (s *Store) gcLocked() error {
+	s.fenceEnterLocked()
 	for s.gcBusy {
 		s.commitCond.Wait()
 	}
+	s.fenceExitLocked()
 	if s.aborting {
 		return nil
 	}
 	s.gcBusy = true
-	err := s.gcPassLocked()
+	err := s.gcPassLocked(false)
 	s.gcBusy = false
 	s.commitCond.Broadcast()
+	if errors.Is(err, errGCYield) || errors.Is(err, errGCAborted) {
+		err = nil
+	}
 	return err
 }
 
-// gcPassLocked implements the Greedy cleaning algorithm [Rosenblum &
-// Ousterhout]: repeatedly collect the least-utilized object, copying
+// --- background service ---
+
+// startGCService launches the paced background collector when the
+// configuration asks for one. Create/open call it last, once the store
+// is fully recovered.
+func (s *Store) startGCService() {
+	if !s.cfg.GCService || s.readOnly || s.cfg.GCLowWater <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gcDone != nil {
+		return
+	}
+	s.gcDone = make(chan struct{})
+	invariant.Go("blockstore-gc", s.gcService)
+}
+
+// StopGC stops the background service and waits for it to exit. The
+// store remains usable; RunGC and (re)Open-time collection still work.
+// Stopping an already-stopped (or never-started) service is a no-op.
+func (s *Store) StopGC() {
+	s.mu.Lock()
+	invariant.LockOrder("bs.mu")
+	done := s.gcDone
+	if done == nil {
+		invariant.LockRelease("bs.mu")
+		s.mu.Unlock()
+		return
+	}
+	s.gcStop = true
+	s.gcCond.Broadcast()
+	invariant.LockRelease("bs.mu")
+	s.mu.Unlock()
+	<-done
+	s.mu.Lock()
+	s.gcDone = nil
+	s.gcStop = false
+	s.mu.Unlock()
+}
+
+// gcServiceRunning reports whether the background collector owns GC
+// triggering (callers then nudge gcCond instead of running inline
+// passes). Caller holds s.mu.
+func (s *Store) gcServiceRunning() bool { return s.gcDone != nil }
+
+// fenceEnterLocked/fenceExitLocked bracket a fence's wait for the
+// gcBusy slot (seal, checkpoint, RunGC). Entry wakes a paced pass so
+// it yields the slot instead of sitting in a budget wait; exit wakes
+// the service back up once the last fence is through — without it, a
+// yield with no follow-on traffic would strand the service asleep
+// below the watermark. While any fence is pending the service loop
+// stays parked, so a yielded pass cannot spin-reclaim the slot and
+// starve the fence of s.mu.
+func (s *Store) fenceEnterLocked() {
+	s.fenceWaiters++
+	s.gcCond.Broadcast()
+}
+
+func (s *Store) fenceExitLocked() {
+	s.fenceWaiters--
+	if s.fenceWaiters == 0 {
+		s.gcCond.Broadcast()
+	}
+}
+
+// gcWantedLocked is the service wake condition: utilization fell below
+// the low-water mark.
+func (s *Store) gcWantedLocked() bool {
+	return s.cfg.GCLowWater > 0 && s.utilizationLocked() < s.cfg.GCLowWater
+}
+
+// gcService is the background collector goroutine. It sleeps on gcCond
+// until woken by a commit (refill/utilization change), StopGC or
+// Abort; claims the single GC slot; and runs one paced pass. Pass
+// failures land in asyncErr and surface at the next fence, exactly
+// like commit-triggered passes.
+func (s *Store) gcService() {
+	// The claim spans the whole loop: gcCond/commitCond waits and the
+	// lock drops inside writeGCObjectLocked touch no other named lock,
+	// while the paths that DO cross layers under mu — GCBackoff →
+	// wcache.DestagePressure and FetchFromCache → wcache — record the
+	// bs.mu → wcache.mu edge the lockdep checks against FetchSpan and
+	// the destage side.
+	s.mu.Lock()
+	invariant.LockOrder("bs.mu")
+	defer s.mu.Unlock()
+	defer invariant.LockRelease("bs.mu")
+	defer close(s.gcDone)
+	for {
+		for !s.gcStop && !s.aborting &&
+			(s.fenceWaiters > 0 || !s.gcWantedLocked()) {
+			s.gcCond.Wait()
+		}
+		if s.gcStop || s.aborting {
+			return
+		}
+		for s.gcBusy {
+			s.commitCond.Wait()
+		}
+		if s.gcStop || s.aborting {
+			return
+		}
+		if s.fenceWaiters > 0 || !s.gcWantedLocked() {
+			continue // yield to the fence / a fence-driven pass got there first
+		}
+		s.gcBusy = true
+		err := s.gcPassLocked(true)
+		s.gcBusy = false
+		s.commitCond.Broadcast()
+		switch {
+		case err == nil, errors.Is(err, errGCAborted), errors.Is(err, errGCYield):
+		default:
+			if s.asyncErr == nil {
+				s.asyncErr = err
+			}
+		}
+		if err == nil && s.gcWantedLocked() {
+			// The pass ran to completion yet utilization is still below
+			// the low-water mark: nothing (more) is collectable right
+			// now. Re-running immediately would spin under s.mu, so
+			// park until the next commit changes the picture.
+			epoch := s.gcRefills
+			for !s.gcStop && !s.aborting && s.gcRefills == epoch {
+				s.gcCond.Wait()
+			}
+		}
+		// Deletion of cleaned victims waits for a checkpoint; with no
+		// foreground traffic to drive one, the service checkpoints
+		// itself so idle-time collection actually reclaims space. Never
+		// while uploads are in flight (a checkpoint must not record a
+		// nextSeq beyond an uncommitted object) — busy volumes
+		// checkpoint on their seal cadence anyway.
+		if err == nil && !s.gcStop && !s.aborting &&
+			len(s.inflight) == 0 && s.sinceCkpt >= s.cfg.CheckpointEvery {
+			if cerr := s.checkpointLocked(); cerr != nil && s.asyncErr == nil {
+				s.asyncErr = cerr
+			}
+		}
+	}
+}
+
+// gcRefillLocked credits the WAF token bucket for fg payload bytes
+// committed by the foreground write path, and wakes the service (the
+// commit may also have dropped utilization below the low-water mark).
+// The bucket is capped at a few batches so a long quiet spell cannot
+// bank an unbounded copy burst.
+func (s *Store) gcRefillLocked(fg int64) {
+	if !s.gcServiceRunning() {
+		return
+	}
+	if waf := s.cfg.GCWAFTarget; waf > 1 {
+		s.gcBudget += int64(float64(fg) * (waf - 1))
+		if burst := 4 * s.cfg.BatchBytes; s.gcBudget > burst {
+			s.gcBudget = burst
+		}
+	}
+	s.gcRefills++
+	s.gcCond.Broadcast()
+}
+
+// gcAwaitBudgetLocked blocks a paced pass until the token bucket holds
+// need bytes and the destage path is not under pressure. It returns
+// errGCYield when a fence is waiting (or the service is stopping) and
+// errGCAborted on Abort. When no foreground refill lands for a full
+// gcIdleWait, the wait grants itself one batch of budget — the idle
+// trickle. The refill-epoch check keeps the trickle out of loaded
+// periods, so the WAF bound stays foreground-driven under traffic.
+func (s *Store) gcAwaitBudgetLocked(need int64) error {
+	for {
+		if s.aborting {
+			return errGCAborted
+		}
+		if s.gcStop || s.fenceWaiters > 0 {
+			s.stats.gcYields++
+			return errGCYield
+		}
+		backoff := s.cfg.GCBackoff != nil && s.cfg.GCBackoff()
+		if !backoff && (s.gcBudget >= need || s.cfg.GCWAFTarget < 0) {
+			return nil
+		}
+		if backoff {
+			s.stats.gcBackoffs++
+		} else {
+			s.stats.gcPaceWaits++
+		}
+		epoch := s.gcRefills
+		grant := s.cfg.BatchBytes
+		t := time.AfterFunc(gcIdleWait, func() {
+			// Timer goroutine: its own lockdep stack, so the claim here
+			// cannot collide with the parked pass that armed it.
+			s.mu.Lock()
+			invariant.LockOrder("bs.mu")
+			if s.gcRefills == epoch {
+				s.gcBudget += grant
+				// Same burst cap as the foreground refill: a pass parked
+				// here for a long stretch (e.g. in destage backoff) must
+				// not bank an unbounded copy burst, one trickle at a time.
+				if burst := 4 * s.cfg.BatchBytes; s.gcBudget > burst {
+					s.gcBudget = burst
+				}
+				s.gcRefills++
+			}
+			s.gcCond.Broadcast()
+			invariant.LockRelease("bs.mu")
+			s.mu.Unlock()
+		})
+		s.gcCond.Wait()
+		t.Stop()
+	}
+}
+
+// --- pass engine (shared by RunGC, commit-triggered and paced) ---
+
+// gcPassLocked repeatedly collects the best-scoring victim, copying
 // its remaining live data into fresh GC objects, until utilization
-// recovers. Cleaned objects are deleted only after the next checkpoint
-// (so recovery never sees holes, §3.3) and deletion is further deferred
-// while a snapshot pins them (§3.6). Caller owns the gcBusy claim.
-func (s *Store) gcPassLocked() error {
+// recovers to the high-water mark. Cleaned objects are deleted only
+// after the next checkpoint (so recovery never sees holes, §3.3) and
+// deletion is further deferred while a snapshot pins them (§3.6).
+// Caller owns the gcBusy claim. Paced passes pace each copy batch
+// against the WAF bucket and yield to fences.
+func (s *Store) gcPassLocked(paced bool) error {
 	if err := s.sweepOrphansLocked(); err != nil {
 		return err
 	}
@@ -67,7 +329,14 @@ func (s *Store) gcPassLocked() error {
 		}
 		progress := false
 		for _, seq := range cands {
-			if s.aborting || s.utilizationLocked() >= high {
+			if s.aborting {
+				return errGCAborted
+			}
+			if paced && (s.gcStop || s.fenceWaiters > 0) {
+				s.stats.gcYields++
+				return errGCYield
+			}
+			if s.utilizationLocked() >= high {
 				return nil
 			}
 			o := s.objects[seq]
@@ -75,10 +344,7 @@ func (s *Store) gcPassLocked() error {
 				float64(o.liveSectors)/float64(o.dataSectors) >= 0.999 {
 				continue
 			}
-			if err := s.collectLocked(seq); err != nil {
-				if errors.Is(err, errGCAborted) {
-					return nil
-				}
+			if err := s.collectLocked(seq, paced); err != nil {
 				return err
 			}
 			progress = true
@@ -90,13 +356,15 @@ func (s *Store) gcPassLocked() error {
 	return nil
 }
 
-// victimCandidatesLocked returns collectable objects sorted by
-// ascending live ratio. The candidate list is consumed in bulk by
-// gcPassLocked so the O(objects) scan amortizes over many collections.
+// victimCandidatesLocked returns collectable objects ordered by
+// descending cleaning score (garbage ratio × age; age in sequence
+// numbers — the log's own clock). The candidate list is consumed in
+// bulk by gcPassLocked so the O(objects) scan amortizes over many
+// collections.
 func (s *Store) victimCandidatesLocked() []uint32 {
 	type cand struct {
 		seq   uint32
-		ratio float64
+		score float64
 	}
 	var cands []cand
 	for _, o := range s.objects {
@@ -113,9 +381,15 @@ func (s *Store) victimCandidatesLocked() []uint32 {
 		if r >= 0.999 {
 			continue // fully live: collecting it cannot help
 		}
-		cands = append(cands, cand{o.seq, r})
+		age := float64(s.nextSeq - o.seq)
+		cands = append(cands, cand{o.seq, (1 - r) * age})
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].ratio < cands[j].ratio })
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].seq < cands[j].seq // deterministic tie-break
+	})
 	out := make([]uint32, len(cands))
 	for i, c := range cands {
 		out[i] = c.seq
@@ -135,7 +409,12 @@ type gcPiece struct {
 // may need a backend fetch, which drops s.mu; the victim and the pass
 // are revalidated after reacquisition (the gcBusy claim keeps passes
 // single-flight, but seals, commits and lookups proceed meanwhile).
-func (s *Store) collectLocked(seq uint32) error {
+// Paced collections draw each batch's bytes from the WAF bucket first;
+// a yield mid-victim is safe — already-copied pieces are live in their
+// GC objects, the rest stay live in the victim, and the victim is only
+// marked cleaned (entering the deferred-delete path) after its last
+// piece relocated.
+func (s *Store) collectLocked(seq uint32, paced bool) error {
 	hdr, err := s.headerGCLocked(seq)
 	if err != nil {
 		return err
@@ -149,7 +428,7 @@ func (s *Store) collectLocked(seq uint32) error {
 	}
 	pieces := s.livePiecesLocked(victim, hdr)
 	if s.cfg.DefragHoleSectors > 0 {
-		pieces = s.plugHolesLocked(pieces)
+		pieces = s.plugHolesLocked(pieces, paced)
 	}
 
 	// Relocate in batches of at most BatchBytes.
@@ -161,18 +440,36 @@ func (s *Store) collectLocked(seq uint32) error {
 			bytes += pieces[0].ext.Bytes()
 			pieces = pieces[1:]
 		}
+		if paced {
+			if err := s.gcAwaitBudgetLocked(bytes); err != nil {
+				return err
+			}
+			s.gcBudget -= bytes
+		}
 		if err := s.writeGCObjectLocked(take); err != nil {
 			return err
 		}
 	}
 
 	s.pending = append(s.pending, deferredDelete{Obj: victim.seq, GCSeq: s.nextSeq - 1})
-	// Leaving the utilization pool: subtract its contribution.
-	if s.utilCounted(victim) {
-		s.utilLive -= uint64(victim.liveSectors)
-		s.utilData -= uint64(victim.dataSectors)
-	}
+	// The victim's contribution stays in the running counters until its
+	// delete retires (deleteObject); utilizationLocked excludes cleaned
+	// objects on the fly, so an abort or crash between here and the
+	// delete cannot strand the accounting.
 	s.cleaned[victim.seq] = true
+	s.stats.gcVictims++
+	if invariant.Enabled {
+		var live, data uint64
+		for _, o := range s.objects {
+			if s.utilCounted(o) {
+				live += uint64(o.liveSectors)
+				data += uint64(o.dataSectors)
+			}
+		}
+		invariant.Assertf(live == s.utilLive && data == s.utilData,
+			"blockstore: utilization drift after collecting %d: counters %d/%d, objects %d/%d",
+			victim.seq, s.utilLive, s.utilData, live, data)
+	}
 	return nil
 }
 
@@ -224,8 +521,11 @@ func (s *Store) livePiecesLocked(victim *objInfo, hdr *hdrEntry) []gcPiece {
 // plugged with explicit zeros (semantically identical reads); mapped
 // portions are copied from wherever they live. Total plugging per
 // collection is budgeted to a fraction of the genuinely live bytes so
-// the write-amplification cost stays small, as the paper reports.
-func (s *Store) plugHolesLocked(pieces []gcPiece) []gcPiece {
+// the write-amplification cost stays small, as the paper reports;
+// paced collections additionally cap plugging at the spare WAF budget
+// beyond what the live bytes themselves will consume, so defrag is the
+// first thing sacrificed when the bucket runs dry.
+func (s *Store) plugHolesLocked(pieces []gcPiece, paced bool) []gcPiece {
 	if len(pieces) < 2 {
 		return pieces
 	}
@@ -234,6 +534,17 @@ func (s *Store) plugHolesLocked(pieces []gcPiece) []gcPiece {
 		liveSectors += uint64(p.ext.Sectors)
 	}
 	budget := liveSectors / 4 // <=25% extra copy volume
+	if paced && s.cfg.GCWAFTarget >= 0 {
+		// All-unsigned: the bucket can be negative or smaller than the
+		// live bytes, either way there is no spare for plugging.
+		var spare uint64
+		if b := s.gcBudget; b > 0 && uint64(b) > liveSectors*block.SectorSize {
+			spare = (uint64(b) - liveSectors*block.SectorSize) / block.SectorSize
+		}
+		if spare < budget {
+			budget = spare
+		}
+	}
 	var plugged uint64
 
 	out := make([]gcPiece, 0, len(pieces))
@@ -259,13 +570,32 @@ func (s *Store) plugHolesLocked(pieces []gcPiece) []gcPiece {
 	return out
 }
 
+// gcGateAcquire takes an upload-gate slot for GC backend I/O as a
+// background participant: no guaranteed share, always yielding to
+// foreground acquirers. Must be called WITHOUT s.mu held (the gate can
+// block while foreground uploads drain). No-op without a gate
+// (synchronous mode).
+func (s *Store) gcGateAcquire() {
+	if s.gate != nil {
+		s.gate.AcquireBackground(s.gcGateID)
+	}
+}
+
+func (s *Store) gcGateRelease() {
+	if s.gate != nil {
+		s.gate.ReleaseBackground(s.gcGateID)
+	}
+}
+
 // writeGCObjectLocked reads the pieces (preferring the local cache,
 // §3.5) and seals them into one GC object. Backend source reads drop
 // s.mu — the sources are immutable objects, and installation is
 // conditional on the map still pointing at the copied data, so
 // concurrent seals/trims during the drop at worst make parts of the GC
-// object dead at birth (accounted below). The sequence number is taken
-// only after the read phase, under the same continuous critical
+// object dead at birth (accounted below). Backend I/O (source GETs and
+// the PUT) holds a background gate slot, acquired during a lock drop so
+// foreground lookups never wait behind the gate. The sequence number is
+// taken only after the read phase, under the same continuous critical
 // section as the PUT and install, exactly as before.
 func (s *Store) writeGCObjectLocked(pieces []gcPiece) error {
 	bufs := make([][]byte, len(pieces))
@@ -274,7 +604,9 @@ func (s *Store) writeGCObjectLocked(pieces []gcPiece) error {
 		if p.srcObj != 0 && (s.cfg.FetchFromCache == nil || !s.cfg.FetchFromCache(p.ext, data)) {
 			name := s.name(p.srcObj)
 			s.mu.Unlock()
+			s.gcGateAcquire()
 			got, err := s.cfg.Store.GetRange(s.ctx, name, p.srcOff.Bytes(), p.ext.Bytes())
+			s.gcGateRelease()
 			s.mu.Lock()
 			if err != nil {
 				return err
@@ -287,18 +619,33 @@ func (s *Store) writeGCObjectLocked(pieces []gcPiece) error {
 		bufs[i] = data
 	}
 
+	// Take the gate slot for the PUT before reserving the sequence
+	// number: the acquire can block on foreground traffic and must not
+	// happen inside the seq-reservation critical section (or under mu
+	// at all).
+	if s.gate != nil {
+		s.mu.Unlock()
+		s.gcGateAcquire()
+		s.mu.Lock()
+		defer s.gcGateRelease()
+		if s.aborting {
+			return errGCAborted
+		}
+	}
+
 	exts := make([]journal.ExtentEntry, 0, len(pieces))
 	offs := make([]int64, 0, len(pieces))
 	seq := s.nextSeq
 	var copied int64
 	for i, p := range pieces {
-		srcSeq := uint64(p.srcObj)
-		if p.srcObj == 0 {
-			// Zero-fill plug: a fresh write of zeros, installed
-			// unconditionally like client data.
-			srcSeq = uint64(seq)
-		}
-		exts = append(exts, journal.ExtentEntry{LBA: p.ext.LBA, Sectors: p.ext.Sectors, SrcSeq: srcSeq})
+		// srcObj 0 (a zero-fill plug of an unmapped gap) stays 0 in the
+		// header: installObject fills only still-unmapped holes for it.
+		// Installing zeros unconditionally would be wrong in both
+		// directions of time — a client write that lands during this
+		// function's lock drops, or one sitting in a lower-seq in-flight
+		// object that replays before this GC object after a crash, must
+		// not be shadowed by plug zeros.
+		exts = append(exts, journal.ExtentEntry{LBA: p.ext.LBA, Sectors: p.ext.Sectors, SrcSeq: uint64(p.srcObj)})
 		offs = append(offs, copied)
 		copied += int64(len(bufs[i]))
 	}

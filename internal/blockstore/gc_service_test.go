@@ -1,0 +1,548 @@
+package blockstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"lsvd/internal/block"
+	"lsvd/internal/journal"
+	"lsvd/internal/objstore"
+)
+
+// TestVictimCostModel: candidates are ordered by garbage ratio × age,
+// not by pure live ratio — among equally garbage-heavy objects the
+// older one wins (its survivors are colder), and among equally old
+// objects the emptier one wins.
+func TestVictimCostModel(t *testing.T) {
+	s := &Store{
+		objects: make(map[uint32]*objInfo),
+		cleaned: make(map[uint32]bool),
+		nextSeq: 100,
+	}
+	add := func(seq uint32, live, data uint32) {
+		s.objects[seq] = &objInfo{seq: seq, typ: journal.TypeData, dataSectors: data, liveSectors: live}
+	}
+	add(10, 50, 100)  // 50% garbage, age 90 → score 45
+	add(80, 50, 100)  // 50% garbage, age 20 → score 10
+	add(90, 10, 100)  // 90% garbage, age 10 → score 9
+	add(20, 99, 100)  // 1% garbage, age 80  → score 0.8
+	add(30, 100, 100) // fully live: not a candidate
+	got := s.victimCandidatesLocked()
+	want := []uint32{10, 80, 90, 20}
+	if len(got) != len(want) {
+		t.Fatalf("candidates %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates %v, want %v", got, want)
+		}
+	}
+}
+
+// abortDuringGetRange flips the store into aborting state the first
+// time the GC's source read hits the backend — modelling a Kill landing
+// inside a pass's lock drop.
+type abortDuringGetRange struct {
+	objstore.Store
+	s    *Store
+	once bool
+}
+
+func (a *abortDuringGetRange) GetRange(ctx context.Context, name string, off, n int64) ([]byte, error) {
+	if !a.once {
+		a.once = true
+		// The GC dropped s.mu around this call, so taking it here is
+		// deadlock-free — exactly the window a concurrent Abort can hit.
+		a.s.mu.Lock()
+		a.s.aborting = true
+		a.s.mu.Unlock()
+	}
+	return a.Store.GetRange(ctx, name, off, n)
+}
+
+// TestGCAbortMidVictimNoUtilDrift: a pass aborted after it started
+// collecting a victim (but before the victim is fully relocated) must
+// leave the utilization accounting consistent — the victim stays in
+// the pool, is not marked cleaned, and a later pass collects it
+// normally. Locks the regression for the old subtract-at-clean-time
+// scheme, where an abort could strand the counters permanently.
+func TestGCAbortMidVictimNoUtilDrift(t *testing.T) {
+	mem := objstore.NewMem()
+	wrap := &abortDuringGetRange{Store: mem}
+	s := newVolume(t, wrap, Config{BatchBytes: 64 * 1024, GCLowWater: 0})
+	wrap.s = s
+
+	ext := block.Extent{LBA: 0, Sectors: 128}
+	orig := payload(1, int(ext.Bytes()))
+	if err := s.Append(1, ext, orig); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Seal()
+	half := block.Extent{LBA: 0, Sectors: 64}
+	newer := payload(2, int(half.Bytes()))
+	if err := s.Append(2, half, newer); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Seal()
+	utilBefore := s.Utilization()
+
+	// The pass aborts mid-victim (the injected abort lands during the
+	// source read); RunGC swallows the abort.
+	if err := s.RunGC(); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	if len(s.cleaned) != 0 || len(s.pending) != 0 {
+		s.mu.Unlock()
+		t.Fatalf("aborted pass marked victims cleaned: cleaned=%v pending=%v", s.cleaned, s.pending)
+	}
+	aborting := s.aborting
+	s.mu.Unlock()
+	if !aborting {
+		t.Fatal("injected abort never fired")
+	}
+	if err := s.AuditUtilization(); err != nil {
+		t.Fatalf("utilization drift after aborted pass: %v", err)
+	}
+	if u := s.Utilization(); u != utilBefore {
+		t.Fatalf("aborted pass moved utilization %.3f -> %.3f", utilBefore, u)
+	}
+
+	// Clear the abort (the test's stand-in for reopening) and collect
+	// for real.
+	s.mu.Lock()
+	s.aborting = false
+	s.readOnly = false
+	s.mu.Unlock()
+	if err := s.RunGC(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AuditUtilization(); err != nil {
+		t.Fatalf("utilization drift after completed pass: %v", err)
+	}
+	want := append([]byte{}, orig...)
+	copy(want, newer)
+	if got := readAll(t, s, ext); !bytes.Equal(got, want) {
+		t.Fatal("data wrong after abort + re-collect")
+	}
+}
+
+// TestDeferredDeleteResweptOnOpen: a crash after the checkpoint that
+// records a GC victim's deferred delete but before the delete itself
+// runs must not leak the victim — Open re-sweeps the deferred list.
+func TestDeferredDeleteResweptOnOpen(t *testing.T) {
+	faulty := objstore.NewFaulty(objstore.NewMem())
+	// MaxAttempts < 0 disables the Retrier so armed faults fire
+	// deterministically.
+	s := newVolume(t, faulty, Config{
+		GCLowWater: 0, CheckpointEvery: 1 << 30,
+		Retry: objstore.RetryPolicy{MaxAttempts: -1},
+	})
+	ext := block.Extent{LBA: 0, Sectors: 128}
+	orig := payload(1, int(ext.Bytes()))
+	_ = s.Append(1, ext, orig)
+	_ = s.Seal()
+	half := block.Extent{LBA: 0, Sectors: 64}
+	newer := payload(2, int(half.Bytes()))
+	_ = s.Append(2, half, newer)
+	_ = s.Seal()
+	if err := s.RunGC(); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	if len(s.pending) == 0 {
+		s.mu.Unlock()
+		t.Fatal("GC cleaned nothing")
+	}
+	victim := s.pending[0].Obj
+	s.mu.Unlock()
+
+	// The checkpoint persists the deferred delete, then the delete
+	// itself fails — the state a crash-between-commit-and-delete
+	// leaves behind.
+	faulty.FailDeletes(objName("vol", victim), -1)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faulty.Get(ctx, objName("vol", victim)); err != nil {
+		t.Fatalf("victim %d missing before the crash: %v", victim, err)
+	}
+	// Crash: the handle is simply abandoned.
+
+	faulty.Disarm()
+	s2, err := Open(ctx, Config{Volume: "vol", Store: faulty,
+		Retry: objstore.RetryPolicy{MaxAttempts: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faulty.Get(ctx, objName("vol", victim)); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("victim %d still leaked after reopen: %v", victim, err)
+	}
+	s2.mu.Lock()
+	ndef, ncleaned := len(s2.deferred), len(s2.cleaned)
+	s2.mu.Unlock()
+	if ndef != 0 || ncleaned != 0 {
+		t.Fatalf("resweep left deferred=%d cleaned=%d", ndef, ncleaned)
+	}
+	if err := s2.AuditUtilization(); err != nil {
+		t.Fatalf("utilization drift after resweep: %v", err)
+	}
+	want := append([]byte{}, orig...)
+	copy(want, newer)
+	if got := readAll(t, s2, ext); !bytes.Equal(got, want) {
+		t.Fatal("data wrong after crash + resweep")
+	}
+}
+
+// TestDeferredDeleteResweepKeepsSnapshotPin: the open-time resweep
+// must not delete a victim a snapshot still pins — it goes back on the
+// deferred list, exactly as the live path would defer it.
+func TestDeferredDeleteResweepKeepsSnapshotPin(t *testing.T) {
+	faulty := objstore.NewFaulty(objstore.NewMem())
+	s := newVolume(t, faulty, Config{
+		GCLowWater: 0, CheckpointEvery: 1 << 30,
+		Retry: objstore.RetryPolicy{MaxAttempts: -1},
+	})
+	ext := block.Extent{LBA: 0, Sectors: 128}
+	_ = s.Append(1, ext, payload(1, int(ext.Bytes())))
+	_ = s.Seal()
+	if _, err := s.CreateSnapshot("pin"); err != nil {
+		t.Fatal(err)
+	}
+	half := block.Extent{LBA: 0, Sectors: 64}
+	_ = s.Append(2, half, payload(2, int(half.Bytes())))
+	_ = s.Seal()
+	if err := s.RunGC(); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	if len(s.pending) == 0 {
+		s.mu.Unlock()
+		t.Fatal("GC cleaned nothing")
+	}
+	victim := s.pending[0].Obj
+	s.mu.Unlock()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The pin already deferred the delete; crash and reopen.
+	s2, err := Open(ctx, Config{Volume: "vol", Store: faulty,
+		Retry: objstore.RetryPolicy{MaxAttempts: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faulty.Get(ctx, objName("vol", victim)); err != nil {
+		t.Fatalf("pinned victim %d deleted by resweep: %v", victim, err)
+	}
+	s2.mu.Lock()
+	pinned := false
+	for _, d := range s2.deferred {
+		if d.Obj == victim {
+			pinned = true
+		}
+	}
+	s2.mu.Unlock()
+	if !pinned {
+		t.Fatal("resweep dropped the snapshot-pinned deferred delete")
+	}
+	// Deleting the snapshot releases it for good.
+	if err := s2.DeleteSnapshot("pin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faulty.Get(ctx, objName("vol", victim)); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("victim %d survived snapshot deletion: %v", victim, err)
+	}
+}
+
+// stallStore instruments the async pipeline: PUTs of selected objects
+// block on a channel (an upload in flight for as long as the test
+// wants), and the first GetRange of a selected object runs a callback
+// first (a hook inside a GC pass's lock drop).
+type stallStore struct {
+	objstore.Store
+	mu         sync.Mutex
+	putGates   map[string]chan struct{}
+	onGetRange map[string]func()
+}
+
+func (g *stallStore) Put(ctx context.Context, name string, data []byte) error {
+	g.mu.Lock()
+	gate := g.putGates[name]
+	g.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	return g.Store.Put(ctx, name, data)
+}
+
+func (g *stallStore) GetRange(ctx context.Context, name string, off, n int64) ([]byte, error) {
+	g.mu.Lock()
+	hook := g.onGetRange[name]
+	delete(g.onGetRange, name)
+	g.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	return g.Store.GetRange(ctx, name, off, n)
+}
+
+// TestGCStaleSourceNotResurrected is the deterministic reproduction of
+// the conditional-install ordering bug: once GC objects exist,
+// container sequence numbers no longer order data by freshness — a GC
+// object's copy of old data carries a sequence number ABOVE that of a
+// later write still sitting in a lower-seq in-flight object. A
+// second-generation collection that samples the map before that object
+// commits, and installs after, used to resurrect the stale copy (its
+// "current target <= my source" check passed), both on the live path
+// and again on crash replay. The install predicate must be an exact
+// source match.
+//
+// Interleaving forced here (n = first stalled data seq):
+//
+//	obj n   (D_a, in flight, PUT stalled): overwrites half of A's live data
+//	obj n+1 (D_b, in flight, PUT stalled): overwrites the other half
+//	pass 1:  collects A -> G1 = n+2 (samples the map before either commits)
+//	D_a commits -> G1 half dead (garbage for pass 2)
+//	pass 2:  samples G1's live range (still stale: D_b uncommitted),
+//	         then D_b commits inside the pass's source-read lock drop,
+//	         then G2 = n+3 installs its copy -- which MUST lose to D_b.
+func TestGCStaleSourceNotResurrected(t *testing.T) {
+	wrap := &stallStore{
+		Store:      objstore.NewMem(),
+		putGates:   make(map[string]chan struct{}),
+		onGetRange: make(map[string]func()),
+	}
+	s := newVolume(t, wrap, Config{
+		BatchBytes: 64 * block.SectorSize, // exactly the A extent: appends auto-seal
+		// Three gate slots: two are pinned by the stalled PUTs, the
+		// third lets the GC's background I/O through.
+		UploadDepth:     3,
+		GCLowWater:      0, // manual RunGC only
+		GCHighWater:     0.9,
+		CheckpointEvery: 1 << 30,
+	})
+
+	extA := block.Extent{LBA: 0, Sectors: 64}
+	v1 := payload(1, int(extA.Bytes()))
+	if err := s.Append(1, extA, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	extB := block.Extent{LBA: 32, Sectors: 32}
+	v2 := payload(2, int(extB.Bytes()))
+	if err := s.Append(2, extB, v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// A now holds 32 live sectors (0..31); utilization 64/96 = 0.667.
+
+	s.mu.Lock()
+	n := s.nextSeq
+	s.mu.Unlock()
+	gateA, gateB := make(chan struct{}), make(chan struct{})
+	wrap.mu.Lock()
+	wrap.putGates[objName("vol", n)] = gateA
+	wrap.putGates[objName("vol", n+1)] = gateB
+	wrap.mu.Unlock()
+
+	// D_a = obj n: 48 fresh sectors + an overwrite of A's sectors 0..15.
+	// The second append fills the batch, so it auto-seals; the PUT then
+	// stalls on gateA with the extents not yet installed.
+	fillA := block.Extent{LBA: 64, Sectors: 48}
+	if err := s.Append(3, fillA, payload(3, int(fillA.Bytes()))); err != nil {
+		t.Fatal(err)
+	}
+	overA := block.Extent{LBA: 0, Sectors: 16}
+	v3 := payload(4, int(overA.Bytes()))
+	if err := s.Append(4, overA, v3); err != nil {
+		t.Fatal(err)
+	}
+	// D_b = obj n+1: likewise, overwriting A's sectors 16..31.
+	fillB := block.Extent{LBA: 112, Sectors: 48}
+	if err := s.Append(5, fillB, payload(5, int(fillB.Bytes()))); err != nil {
+		t.Fatal(err)
+	}
+	overB := block.Extent{LBA: 16, Sectors: 16}
+	v4 := payload(6, int(overB.Bytes()))
+	if err := s.Append(6, overB, v4); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	inflight := len(s.inflight)
+	s.mu.Unlock()
+	if inflight != 2 {
+		t.Fatalf("expected 2 stalled uploads, have %d", inflight)
+	}
+
+	// Pass 1 collects A. The map still shows sectors 0..31 -> A (neither
+	// stalled object has committed), so G1 = n+2 copies all 32 and
+	// installs them -- legal: the sources it copied are still current.
+	if err := s.RunGC(); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	g1 := s.objects[n+2]
+	s.mu.Unlock()
+	if g1 == nil || g1.typ != journal.TypeGC {
+		t.Fatalf("pass 1 did not produce GC object %d", n+2)
+	}
+
+	// D_a commits: G1's sectors 0..15 die, making it pass 2's victim.
+	close(gateA)
+	waitFor(t, "D_a commit", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.inflight) == 1
+	})
+
+	// Pass 2: by the time the pass reads G1's data (the map was already
+	// sampled: sectors 16..31 -> G1), D_b commits. G2 = n+3's copy of
+	// those sectors is one generation stale and must not install.
+	wrap.mu.Lock()
+	wrap.onGetRange[objName("vol", n+2)] = func() {
+		close(gateB)
+		waitFor(t, "D_b commit", func() bool {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return len(s.inflight) == 0
+		})
+	}
+	wrap.mu.Unlock()
+	if err := s.RunGC(); err != nil {
+		t.Fatal(err)
+	}
+	wrap.mu.Lock()
+	hooked := len(wrap.onGetRange)
+	wrap.mu.Unlock()
+	if hooked != 0 {
+		t.Fatal("pass 2 never read G1 from the backend: interleaving not reproduced")
+	}
+	s.mu.Lock()
+	g2 := s.objects[n+3]
+	s.mu.Unlock()
+	if g2 == nil || g2.typ != journal.TypeGC || g2.dataSectors != 16 {
+		t.Fatalf("pass 2 did not relocate G1's sampled range into %d: %+v", n+3, g2)
+	}
+	if g2.liveSectors != 0 {
+		t.Fatalf("G2 installed %d stale sectors over the newer committed write", g2.liveSectors)
+	}
+
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		ext  block.Extent
+		want []byte
+	}{
+		{"D_a overwrite", overA, v3},
+		{"D_b overwrite", overB, v4},
+		{"B", extB, v2},
+	} {
+		if got := readAll(t, s, c.ext); !bytes.Equal(got, c.want) {
+			t.Fatalf("%s: GC resurrected stale data", c.name)
+		}
+	}
+	if err := s.AuditUtilization(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash replay sees the same object sequence from scratch: D_b
+	// (n+1) replays before G2 (n+3), whose header says "copied from
+	// n+2" -- the exact-match predicate must reject it there too.
+	s2, err := Open(ctx, Config{Volume: "vol", Store: wrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		ext  block.Extent
+		want []byte
+	}{
+		{"D_a overwrite", overA, v3},
+		{"D_b overwrite", overB, v4},
+		{"B", extB, v2},
+	} {
+		if got := readAll(t, s2, c.ext); !bytes.Equal(got, c.want) {
+			t.Fatalf("%s: crash replay resurrected stale data", c.name)
+		}
+	}
+	if err := s2.AuditUtilization(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFor polls cond until it holds, failing the test after 10s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGCServicePacedConvergence: with the background service enabled,
+// sustained overwrites followed by idle time converge utilization to
+// the high-water mark without any explicit RunGC, and the accounting
+// stays exact throughout.
+func TestGCServicePacedConvergence(t *testing.T) {
+	store := objstore.NewMem()
+	s := newVolume(t, store, Config{
+		BatchBytes: 64 * 1024, UploadDepth: 2,
+		GCService: true, GCLowWater: 0.70, GCHighWater: 0.75,
+		GCWAFTarget: 2.0, CheckpointEvery: 8,
+	})
+	defer s.StopGC()
+	const ws = 16
+	latest := map[int]int64{}
+	seq := uint64(0)
+	for round := 0; round < 20; round++ {
+		for i := 0; i < ws; i++ {
+			seq++
+			ext := block.Extent{LBA: block.LBA(i * 128), Sectors: 64}
+			latest[i] = int64(seq)
+			if err := s.Append(seq, ext, payload(int64(seq), int(ext.Bytes()))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// No more foreground traffic: the idle trickle must finish the job.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Utilization() < 0.70 {
+		if time.Now().After(deadline) {
+			t.Fatalf("service never converged: util %.3f, stats %+v", s.Utilization(), s.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.StopGC()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AuditUtilization(); err != nil {
+		t.Fatalf("utilization drift under the service: %v", err)
+	}
+	st := s.Stats()
+	if st.GCRuns == 0 || st.GCVictims == 0 {
+		t.Fatalf("service never collected: %+v", st)
+	}
+	for i := 0; i < ws; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 128), Sectors: 64}
+		if got := readAll(t, s, ext); !bytes.Equal(got, payload(latest[i], int(ext.Bytes()))) {
+			t.Fatalf("extent %d corrupted by paced GC", i)
+		}
+	}
+}

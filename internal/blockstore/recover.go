@@ -137,7 +137,23 @@ func open(ctx context.Context, cfg Config, limit uint32, readOnly bool) (*Store,
 				}
 			}
 		}
+		// Re-sweep deferred deletes: a checkpointed deferredDelete whose
+		// GC object committed but whose victim delete never ran (the
+		// crash landed between the checkpoint and the delete, or the
+		// delete itself kept failing) would otherwise leak the victim
+		// object forever — nothing references it, so no later pass can
+		// rediscover it. Snapshot-pinned victims go back on the deferred
+		// list; delete failures queue on pending for the next checkpoint
+		// to retry, exactly as live-path deletions do.
+		deferred := s.deferred
+		s.deferred = nil
+		for _, d := range deferred {
+			if err := s.completeDelete(d); err != nil {
+				s.pending = append(s.pending, d)
+			}
+		}
 	}
+	s.startGCService()
 	return s, nil
 }
 

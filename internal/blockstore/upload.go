@@ -181,6 +181,7 @@ func (s *Store) startUploadLocked(inf *inflightObj) {
 // upload completion path.
 func (s *Store) commitReadyLocked() func() {
 	var watermark uint64
+	var committed int64
 	for len(s.inflight) > 0 {
 		inf := s.inflight[0]
 		if !inf.done || inf.err != nil {
@@ -195,14 +196,22 @@ func (s *Store) commitReadyLocked() func() {
 		s.stats.bytesPut += uint64(objstore.VecLen(inf.obj))
 		s.stats.bytesCoalesced += inf.coalesced
 		s.installObject(inf.info, inf.mapped, inf.trims)
+		committed += int64(inf.info.dataSectors) * block.SectorSize
 		if inf.maxWrite > s.durableWriteSeq {
 			s.durableWriteSeq = inf.maxWrite
 			watermark = s.durableWriteSeq
 		}
 		s.sinceCkpt++
 	}
+	if committed > 0 {
+		// Foreground payload committed: credit the paced service's WAF
+		// bucket and wake it (the commit may have dropped utilization
+		// below the low-water mark). With the service running, this
+		// replaces the inline commit-triggered pass below.
+		s.gcRefillLocked(committed)
+	}
 	needGC := false
-	if !s.aborting && !s.gcBusy && s.cfg.GCLowWater > 0 &&
+	if !s.gcServiceRunning() && !s.aborting && !s.gcBusy && s.cfg.GCLowWater > 0 &&
 		s.utilizationLocked() < s.cfg.GCLowWater {
 		// Claim the GC trigger under the lock so concurrent commits
 		// start at most one pass; fences wait for it via commitCond.
@@ -232,7 +241,7 @@ func (s *Store) commitTriggeredGC() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.aborting && !s.readOnly {
-		if err := s.gcPassLocked(); err != nil && !errors.Is(err, errGCAborted) && s.asyncErr == nil {
+		if err := s.gcPassLocked(false); err != nil && !errors.Is(err, errGCAborted) && s.asyncErr == nil {
 			s.asyncErr = err
 		}
 	}
@@ -255,6 +264,10 @@ func (s *Store) resubmitFailedLocked() {
 // failure the object stays in the list so a later fence can retry it;
 // the error is returned to the caller.
 func (s *Store) waitInflightLocked() error {
+	// Announce the fence so a paced background pass holding gcBusy
+	// yields instead of sitting in a budget wait.
+	s.fenceEnterLocked()
+	defer s.fenceExitLocked()
 	for len(s.inflight) > 0 || s.gcBusy {
 		if len(s.inflight) > 0 {
 			if front := s.inflight[0]; front.done && front.err != nil {
@@ -303,6 +316,10 @@ func (s *Store) Abort() {
 	defer s.mu.Unlock()
 	s.aborting = true
 	s.readOnly = true
+	// Wake the background GC service (and any budget wait inside a
+	// paced pass) so it observes aborting and exits; the gcBusy check
+	// below then covers its in-progress pass like any other.
+	s.gcCond.Broadcast()
 	for {
 		busy := s.gcBusy
 		for _, inf := range s.inflight {

@@ -60,6 +60,13 @@ type Options struct {
 	// GCLowWater/GCHighWater are the §3.5 utilization thresholds.
 	// Defaults 0.70/0.75; GCLowWater < 0 disables GC.
 	GCLowWater, GCHighWater float64
+	// GCWAFTarget bounds the background GC service's write
+	// amplification: total backend write volume (foreground + GC
+	// copies) stays at or below this multiple of the foreground
+	// volume. Default 2.0; < 0 disables pacing (the service copies as
+	// fast as the upload gate lets it). Only meaningful with the
+	// asynchronous pipeline, where the service runs.
+	GCWAFTarget float64
 	// PrefetchSectors is the temporal read-ahead window. Default 256
 	// sectors (128 KiB); 0 disables prefetch.
 	PrefetchSectors uint32
@@ -137,6 +144,7 @@ type VolumeOptions struct {
 	VolBytes                  int64
 	BatchBytes                int64
 	GCLowWater, GCHighWater   float64
+	GCWAFTarget               float64
 	PrefetchSectors           uint32
 	CheckpointEvery           int
 	WriteCacheCheckpointEvery int
@@ -155,6 +163,7 @@ func (o Options) Split() (HostOptions, VolumeOptions) {
 		}, VolumeOptions{
 			Volume: o.Volume, VolBytes: o.VolBytes, BatchBytes: o.BatchBytes,
 			GCLowWater: o.GCLowWater, GCHighWater: o.GCHighWater,
+			GCWAFTarget:     o.GCWAFTarget,
 			PrefetchSectors: o.PrefetchSectors, CheckpointEvery: o.CheckpointEvery,
 			WriteCacheCheckpointEvery: o.WriteCacheCheckpointEvery,
 			ReadbackThroughSSD:        o.ReadbackThroughSSD,
@@ -170,6 +179,7 @@ func Combine(h HostOptions, v VolumeOptions) Options {
 		Volume: v.Volume, Store: h.Store, CacheDev: h.CacheDev,
 		VolBytes: v.VolBytes, WriteCacheFrac: h.WriteCacheFrac,
 		BatchBytes: v.BatchBytes, GCLowWater: v.GCLowWater, GCHighWater: v.GCHighWater,
+		GCWAFTarget:     v.GCWAFTarget,
 		PrefetchSectors: v.PrefetchSectors, ReadCachePolicy: h.ReadCachePolicy,
 		CheckpointEvery:           v.CheckpointEvery,
 		WriteCacheCheckpointEvery: v.WriteCacheCheckpointEvery,
@@ -221,6 +231,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.GCLowWater < 0 {
 		o.GCLowWater = 0
+	}
+	if o.GCWAFTarget == 0 {
+		o.GCWAFTarget = 2.0
 	}
 	if o.PrefetchSectors == 0 {
 		o.PrefetchSectors = 256
@@ -617,6 +630,15 @@ func (d *Disk) storeConfig() blockstore.Config {
 	}
 	if !d.opts.SyncDestage && !d.readOnly {
 		cfg.UploadDepth = d.opts.UploadDepth
+		// The paced background GC service replaces commit-triggered
+		// inline passes wherever the asynchronous pipeline runs.
+		// Synchronous mode keeps the discrete inline semantics the
+		// simulations and baselines depend on. DestagePressure takes
+		// only the cache's own lock; the bs.mu → wc.mu order matches
+		// FetchFromCache below.
+		cfg.GCService = true
+		cfg.GCWAFTarget = d.opts.GCWAFTarget
+		cfg.GCBackoff = func() bool { return d.wc.DestagePressure() }
 	}
 	if !d.opts.DisableGCCacheFetch {
 		cfg.FetchFromCache = d.fetchFromWriteCache
@@ -1223,6 +1245,10 @@ func (d *Disk) Close() error {
 		//lsvd:ignore Close waits for the destager goroutine to exit under wmu by design
 		<-d.done
 	}
+	// Stop the background GC service before the final seal/checkpoint
+	// so the shutdown sequence races with no concurrent collector (on
+	// the error path too — the disk is going down either way).
+	d.bs.StopGC()
 	if derr != nil {
 		return derr
 	}

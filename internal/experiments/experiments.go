@@ -46,6 +46,9 @@ type Env struct {
 	// GroupMaxRecords overrides core.Options.GroupCommitMaxRecords,
 	// the record cap of one group-commit device write.
 	GroupMaxRecords int
+	// GCWAFTarget overrides core.Options.GCWAFTarget, the background
+	// GC service's write-amplification budget (< 0 disables pacing).
+	GCWAFTarget float64
 }
 
 // DefaultEnv is the scale used by the bench harness.
@@ -67,6 +70,9 @@ func (e Env) tune(opts *core.Options) {
 	}
 	if e.GroupMaxRecords != 0 {
 		opts.GroupCommitMaxRecords = e.GroupMaxRecords
+	}
+	if e.GCWAFTarget != 0 {
+		opts.GCWAFTarget = e.GCWAFTarget
 	}
 }
 

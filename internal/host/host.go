@@ -565,19 +565,47 @@ type VolumeStats struct {
 }
 
 // Stats is the host-aggregate picture: per-open-volume stats, the
-// shared arena's occupancy table, and host-wide backend op counts
-// (zero-valued on FlatKeys hosts, which do not meter).
+// shared arena's occupancy table, host-wide backend op counts
+// (zero-valued on FlatKeys hosts, which do not meter), and the
+// aggregate GC picture across open volumes.
 type Stats struct {
 	Volumes []VolumeStats
 	Arena   readcache.ArenaStats
 	Backend objstore.Stats
+	GC      GCStats
+}
+
+// GCStats aggregates the garbage collectors of every open volume.
+// MeasuredWAF is the realized host-wide write amplification:
+// (foreground bytes + GC copy bytes) / foreground bytes — the quantity
+// each volume's GCWAFTarget budgets. Zero before any foreground write.
+type GCStats struct {
+	Runs        uint64
+	Victims     uint64
+	BytesCopied uint64
+	PaceWaits   uint64
+	Backoffs    uint64
+	Yields      uint64
+	MeasuredWAF float64
 }
 
 // Stats snapshots the host.
 func (h *Host) Stats() Stats {
 	var st Stats
+	var appended uint64
 	for _, e := range h.openSnapshot() {
-		st.Volumes = append(st.Volumes, VolumeStats{Name: e.Name, Stats: e.Disk.(*core.Disk).Stats()})
+		vs := e.Disk.(*core.Disk).Stats()
+		st.Volumes = append(st.Volumes, VolumeStats{Name: e.Name, Stats: vs})
+		st.GC.Runs += vs.Backend.GCRuns
+		st.GC.Victims += vs.Backend.GCVictims
+		st.GC.BytesCopied += vs.Backend.GCBytesCopied
+		st.GC.PaceWaits += vs.Backend.GCPaceWaits
+		st.GC.Backoffs += vs.Backend.GCBackoffs
+		st.GC.Yields += vs.Backend.GCYields
+		appended += vs.Backend.BytesAppended
+	}
+	if appended > 0 {
+		st.GC.MeasuredWAF = float64(appended+st.GC.BytesCopied) / float64(appended)
 	}
 	st.Arena = h.arena.Stats()
 	if h.meter != nil {
@@ -636,6 +664,17 @@ type WritePathCounters struct {
 	UploadGrants  uint64   `json:"upload_grants"`
 	UploadBorrows uint64   `json:"upload_borrows"`
 	UploadWaits   uint64   `json:"upload_waits"`
+	RunsCoalesced uint64   `json:"runs_coalesced"`
+
+	// GC service counters (format version >= 2).
+	GCRuns        uint64  `json:"gc_runs"`
+	GCVictims     uint64  `json:"gc_victims"`
+	GCCopiedBytes uint64  `json:"gc_copied_bytes"`
+	GCPaceWaits   uint64  `json:"gc_pace_waits"`
+	GCBackoffs    uint64  `json:"gc_backoffs"`
+	GCYields      uint64  `json:"gc_yields"`
+	GCWAFTarget   float64 `json:"gc_waf_target"`
+	GCMeasuredWAF float64 `json:"gc_measured_waf"`
 }
 
 type statsFile struct {
@@ -647,7 +686,7 @@ type statsFile struct {
 func writePathCounters(name string, st core.Stats) WritePathCounters {
 	hist := make([]uint64, len(st.WriteCache.BatchSizeHist))
 	copy(hist, st.WriteCache.BatchSizeHist[:])
-	return WritePathCounters{
+	row := WritePathCounters{
 		Volume:        name,
 		Writes:        st.Writes,
 		GroupBatches:  st.WriteCache.GroupBatches,
@@ -661,7 +700,20 @@ func writePathCounters(name string, st core.Stats) WritePathCounters {
 		UploadGrants:  st.Backend.UploadGrants,
 		UploadBorrows: st.Backend.UploadBorrows,
 		UploadWaits:   st.Backend.UploadWaits,
+		RunsCoalesced: st.RunsCoalesced,
+		GCRuns:        st.Backend.GCRuns,
+		GCVictims:     st.Backend.GCVictims,
+		GCCopiedBytes: st.Backend.GCBytesCopied,
+		GCPaceWaits:   st.Backend.GCPaceWaits,
+		GCBackoffs:    st.Backend.GCBackoffs,
+		GCYields:      st.Backend.GCYields,
+		GCWAFTarget:   st.Backend.GCWAFTarget,
 	}
+	if st.Backend.BytesAppended > 0 {
+		row.GCMeasuredWAF = float64(st.Backend.BytesAppended+st.Backend.GCBytesCopied) /
+			float64(st.Backend.BytesAppended)
+	}
+	return row
 }
 
 // persistStats writes the snapshot; FlatKeys hosts have no reserved
@@ -670,12 +722,25 @@ func (h *Host) persistStats(rows []WritePathCounters) {
 	if h.opts.FlatKeys {
 		return
 	}
-	f := statsFile{Version: 1, Volumes: rows}
+	f := statsFile{Version: statsVersion, Volumes: rows}
 	raw, err := json.Marshal(f)
 	if err != nil {
 		return
 	}
 	_ = h.retry.Put(context.Background(), statsKey, raw)
+}
+
+// statsVersion is the current snapshot format. Version 1 predates the
+// GC service counters; version-2 readers accept both (the GC fields
+// simply decode as zero) and report the version so tools can label an
+// older snapshot honestly.
+const statsVersion = 2
+
+// StatsSnapshot is the decoded host/stats object plus its format
+// version, for readers that care which fields are meaningful.
+type StatsSnapshot struct {
+	Version int
+	Volumes []WritePathCounters
 }
 
 // LoadWritePathStats reads the write-path counter snapshot persisted
@@ -684,6 +749,19 @@ func (h *Host) persistStats(rows []WritePathCounters) {
 //
 //lsvd:classifies-errors
 func LoadWritePathStats(ctx context.Context, store objstore.Store) ([]WritePathCounters, error) {
+	snap, err := LoadStatsSnapshot(ctx, store)
+	if err != nil || snap == nil {
+		return nil, err
+	}
+	return snap.Volumes, nil
+}
+
+// LoadStatsSnapshot is LoadWritePathStats with the format version
+// attached. Absent snapshots, unparseable ones and future formats all
+// yield nil, nil — the caller degrades to "n/a", never to an error.
+//
+//lsvd:classifies-errors
+func LoadStatsSnapshot(ctx context.Context, store objstore.Store) (*StatsSnapshot, error) {
 	raw, err := store.Get(ctx, statsKey)
 	if err != nil {
 		if errors.Is(err, objstore.ErrNotFound) {
@@ -692,8 +770,8 @@ func LoadWritePathStats(ctx context.Context, store objstore.Store) ([]WritePathC
 		return nil, err
 	}
 	var f statsFile
-	if err := json.Unmarshal(raw, &f); err != nil || f.Version != 1 {
+	if err := json.Unmarshal(raw, &f); err != nil || f.Version < 1 || f.Version > statsVersion {
 		return nil, nil
 	}
-	return f.Volumes, nil
+	return &StatsSnapshot{Version: f.Version, Volumes: f.Volumes}, nil
 }

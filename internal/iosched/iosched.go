@@ -27,6 +27,14 @@ type Gate struct {
 	held  int
 	users map[string]*gateUser
 
+	// bg tracks background-class users (AcquireBackground): no
+	// guaranteed share, and they yield not just to starved registered
+	// users but to ANY blocked foreground acquirer.
+	bg map[string]*gateUser
+	// fgWaiting counts foreground Acquire calls currently blocked; any
+	// nonzero value suspends background grants entirely.
+	fgWaiting int
+
 	// retired keeps unregistered users' counters so Stats stays
 	// meaningful after a volume closes (a re-registered id resumes
 	// accumulating on top of them).
@@ -55,7 +63,7 @@ func NewGate(capacity int) *Gate {
 	if capacity < 1 {
 		capacity = 1
 	}
-	g := &Gate{cap: capacity, users: make(map[string]*gateUser), retired: make(map[string]UserStats)}
+	g := &Gate{cap: capacity, users: make(map[string]*gateUser), bg: make(map[string]*gateUser), retired: make(map[string]UserStats)}
 	g.cond = sync.NewCond(&g.mu)
 	return g
 }
@@ -134,6 +142,14 @@ func (g *Gate) Acquire(id string) {
 		u.waiting++
 	}
 	blocked := false
+	granted := func() {
+		if blocked {
+			g.fgWaiting--
+			if u != nil {
+				u.waits++
+			}
+		}
+	}
 	for {
 		minShare := g.minShareLocked()
 		if g.held < g.cap {
@@ -143,9 +159,7 @@ func (g *Gate) Acquire(id string) {
 				u.held++
 				u.waiting--
 				u.grants++
-				if blocked {
-					u.waits++
-				}
+				granted()
 				return
 			}
 			if !g.starvedWaiterLocked(minShare) {
@@ -155,16 +169,61 @@ func (g *Gate) Acquire(id string) {
 					u.held++
 					u.waiting--
 					u.borrows++
-					if blocked {
-						u.waits++
-					}
 				}
+				granted()
 				return
 			}
+		}
+		if !blocked {
+			blocked = true
+			g.fgWaiting++
+		}
+		g.cond.Wait()
+	}
+}
+
+// AcquireBackground blocks until a slot can be granted to the
+// background class: only while capacity is idle, no foreground
+// acquirer is blocked, and no registered user is starved below its
+// share. Background users have no minimum share of their own — they
+// are pure scavengers of idle capacity (the GC service uses this so
+// its copy I/O never displaces a foreground upload).
+func (g *Gate) AcquireBackground(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	u := g.bg[id]
+	if u == nil {
+		u = &gateUser{}
+		g.bg[id] = u
+	}
+	u.waiting++
+	blocked := false
+	for {
+		if g.held < g.cap && g.fgWaiting == 0 && !g.starvedWaiterLocked(g.minShareLocked()) {
+			g.held++
+			u.held++
+			u.waiting--
+			u.borrows++
+			if blocked {
+				u.waits++
+			}
+			return
 		}
 		blocked = true
 		g.cond.Wait()
 	}
+}
+
+// ReleaseBackground returns a slot taken by AcquireBackground(id).
+func (g *Gate) ReleaseBackground(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	invariant.Assertf(g.held > 0, "iosched: background release of %q below zero", id)
+	g.held--
+	u := g.bg[id]
+	invariant.Assertf(u != nil && u.held > 0, "iosched: background user %q releasing unheld slot", id)
+	u.held--
+	g.cond.Broadcast()
 }
 
 // Release returns a slot taken by Acquire(id).
@@ -181,10 +240,15 @@ func (g *Gate) Release(id string) {
 }
 
 // Stats returns the per-user snapshot for id (zero if unregistered).
+// Background-class ids (AcquireBackground) are looked up too; their
+// grants all count as borrows by construction.
 func (g *Gate) Stats(id string) UserStats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	u := g.users[id]
+	if u == nil {
+		u = g.bg[id]
+	}
 	if u == nil {
 		return g.retired[id]
 	}

@@ -1052,7 +1052,11 @@ func (c *Cache) ReadFull(ext block.Extent, buf []byte) bool {
 // future: after a crash, recovery installs the GC object and the
 // image is no longer a prefix of the acknowledged writes (§3.4).
 func (c *Cache) ReadFullDestaged(ext block.Extent, buf []byte) bool {
+	// GC's FetchFromCache path: called while blockstore holds bs.mu, so
+	// this records the same bs.mu → wcache.mu edge as DestagePressure.
 	c.mu.RLock()
+	invariant.LockOrder("wcache.mu")
+	defer invariant.LockRelease("wcache.mu")
 	defer c.mu.RUnlock()
 	// The ring is writeSeq-ordered (records are reserved under the
 	// caller's write mutex), so the un-destaged records form a suffix.
@@ -1142,6 +1146,39 @@ func (c *Cache) Stats() Stats {
 		DevWrites: c.devWrites, ReserveWaits: c.reserveWaits,
 		BatchSizeHist: c.batchHist,
 	}
+}
+
+// DestagePressure reports whether the cache log is close enough to
+// full that destage throughput is what stands between writers and a
+// ring-full stall: more than half the log is dirty (written but not
+// yet destaged) or over 90% of it is in use. The GC service polls it
+// as a backpressure signal — relocation I/O competes with destage for
+// the same backend budget, so GC defers while the log is drowning.
+func (c *Cache) DestagePressure() bool {
+	// The GC service polls this while holding bs.mu: the bs.mu →
+	// wcache.mu edge must stay consistent with every other cross-layer
+	// path (FetchFromCache takes the same order).
+	c.mu.RLock()
+	invariant.LockOrder("wcache.mu")
+	defer invariant.LockRelease("wcache.mu")
+	defer c.mu.RUnlock()
+	logBytes := c.logEnd - c.logStart
+	if logBytes <= 0 {
+		return false
+	}
+	dirty := int64(0)
+	for _, r := range c.ring {
+		if r.typ == journal.TypeData && r.writeSeq > c.destagedSeq {
+			dirty += r.size
+		}
+	}
+	// Only the destage BACKLOG is pressure. Raw ring occupancy is not:
+	// already-destaged records sit in the ring until reserve lazily
+	// evicts them, so a quiet volume after a heavy run keeps a ~full log
+	// of clean records indefinitely — writers reclaim that space
+	// instantly, while an occupancy clause here would latch the backoff
+	// signal on and starve the GC forever.
+	return dirty*2 > logBytes
 }
 
 // Close checkpoints and flushes the cache, after waiting out any

@@ -398,6 +398,38 @@ func TestDirtyAccounting(t *testing.T) {
 	}
 }
 
+// TestDestagePressureClearsWhenClean: the GC backoff signal must track
+// the destage BACKLOG, not raw ring occupancy. Fill most of the log,
+// destage everything, and the pressure must clear even though the
+// (clean, lazily evicted) records still occupy the ring — the old
+// occupancy clause latched the signal on here and starved the GC of
+// copy budget forever on a quiet volume.
+func TestDestagePressureClearsWhenClean(t *testing.T) {
+	c, _ := newCache(t, 64*block.MiB, Config{})
+	logBytes := c.Stats().LogBytes
+	ext := block.Extent{LBA: 0, Sectors: 64}
+	data := payload(1, int(ext.Bytes()))
+	var ws uint64
+	// Write until well past the half-dirty threshold (stop shy of a
+	// ring wrap: the point is occupancy, not eviction).
+	for written := int64(0); written*3 < logBytes*2; written += ext.Bytes() {
+		ws++
+		if err := c.Append(ws, ext, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.DestagePressure() {
+		t.Fatal("no pressure with >half the log dirty")
+	}
+	c.SetDestaged(ws)
+	if st := c.Stats(); st.DirtyBytes != 0 || st.UsedBytes*2 < logBytes {
+		t.Fatalf("bad test setup: dirty=%d used=%d log=%d", st.DirtyBytes, st.UsedBytes, logBytes)
+	}
+	if c.DestagePressure() {
+		t.Fatal("pressure latched on by clean ring occupancy")
+	}
+}
+
 func BenchmarkAppend16K(b *testing.B) {
 	dev := simdev.NewMem(2 * block.GiB)
 	c, err := Format(dev, Config{CheckpointEvery: 1 << 30})

@@ -97,6 +97,7 @@ type VolumeOptions struct {
 	BatchBytes         int64   // backend object size (8 MiB)
 	GCLowWater         float64 // GC trigger utilization (0.70); <0 disables
 	GCHighWater        float64 // GC stop utilization (0.75)
+	GCWAFTarget        float64 // background GC write-amplification budget (2.0); <0 unpaces
 	PrefetchBytes      int64   // temporal read-ahead (128 KiB)
 	ReadCachePolicy    readcache.Policy
 
@@ -128,6 +129,7 @@ func (o VolumeOptions) coreOptions() core.Options {
 		BatchBytes:      o.BatchBytes,
 		GCLowWater:      o.GCLowWater,
 		GCHighWater:     o.GCHighWater,
+		GCWAFTarget:     o.GCWAFTarget,
 		ReadCachePolicy: o.ReadCachePolicy,
 
 		UploadDepth:       o.UploadDepth,
