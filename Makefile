@@ -15,10 +15,11 @@ FUZZ_TARGETS := \
 	./internal/nbd,FuzzHandshake \
 	./internal/nbd,FuzzRequestStream \
 	./internal/extmap,FuzzOpsOracle \
-	./internal/extmap,FuzzUnmarshalBinary
+	./internal/extmap,FuzzUnmarshalBinary \
+	./internal/blockstore,FuzzDecodeCheckpoint
 FUZZTIME ?= 10s
 
-.PHONY: all build fmt vet test race bench bench-read bench-multivol bench-multivol-profile bench-gc fault gc-torture vet-lsvd check-invariant fuzz-smoke check clean
+.PHONY: all build fmt vet test race bench bench-read bench-multivol bench-multivol-profile bench-gc bench-open fault gc-torture vet-lsvd check-invariant fuzz-smoke check clean
 
 all: check
 
@@ -47,6 +48,8 @@ fault:
 	LSVD_FAULT_SEED=1 $(GO) test -count=1 -run TestFaultTorture ./internal/consistency
 	LSVD_FAULT_SEED=100 LSVD_FAULT_RATE=0.35 LSVD_FAULT_ITERS=8 \
 		$(GO) test -count=1 -run TestFaultTorture ./internal/consistency
+	LSVD_FAULT_SEED=1 LSVD_FAULT_ITERS=32 \
+		$(GO) test -count=1 -run TestCheckpointCrashTorture ./internal/consistency
 
 # Destage-pipeline micro-benchmarks: sync vs async write-ack latency
 # and concurrent-reader throughput.
@@ -73,6 +76,14 @@ bench-multivol:
 # BENCH_gc.json. Runs without the env var as a smoke check in `check`.
 bench-gc:
 	LSVD_GCBENCH_OUT=BENCH_gc.json $(GO) test -count=1 -run TestGCSustained -v .
+
+# Fast-open benchmark (DESIGN.md §5h): crash-recovery open over a
+# 256-object suffix with the recovery fan-out vs the serial baseline
+# (gate: >=3x), plus foreground write-ack p999 with background
+# checkpoints on vs off (gate: <=1.5x), recording BENCH_open.json.
+# Runs without the env var as a smoke check in `check`.
+bench-open:
+	LSVD_OPENBENCH_OUT=BENCH_open.json $(GO) test -count=1 -run TestOpenRecoveryBench -v .
 
 # GC-specific torture: the concurrent-writer fault workload with the
 # paced service deliberately kept hungry, asserting per-writer prefix
@@ -112,7 +123,7 @@ check-invariant:
 # Replay the checked-in seed corpora, then give each fuzz target
 # FUZZTIME of coverage-guided exploration.
 fuzz-smoke:
-	$(GO) test -count=1 -run Fuzz ./internal/journal ./internal/nbd ./internal/extmap
+	$(GO) test -count=1 -run Fuzz ./internal/journal ./internal/nbd ./internal/extmap ./internal/blockstore
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%,*}; fn=$${t#*,}; \
 		echo "fuzz $$fn ($$pkg, $(FUZZTIME))"; \
@@ -120,7 +131,7 @@ fuzz-smoke:
 	done
 
 check: build fmt vet test race fault gc-torture vet-lsvd check-invariant fuzz-smoke
-	$(GO) test -count=1 -run 'TestReadPathQDSweep|TestMultiVolScaling|TestGCSustained' .
+	$(GO) test -count=1 -run 'TestReadPathQDSweep|TestMultiVolScaling|TestGCSustained|TestOpenRecoveryBench' .
 
 clean:
 	$(GO) clean -testcache

@@ -191,6 +191,13 @@ func main() {
 			totalData += st.DataSectors
 			fmt.Printf("volume %-12s %8d MiB  %4d objects  util %.2f  map %d extents\n",
 				name, s.VolSectors().Bytes()/(1<<20), st.Objects, s.Utilization(), st.MapExtents)
+			// Open/recovery telemetry for the open this command just
+			// performed: how much uncheckpointed suffix was replayed,
+			// the backend reads it cost, and the map-snapshot stall the
+			// last checkpoint would impose on foreground writes.
+			fmt.Printf("  %-12s open %.1f ms  %d objects replayed  %d recovery GETs  last ckpt stall %.1f us\n",
+				"", float64(st.OpenNanos)/1e6, st.RecoveredObjects, st.RecoveryGETs,
+				float64(st.LastCkptStallNanos)/1e3)
 		}
 		ops := meter.Stats()
 		fmt.Printf("host: %d volumes, %d objects, %d MiB live of %d MiB, BackendGETs %d PUTs %d\n",

@@ -190,6 +190,12 @@ func batchExtents(b *batch, seq uint32) (exts []journal.ExtentEntry, offs []int6
 // sealLocked builds the object for the pending batch, PUTs it, updates
 // the map and accounting, then runs checkpoint/GC policy.
 func (s *Store) sealLocked() error {
+	// A synchronous checkpoint may have dropped s.mu for its PUTs;
+	// reserving a sequence number during that window would defeat its
+	// failure rollback (see checkpointLocked).
+	for s.ckptActive {
+		s.commitCond.Wait()
+	}
 	if err := s.sweepOrphansLocked(); err != nil {
 		return err
 	}

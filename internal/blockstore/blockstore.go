@@ -105,6 +105,12 @@ type Config struct {
 	// read-miss fetch path (FetchSpan) keeps in flight across all
 	// readers. 0 leaves the pool unbounded; 1 serializes miss fetches.
 	FetchDepth int
+	// OpenFanout bounds the concurrent backend reads recovery issues
+	// while prefetching the replay suffix's headers (and the concurrent
+	// deletes for stranded objects). Replay APPLY order stays strictly
+	// sequential regardless — only the metadata round-trips overlap.
+	// Default 8; 1 recovers serially.
+	OpenFanout int
 
 	// UploadGate, when non-nil, replaces the store-private upload
 	// concurrency bound with a shared iosched.Gate: a multi-volume host
@@ -138,6 +144,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.GCWAFTarget == 0 {
 		c.GCWAFTarget = 2.0
+	}
+	if c.OpenFanout == 0 {
+		c.OpenFanout = 8
 	}
 	if c.Retry.MaxAttempts >= 0 && c.Store != nil {
 		if _, ok := c.Store.(*objstore.Retrier); !ok {
@@ -206,6 +215,15 @@ type Stats struct {
 	FetchesDeduped  uint64 // span fetches served by joining another reader's in-flight GET
 	RunsCoalesced   uint64 // extra map runs folded into an existing span GET
 	HeaderFetches   uint64 // object header fetches that went to the backend
+
+	// Recovery/open telemetry, fixed at Open time (zero for Create).
+	RecoveredObjects int    // objects replayed after the checkpoint at open
+	RecoveryGETs     uint64 // backend read ops (Get/GetRange/Size/List) open issued
+	OpenNanos        int64  // wall time of the last open/recovery
+	// LastCkptStallNanos is the s.mu hold time of the most recent
+	// checkpoint snapshot — the only part of a checkpoint foreground
+	// writes can ever stall behind.
+	LastCkptStallNanos int64
 }
 
 // Store is a log-structured block store for one volume.
@@ -279,6 +297,15 @@ type Store struct {
 	durableWriteSeq uint64
 	sinceCkpt       int
 
+	// Checkpoint machinery (checkpoint.go). ckptQueued: a checkpoint
+	// marker sits in the upload pipeline. ckptActive: a synchronous
+	// checkpoint has dropped s.mu for its PUTs; sequence reservations
+	// (seals, GC objects) wait on commitCond until it clears. ckptBuf
+	// is the payload encode buffer reused across checkpoints.
+	ckptQueued bool
+	ckptActive bool
+	ckptBuf    []byte
+
 	hdrCache map[uint32]*hdrEntry
 
 	// Header fetch singleflight (read.go): concurrent misses on the
@@ -298,6 +325,10 @@ type Store struct {
 		checkpoints, uploadRetries, sealStalls  uint64
 		gcVictims, gcPaceWaits, gcBackoffs      uint64
 		gcYields                                uint64
+		recoveredObjects                        int
+		recoveryGETs                            uint64
+		openNanos                               int64
+		lastCkptStallNanos                      int64
 	}
 
 	// Read-path counters are atomics: the fetch path never holds mu.
@@ -351,7 +382,12 @@ func Create(ctx context.Context, cfg Config) (*Store, error) {
 	s := newStore(ctx, cfg)
 	s.volSectors = cfg.VolSectors
 	s.nextSeq = 1
-	if err := s.checkpointLocked(); err != nil {
+	// checkpointLocked drops and retakes s.mu around its PUTs, so even
+	// this single-threaded caller must hold it.
+	s.mu.Lock()
+	err := s.checkpointLocked()
+	s.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	s.startGCService()
@@ -513,6 +549,11 @@ func (s *Store) Stats() Stats {
 		FetchesDeduped:  s.fetchStats.deduped.Load(),
 		RunsCoalesced:   s.fetchStats.coalesced.Load(),
 		HeaderFetches:   s.fetchStats.headerFetches.Load(),
+
+		RecoveredObjects:   s.stats.recoveredObjects,
+		RecoveryGETs:       s.stats.recoveryGETs,
+		OpenNanos:          s.stats.openNanos,
+		LastCkptStallNanos: s.stats.lastCkptStallNanos,
 	}
 	if s.gate != nil {
 		gs := s.gate.Stats(s.gateID)

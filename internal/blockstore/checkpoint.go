@@ -1,14 +1,50 @@
 package blockstore
 
 import (
-	"errors"
+	"encoding/binary"
+	"time"
 
 	"lsvd/internal/invariant"
 	"lsvd/internal/journal"
-	"lsvd/internal/objstore"
 )
 
-// checkpoint payload: the serialized object map, the object table,
+// Checkpoints (§3.3) are written WITHOUT holding s.mu across backend
+// I/O: the map and object table are snapshotted under a short lock
+// (ckptShot), then the encode finish and the two PUTs — checkpoint
+// object, then superblock — run with the lock released. Two paths
+// share the snapshot/PUT/finalize pieces:
+//
+//   - The periodic checkpoint on the asynchronous write path is a
+//     MARKER in the upload pipeline (queueCheckpointLocked): it
+//     reserves its sequence number at seal time, and the snapshot is
+//     taken only when the marker reaches the front of the in-flight
+//     list — i.e. once every earlier object has committed — so the
+//     checkpoint covers exactly the committed prefix without draining
+//     the pipeline. Later objects cannot commit until the marker is
+//     done (the in-order commit walk stops at it), so a crash can
+//     never leave acked data above a gap at the checkpoint's sequence.
+//   - checkpointLocked is the synchronous path (Create, Clone, the
+//     Checkpoint API, snapshot creation, sync-mode seals, the GC
+//     service's idle checkpoint): callers drain the pipeline first;
+//     ckptActive parks every sequence reservation while the lock is
+//     down so a failed checkpoint can return its sequence number and
+//     no gap is ever left in the log.
+//
+// Ordering rules the crash-consistency tests depend on:
+//
+//   1. The superblock PUT starts only after the checkpoint object PUT
+//      completed — the super never names a checkpoint that isn't
+//      durable.
+//   2. Deferred GC victim deletions released by a checkpoint run only
+//      after the super PUT succeeded — deleting a victim below the
+//      named checkpoint earlier would hole the replayable prefix.
+//   3. While a checkpoint marker is queued, GC object writes wait
+//      (writeGCObjectLocked): a GC object with a sequence number above
+//      the checkpoint's must not enter the checkpoint's map snapshot,
+//      or recovery's gap rule could delete an object the recovered map
+//      still references.
+
+// checkpointPayload: the serialized object map, the object table,
 // deferred deletes, the durable write watermark and a pointer to the
 // previous checkpoint (for snapshot mounts that need an older one).
 type checkpointPayload struct {
@@ -20,12 +56,37 @@ type checkpointPayload struct {
 	mapBytes        []byte
 }
 
-func (s *Store) encodeCheckpoint() ([]byte, error) {
-	mapBytes, err := s.m.MarshalBinary()
-	if err != nil {
-		return nil, err
+// ckptShot is one checkpoint's state snapshot, taken under s.mu in
+// fillCkptShotLocked and consumed off-lock by putCheckpoint. payload
+// aliases s.ckptBuf (reused across checkpoints; the single-flight
+// guards — ckptQueued for markers, ckptActive for the synchronous
+// path — keep at most one shot alive). rec and objDone carry resubmit
+// state: a retry after a failed superblock PUT reuses the encoded
+// record and skips the already-durable object PUT.
+type ckptShot struct {
+	seq      uint32
+	writeSeq uint64
+	payload  []byte
+	super    []byte
+	nPending int
+	prevTick int // sinceCkpt before the snapshot, restored on sync-path failure
+
+	rec     []byte
+	objDone bool
+}
+
+// fillCkptShotLocked snapshots the volume state for a checkpoint at
+// shot.seq (already reserved by the caller) into the reused encode
+// buffer. It is the only part of a checkpoint that runs under s.mu;
+// its duration is the foreground stall and is recorded for the
+// tooling.
+func (s *Store) fillCkptShotLocked(shot *ckptShot) error {
+	start := time.Now()
+	if err := s.sweepOrphansLocked(); err != nil {
+		return err
 	}
 	var w binWriter
+	w.buf = s.ckptBuf[:0]
 	w.u32(s.lastCkpt)
 	w.u64(s.durableWriteSeq)
 	w.u32(s.nextSeq)
@@ -39,14 +100,167 @@ func (s *Store) encodeCheckpoint() ([]byte, error) {
 		w.u32(o.liveSectors)
 		w.u64(o.writeSeq)
 	}
-	deferred := append(append([]deferredDelete{}, s.deferred...), s.pending...)
-	w.u32(uint32(len(deferred)))
-	for _, d := range deferred {
+	w.u32(uint32(len(s.deferred) + len(s.pending)))
+	for _, d := range s.deferred {
 		w.u32(d.Obj)
 		w.u32(d.GCSeq)
 	}
-	w.bytes(mapBytes)
-	return w.buf, nil
+	for _, d := range s.pending {
+		w.u32(d.Obj)
+		w.u32(d.GCSeq)
+	}
+	// The map marshals straight into the payload buffer behind its
+	// length prefix — no intermediate allocation.
+	lenOff := len(w.buf)
+	w.u32(0)
+	w.buf = s.m.AppendBinary(w.buf)
+	binary.LittleEndian.PutUint32(w.buf[lenOff:], uint32(len(w.buf)-lenOff-4))
+	s.ckptBuf = w.buf
+
+	super, err := encodeSuper(&superblock{
+		volSectors: s.volSectors, lastCkpt: shot.seq,
+		baseVol: s.baseVol, baseSeq: s.baseSeq, snapshots: s.snapshots,
+	})
+	if err != nil {
+		return err
+	}
+	shot.payload = w.buf
+	shot.super = super
+	shot.writeSeq = s.durableWriteSeq
+	shot.nPending = len(s.pending)
+	shot.prevTick = s.sinceCkpt
+	s.sinceCkpt = 0
+	s.stats.lastCkptStallNanos = time.Since(start).Nanoseconds()
+	return nil
+}
+
+// putCheckpoint performs a checkpoint's backend I/O. Called WITHOUT
+// s.mu held. The superblock PUT is ordered strictly after the
+// checkpoint object is durable (rule 1 above). It deliberately takes
+// no upload-gate slot: a GC pass parked on ckptQueued may hold gate
+// slots, so gating the checkpoint could deadlock — and checkpoints are
+// rare control-plane I/O.
+func (s *Store) putCheckpoint(shot *ckptShot) error {
+	if shot.rec == nil {
+		h := &journal.Header{
+			Type: journal.TypeCheckpoint, Seq: uint64(shot.seq),
+			WriteSeq: shot.writeSeq, DataLen: uint64(len(shot.payload)),
+		}
+		rec, err := journal.EncodeSectorHeader(h, shot.payload)
+		if err != nil {
+			return err
+		}
+		shot.rec = rec
+	}
+	if !shot.objDone {
+		if err := s.cfg.Store.Put(s.ctx, objName(s.cfg.Volume, shot.seq), shot.rec); err != nil {
+			return err
+		}
+		shot.objDone = true
+	}
+	return s.cfg.Store.Put(s.ctx, superName(s.cfg.Volume), shot.super)
+}
+
+// finalizeCheckpointLocked applies a durable checkpoint (object and
+// super both PUT) to the in-memory state and releases the GC victim
+// deletions that were waiting for it (rule 2 above). Only the pending
+// entries that existed at snapshot time are released — the payload's
+// deferred list covers exactly those, so recovery can re-drive a
+// delete the crash interrupted; entries queued since wait for the next
+// checkpoint.
+func (s *Store) finalizeCheckpointLocked(shot *ckptShot) {
+	s.objects[shot.seq] = &objInfo{seq: shot.seq, typ: journal.TypeCheckpoint, totalBytes: int64(len(shot.rec))}
+	s.lastCkpt = shot.seq
+	s.stats.checkpoints++
+	released := s.pending[:shot.nPending]
+	s.pending = append([]deferredDelete(nil), s.pending[shot.nPending:]...)
+	for _, d := range released {
+		if err := s.completeDelete(d); err != nil {
+			// Deletion is space reclaim, not correctness: a transient
+			// Delete failure re-defers the object to the next
+			// checkpoint instead of failing this one.
+			s.pending = append(s.pending, d)
+		}
+	}
+}
+
+// Checkpoint writes the volume's map and metadata as a numbered object
+// in the stream (§3.3), updates the superblock pointer, and releases
+// object deletions that were waiting for a checkpoint.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	// A checkpoint must never record a nextSeq beyond an uncommitted
+	// object (recovery replay only covers seqs after the checkpoint),
+	// so drain the upload pipeline first.
+	if s.cfg.UploadDepth > 0 {
+		for _, inf := range s.inflight {
+			if inf.done && inf.err != nil {
+				inf.attempts = 0
+			}
+		}
+		s.resubmitFailedLocked()
+		if err := s.waitInflightLocked(); err != nil {
+			return err
+		}
+	}
+	return s.checkpointLocked()
+}
+
+// checkpointLocked is the synchronous checkpoint: snapshot under s.mu,
+// PUT with the lock RELEASED, finalize. Callers hold s.mu with the
+// upload pipeline drained. ckptActive single-flights concurrent
+// synchronous checkpoints and parks every sequence reservation (seals,
+// GC objects) for the duration of the lock drop, so on failure the
+// reserved sequence number can be returned with no gap left behind.
+func (s *Store) checkpointLocked() error {
+	for s.ckptActive {
+		s.commitCond.Wait()
+	}
+	invariant.Assertf(!s.ckptQueued,
+		"blockstore: synchronous checkpoint with a checkpoint marker still queued")
+	shot := &ckptShot{seq: s.nextSeq}
+	s.nextSeq++
+	if err := s.fillCkptShotLocked(shot); err != nil {
+		s.nextSeq--
+		return err
+	}
+	s.ckptActive = true
+	s.mu.Unlock()
+	err := s.putCheckpoint(shot)
+	s.mu.Lock()
+	s.ckptActive = false
+	if err != nil {
+		// No reservation advanced while ckptActive: the checkpoint's
+		// sequence number goes back so the log stays gapless. A
+		// checkpoint object whose PUT landed but whose super didn't is
+		// either overwritten by the next object at this seq or replayed
+		// wholesale by recovery — both consistent.
+		invariant.Assertf(s.nextSeq == shot.seq+1,
+			"blockstore: sequence %d reserved during a synchronous checkpoint at %d", s.nextSeq-1, shot.seq)
+		s.nextSeq = shot.seq
+		s.sinceCkpt = shot.prevTick
+		s.commitCond.Broadcast()
+		return err
+	}
+	s.finalizeCheckpointLocked(shot)
+	s.commitCond.Broadcast()
+	return nil
+}
+
+// completeDelete deletes a cleaned object unless a snapshot pins it,
+// in which case it joins the persistent deferred list.
+func (s *Store) completeDelete(d deferredDelete) error {
+	for _, sn := range s.snapshots {
+		if sn.Seq >= d.Obj && sn.Seq < d.GCSeq {
+			s.deferred = append(s.deferred, d)
+			return nil
+		}
+	}
+	return s.deleteObject(d.Obj)
 }
 
 func decodeCheckpoint(data []byte) (*checkpointPayload, error) {
@@ -77,113 +291,4 @@ func decodeCheckpoint(data []byte) (*checkpointPayload, error) {
 		return nil, r.err
 	}
 	return p, nil
-}
-
-// Checkpoint writes the volume's map and metadata as a numbered object
-// in the stream (§3.3), updates the superblock pointer, and releases
-// object deletions that were waiting for a checkpoint.
-func (s *Store) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.readOnly {
-		return ErrReadOnly
-	}
-	// A checkpoint must never record a nextSeq beyond an uncommitted
-	// object (recovery replay only covers seqs after the checkpoint),
-	// so drain the upload pipeline first.
-	if s.cfg.UploadDepth > 0 {
-		for _, inf := range s.inflight {
-			if inf.done && inf.err != nil {
-				inf.attempts = 0
-			}
-		}
-		s.resubmitFailedLocked()
-		if err := s.waitInflightLocked(); err != nil {
-			return err
-		}
-	}
-	return s.checkpointLocked()
-}
-
-func (s *Store) checkpointLocked() error {
-	if err := s.sweepOrphansLocked(); err != nil {
-		return err
-	}
-	payload, err := s.encodeCheckpoint()
-	if err != nil {
-		return err
-	}
-	seq := s.nextSeq
-	h := &journal.Header{Type: journal.TypeCheckpoint, Seq: uint64(seq), WriteSeq: s.durableWriteSeq, DataLen: uint64(len(payload))}
-	rec, err := journal.EncodeSectorHeader(h, payload)
-	if err != nil {
-		return err
-	}
-	//lsvd:ignore the checkpoint PUT must be atomic with the seq reservation and map snapshot under mu; checkpoints are rare control-plane I/O
-	if err := s.cfg.Store.Put(s.ctx, objName(s.cfg.Volume, seq), rec); err != nil {
-		return err
-	}
-	s.objects[seq] = &objInfo{seq: seq, typ: journal.TypeCheckpoint, totalBytes: int64(len(rec))}
-	prevCkpt := s.lastCkpt
-	s.lastCkpt = seq
-	s.nextSeq++
-	s.sinceCkpt = 0
-	s.stats.checkpoints++
-	if err := s.writeSuper(); err != nil {
-		// Roll back the pointer: the super still names the old
-		// checkpoint, which remains valid.
-		s.lastCkpt = prevCkpt
-		return err
-	}
-	// GC deletions deferred to "after the next checkpoint" (§3.3) can
-	// now proceed, subject to snapshot deferral (§3.6).
-	pending := s.pending
-	s.pending = nil
-	for _, d := range pending {
-		if err := s.completeDelete(d); err != nil {
-			// Deletion is space reclaim, not correctness: a transient
-			// Delete failure re-defers the object to the next
-			// checkpoint instead of failing this one.
-			s.pending = append(s.pending, d)
-		}
-	}
-	return nil
-}
-
-// completeDelete deletes a cleaned object unless a snapshot pins it,
-// in which case it joins the persistent deferred list.
-func (s *Store) completeDelete(d deferredDelete) error {
-	for _, sn := range s.snapshots {
-		if sn.Seq >= d.Obj && sn.Seq < d.GCSeq {
-			s.deferred = append(s.deferred, d)
-			return nil
-		}
-	}
-	return s.deleteObject(d.Obj)
-}
-
-// deleteObject removes a backend object and its bookkeeping. Deleting
-// an already-missing object succeeds — the orphan sweep may retry a
-// deletion that raced with an earlier success.
-func (s *Store) deleteObject(seq uint32) error {
-	//lsvd:ignore deletion must be atomic with the object-table update under mu; GC is off the data path
-	if err := s.cfg.Store.Delete(s.ctx, s.name(seq)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
-		return err
-	}
-	if o := s.objects[seq]; s.utilCounted(o) {
-		invariant.Assertf(s.utilLive >= uint64(o.liveSectors) && s.utilData >= uint64(o.dataSectors),
-			"blockstore: utilization underflow deleting object %d", seq)
-		// An object's utilization contribution is removed only here, at
-		// delete retirement — never when the GC merely marks it cleaned
-		// (utilizationLocked excludes cleaned objects on the fly), so an
-		// aborted pass or a crash before the delete cannot strand the
-		// counters.
-		s.utilLive -= uint64(o.liveSectors)
-		s.utilData -= uint64(o.dataSectors)
-	}
-	delete(s.objects, seq)
-	delete(s.hdrCache, seq)
-	delete(s.cleaned, seq)
-	s.stats.objectsDeleted++
-	return nil
 }

@@ -619,18 +619,51 @@ func (s *Store) writeGCObjectLocked(pieces []gcPiece) error {
 		bufs[i] = data
 	}
 
-	// Take the gate slot for the PUT before reserving the sequence
-	// number: the acquire can block on foreground traffic and must not
-	// happen inside the seq-reservation critical section (or under mu
-	// at all).
-	if s.gate != nil {
-		s.mu.Unlock()
-		s.gcGateAcquire()
-		s.mu.Lock()
-		defer s.gcGateRelease()
+	// Two conditions gate the seq-reservation critical section below,
+	// and they must be satisfied simultaneously while never holding one
+	// across a wait for the other:
+	//
+	//   - No checkpoint underway. ckptActive: a synchronous checkpoint
+	//     dropped s.mu and relies on no sequence reservation happening
+	//     meanwhile. ckptQueued: a checkpoint marker is pending in the
+	//     upload pipeline, and a GC object sequenced ABOVE the marker
+	//     must not enter its state snapshot — recovery's gap rule could
+	//     delete the GC object (an uncommitted data object below it
+	//     leaves a gap) while the recovered map still references it,
+	//     after the checkpoint already released its victims.
+	//   - A gate slot for the PUT, taken before reserving the sequence
+	//     number: the acquire can block on foreground traffic and must
+	//     not happen inside the critical section (or under mu at all).
+	//     It must also not be HELD while waiting out a checkpoint: the
+	//     marker only completes once the uploads ahead of it drain
+	//     through this same gate.
+	for {
+		for s.ckptActive || s.ckptQueued {
+			if s.aborting {
+				return errGCAborted
+			}
+			s.commitCond.Wait()
+		}
 		if s.aborting {
 			return errGCAborted
 		}
+		if s.gate == nil {
+			break
+		}
+		s.mu.Unlock()
+		s.gcGateAcquire()
+		s.mu.Lock()
+		if s.aborting {
+			s.gcGateRelease()
+			return errGCAborted
+		}
+		if !s.ckptActive && !s.ckptQueued {
+			defer s.gcGateRelease()
+			break
+		}
+		// A checkpoint slipped in while the gate acquire blocked: give
+		// the slot back so the pipeline can drain, and wait it out.
+		s.gcGateRelease()
 	}
 
 	exts := make([]journal.ExtentEntry, 0, len(pieces))
@@ -680,5 +713,31 @@ func (s *Store) writeGCObjectLocked(pieces []gcPiece) error {
 	s.installObject(info, mapped, nil)
 	s.nextSeq++
 	s.sinceCkpt++
+	return nil
+}
+
+// deleteObject removes a backend object and its bookkeeping. Deleting
+// an already-missing object succeeds — the orphan sweep may retry a
+// deletion that raced with an earlier success.
+func (s *Store) deleteObject(seq uint32) error {
+	//lsvd:ignore deletion must be atomic with the object-table update under mu; GC is off the data path
+	if err := s.cfg.Store.Delete(s.ctx, s.name(seq)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
+		return err
+	}
+	if o := s.objects[seq]; s.utilCounted(o) {
+		invariant.Assertf(s.utilLive >= uint64(o.liveSectors) && s.utilData >= uint64(o.dataSectors),
+			"blockstore: utilization underflow deleting object %d", seq)
+		// An object's utilization contribution is removed only here, at
+		// delete retirement — never when the GC merely marks it cleaned
+		// (utilizationLocked excludes cleaned objects on the fly), so an
+		// aborted pass or a crash before the delete cannot strand the
+		// counters.
+		s.utilLive -= uint64(o.liveSectors)
+		s.utilData -= uint64(o.dataSectors)
+	}
+	delete(s.objects, seq)
+	delete(s.hdrCache, seq)
+	delete(s.cleaned, seq)
+	s.stats.objectsDeleted++
 	return nil
 }

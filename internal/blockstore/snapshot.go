@@ -58,6 +58,27 @@ func (s *Store) DeleteSnapshot(name string) error {
 	if idx < 0 {
 		return fmt.Errorf("blockstore: snapshot %q not found", name)
 	}
+	// The superblock rewrite below must not race a checkpoint's
+	// off-lock super PUT (marker in the pipeline or a synchronous
+	// checkpoint's lock-drop window) — last-writer-wins on the super
+	// could resurrect the snapshot or lose the checkpoint pointer. Wait
+	// out any synchronous checkpoint, then drain the pipeline; holding
+	// s.mu from here on keeps new checkpoints out until the super is
+	// written.
+	for s.ckptActive {
+		s.commitCond.Wait()
+	}
+	if s.cfg.UploadDepth > 0 {
+		for _, inf := range s.inflight {
+			if inf.done && inf.err != nil {
+				inf.attempts = 0
+			}
+		}
+		s.resubmitFailedLocked()
+		if err := s.waitInflightLocked(); err != nil {
+			return err
+		}
+	}
 	s.snapshots = append(s.snapshots[:idx], s.snapshots[idx+1:]...)
 	deferred := s.deferred
 	s.deferred = nil

@@ -54,6 +54,12 @@ type inflightObj struct {
 	info   *objInfo
 	mapped []mappedExtent
 
+	// ckpt marks this entry as a checkpoint marker rather than a data
+	// object (see checkpoint.go). The shot is filled when the marker
+	// reaches the front of the list; seq is reserved at queue time so
+	// the log stays dense.
+	ckpt *ckptShot
+
 	done     bool
 	err      error
 	attempts int
@@ -61,11 +67,14 @@ type inflightObj struct {
 
 // sealAsyncLocked seals the pending batch into an in-flight object and
 // starts its upload. It blocks (releasing no state; the condition
-// variable drops s.mu) while the pipeline is at capacity, and fences
-// the pipeline for the periodic checkpoint: a checkpoint must never
-// record a nextSeq beyond an uncommitted object, or recovery replay
-// (which covers only seqs after the checkpoint) would skip it.
+// variable drops s.mu) while the pipeline is at capacity. The periodic
+// checkpoint is queued as a pipeline marker, not taken inline: the old
+// design drained the pipeline and PUT the checkpoint under s.mu here,
+// which was the foreground p999 cliff this marker design removes.
 func (s *Store) sealAsyncLocked() error {
+	for s.ckptActive {
+		s.commitCond.Wait()
+	}
 	if err := s.sweepOrphansLocked(); err != nil {
 		return err
 	}
@@ -75,13 +84,8 @@ func (s *Store) sealAsyncLocked() error {
 	if err := s.reserveUploadSlotLocked(); err != nil {
 		return err
 	}
-	if s.sinceCkpt >= s.cfg.CheckpointEvery {
-		if err := s.waitInflightLocked(); err != nil {
-			return err
-		}
-		if err := s.checkpointLocked(); err != nil {
-			return err
-		}
+	if s.sinceCkpt >= s.cfg.CheckpointEvery && !s.ckptQueued {
+		s.queueCheckpointLocked()
 	}
 
 	b := s.batch
@@ -98,6 +102,66 @@ func (s *Store) sealAsyncLocked() error {
 	s.nextSeq++
 	s.startUploadLocked(inf)
 	return nil
+}
+
+// queueCheckpointLocked reserves the next sequence number for a
+// checkpoint and enqueues it as a marker in the upload pipeline. The
+// state snapshot is NOT taken here: it happens when the marker reaches
+// the front of the in-flight list — once every earlier object has
+// committed — so the checkpoint covers exactly the committed prefix
+// without draining the pipeline. sinceCkpt resets now so following
+// seals don't queue a second marker, and resets again at snapshot time
+// so objects that commit behind the marker (and are therefore inside
+// its snapshot) don't count toward the next interval.
+func (s *Store) queueCheckpointLocked() {
+	inf := &inflightObj{seq: s.nextSeq, ckpt: &ckptShot{seq: s.nextSeq}}
+	s.nextSeq++
+	s.sinceCkpt = 0
+	s.ckptQueued = true
+	s.inflight = append(s.inflight, inf)
+	if len(s.inflight) == 1 {
+		s.startCheckpointLocked(inf)
+	}
+}
+
+// startCheckpointLocked snapshots state for a front-of-pipeline
+// checkpoint marker (first attempt only) and issues its PUTs on a
+// fresh goroutine. Finalization happens on that goroutine, under s.mu,
+// BEFORE done is set — so by the time the commit walk dequeues the
+// marker, lastCkpt and the deferred-delete release are already applied
+// and no object after the marker can commit past an undurable
+// checkpoint.
+func (s *Store) startCheckpointLocked(inf *inflightObj) {
+	inf.done, inf.err = false, nil
+	inf.attempts++
+	if inf.attempts > 1 {
+		s.stats.uploadRetries++
+	}
+	shot := inf.ckpt
+	if shot.payload == nil {
+		if err := s.fillCkptShotLocked(shot); err != nil {
+			inf.done, inf.err = true, err
+			s.commitCond.Broadcast()
+			return
+		}
+	}
+	invariant.Go("blockstore-checkpoint", func() {
+		err := s.putCheckpoint(shot)
+		s.mu.Lock()
+		var post func()
+		if err == nil {
+			s.finalizeCheckpointLocked(shot)
+			inf.done, inf.err = true, nil
+			post = s.commitReadyLocked()
+		} else {
+			inf.done, inf.err = true, err
+		}
+		s.commitCond.Broadcast()
+		s.mu.Unlock()
+		if post != nil {
+			post()
+		}
+	})
 }
 
 // reserveUploadSlotLocked waits until the in-flight list has room for
@@ -130,6 +194,10 @@ func (s *Store) reserveUploadSlotLocked() error {
 // the object marshal happens under the gate slot too — it is part of
 // the upload's cost, and keeping it off s.mu is the point.
 func (s *Store) startUploadLocked(inf *inflightObj) {
+	if inf.ckpt != nil {
+		s.startCheckpointLocked(inf)
+		return
+	}
 	inf.done, inf.err = false, nil
 	inf.attempts++
 	if inf.attempts > 1 {
@@ -184,6 +252,21 @@ func (s *Store) commitReadyLocked() func() {
 	var committed int64
 	for len(s.inflight) > 0 {
 		inf := s.inflight[0]
+		if inf.ckpt != nil {
+			if inf.done && inf.err == nil {
+				// Already finalized by its goroutine; just dequeue so
+				// the objects behind it can commit.
+				s.inflight = s.inflight[1:]
+				s.ckptQueued = false
+				continue
+			}
+			if inf.attempts == 0 && !s.aborting {
+				// The marker just reached the front: every earlier
+				// object has committed, snapshot and start the PUTs.
+				s.startCheckpointLocked(inf)
+			}
+			break
+		}
 		if !inf.done || inf.err != nil {
 			break
 		}
@@ -321,8 +404,14 @@ func (s *Store) Abort() {
 	// below then covers its in-progress pass like any other.
 	s.gcCond.Broadcast()
 	for {
-		busy := s.gcBusy
+		busy := s.gcBusy || s.ckptActive
 		for _, inf := range s.inflight {
+			if inf.ckpt != nil && inf.attempts == 0 {
+				// A queued checkpoint marker that never reached the
+				// front has no I/O in flight, and the commit walk will
+				// not start one while aborting — don't wait for it.
+				continue
+			}
 			if !inf.done {
 				busy = true
 				break

@@ -98,6 +98,12 @@ type Options struct {
 	// serializes all miss fetches (the pre-pipeline behavior, used as
 	// the benchmark baseline).
 	FetchDepth int
+	// OpenFanout bounds the concurrent backend reads recovery issues
+	// while replaying the log suffix at open (header probes, sizes,
+	// stranded-object deletes). Replay application stays strictly
+	// sequence-ordered regardless. 0 selects the block-store default
+	// (8); 1 serializes recovery I/O (the benchmark baseline).
+	OpenFanout int
 	// DestageQueueDepth is the capacity of the in-memory destage queue
 	// between WriteAt and the destager goroutine; a full queue blocks
 	// the writer (§3.2 backpressure). Default 256 requests.
@@ -133,6 +139,7 @@ type HostOptions struct {
 	ReadCachePolicy readcache.Policy
 	UploadDepth     int
 	FetchDepth      int
+	OpenFanout      int
 	Retry           objstore.RetryPolicy
 }
 
@@ -159,7 +166,8 @@ func (o Options) Split() (HostOptions, VolumeOptions) {
 	return HostOptions{
 			Store: o.Store, CacheDev: o.CacheDev,
 			WriteCacheFrac: o.WriteCacheFrac, ReadCachePolicy: o.ReadCachePolicy,
-			UploadDepth: o.UploadDepth, FetchDepth: o.FetchDepth, Retry: o.Retry,
+			UploadDepth: o.UploadDepth, FetchDepth: o.FetchDepth,
+			OpenFanout: o.OpenFanout, Retry: o.Retry,
 		}, VolumeOptions{
 			Volume: o.Volume, VolBytes: o.VolBytes, BatchBytes: o.BatchBytes,
 			GCLowWater: o.GCLowWater, GCHighWater: o.GCHighWater,
@@ -186,6 +194,7 @@ func Combine(h HostOptions, v VolumeOptions) Options {
 		ReadbackThroughSSD:        v.ReadbackThroughSSD,
 		DisableGCCacheFetch:       v.DisableGCCacheFetch,
 		UploadDepth:               h.UploadDepth, FetchDepth: h.FetchDepth,
+		OpenFanout:        h.OpenFanout,
 		DestageQueueDepth: v.DestageQueueDepth, SyncDestage: v.SyncDestage,
 		Retry: h.Retry,
 	}
@@ -260,6 +269,7 @@ type Stats struct {
 	PrefetchedSectors             uint64
 	WriteSeq                      uint64
 	RecoveredReplayed             int    // cache records replayed to backend at open
+	OpenNanos                     int64  // wall time of the open/recovery sequence
 	DestageQueued                 int    // requests waiting in the destage queue
 	RingKicks                     uint64 // ring-full: non-fencing seals kicked
 	RingFences                    uint64 // ring-full: watermark stalled, full fence
@@ -421,6 +431,7 @@ type Disk struct {
 
 	c                 counters
 	recoveredReplayed int
+	openNanos         int64
 }
 
 // ErrReadOnly is returned for mutations on snapshot mounts.
@@ -519,6 +530,7 @@ func Open(ctx context.Context, opts Options) (*Disk, error) {
 // nil, which is plain Open).
 func OpenShared(ctx context.Context, opts Options, res *Resources) (*Disk, error) {
 	opts.setDefaults()
+	start := time.Now()
 	d := &Disk{opts: opts, destageTick: make(chan struct{}, 1)}
 	wcDev, err := d.attachCaches(res)
 	if err != nil {
@@ -564,6 +576,7 @@ func OpenShared(ctx context.Context, opts Options, res *Resources) (*Disk, error
 		ws = m
 	}
 	d.writeSeq.Store(ws)
+	d.openNanos = int64(time.Since(start))
 	d.startPipeline()
 	return d, nil
 }
@@ -627,6 +640,7 @@ func (d *Disk) storeConfig() blockstore.Config {
 		},
 		Retry:      d.opts.Retry,
 		FetchDepth: d.opts.FetchDepth,
+		OpenFanout: d.opts.OpenFanout,
 	}
 	if !d.opts.SyncDestage && !d.readOnly {
 		cfg.UploadDepth = d.opts.UploadDepth
@@ -1337,6 +1351,7 @@ func (d *Disk) Stats() Stats {
 		PrefetchedSectors:    d.c.prefetchedSectors.Load(),
 		WriteSeq:             d.writeSeq.Load(),
 		RecoveredReplayed:    d.recoveredReplayed,
+		OpenNanos:            d.openNanos,
 		AdmissionsDropped:    d.adm.dropped.Load(),
 		RingKicks:            d.ringKicks.Load(),
 		RingFences:           d.ringFences.Load(),

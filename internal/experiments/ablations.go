@@ -90,8 +90,14 @@ func Ablations(ctx context.Context, e Env) (*Table, error) {
 	{
 		var gets [2]uint64
 		for i, disable := range []bool{true, false} {
+			// GCLowWater -1 disables the background service so the
+			// explicit RunGC below does all the cleaning: how many GC
+			// passes the paced service fits in before Drain returns is
+			// scheduling-dependent, and this ablation compares absolute
+			// GET counts between the two runs.
 			st, err := newLSVD(ctx, e, e.bigCache(), cluster.SSDConfig1(), core.Options{
 				DisableGCCacheFetch: disable, BatchBytes: 1 * block.MiB, WriteCacheFrac: 0.6,
+				GCLowWater: -1,
 			})
 			if err != nil {
 				return nil, err
@@ -108,6 +114,9 @@ func Ablations(ctx context.Context, e Env) (*Table, error) {
 				}
 			}
 			if err := st.disk.Drain(); err != nil {
+				return nil, err
+			}
+			if err := st.disk.RunGC(); err != nil {
 				return nil, err
 			}
 			s := st.store.Stats()

@@ -40,6 +40,10 @@ type Env struct {
 	// FetchDepth overrides core.Options.FetchDepth (1 serializes the
 	// read-miss path, for before/after comparisons of the fan-out).
 	FetchDepth int
+	// OpenFanout overrides core.Options.OpenFanout (1 serializes
+	// recovery I/O at open, for before/after comparisons of the
+	// parallel replay).
+	OpenFanout int
 	// GroupStall overrides core.Options.GroupCommitStall, the time
 	// the group-commit leader lingers for followers per batch.
 	GroupStall time.Duration
@@ -64,6 +68,9 @@ func (e Env) tune(opts *core.Options) {
 	}
 	if e.FetchDepth != 0 {
 		opts.FetchDepth = e.FetchDepth
+	}
+	if e.OpenFanout != 0 {
+		opts.OpenFanout = e.OpenFanout
 	}
 	if e.GroupStall != 0 {
 		opts.GroupCommitStall = e.GroupStall

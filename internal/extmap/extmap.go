@@ -469,7 +469,24 @@ const entrySize = 8 + 4 + 4 + 8 // start, sectors, obj, off
 
 // MarshalBinary serializes the map (checkpoints, §3.3).
 func (m *Map) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 4+m.count*entrySize)
+	return m.AppendBinary(nil), nil
+}
+
+// AppendBinary appends the serialized map to dst and returns the
+// extended slice, reusing dst's capacity. Checkpointing calls it with
+// the previous checkpoint's buffer so the periodic map snapshot stops
+// allocating once the buffer reaches steady-state size — the snapshot
+// happens under the store lock, where every saved microsecond is
+// foreground latency.
+func (m *Map) AppendBinary(dst []byte) []byte {
+	base := len(dst)
+	need := 4 + m.count*entrySize
+	if cap(dst)-base < need {
+		grown := make([]byte, base, base+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[base : base+need]
 	binary.LittleEndian.PutUint32(buf, uint32(m.count))
 	off := 4
 	m.Foreach(func(ext block.Extent, t Target) bool {
@@ -480,7 +497,7 @@ func (m *Map) MarshalBinary() ([]byte, error) {
 		off += entrySize
 		return true
 	})
-	return buf, nil
+	return dst[:base+need]
 }
 
 // UnmarshalBinary restores a map serialized by MarshalBinary.

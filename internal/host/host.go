@@ -74,6 +74,13 @@ type Options struct {
 	UploadDepth int
 	FetchDepth  int
 
+	// OpenFanout bounds each volume's concurrent recovery reads at
+	// open (see core.Options.OpenFanout). 0 selects the block-store
+	// default; 1 serializes recovery I/O. Independent of FetchDepth:
+	// recovery runs before the volume registers on the shared fetch
+	// semaphore.
+	OpenFanout int
+
 	// Retry is the backend retry policy every volume inherits.
 	Retry objstore.RetryPolicy
 
@@ -390,6 +397,7 @@ func (h *Host) coreOptions(name string, v core.VolumeOptions) (core.Options, err
 		ReadCachePolicy: h.opts.ReadCachePolicy,
 		UploadDepth:     h.opts.UploadDepth,
 		FetchDepth:      h.opts.FetchDepth,
+		OpenFanout:      h.opts.OpenFanout,
 		Retry:           h.opts.Retry,
 	}, v), nil
 }
@@ -459,6 +467,45 @@ func (h *Host) Create(ctx context.Context, name string, v core.VolumeOptions) (*
 // as the single-volume core.Open).
 func (h *Host) Open(ctx context.Context, name string, v core.VolumeOptions) (*core.Disk, error) {
 	return h.openVolume(ctx, name, v, false)
+}
+
+// OpenAll recovers several volumes concurrently — the host-restart
+// path, where attach time is the sum of per-volume recoveries if done
+// serially. Each volume runs the full Open (lease, cache replay,
+// backend recovery) on its own goroutine; per-name leasing in
+// leaseLocked keeps the volumes from interfering, and the slot table
+// is read-only here (Open never assigns slots). Failures are isolated:
+// one volume's error lands in the errs map while its neighbors attach
+// normally. Every requested name appears in exactly one of the two
+// maps; errs is nil when every volume opened.
+func (h *Host) OpenAll(ctx context.Context, vols map[string]core.VolumeOptions) (map[string]*core.Disk, map[string]error) {
+	type result struct {
+		name string
+		d    *core.Disk
+		err  error
+	}
+	ch := make(chan result, len(vols))
+	for name, v := range vols {
+		name, v := name, v
+		invariant.Go("host-openall", func() {
+			d, err := h.Open(ctx, name, v)
+			ch <- result{name, d, err}
+		})
+	}
+	disks := make(map[string]*core.Disk, len(vols))
+	var errs map[string]error
+	for range vols {
+		r := <-ch
+		if r.err != nil {
+			if errs == nil {
+				errs = make(map[string]error)
+			}
+			errs[r.name] = r.err
+			continue
+		}
+		disks[r.name] = r.d
+	}
+	return disks, errs
 }
 
 // Delete removes a volume: its slot, its arena view, and every object

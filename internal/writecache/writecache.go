@@ -133,7 +133,9 @@ type Stats struct {
 	Checkpoints   uint64
 	MaxWriteSeq   uint64 // newest client write in the log
 	DestagedSeq   uint64 // newest client write known durable remotely
-	RecoveredRecs int    // records replayed at open
+	RecoveredRecs int    // records rebuilt from the log scan at open
+	ReplayedRecs  int    // records RecordsAfter handed back to the backend
+	ReplayedBytes int64  // payload bytes of those records
 
 	// Group-commit activity.
 	GroupBatches  uint64                   // group device-write rounds
@@ -224,6 +226,8 @@ type Cache struct {
 	batchHist                       [BatchHistBuckets]uint64
 	sinceCkpt                       int
 	recovered                       int
+	replayedRecs                    int
+	replayedBytes                   int64
 }
 
 // Format initializes a device as an empty cache and returns it opened.
@@ -1102,6 +1106,7 @@ func (c *Cache) RecordsAfter(writeSeq uint64, fn func(writeSeq uint64, typ journ
 	ring := make([]*record, len(c.ring))
 	copy(ring, c.ring)
 	c.mu.RUnlock()
+	recs, bytes := 0, int64(0)
 	for _, r := range ring {
 		if r.writeSeq <= writeSeq || r.typ == journal.TypePad {
 			continue
@@ -1116,7 +1121,13 @@ func (c *Cache) RecordsAfter(writeSeq uint64, fn func(writeSeq uint64, typ journ
 		if err := fn(r.writeSeq, r.typ, r.ext, data); err != nil {
 			return err
 		}
+		recs++
+		bytes += int64(len(data))
 	}
+	c.mu.Lock()
+	c.replayedRecs += recs
+	c.replayedBytes += bytes
+	c.mu.Unlock()
 	return nil
 }
 
@@ -1142,6 +1153,7 @@ func (c *Cache) Stats() Stats {
 		Records: len(c.ring), MapExtents: c.m.Len(),
 		Appends: c.appends, Evictions: c.evictions, Checkpoints: c.checkpoints,
 		MaxWriteSeq: c.maxWriteSeq, DestagedSeq: c.destagedSeq, RecoveredRecs: c.recovered,
+		ReplayedRecs: c.replayedRecs, ReplayedBytes: c.replayedBytes,
 		GroupBatches: c.groupBatches, GroupRecords: c.groupRecords,
 		DevWrites: c.devWrites, ReserveWaits: c.reserveWaits,
 		BatchSizeHist: c.batchHist,

@@ -111,6 +111,12 @@ type VolumeOptions struct {
 	// read pipeline.
 	FetchDepth int
 
+	// OpenFanout bounds concurrent backend reads during crash
+	// recovery at Open (8); 1 serializes recovery I/O as before the
+	// parallel replay pipeline. Replay application stays strictly
+	// sequence-ordered either way.
+	OpenFanout int
+
 	// Retry is the backend retry policy: transient store failures are
 	// retried with exponential backoff + jitter under one per-op
 	// attempt budget across reads, uploads, GC and recovery. The zero
@@ -136,6 +142,7 @@ func (o VolumeOptions) coreOptions() core.Options {
 		DestageQueueDepth: o.DestageQueueDepth,
 		SyncDestage:       o.SyncDestage,
 		FetchDepth:        o.FetchDepth,
+		OpenFanout:        o.OpenFanout,
 		Retry:             o.Retry,
 	}
 	if o.PrefetchBytes > 0 {
@@ -157,6 +164,7 @@ func (o VolumeOptions) flatHost(ctx context.Context) (*Host, error) {
 		ReadCachePolicy: o.ReadCachePolicy,
 		UploadDepth:     o.UploadDepth,
 		FetchDepth:      o.FetchDepth,
+		OpenFanout:      o.OpenFanout,
 		Retry:           o.Retry,
 	})
 }
@@ -268,6 +276,10 @@ type HostOptions struct {
 	// budgets shared by every volume (defaults 4 and 8).
 	UploadDepth int
 	FetchDepth  int
+	// OpenFanout bounds each volume's concurrent recovery reads at
+	// open (default 8; 1 serializes). Pair with Host.OpenAll to
+	// parallelize a multi-volume host restart across volumes too.
+	OpenFanout int
 	// Retry is the backend retry policy every volume inherits.
 	Retry RetryPolicy
 }
@@ -290,6 +302,7 @@ func OpenHost(ctx context.Context, o HostOptions) (*Host, error) {
 		ReadCachePolicy: o.ReadCachePolicy,
 		UploadDepth:     o.UploadDepth,
 		FetchDepth:      o.FetchDepth,
+		OpenFanout:      o.OpenFanout,
 		Retry:           o.Retry,
 	})
 }
