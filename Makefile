@@ -6,7 +6,7 @@ GO ?= go
 # pipeline, the shared read arena, the multi-volume host, and the NBD
 # worker pool); `make race` runs them under the race detector,
 # including the destage stress tests.
-RACE_PKGS := ./internal/core ./internal/blockstore ./internal/writecache ./internal/nbd ./internal/consistency ./internal/host ./internal/readcache
+RACE_PKGS := ./internal/core ./internal/blockstore ./internal/writecache ./internal/nbd ./internal/consistency ./internal/host ./internal/readcache ./internal/replica
 
 # Native fuzz targets (package,function); fuzz-smoke runs each for
 # FUZZTIME and replays the checked-in testdata/fuzz corpora.
@@ -19,7 +19,7 @@ FUZZ_TARGETS := \
 	./internal/blockstore,FuzzDecodeCheckpoint
 FUZZTIME ?= 10s
 
-.PHONY: all build fmt vet test race bench bench-read bench-multivol bench-multivol-profile bench-gc bench-open fault gc-torture vet-lsvd check-invariant fuzz-smoke check clean
+.PHONY: all build fmt vet test race bench bench-read bench-multivol bench-multivol-profile bench-gc bench-open bench-replica fault gc-torture vet-lsvd check-invariant fuzz-smoke check clean
 
 all: check
 
@@ -50,6 +50,8 @@ fault:
 		$(GO) test -count=1 -run TestFaultTorture ./internal/consistency
 	LSVD_FAULT_SEED=1 LSVD_FAULT_ITERS=32 \
 		$(GO) test -count=1 -run TestCheckpointCrashTorture ./internal/consistency
+	LSVD_FAULT_SEED=1 LSVD_FAULT_ITERS=24 \
+		$(GO) test -count=1 -run TestReplicaTorture ./internal/consistency
 
 # Destage-pipeline micro-benchmarks: sync vs async write-ack latency
 # and concurrent-reader throughput.
@@ -84,6 +86,15 @@ bench-gc:
 # Runs without the env var as a smoke check in `check`.
 bench-open:
 	LSVD_OPENBENCH_OUT=BENCH_open.json $(GO) test -count=1 -run TestOpenRecoveryBench -v .
+
+# Asynchronous-replication benchmark (DESIGN.md §5i): 8 volumes on one
+# host each shipping to a per-volume replica backend, gating foreground
+# write-ack p99 with replication on at ≤1.3x the replication-off
+# baseline and requiring a clean drain (zero final lag), recording
+# BENCH_replica.json. Runs without the env var as a smoke check in
+# `check`.
+bench-replica:
+	LSVD_REPLICABENCH_OUT=BENCH_replica.json $(GO) test -count=1 -run TestReplicaShipping -v .
 
 # GC-specific torture: the concurrent-writer fault workload with the
 # paced service deliberately kept hungry, asserting per-writer prefix
@@ -131,7 +142,7 @@ fuzz-smoke:
 	done
 
 check: build fmt vet test race fault gc-torture vet-lsvd check-invariant fuzz-smoke
-	$(GO) test -count=1 -run 'TestReadPathQDSweep|TestMultiVolScaling|TestGCSustained|TestOpenRecoveryBench' .
+	$(GO) test -count=1 -run 'TestReadPathQDSweep|TestMultiVolScaling|TestGCSustained|TestOpenRecoveryBench|TestReplicaShipping' .
 
 clean:
 	$(GO) clean -testcache

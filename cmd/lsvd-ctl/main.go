@@ -238,6 +238,26 @@ func main() {
 			} else {
 				fmt.Println("gc (last session): n/a (snapshot from an older layout)")
 			}
+			switch {
+			case snap.Version < 3:
+				fmt.Println("replication (last session): n/a (snapshot from an older layout)")
+			case !anyReplicated(snap.Volumes):
+				fmt.Println("replication (last session): off")
+			default:
+				fmt.Println("replication (last session):")
+				for _, v := range snap.Volumes {
+					if !v.ReplicaEnabled {
+						continue
+					}
+					fmt.Printf("  %-12s shipped seq %d  lag %d objs / %d KiB  copied %d objs / %d MiB\n",
+						v.Volume, v.ReplicaShippedSeq,
+						v.ReplicaLagObjects, v.ReplicaLagBytes/1024,
+						v.ReplicaCopied, v.ReplicaCopiedBytes/(1<<20))
+					fmt.Printf("  %-12s retries %d  errors %d  stalls on lag bound %d  last ship %.1f us\n",
+						"", v.ReplicaRetries, v.ReplicaErrors, v.ReplicaStalls,
+						float64(v.ReplicaLastShipNanos)/1e3)
+				}
+			}
 		}
 		if *cachePath != "" {
 			fi, err := os.Stat(*cachePath)
@@ -335,6 +355,17 @@ func histString(hist []uint64) string {
 		return "empty"
 	}
 	return b.String()
+}
+
+// anyReplicated reports whether at least one volume row in the stats
+// snapshot had replication enabled.
+func anyReplicated(rows []host.WritePathCounters) bool {
+	for _, v := range rows {
+		if v.ReplicaEnabled {
+			return true
+		}
+	}
+	return false
 }
 
 func parseSize(s string) (int64, error) {

@@ -6,6 +6,7 @@ package analysis
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		newAnnform(),
+		newChanleak(),
 		newErrclass(),
 		newGoroguard(),
 		newLockheld(),

@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// chanleak flags the goroutine-leak shape the replication and destage
+// pipelines must never grow: an unbuffered channel created in a
+// function whose ONLY uses live inside a single spawned goroutine. A
+// send or receive there can never find a partner — nothing outside the
+// goroutine ever touches the channel — so the goroutine parks forever
+// and leaks (typically a worker whose result channel lost its reader
+// on an early-return error path).
+//
+// The analysis is deliberately conservative: any use that could pair
+// the operation elsewhere disqualifies the channel —
+//
+//   - a use outside the goroutine (receive, send, close, comparison);
+//   - the channel escaping (passed to a call, aliased, returned,
+//     stored, captured by a non-goroutine literal such as a defer);
+//   - a buffered channel (the lone send completes);
+//   - the goroutine's ops living under a select (another case or a
+//     default can unblock it);
+//   - two or more goroutines sharing the channel (they pair up).
+//
+// Goroutines count whether spawned with a plain `go` statement or a
+// spawn helper of the invariant.Go shape (a method or function named
+// Go taking the literal).
+func newChanleak() *Analyzer {
+	a := &Analyzer{
+		Name: "chanleak",
+		Doc:  "unbuffered channel used only inside one goroutine: its send/recv blocks forever",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						chanleakBody(pass, n.Body)
+					}
+				case *ast.FuncLit:
+					chanleakBody(pass, n.Body)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// chanleakBody analyzes the channels defined directly in one function
+// body (nested function literals are separate scopes, analyzed on
+// their own visit).
+func chanleakBody(pass *Pass, body *ast.BlockStmt) {
+	type candidate struct {
+		obj types.Object
+		pos token.Pos
+		id  *ast.Ident
+	}
+	var cands []candidate
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" || !unbufferedChanMake(pass, as.Rhs[0]) {
+			return true
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			cands = append(cands, candidate{obj: obj, pos: as.Pos(), id: id})
+		}
+		return true
+	})
+
+	for _, c := range cands {
+		escaped := false
+		outside := 0
+		goLits := make(map[*ast.FuncLit]bool)
+		goBlocking := 0
+		walkWithStack(body, func(stack []ast.Node) {
+			id, ok := stack[len(stack)-1].(*ast.Ident)
+			if !ok || pass.Info.Uses[id] != c.obj || escaped {
+				return
+			}
+			kind := chanUseKind(pass, stack)
+			if kind == chanUseEscape {
+				escaped = true
+				return
+			}
+			lit, isGo := enclosingGoroutine(stack)
+			switch {
+			case lit == nil:
+				outside++
+			case !isGo:
+				// Captured by a defer or callback literal: it runs in an
+				// execution context we do not model — assume it pairs.
+				escaped = true
+			default:
+				goLits[lit] = true
+				if kind == chanUseBlocking && !underSelect(stack, lit) {
+					goBlocking++
+				}
+			}
+		})
+		if !escaped && outside == 0 && len(goLits) == 1 && goBlocking > 0 {
+			pass.Reportf(c.pos,
+				"unbuffered channel %s is used only inside one goroutine; its send/receive blocks forever (nothing outside ever pairs it)",
+				c.id.Name)
+		}
+	}
+}
+
+const (
+	chanUseNonblock = iota // close/len/cap/comparison: cannot park
+	chanUseBlocking        // send, receive, range
+	chanUseEscape          // aliased, passed, returned, stored
+)
+
+// chanUseKind classifies one identifier use of the channel by its
+// immediate syntactic context. stack[len-1] is the ident.
+func chanUseKind(pass *Pass, stack []ast.Node) int {
+	id := stack[len(stack)-1].(*ast.Ident)
+	if len(stack) < 2 {
+		return chanUseEscape
+	}
+	switch p := stack[len(stack)-2].(type) {
+	case *ast.SendStmt:
+		if p.Chan == id {
+			return chanUseBlocking
+		}
+		return chanUseEscape // the channel itself is the value sent
+	case *ast.UnaryExpr:
+		if p.Op == token.ARROW {
+			return chanUseBlocking
+		}
+		return chanUseEscape
+	case *ast.RangeStmt:
+		if p.X == id {
+			return chanUseBlocking
+		}
+		return chanUseEscape
+	case *ast.CallExpr:
+		if fn, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			if b, isB := pass.Info.Uses[fn].(*types.Builtin); isB {
+				switch b.Name() {
+				case "close", "len", "cap":
+					return chanUseNonblock
+				}
+			}
+		}
+		return chanUseEscape
+	case *ast.BinaryExpr:
+		return chanUseNonblock // ch == nil and friends
+	default:
+		return chanUseEscape
+	}
+}
+
+// enclosingGoroutine finds the innermost function-literal boundary
+// above the use. Returns (nil, false) when the use sits directly in
+// the defining body, (lit, true) when that literal is a goroutine
+// target — `go func(){...}()` or a spawn call like invariant.Go("x",
+// func(){...}) — and (lit, false) for any other literal (defer,
+// callback).
+func enclosingGoroutine(stack []ast.Node) (*ast.FuncLit, bool) {
+	for i := len(stack) - 2; i > 0; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		call, ok := stack[i-1].(*ast.CallExpr)
+		if !ok {
+			return lit, false
+		}
+		if ast.Unparen(call.Fun) == lit && i >= 2 {
+			if _, isGo := stack[i-2].(*ast.GoStmt); isGo {
+				return lit, true
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Go" {
+			for _, arg := range call.Args {
+				if ast.Unparen(arg) == lit {
+					return lit, true
+				}
+			}
+		}
+		return lit, false
+	}
+	return nil, false
+}
+
+// underSelect reports whether the use sits inside a select case
+// between the goroutine literal and the ident — there another case or
+// a default can unblock the goroutine, so the op is not a guaranteed
+// park.
+func underSelect(stack []ast.Node, lit *ast.FuncLit) bool {
+	for i := len(stack) - 2; i > 0; i-- {
+		if stack[i] == lit {
+			return false
+		}
+		if _, ok := stack[i].(*ast.CommClause); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// unbufferedChanMake matches `make(chan T)` and `make(chan T, 0)`.
+func unbufferedChanMake(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, isB := pass.Info.Uses[fn].(*types.Builtin); !isB || b.Name() != "make" {
+		return false
+	}
+	if tv, ok := pass.Info.Types[call]; !ok || tv.Type == nil {
+		return false
+	} else if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	switch len(call.Args) {
+	case 1:
+		return true
+	case 2:
+		tv, ok := pass.Info.Types[call.Args[1]]
+		return ok && tv.Value != nil && constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+	}
+	return false
+}
+
+// walkWithStack visits every node under root, handing the visitor the
+// full ancestor stack (root first, the node itself last).
+func walkWithStack(root ast.Node, visit func(stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		visit(stack)
+		return true
+	})
+}

@@ -81,6 +81,7 @@ func TestAnalyzerSelfTests(t *testing.T) {
 		mk   func() *Analyzer
 	}{
 		{"annform", newAnnform},
+		{"chanleak", newChanleak},
 		{"errclass", newErrclass},
 		{"goroguard", newGoroguard},
 		{"lockheld", newLockheld},

@@ -1,0 +1,96 @@
+// Package chanleak is the golden self-test for the chanleak analyzer:
+// unbuffered channels whose every use lives inside a single spawned
+// goroutine, so the goroutine's send or receive blocks forever.
+package chanleak
+
+func leakSend() {
+	ch := make(chan int) // want "blocks forever"
+	go func() { ch <- 1 }()
+}
+
+func leakRecv() {
+	done := make(chan struct{}) // want "blocks forever"
+	go func() { <-done }()
+}
+
+func leakRange() {
+	ch := make(chan int, 0) // want "blocks forever"
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// spawner mirrors the invariant.Go spawn-helper shape: the analyzer
+// treats a function literal handed to a .Go(...) call as a goroutine
+// body.
+type spawner struct{}
+
+func (spawner) Go(name string, fn func()) { go fn() }
+
+func leakSpawnHelper() {
+	var inv spawner
+	ch := make(chan int) // want "blocks forever"
+	inv.Go("worker", func() { ch <- 1 })
+}
+
+// okConsumed: the receive outside the goroutine pairs the send.
+func okConsumed() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// okBuffered: the lone send completes against the buffer.
+func okBuffered() {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+}
+
+// okEscapes: the channel is passed to another function, which may pair
+// the operation.
+func sink(ch chan int) {}
+
+func okEscapes() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	sink(ch)
+}
+
+// okSelectDefault: the default case keeps the goroutine from parking.
+func okSelectDefault() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// okPaired: two goroutines share the channel and pair each other.
+func okPaired() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	go func() { <-ch }()
+}
+
+// okClosed: close cannot park; no blocking op means no report.
+func okClosed() {
+	ch := make(chan int)
+	go func() { close(ch) }()
+}
+
+// okDeferConsumer: a deferred literal runs in a context the analyzer
+// does not model — treated as a potential pairing, so no report.
+func okDeferConsumer() {
+	ch := make(chan int)
+	defer func() { <-ch }()
+	go func() { ch <- 1 }()
+}
+
+// okIgnored: suppression comment is honored.
+func okIgnored() {
+	ch := make(chan int) //lsvd:ignore chanleak -- intentional park for the golden test
+	go func() { ch <- 1 }()
+}

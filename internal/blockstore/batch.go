@@ -317,6 +317,10 @@ func (s *Store) installObject(info *objInfo, mapped []mappedExtent, trims []bloc
 	// any map update: in no-coalesce mode an object's own extents
 	// overlap, so displacement accounting must already see it.
 	s.objects[info.seq] = info
+	// This is the commit point for data and GC objects — the one place
+	// the object becomes visible to readers and recovery — so it is
+	// also where the replication feed learns about it (ship.go rule 1).
+	s.shipPublishLocked(info.seq, info.typ, info.totalBytes)
 	if s.utilCounted(info) {
 		s.utilLive += uint64(info.liveSectors)
 		s.utilData += uint64(info.dataSectors)

@@ -130,6 +130,13 @@ type Config struct {
 	// Capacity is the channel's; FetchDepth still gates whether the
 	// bound applies at all.
 	FetchSem chan struct{}
+
+	// Replicated marks the volume as having an asynchronous replica: a
+	// shipper (internal/replica) attaches via ShipAttach and drains the
+	// commit feed (ship.go). The flag also arms the shipped-watermark
+	// pin in completeDelete, so deferred deletions wait for the replica
+	// even across sessions where the shipper has not attached yet.
+	Replicated bool
 }
 
 func (c *Config) setDefaults() {
@@ -215,6 +222,11 @@ type Stats struct {
 	FetchesDeduped  uint64 // span fetches served by joining another reader's in-flight GET
 	RunsCoalesced   uint64 // extra map runs folded into an existing span GET
 	HeaderFetches   uint64 // object header fetches that went to the backend
+
+	// Replication feed state (ship.go); all zero unless Replicated.
+	ShippedSeq     uint32 // shipped watermark (contiguously replicated prefix)
+	ShipLagObjects int    // committed objects not yet acked by the shipper
+	ShipLagBytes   int64  // their payload bytes — the measured RPO in bytes
 
 	// Recovery/open telemetry, fixed at Open time (zero for Create).
 	RecoveredObjects int    // objects replayed after the checkpoint at open
@@ -319,6 +331,20 @@ type Store struct {
 	flights  map[fetchKey]*flight
 	fetchSem chan struct{} // nil when FetchDepth == 0 (unbounded)
 
+	// Replication change feed (ship.go), guarded by mu. shipCond (write
+	// side of mu, like commitCond) wakes the shipper when events arrive
+	// or the feed closes. shipUnacked is the published-but-unacked seq
+	// set; shipMark caches the derived watermark (min(unacked)-1, or
+	// shipMaxPub when the set is empty).
+	shipCond     *sync.Cond
+	shipFeed     []ShipEvent
+	shipAttached bool
+	shipClosed   bool
+	shipMaxPub   uint32
+	shipUnacked  map[uint32]struct{}
+	shipMark     uint32
+	shipLagBytes int64
+
 	stats struct {
 		bytesAppended, bytesPut, bytesCoalesced uint64
 		gcBytesCopied, gcRuns, objectsDeleted   uint64
@@ -409,6 +435,8 @@ func newStore(ctx context.Context, cfg Config) *Store {
 	s.batch = newBatch(cfg.BatchBytes, cfg.NoCoalesce)
 	s.commitCond = sync.NewCond(&s.mu)
 	s.gcCond = sync.NewCond(&s.mu)
+	s.shipCond = sync.NewCond(&s.mu)
+	s.shipUnacked = make(map[uint32]struct{})
 	s.gcGateID = cfg.UploadID + "#gc"
 	if cfg.UploadDepth > 0 {
 		if cfg.UploadGate != nil {
@@ -545,6 +573,9 @@ func (s *Store) Stats() Stats {
 		SealStalls:      s.stats.sealStalls,
 		DeferredDeletes: len(s.deferred) + len(s.pending),
 		OrphanObjects:   len(s.orphans),
+		ShippedSeq:      s.shipMark,
+		ShipLagObjects:  len(s.shipUnacked),
+		ShipLagBytes:    s.shipLagBytes,
 		FetchGETs:       s.fetchStats.gets.Load(),
 		FetchesDeduped:  s.fetchStats.deduped.Load(),
 		RunsCoalesced:   s.fetchStats.coalesced.Load(),

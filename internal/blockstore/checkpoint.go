@@ -172,6 +172,12 @@ func (s *Store) finalizeCheckpointLocked(shot *ckptShot) {
 	s.objects[shot.seq] = &objInfo{seq: shot.seq, typ: journal.TypeCheckpoint, totalBytes: int64(len(shot.rec))}
 	s.lastCkpt = shot.seq
 	s.stats.checkpoints++
+	// The checkpoint object and the superblock naming it are both
+	// durable here: publish the object to the replication feed, then a
+	// super event so the shipper re-copies the superblock once the
+	// checkpoint itself is on the replica.
+	s.shipPublishLocked(shot.seq, journal.TypeCheckpoint, int64(len(shot.rec)))
+	s.shipPublishLocked(0, journal.TypeSuper, 0)
 	released := s.pending[:shot.nPending]
 	s.pending = append([]deferredDelete(nil), s.pending[shot.nPending:]...)
 	for _, d := range released {
@@ -251,9 +257,17 @@ func (s *Store) checkpointLocked() error {
 	return nil
 }
 
-// completeDelete deletes a cleaned object unless a snapshot pins it,
-// in which case it joins the persistent deferred list.
+// completeDelete deletes a cleaned object unless a snapshot or the
+// replication shipped watermark pins it, in which case it joins the
+// persistent deferred list. The watermark pin (ship.go rule 2) is what
+// keeps a lagging replica's checkpoints dereferenceable: the victim
+// stays on the primary until the shipper has acked it, then the
+// watermark advance re-drives this list (redriveShipDeferredLocked).
 func (s *Store) completeDelete(d deferredDelete) error {
+	if s.shipPinnedLocked(d.Obj) {
+		s.deferred = append(s.deferred, d)
+		return nil
+	}
 	for _, sn := range s.snapshots {
 		if sn.Seq >= d.Obj && sn.Seq < d.GCSeq {
 			s.deferred = append(s.deferred, d)

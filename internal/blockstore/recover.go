@@ -33,6 +33,16 @@ func OpenAt(ctx context.Context, cfg Config, snapSeq uint32) (*Store, error) {
 	return open(ctx, cfg, snapSeq, true)
 }
 
+// OpenHeadReadOnly mounts the volume read-only at its newest
+// consistent prefix without taking write ownership. This is the
+// restore-from-replica inspection mount (§4.8): a replica is a
+// crash-consistent prefix of the primary, and a torn tail object (a
+// shipper killed mid-copy) truncates recovery exactly like a crashed
+// primary's own torn tail.
+func OpenHeadReadOnly(ctx context.Context, cfg Config) (*Store, error) {
+	return open(ctx, cfg, 0, true)
+}
+
 // OpenSnapshot mounts the named snapshot read-only.
 func OpenSnapshot(ctx context.Context, cfg Config, name string) (*Store, error) {
 	cfg.setDefaults()

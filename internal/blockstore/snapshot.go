@@ -87,7 +87,13 @@ func (s *Store) DeleteSnapshot(name string) error {
 			return err
 		}
 	}
-	return s.writeSuper()
+	if err := s.writeSuper(); err != nil {
+		return err
+	}
+	// The super no longer lists the snapshot: publish a super event so
+	// the replica's copy follows (the shipper re-reads the live super).
+	s.shipPublishLocked(0, journal.TypeSuper, 0)
+	return nil
 }
 
 // Snapshots lists the volume's snapshots.

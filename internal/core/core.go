@@ -34,6 +34,7 @@ import (
 	"lsvd/internal/journal"
 	"lsvd/internal/objstore"
 	"lsvd/internal/readcache"
+	"lsvd/internal/replica"
 	"lsvd/internal/simdev"
 	"lsvd/internal/vdisk"
 	"lsvd/internal/writecache"
@@ -126,6 +127,21 @@ type Options struct {
 	// exponential backoff under one per-op attempt budget. The zero
 	// value selects the defaults; MaxAttempts < 0 disables retries.
 	Retry objstore.RetryPolicy
+
+	// ReplicaStore, when non-nil, enables asynchronous replication
+	// (paper §4.8, DESIGN.md §5i): a per-volume shipper drains the
+	// block store's commit feed into this second backend, keeping the
+	// replica a crash-consistent prefix of the primary. The store is
+	// wrapped in a Retrier under the same Retry policy as the primary
+	// unless it already is one.
+	ReplicaStore objstore.Store
+	// ReplicaMaxLagObjects / ReplicaMaxLagBytes bound the replication
+	// lag — the RPO knob. When the committed-but-unshipped backlog
+	// exceeds either bound, new writes and trims stall until the
+	// shipper catches up ("bounded or blocked", never silent
+	// exposure). 0 leaves that dimension unbounded.
+	ReplicaMaxLagObjects int
+	ReplicaMaxLagBytes   int64
 }
 
 // HostOptions is the host-owned half of Options: the shared hardware
@@ -159,6 +175,9 @@ type VolumeOptions struct {
 	DisableGCCacheFetch       bool
 	DestageQueueDepth         int
 	SyncDestage               bool
+	ReplicaStore              objstore.Store
+	ReplicaMaxLagObjects      int
+	ReplicaMaxLagBytes        int64
 }
 
 // Split separates Options into its host-level and volume-level halves.
@@ -177,6 +196,9 @@ func (o Options) Split() (HostOptions, VolumeOptions) {
 			ReadbackThroughSSD:        o.ReadbackThroughSSD,
 			DisableGCCacheFetch:       o.DisableGCCacheFetch,
 			DestageQueueDepth:         o.DestageQueueDepth, SyncDestage: o.SyncDestage,
+			ReplicaStore:         o.ReplicaStore,
+			ReplicaMaxLagObjects: o.ReplicaMaxLagObjects,
+			ReplicaMaxLagBytes:   o.ReplicaMaxLagBytes,
 		}
 }
 
@@ -196,7 +218,10 @@ func Combine(h HostOptions, v VolumeOptions) Options {
 		UploadDepth:               h.UploadDepth, FetchDepth: h.FetchDepth,
 		OpenFanout:        h.OpenFanout,
 		DestageQueueDepth: v.DestageQueueDepth, SyncDestage: v.SyncDestage,
-		Retry: h.Retry,
+		Retry:                h.Retry,
+		ReplicaStore:         v.ReplicaStore,
+		ReplicaMaxLagObjects: v.ReplicaMaxLagObjects,
+		ReplicaMaxLagBytes:   v.ReplicaMaxLagBytes,
 	}
 }
 
@@ -283,6 +308,14 @@ type Stats struct {
 	RunsCoalesced      uint64
 	PrefetchHitSectors uint64
 	AdmissionsDropped  uint64
+
+	// Replication telemetry (DESIGN.md §5i). ReplicaEnabled marks the
+	// volume as replicated; Replica carries the shipper's cumulative
+	// counters and live lag; ReplicaStalls counts foreground operations
+	// that blocked on the RPO bound.
+	ReplicaEnabled bool
+	Replica        replica.Stats
+	ReplicaStalls  uint64
 
 	WriteCache writecache.Stats
 	ReadCache  readcache.Stats
@@ -398,6 +431,12 @@ type Disk struct {
 	rc *readcache.Cache
 	bs *blockstore.Store
 
+	// shipper is the volume's replication goroutine (nil unless
+	// Options.ReplicaStore is set on a writable disk). replicaStalls
+	// counts foreground mutations that blocked on the RPO lag bound.
+	shipper       *replica.Shipper
+	replicaStalls atomic.Uint64
+
 	volSectors block.LBA
 	readOnly   bool
 
@@ -466,7 +505,7 @@ func CreateShared(ctx context.Context, opts Options, res *Resources) (*Disk, err
 	if d.bs, err = blockstore.Create(ctx, d.storeConfig()); err != nil {
 		return nil, err
 	}
-	d.startPipeline()
+	d.startPipeline(ctx)
 	return d, nil
 }
 
@@ -577,7 +616,7 @@ func OpenShared(ctx context.Context, opts Options, res *Resources) (*Disk, error
 	}
 	d.writeSeq.Store(ws)
 	d.openNanos = int64(time.Since(start))
-	d.startPipeline()
+	d.startPipeline(ctx)
 	return d, nil
 }
 
@@ -586,6 +625,23 @@ func OpenShared(ctx context.Context, opts Options, res *Resources) (*Disk, error
 // map checkpoint before that point"). The cache device is used only
 // for read caching; writes and trims are rejected.
 func OpenSnapshot(ctx context.Context, opts Options, snapshot string) (*Disk, error) {
+	return openReadOnly(ctx, opts, func(cfg blockstore.Config) (*blockstore.Store, error) {
+		return blockstore.OpenSnapshot(ctx, cfg, snapshot)
+	})
+}
+
+// OpenReadOnly mounts the volume's newest consistent prefix read-only
+// without taking write ownership — the restore-from-replica inspection
+// mount (§4.8, DESIGN.md §5i). Point Options.Store at the replica; a
+// torn tail object left by a shipper killed mid-copy truncates
+// recovery exactly like a crashed primary's own tail.
+func OpenReadOnly(ctx context.Context, opts Options) (*Disk, error) {
+	return openReadOnly(ctx, opts, func(cfg blockstore.Config) (*blockstore.Store, error) {
+		return blockstore.OpenHeadReadOnly(ctx, cfg)
+	})
+}
+
+func openReadOnly(ctx context.Context, opts Options, mount func(blockstore.Config) (*blockstore.Store, error)) (*Disk, error) {
 	opts.setDefaults()
 	opts.GCLowWater = 0
 	d := &Disk{opts: opts, readOnly: true, destageTick: make(chan struct{}, 1)}
@@ -601,12 +657,12 @@ func OpenSnapshot(ctx context.Context, opts Options, snapshot string) (*Disk, er
 	if d.rc, err = readcache.New(rcDev, rcConfig(opts, rcDev)); err != nil {
 		return nil, err
 	}
-	if d.bs, err = blockstore.OpenSnapshot(ctx, d.storeConfig(), snapshot); err != nil {
+	if d.bs, err = mount(d.storeConfig()); err != nil {
 		return nil, err
 	}
 	d.volSectors = d.bs.VolSectors()
 	d.writeSeq.Store(d.bs.DurableWriteSeq())
-	d.startPipeline()
+	d.startPipeline(ctx)
 	return d, nil
 }
 
@@ -641,6 +697,10 @@ func (d *Disk) storeConfig() blockstore.Config {
 		Retry:      d.opts.Retry,
 		FetchDepth: d.opts.FetchDepth,
 		OpenFanout: d.opts.OpenFanout,
+		// Replicated arms the shipped-watermark pin even before (and
+		// between) shipper attaches, so a crash-restart cycle cannot
+		// delete objects the replica still lacks.
+		Replicated: d.opts.ReplicaStore != nil && !d.readOnly,
 	}
 	if !d.opts.SyncDestage && !d.readOnly {
 		cfg.UploadDepth = d.opts.UploadDepth
@@ -665,10 +725,28 @@ func (d *Disk) storeConfig() blockstore.Config {
 	return cfg
 }
 
-// startPipeline launches the read-path admitter (every disk reads) and
-// the destager goroutine (skipped for synchronous or read-only disks).
-func (d *Disk) startPipeline() {
+// startPipeline launches the read-path admitter (every disk reads), the
+// replication shipper (when a replica store is configured), and the
+// destager goroutine (skipped for synchronous or read-only disks).
+func (d *Disk) startPipeline(ctx context.Context) {
 	d.adm.start(d)
+	if !d.readOnly && d.opts.ReplicaStore != nil {
+		rs := d.opts.ReplicaStore
+		if _, ok := rs.(*objstore.Retrier); !ok && d.opts.Retry.MaxAttempts >= 0 {
+			rs = objstore.NewRetrier(rs, d.opts.Retry)
+		}
+		rcfg := replica.Config{
+			Backend:       d.bs,
+			Replica:       rs,
+			MaxLagObjects: d.opts.ReplicaMaxLagObjects,
+			MaxLagBytes:   d.opts.ReplicaMaxLagBytes,
+		}
+		if d.res != nil {
+			rcfg.Gate = d.res.UploadGate
+			rcfg.GateID = d.res.UploadID + "#ship"
+		}
+		d.shipper = replica.Start(ctx, rcfg)
+	}
 	if d.readOnly || d.opts.SyncDestage {
 		return
 	}
@@ -749,6 +827,34 @@ func (d *Disk) pipelineErr() error {
 	return nil
 }
 
+// awaitReplicaLag is the RPO bound's escalation: while the replication
+// lag exceeds ReplicaMaxLagObjects/ReplicaMaxLagBytes, foreground
+// mutations stall here — OUTSIDE wmu, so the destage pipeline keeps
+// committing and the shipper keeps acking — until the replica catches
+// up. "Bounded or blocked": the volume never silently accumulates more
+// unreplicated data than the configured exposure.
+func (d *Disk) awaitReplicaLag() error {
+	if d.shipper == nil || !d.shipper.OverBound() {
+		return nil
+	}
+	d.replicaStalls.Add(1)
+	for {
+		if err := d.pipelineErr(); err != nil {
+			return err
+		}
+		d.wmu.Lock()
+		closed := d.closed
+		d.wmu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		if !d.shipper.OverBound() {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // enqueue hands a request to the destager, blocking while the queue is
 // full (backpressure). Kill unblocks it.
 //
@@ -808,6 +914,9 @@ func (d *Disk) WriteAt(p []byte, off int64) error {
 		return nil
 	}
 	if err := d.pipelineErr(); err != nil {
+		return err
+	}
+	if err := d.awaitReplicaLag(); err != nil {
 		return err
 	}
 	if d.opts.SyncDestage || d.opts.ReadbackThroughSSD {
@@ -1126,6 +1235,9 @@ func (d *Disk) Trim(off, length int64) error {
 	if err := d.pipelineErr(); err != nil {
 		return err
 	}
+	if err := d.awaitReplicaLag(); err != nil {
+		return err
+	}
 	if d.opts.SyncDestage || d.opts.ReadbackThroughSSD {
 		return d.trimInline(ext)
 	}
@@ -1263,14 +1375,22 @@ func (d *Disk) Close() error {
 	// so the shutdown sequence races with no concurrent collector (on
 	// the error path too — the disk is going down either way).
 	d.bs.StopGC()
+	if derr == nil {
+		derr = d.bs.Seal()
+	}
+	if derr == nil {
+		derr = d.bs.Checkpoint()
+	}
+	// Drain the shipper after the final seal+checkpoint so a clean close
+	// leaves the replica with the closing checkpoint and superblock — a
+	// zero-lag replica. On error paths it still detaches; with the
+	// replica backend down, the per-object drain budget caps the wait
+	// and the replica simply stays at its last consistent watermark.
+	if d.shipper != nil {
+		d.shipper.Close()
+	}
 	if derr != nil {
 		return derr
-	}
-	if err := d.bs.Seal(); err != nil {
-		return err
-	}
-	if err := d.bs.Checkpoint(); err != nil {
-		return err
 	}
 	if err := d.wc.Close(); err != nil {
 		return err
@@ -1291,6 +1411,13 @@ func (d *Disk) Kill() {
 		return
 	}
 	d.closed = true
+	// Stop replication before quiescing the backend: a late ack would
+	// advance the watermark and re-drive deferred deletions, mutating
+	// the backend after the kill point. Abort drops queued feed events —
+	// the crash model — leaving the replica a consistent prefix.
+	if d.shipper != nil {
+		d.shipper.Abort()
+	}
 	if d.quit != nil {
 		close(d.quit)
 		//lsvd:ignore Kill waits for the destager to exit; quit is closed so the exit is prompt
@@ -1358,6 +1485,11 @@ func (d *Disk) Stats() Stats {
 	}
 	if d.ch != nil {
 		st.DestageQueued = len(d.ch)
+	}
+	if d.shipper != nil {
+		st.ReplicaEnabled = true
+		st.Replica = d.shipper.Stats()
+		st.ReplicaStalls = d.replicaStalls.Load()
 	}
 	st.WriteCache = d.wc.Stats()
 	st.ReadCache = d.rc.Stats()

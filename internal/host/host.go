@@ -620,6 +620,21 @@ type Stats struct {
 	Arena   readcache.ArenaStats
 	Backend objstore.Stats
 	GC      GCStats
+	Replica ReplicaStats
+}
+
+// ReplicaStats aggregates replication across the host's open volumes:
+// how many volumes replicate, the combined live lag (the host-wide
+// recovery-point exposure), and cumulative shipping progress.
+type ReplicaStats struct {
+	Volumes       int // replicated volumes currently open
+	LagObjects    int
+	LagBytes      int64
+	CopiedObjects uint64
+	CopiedBytes   int64
+	Retries       uint64
+	Errors        uint64
+	Stalls        uint64 // foreground ops blocked on an RPO bound
 }
 
 // GCStats aggregates the garbage collectors of every open volume.
@@ -650,6 +665,16 @@ func (h *Host) Stats() Stats {
 		st.GC.Backoffs += vs.Backend.GCBackoffs
 		st.GC.Yields += vs.Backend.GCYields
 		appended += vs.Backend.BytesAppended
+		if vs.ReplicaEnabled {
+			st.Replica.Volumes++
+			st.Replica.LagObjects += vs.Replica.LagObjects
+			st.Replica.LagBytes += vs.Replica.LagBytes
+			st.Replica.CopiedObjects += vs.Replica.CopiedObjects
+			st.Replica.CopiedBytes += vs.Replica.CopiedBytes
+			st.Replica.Retries += vs.Replica.Retries
+			st.Replica.Errors += vs.Replica.Errors
+			st.Replica.Stalls += vs.ReplicaStalls
+		}
 	}
 	if appended > 0 {
 		st.GC.MeasuredWAF = float64(appended+st.GC.BytesCopied) / float64(appended)
@@ -722,6 +747,19 @@ type WritePathCounters struct {
 	GCYields      uint64  `json:"gc_yields"`
 	GCWAFTarget   float64 `json:"gc_waf_target"`
 	GCMeasuredWAF float64 `json:"gc_measured_waf"`
+
+	// Replication counters (format version >= 3). Lag fields are the
+	// residual at close time — zero after a clean drain.
+	ReplicaEnabled       bool   `json:"replica_enabled,omitempty"`
+	ReplicaShippedSeq    uint32 `json:"replica_shipped_seq,omitempty"`
+	ReplicaLagObjects    int    `json:"replica_lag_objects,omitempty"`
+	ReplicaLagBytes      int64  `json:"replica_lag_bytes,omitempty"`
+	ReplicaCopied        uint64 `json:"replica_copied_objects,omitempty"`
+	ReplicaCopiedBytes   int64  `json:"replica_copied_bytes,omitempty"`
+	ReplicaRetries       uint64 `json:"replica_retries,omitempty"`
+	ReplicaErrors        uint64 `json:"replica_errors,omitempty"`
+	ReplicaStalls        uint64 `json:"replica_stalls,omitempty"`
+	ReplicaLastShipNanos int64  `json:"replica_last_ship_nanos,omitempty"`
 }
 
 type statsFile struct {
@@ -760,6 +798,18 @@ func writePathCounters(name string, st core.Stats) WritePathCounters {
 		row.GCMeasuredWAF = float64(st.Backend.BytesAppended+st.Backend.GCBytesCopied) /
 			float64(st.Backend.BytesAppended)
 	}
+	if st.ReplicaEnabled {
+		row.ReplicaEnabled = true
+		row.ReplicaShippedSeq = st.Replica.ShippedSeq
+		row.ReplicaLagObjects = st.Replica.LagObjects
+		row.ReplicaLagBytes = st.Replica.LagBytes
+		row.ReplicaCopied = st.Replica.CopiedObjects
+		row.ReplicaCopiedBytes = st.Replica.CopiedBytes
+		row.ReplicaRetries = st.Replica.Retries
+		row.ReplicaErrors = st.Replica.Errors
+		row.ReplicaStalls = st.ReplicaStalls
+		row.ReplicaLastShipNanos = st.Replica.LastShipNanos
+	}
 	return row
 }
 
@@ -778,10 +828,10 @@ func (h *Host) persistStats(rows []WritePathCounters) {
 }
 
 // statsVersion is the current snapshot format. Version 1 predates the
-// GC service counters; version-2 readers accept both (the GC fields
-// simply decode as zero) and report the version so tools can label an
-// older snapshot honestly.
-const statsVersion = 2
+// GC service counters, version 2 the replication counters; current
+// readers accept all three (absent fields simply decode as zero) and
+// report the version so tools can label an older snapshot honestly.
+const statsVersion = 3
 
 // StatsSnapshot is the decoded host/stats object plus its format
 // version, for readers that care which fields are meaningful.

@@ -1,150 +1,349 @@
-// Package replica implements LSVD's asynchronous geo-replication
-// (paper §4.8): because the volume is an ordered stream of immutable
-// numbered objects, a replica is maintained by lazily copying objects
-// from the primary object store to a secondary one. Objects may arrive
-// out of order or be skipped entirely when the primary's garbage
-// collector deletes them before they are copied; the standard LSVD
-// recovery rules (checkpoint + consecutive-prefix replay) still
-// produce a consistent disk on the replica.
+// Package replica implements LSVD's asynchronous replication (paper
+// §4.8) on top of the blockstore's commit feed (ship.go, DESIGN.md
+// §5i): because the volume is an ordered stream of immutable numbered
+// objects, a crash-consistent replica is maintained by copying objects
+// to a second object store in commit order and refreshing the
+// superblock only once the checkpoint it names is present there.
+//
+// A Shipper is one volume's replication goroutine. It attaches to the
+// blockstore's feed (blockstore.ShipAttach), works off the backlog —
+// probing the replica so a re-attach after restart copies only what is
+// missing — then drains live commit events. Each ack advances the
+// blockstore's shipped watermark, which both measures the replication
+// lag (the RPO) and releases the deferred deletions the watermark was
+// pinning on the primary. Backend I/O takes background-class gate
+// slots (iosched.Gate.AcquireBackground) so shipping only ever uses
+// upload capacity foreground destage is not using.
 package replica
 
 import (
 	"context"
 	"errors"
-	"fmt"
-	"strconv"
-	"strings"
+	"sync"
+	"time"
 
 	"lsvd/internal/blockstore"
+	"lsvd/internal/invariant"
+	"lsvd/internal/iosched"
 	"lsvd/internal/objstore"
 )
 
-// Replicator copies one volume's object stream between stores.
-type Replicator struct {
-	// Primary and Replica are the source and destination stores.
-	Primary, Replica objstore.Store
-	// Volume is the object name prefix.
-	Volume string
-	// LagObjects is the age threshold expressed in stream positions:
-	// the newest LagObjects sequence objects are not yet copied
-	// (the paper used "older than 60 seconds").
-	LagObjects int
-
-	copied      int
-	copiedBytes int64
-	skipped     int
+// Config wires one volume's shipper.
+type Config struct {
+	// Backend is the primary volume's blockstore — the feed source.
+	// The primary object store is taken from it (retry-wrapped).
+	Backend *blockstore.Store
+	// Replica is the destination store. Wrap it in an objstore.Retrier
+	// for transient-fault absorption; the shipper itself retries
+	// indefinitely (the object MUST eventually ship — lag growth is the
+	// escalation path, not data loss) but backs off between attempts.
+	Replica objstore.Store
+	// Gate/GateID, when set, bound the shipper's backend I/O with
+	// background-class slots of the shared upload gate; GateID is a
+	// borrow-only identity (conventionally "<uploadID>#ship") that
+	// needs no Register.
+	Gate   *iosched.Gate
+	GateID string
+	// MaxLagObjects/MaxLagBytes are the RPO bound: when the unshipped
+	// backlog exceeds either, OverBound() turns true and the owner
+	// (core's destage loop) applies write backpressure until the
+	// shipper catches up. 0 disables that bound.
+	MaxLagObjects int
+	MaxLagBytes   int64
 }
 
-// Stats reports replication progress.
+// Stats reports replication progress and the current lag.
 type Stats struct {
-	CopiedObjects int
-	CopiedBytes   int64
-	SkippedGone   int // deleted at the primary before they were copied
+	ShippedSeq     uint32 // watermark: contiguously replicated prefix
+	LagObjects     int    // committed but unshipped objects
+	LagBytes       int64  // their payload bytes
+	CopiedObjects  uint64
+	CopiedBytes    int64
+	SkippedPresent uint64 // backlog objects already on the replica
+	SkippedGone    uint64 // gone from the primary before shipping
+	SuperCopies    uint64 // superblock refreshes applied to the replica
+	SuperSkips     uint64 // super updates held back (checkpoint not shipped yet)
+	Retries        uint64 // replica-store transient retries (Retrier)
+	Errors         uint64 // ship attempts that failed after retry policy
+	LastShipNanos  int64  // duration of the most recent object copy
 }
 
-// Stats returns cumulative progress.
-func (r *Replicator) Stats() Stats {
-	return Stats{CopiedObjects: r.copied, CopiedBytes: r.copiedBytes, SkippedGone: r.skipped}
+// Shipper drains one volume's commit feed into the replica store.
+type Shipper struct {
+	cfg     Config
+	ctx     context.Context
+	primary objstore.Store
+	volume  string
+
+	quit     chan struct{}
+	done     chan struct{}
+	draining chan struct{}
+	attached chan struct{}
+
+	mu    sync.Mutex //lsvd:lock replica.mu
+	stats Stats
 }
 
-func (r *Replicator) seqOf(name string) (uint64, bool) {
-	suffix, found := strings.CutPrefix(name, r.Volume+".")
-	if !found || len(suffix) != 8 {
-		return 0, false
+// drainAttempts bounds per-object retries once a clean Close has been
+// requested: a dead replica backend must not wedge volume shutdown.
+// The replica simply stays at its last consistent watermark.
+const drainAttempts = 3
+
+// Start attaches a shipper to the volume and begins replication.
+func Start(ctx context.Context, cfg Config) *Shipper {
+	s := &Shipper{
+		cfg:      cfg,
+		ctx:      ctx,
+		primary:  cfg.Backend.ObjectStore(),
+		volume:   cfg.Backend.Volume(),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		draining: make(chan struct{}),
+		attached: make(chan struct{}),
 	}
-	n, err := strconv.ParseUint(suffix, 10, 32)
-	if err != nil {
-		return 0, false
-	}
-	return n, true
+	invariant.Go("replica.shipper", s.run)
+	return s
 }
 
-// Sync performs one replication pass: it copies every sequence object
-// present at the primary but not at the replica, except the newest
-// LagObjects ones, and then refreshes the superblock if the checkpoint
-// it references has been copied. It returns the number of objects
-// copied this pass.
-func (r *Replicator) Sync(ctx context.Context) (int, error) {
-	srcNames, err := r.Primary.List(ctx, r.Volume+".")
-	if err != nil {
-		return 0, err
+func (s *Shipper) run() {
+	defer close(s.done)
+	backlog := s.cfg.Backend.ShipAttach()
+	// Close/Abort wait for this before calling ShipClose: ShipAttach
+	// re-arms the feed, so a close racing ahead of it would be undone
+	// and the drain wait would never end.
+	close(s.attached)
+	if !s.processBatch(backlog, true) {
+		return
 	}
-	dstNames, err := r.Replica.List(ctx, r.Volume+".")
-	if err != nil {
-		return 0, err
+	for {
+		evs, more := s.cfg.Backend.ShipNext()
+		if !s.processBatch(evs, false) {
+			return
+		}
+		if !more {
+			return
+		}
 	}
-	have := make(map[string]bool, len(dstNames))
-	for _, n := range dstNames {
-		have[n] = true
-	}
+}
 
-	var seqNames []string
-	var maxSeq uint64
-	for _, n := range srcNames {
-		if seq, ok := r.seqOf(n); ok {
-			seqNames = append(seqNames, n)
-			if seq > maxSeq {
-				maxSeq = seq
+// processBatch ships a slice of feed events in order. probe marks the
+// attach backlog: objects already on the replica (an earlier session
+// shipped them) are acked without copying, which is what makes
+// re-attach incremental. Returns false when the shipper should stop.
+func (s *Shipper) processBatch(evs []blockstore.ShipEvent, probe bool) bool {
+	for _, ev := range evs {
+		if s.stopped() {
+			return false
+		}
+		if ev.IsSuper() {
+			s.shipSuper()
+			continue
+		}
+		if probe {
+			if _, err := s.cfg.Replica.Size(s.ctx, ev.Name); err == nil {
+				s.cfg.Backend.ShipAck(ev)
+				s.bump(func(st *Stats) { st.SkippedPresent++ })
+				continue
 			}
 		}
-	}
-	cutoff := uint64(0)
-	if maxSeq > uint64(r.LagObjects) {
-		cutoff = maxSeq - uint64(r.LagObjects)
-	}
-
-	copied := 0
-	for _, name := range seqNames {
-		seq, _ := r.seqOf(name)
-		if seq > cutoff || have[name] {
-			continue
+		if !s.shipObject(ev) {
+			return false
 		}
-		data, err := r.Primary.Get(ctx, name)
-		if errors.Is(err, objstore.ErrNotFound) {
-			// Garbage collected at the primary between List and Get:
-			// fine, the stream no longer needs it.
-			r.skipped++
-			continue
-		}
-		if err != nil {
-			return copied, err
-		}
-		if err := r.Replica.Put(ctx, name, data); err != nil {
-			return copied, err
-		}
-		copied++
-		r.copied++
-		r.copiedBytes += int64(len(data))
 	}
-
-	if err := r.syncSuper(ctx); err != nil {
-		return copied, err
-	}
-	return copied, nil
+	return true
 }
 
-// syncSuper copies the superblock when doing so leaves the replica
-// openable — i.e. the checkpoint it points to has been copied.
-func (r *Replicator) syncSuper(ctx context.Context) error {
-	super := r.Volume + ".super"
-	raw, err := r.Primary.Get(ctx, super)
-	if errors.Is(err, objstore.ErrNotFound) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	// Publish the superblock only once the checkpoint it references
-	// has been copied, so the replica is openable at all times.
-	info, err := blockstore.DecodeSuperInfo(raw)
-	if err != nil {
-		return err
-	}
-	if info.LastCheckpoint != 0 {
-		ckptName := fmt.Sprintf("%s.%08d", r.Volume, info.LastCheckpoint)
-		if _, err := r.Replica.Size(ctx, ckptName); err != nil {
-			return nil // checkpoint not replicated yet; keep old super
+// shipObject copies one numbered object and acks it. It never acks an
+// object it has not durably copied (or proven gone): on failure it
+// backs off and retries, letting the lag grow until the bound
+// escalates to destage backpressure — the RPO contract is "bounded or
+// blocked", never "silently dropped". Only an explicit drain (clean
+// Close with the replica down) abandons the attempt, leaving the
+// watermark where it was.
+func (s *Shipper) shipObject(ev blockstore.ShipEvent) bool {
+	for attempt := 1; ; attempt++ {
+		if s.stopped() {
+			return false
+		}
+		err := s.copyObject(ev)
+		if err == nil {
+			s.cfg.Backend.ShipAck(ev)
+			return true
+		}
+		if errors.Is(err, objstore.ErrNotFound) {
+			// Deleted at the primary before shipping. The watermark pin
+			// prevents this for every object the feed publishes while
+			// replication is armed, so this only covers streams whose
+			// history predates Config.Replicated; the recovery rules
+			// tolerate the hole exactly as they do for a GC'd object.
+			s.cfg.Backend.ShipAck(ev)
+			s.bump(func(st *Stats) { st.SkippedGone++ })
+			return true
+		}
+		s.bump(func(st *Stats) { st.Errors++ })
+		if s.drainRequested() && attempt >= drainAttempts {
+			return false
+		}
+		if !s.sleep(backoff(attempt)) {
+			return false
 		}
 	}
-	return r.Replica.Put(ctx, super, raw)
+}
+
+// copyObject is one GET(primary) + PUT(replica) under a background
+// gate slot.
+func (s *Shipper) copyObject(ev blockstore.ShipEvent) error {
+	if s.cfg.Gate != nil {
+		s.cfg.Gate.AcquireBackground(s.cfg.GateID)
+		defer s.cfg.Gate.ReleaseBackground(s.cfg.GateID)
+	}
+	start := time.Now()
+	data, err := s.primary.Get(s.ctx, ev.Name)
+	if err != nil {
+		return err
+	}
+	if err := s.cfg.Replica.Put(s.ctx, ev.Name, data); err != nil {
+		return err
+	}
+	s.bump(func(st *Stats) {
+		st.CopiedObjects++
+		st.CopiedBytes += int64(len(data))
+		st.LastShipNanos = time.Since(start).Nanoseconds()
+	})
+	return nil
+}
+
+// shipSuper refreshes the replica's superblock from the primary's LIVE
+// super — feed super events are triggers, not payloads, so a burst of
+// checkpoints collapses into one copy of the final state. The copy is
+// applied only when the checkpoint it names is already on the replica
+// (the feed orders the checkpoint's own event first, so in the steady
+// state it is); otherwise the event is skipped and the checkpoint that
+// eventually ships brings its own super event. Super failures are not
+// retried here for the same reason: the replica merely stays on its
+// previous — still consistent — superblock.
+func (s *Shipper) shipSuper() {
+	if s.cfg.Gate != nil {
+		s.cfg.Gate.AcquireBackground(s.cfg.GateID)
+		defer s.cfg.Gate.ReleaseBackground(s.cfg.GateID)
+	}
+	raw, err := s.primary.Get(s.ctx, blockstore.SuperName(s.volume))
+	if err != nil {
+		s.bump(func(st *Stats) { st.Errors++ })
+		return
+	}
+	info, err := blockstore.DecodeSuperInfo(raw)
+	if err != nil {
+		s.bump(func(st *Stats) { st.Errors++ })
+		return
+	}
+	if info.LastCheckpoint != 0 {
+		ckpt := blockstore.ObjName(s.volume, info.LastCheckpoint)
+		if _, err := s.cfg.Replica.Size(s.ctx, ckpt); err != nil {
+			s.bump(func(st *Stats) { st.SuperSkips++ })
+			return
+		}
+	}
+	if err := s.cfg.Replica.Put(s.ctx, blockstore.SuperName(s.volume), raw); err != nil {
+		s.bump(func(st *Stats) { st.Errors++ })
+		return
+	}
+	s.bump(func(st *Stats) { st.SuperCopies++ })
+}
+
+// OverBound reports whether the replication lag currently exceeds the
+// configured RPO bound. The destage loop polls this to decide whether
+// to admit more foreground work.
+func (s *Shipper) OverBound() bool {
+	if s.cfg.MaxLagObjects <= 0 && s.cfg.MaxLagBytes <= 0 {
+		return false
+	}
+	objs, bytes := s.cfg.Backend.ShipLag()
+	return (s.cfg.MaxLagObjects > 0 && objs > s.cfg.MaxLagObjects) ||
+		(s.cfg.MaxLagBytes > 0 && bytes > s.cfg.MaxLagBytes)
+}
+
+// Stats returns cumulative progress plus the live lag.
+func (s *Shipper) Stats() Stats {
+	invariant.LockOrder("replica.mu")
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	invariant.LockRelease("replica.mu")
+	st.ShippedSeq = s.cfg.Backend.ShippedSeq()
+	st.LagObjects, st.LagBytes = s.cfg.Backend.ShipLag()
+	if rt, ok := s.cfg.Replica.(*objstore.Retrier); ok {
+		st.Retries = rt.Retries()
+	}
+	return st
+}
+
+// Close drains the feed — every already-committed event ships — and
+// stops the shipper. If the replica backend is unreachable, each
+// remaining object gets drainAttempts tries before the drain is
+// abandoned with the watermark (and the replica) at the last
+// consistent state.
+func (s *Shipper) Close() {
+	close(s.draining)
+	<-s.attached
+	s.cfg.Backend.ShipClose(true)
+	<-s.done
+}
+
+// Abort stops the shipper immediately, dropping queued feed events
+// (crash modeling — the replica stays a consistent prefix).
+func (s *Shipper) Abort() {
+	close(s.quit)
+	<-s.attached
+	s.cfg.Backend.ShipClose(false)
+	<-s.done
+}
+
+func (s *Shipper) stopped() bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Shipper) drainRequested() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d or until Abort; returns false when aborted.
+func (s *Shipper) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.quit:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (s *Shipper) bump(f func(*Stats)) {
+	invariant.LockOrder("replica.mu")
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+	invariant.LockRelease("replica.mu")
+}
+
+// backoff is the per-object retry schedule: exponential from 1ms,
+// capped at 100ms — long enough to ride out a fault burst, short
+// enough that the lag bound reacts promptly once the backend heals.
+func backoff(attempt int) time.Duration {
+	d := time.Millisecond << uint(attempt-1)
+	if d > 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
 }

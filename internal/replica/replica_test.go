@@ -3,8 +3,11 @@ package replica
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"lsvd/internal/block"
 	"lsvd/internal/blockstore"
@@ -35,17 +38,50 @@ func readAll(t *testing.T, s *blockstore.Store, ext block.Extent) []byte {
 	return buf
 }
 
-func TestReplicaMountsConsistently(t *testing.T) {
+// limitStore errors every Put after the first allowed ones — a replica
+// backend that goes down mid-stream, leaving the shipper lagged.
+type limitStore struct {
+	objstore.Store
+	allowed atomic.Int32
+}
+
+var errDown = errors.New("replica backend down")
+
+func (s *limitStore) Put(ctx context.Context, name string, data []byte) error {
+	if s.allowed.Add(-1) < 0 {
+		return errDown
+	}
+	return s.Store.Put(ctx, name, data)
+}
+
+// waitCaughtUp blocks until the shipper's lag is zero and the replica
+// holds a superblock.
+func waitCaughtUp(t *testing.T, sh *Shipper, replica objstore.Store) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := sh.Stats()
+		if st.LagObjects == 0 {
+			if _, err := replica.Size(ctx, "vol.super"); err == nil {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("shipper never caught up")
+}
+
+func TestShipperMirrorsVolume(t *testing.T) {
 	primary := objstore.NewMem()
 	secondary := objstore.NewMem()
 	bs, err := blockstore.Create(ctx, blockstore.Config{
 		Volume: "vol", Store: primary, VolSectors: 1 << 20,
-		BatchBytes: 128 * 1024, CheckpointEvery: 4,
+		BatchBytes: 128 * 1024, CheckpointEvery: 4, Replicated: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := &Replicator{Primary: primary, Replica: secondary, Volume: "vol", LagObjects: 2}
+	sh := Start(ctx, Config{Backend: bs, Replica: secondary})
 
 	want := map[int][]byte{}
 	ws := uint64(0)
@@ -59,20 +95,35 @@ func TestReplicaMountsConsistently(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		_ = bs.Seal()
-		if _, err := r.Sync(ctx); err != nil {
+		if err := bs.Seal(); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Final catch-up with no lag.
-	_ = bs.Seal()
-	_ = bs.Checkpoint()
-	r.LagObjects = 0
-	if _, err := r.Sync(ctx); err != nil {
+	if err := bs.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	if r.Stats().CopiedObjects == 0 {
+	sh.Close()
+
+	st := sh.Stats()
+	if st.CopiedObjects == 0 {
 		t.Fatal("nothing replicated")
+	}
+	if st.LagObjects != 0 || st.LagBytes != 0 {
+		t.Fatalf("lag after drain: %d objects / %d bytes", st.LagObjects, st.LagBytes)
+	}
+	if bsStats := bs.Stats(); bsStats.ShippedSeq != bsStats.NextSeq-1 {
+		t.Fatalf("watermark %d, next seq %d", bsStats.ShippedSeq, bsStats.NextSeq)
+	}
+
+	// Every primary object (and the super) must be on the replica.
+	names, err := primary.List(ctx, "vol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if _, err := secondary.Size(ctx, n); err != nil {
+			t.Fatalf("object %s missing on replica: %v", n, err)
+		}
 	}
 
 	// Mount the replica and verify every extent.
@@ -90,29 +141,55 @@ func TestReplicaMountsConsistently(t *testing.T) {
 
 func TestLaggedReplicaIsPrefix(t *testing.T) {
 	primary := objstore.NewMem()
-	secondary := objstore.NewMem()
-	bs, _ := blockstore.Create(ctx, blockstore.Config{
+	inner := objstore.NewMem()
+	secondary := &limitStore{Store: inner}
+	secondary.allowed.Store(1 << 30)
+	bs, err := blockstore.Create(ctx, blockstore.Config{
 		Volume: "vol", Store: primary, VolSectors: 1 << 20,
-		BatchBytes: 64 * 1024, CheckpointEvery: 4,
+		BatchBytes: 64 * 1024, CheckpointEvery: 4, Replicated: true,
 	})
-	r := &Replicator{Primary: primary, Replica: secondary, Volume: "vol", LagObjects: 3}
-	for i := 0; i < 30; i++ {
-		ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
-		_ = bs.Append(uint64(i+1), ext, payload(int64(i), int(ext.Bytes())))
-		_ = bs.Seal()
-		_, _ = r.Sync(ctx)
+	if err != nil {
+		t.Fatal(err)
 	}
+	sh := Start(ctx, Config{Backend: bs, Replica: secondary})
+	// Bootstrap: let the replica fully catch up (super included), then
+	// the backend "goes down" and the primary keeps writing.
+	for i := 0; i < 10; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
+		if err := bs.Append(uint64(i+1), ext, payload(int64(i), int(ext.Bytes()))); err != nil {
+			t.Fatal(err)
+		}
+		if err := bs.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, sh, inner)
+	secondary.allowed.Store(3)
+	for i := 10; i < 30; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
+		if err := bs.Append(uint64(i+1), ext, payload(int64(i), int(ext.Bytes()))); err != nil {
+			t.Fatal(err)
+		}
+		if err := bs.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.Abort() // crash while lagged
+	if lag := sh.Stats().LagObjects; lag == 0 {
+		t.Fatal("expected a lagged shipper")
+	}
+
 	// The lagged replica must still open (older consistent state).
-	rep, err := blockstore.Open(ctx, blockstore.Config{Volume: "vol", Store: secondary})
+	rep, err := blockstore.Open(ctx, blockstore.Config{Volume: "vol", Store: inner})
 	if err != nil {
 		t.Fatalf("lagged replica mount: %v", err)
 	}
-	// Every extent it reports must match the primary's history: the
-	// replica is behind, never wrong.
 	durable := rep.DurableWriteSeq()
 	if durable == 0 || durable >= 30 {
 		t.Fatalf("replica watermark %d", durable)
 	}
+	// Every extent it reports must match the primary's history: the
+	// replica is behind, never wrong.
 	for i := 0; i < int(durable); i++ {
 		ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
 		if got := readAll(t, rep, ext); !bytes.Equal(got, payload(int64(i), int(ext.Bytes()))) {
@@ -121,60 +198,246 @@ func TestLaggedReplicaIsPrefix(t *testing.T) {
 	}
 }
 
-func TestGCDeletedObjectsSkipped(t *testing.T) {
+func TestReattachIsIncremental(t *testing.T) {
 	primary := objstore.NewMem()
 	secondary := objstore.NewMem()
-	bs, _ := blockstore.Create(ctx, blockstore.Config{
+	cfg := blockstore.Config{
 		Volume: "vol", Store: primary, VolSectors: 1 << 20,
-		BatchBytes: 64 * 1024, GCLowWater: 0.7, GCHighWater: 0.75, CheckpointEvery: 4,
-	})
-	// Heavy overwrite so GC deletes objects before replication starts.
-	ws := uint64(0)
-	for round := 0; round < 20; round++ {
-		for i := 0; i < 4; i++ {
-			ws++
-			ext := block.Extent{LBA: block.LBA(i * 256), Sectors: 128}
-			_ = bs.Append(ws, ext, payload(int64(ws), int(ext.Bytes())))
-		}
-		_ = bs.Seal()
+		BatchBytes: 64 * 1024, Replicated: true,
 	}
-	_ = bs.Checkpoint()
-	r := &Replicator{Primary: primary, Replica: secondary, Volume: "vol"}
-	if _, err := r.Sync(ctx); err != nil {
+	bs, err := blockstore.Create(ctx, cfg)
+	if err != nil {
 		t.Fatal(err)
 	}
+	sh := Start(ctx, Config{Backend: bs, Replica: secondary})
+	for i := 0; i < 5; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
+		if err := bs.Append(uint64(i+1), ext, payload(int64(i), int(ext.Bytes()))); err != nil {
+			t.Fatal(err)
+		}
+		if err := bs.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.Close()
+	first := sh.Stats()
+	if first.CopiedObjects == 0 {
+		t.Fatal("first session copied nothing")
+	}
+
+	// "Restart": reopen the volume and attach a fresh shipper. The
+	// backlog probe must find everything already present and copy
+	// nothing.
+	bs2, err := blockstore.Open(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2 := Start(ctx, Config{Backend: bs2, Replica: secondary})
+	sh2.Close()
+	second := sh2.Stats()
+	if second.CopiedObjects != 0 {
+		t.Fatalf("re-attach recopied %d objects", second.CopiedObjects)
+	}
+	if second.SkippedPresent == 0 {
+		t.Fatal("re-attach probed nothing")
+	}
+	if second.LagObjects != 0 {
+		t.Fatalf("re-attach left lag %d", second.LagObjects)
+	}
+}
+
+// TestWatermarkOutOfOrderAcks drives the feed API directly: the
+// watermark is the contiguously-shipped prefix, so acking a later
+// object before an earlier one must not advance it past the gap.
+func TestWatermarkOutOfOrderAcks(t *testing.T) {
+	primary := objstore.NewMem()
+	bs, err := blockstore.Create(ctx, blockstore.Config{
+		Volume: "vol", Store: primary, VolSectors: 1 << 20,
+		BatchBytes: 64 * 1024, Replicated: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 8}
+		if err := bs.Append(uint64(i+1), ext, payload(int64(i), int(ext.Bytes()))); err != nil {
+			t.Fatal(err)
+		}
+		if err := bs.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backlog := bs.ShipAttach()
+	var numbered []blockstore.ShipEvent
+	for _, ev := range backlog {
+		if !ev.IsSuper() {
+			numbered = append(numbered, ev)
+		}
+	}
+	if len(numbered) < 3 {
+		t.Fatalf("backlog has %d numbered events", len(numbered))
+	}
+	// Ack everything EXCEPT the first: the gap pins the watermark at 0.
+	for _, ev := range numbered[1:] {
+		bs.ShipAck(ev)
+		if got := bs.ShippedSeq(); got >= numbered[1].Seq {
+			t.Fatalf("watermark %d advanced past unshipped seq %d", got, numbered[0].Seq)
+		}
+	}
+	bs.ShipAck(numbered[0])
+	if got, want := bs.ShippedSeq(), numbered[len(numbered)-1].Seq; got != want {
+		t.Fatalf("watermark %d after all acks, want %d", got, want)
+	}
+	if lag, _ := bs.ShipLag(); lag != 0 {
+		t.Fatalf("lag %d after all acks", lag)
+	}
+}
+
+// TestDeleteSnapshotRespectsShipWatermark is the regression for the
+// deferred-deletion path: deleting a snapshot while the shipper is
+// lagged (here: not even attached — infinitely lagged) must NOT delete
+// the GC victims it was pinning, or the replica's checkpoint would
+// dangle. Once the shipper drains, the watermark advance releases
+// them.
+func TestDeleteSnapshotRespectsShipWatermark(t *testing.T) {
+	primary := objstore.NewMem()
+	secondary := objstore.NewMem()
+	bs, err := blockstore.Create(ctx, blockstore.Config{
+		Volume: "vol", Store: primary, VolSectors: 1 << 20,
+		BatchBytes: 64 * 1024, CheckpointEvery: 1 << 30, Replicated: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := uint64(0)
+	write := func(i int, seed int64) {
+		t.Helper()
+		ws++
+		ext := block.Extent{LBA: block.LBA(i * 256), Sectors: 128}
+		if err := bs.Append(ws, ext, payload(seed, int(ext.Bytes()))); err != nil {
+			t.Fatal(err)
+		}
+		if err := bs.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		write(i, int64(i))
+	}
+	if _, err := bs.CreateSnapshot("s"); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite everything: the pre-snapshot objects become garbage
+	// that GC cleans, with deletion deferred behind the snapshot.
+	final := map[int]int64{}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 4; i++ {
+			seed := int64(100 + round*4 + i)
+			final[i] = seed
+			write(i, seed)
+		}
+	}
+	if err := bs.RunGC(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	deleted := bs.Stats().ObjectsDeleted
+	if bs.Stats().DeferredDeletes == 0 {
+		t.Fatal("expected snapshot-pinned deferred deletions")
+	}
+
+	// Snapshot goes away while the shipper is infinitely lagged: the
+	// ship watermark must keep every victim on the primary.
+	if err := bs.DeleteSnapshot("s"); err != nil {
+		t.Fatal(err)
+	}
+	st := bs.Stats()
+	if st.ObjectsDeleted != deleted {
+		t.Fatalf("DeleteSnapshot deleted %d objects under a lagged shipper",
+			st.ObjectsDeleted-deleted)
+	}
+	if st.DeferredDeletes == 0 {
+		t.Fatal("victims not re-deferred behind the ship watermark")
+	}
+
+	// Drain a shipper: every object (victims included) reaches the
+	// replica, the watermark advance releases the deferred deletes.
+	sh := Start(ctx, Config{Backend: bs, Replica: secondary})
+	sh.Close()
+	if got := sh.Stats().SkippedGone; got != 0 {
+		t.Fatalf("%d objects vanished before shipping (404 on replica restore)", got)
+	}
+	st = bs.Stats()
+	if st.DeferredDeletes != 0 {
+		t.Fatalf("%d deferred deletions survived the drained watermark", st.DeferredDeletes)
+	}
+	if st.ObjectsDeleted == deleted {
+		t.Fatal("watermark advance released no deletions")
+	}
+
+	// The replica restores with no 404: every mapped extent readable.
 	rep, err := blockstore.Open(ctx, blockstore.Config{Volume: "vol", Store: secondary})
 	if err != nil {
-		t.Fatalf("replica mount after GC: %v", err)
+		t.Fatalf("replica mount: %v", err)
 	}
-	// Newest data must be present despite the holes.
 	for i := 0; i < 4; i++ {
 		ext := block.Extent{LBA: block.LBA(i * 256), Sectors: 128}
-		wantSeed := int64(ws) - int64(3-i)
-		if got := readAll(t, rep, ext); !bytes.Equal(got, payload(wantSeed, int(ext.Bytes()))) {
-			t.Fatalf("replica extent %d stale after GC-holed stream", i)
+		if got := readAll(t, rep, ext); !bytes.Equal(got, payload(final[i], int(ext.Bytes()))) {
+			t.Fatalf("replica extent %d wrong after snapshot delete + GC", i)
 		}
 	}
 }
 
-func TestSecondSyncIsIncremental(t *testing.T) {
+func TestShipperRetriesFaults(t *testing.T) {
 	primary := objstore.NewMem()
-	secondary := objstore.NewMem()
-	bs, _ := blockstore.Create(ctx, blockstore.Config{
-		Volume: "vol", Store: primary, VolSectors: 1 << 20, BatchBytes: 64 * 1024,
+	inner := objstore.NewMem()
+	faulty := objstore.NewFaulty(inner)
+	faulty.Arm(objstore.FaultConfig{
+		Seed: 7, Rates: objstore.UniformRates(0.3), TornWrites: true,
 	})
-	for i := 0; i < 5; i++ {
+	secondary := objstore.NewRetrier(faulty, objstore.RetryPolicy{})
+	bs, err := blockstore.Create(ctx, blockstore.Config{
+		Volume: "vol", Store: primary, VolSectors: 1 << 20,
+		BatchBytes: 64 * 1024, CheckpointEvery: 4, Replicated: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := Start(ctx, Config{Backend: bs, Replica: secondary})
+	want := map[int][]byte{}
+	ws := uint64(0)
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 4; i++ {
+			ws++
+			ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
+			d := payload(int64(ws), int(ext.Bytes()))
+			want[i] = d
+			if err := bs.Append(ws, ext, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bs.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bs.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	faulty.Disarm() // heal before the drain so Close converges
+	sh.Close()
+	if lag := sh.Stats().LagObjects; lag != 0 {
+		t.Fatalf("lag %d after drain", lag)
+	}
+	rep, err := blockstore.Open(ctx, blockstore.Config{Volume: "vol", Store: inner})
+	if err != nil {
+		t.Fatalf("replica mount after faults: %v", err)
+	}
+	for i := 0; i < 4; i++ {
 		ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
-		_ = bs.Append(uint64(i+1), ext, payload(int64(i), int(ext.Bytes())))
-		_ = bs.Seal()
-	}
-	r := &Replicator{Primary: primary, Replica: secondary, Volume: "vol"}
-	n1, err := r.Sync(ctx)
-	if err != nil || n1 == 0 {
-		t.Fatalf("first sync copied %d (%v)", n1, err)
-	}
-	n2, err := r.Sync(ctx)
-	if err != nil || n2 != 0 {
-		t.Fatalf("second sync copied %d (%v)", n2, err)
+		if got := readAll(t, rep, ext); !bytes.Equal(got, want[i]) {
+			t.Fatalf("replica extent %d differs after faulted shipping", i)
+		}
 	}
 }

@@ -30,6 +30,7 @@ package lsvd
 
 import (
 	"context"
+	"errors"
 	"net"
 
 	"lsvd/internal/block"
@@ -123,6 +124,18 @@ type VolumeOptions struct {
 	// value selects the defaults (4 attempts, 2 ms base backoff);
 	// MaxAttempts < 0 disables retries.
 	Retry RetryPolicy
+
+	// ReplicaStore enables asynchronous replication (§4.8): a
+	// background shipper copies every committed object to this second
+	// store in commit order, keeping it a crash-consistent prefix of
+	// the primary. Recover from it with OpenFromReplica.
+	ReplicaStore ObjectStore
+	// ReplicaMaxLagObjects / ReplicaMaxLagBytes bound the replication
+	// lag — the recovery-point objective. When the unshipped backlog
+	// exceeds either bound, writes stall until the shipper catches up;
+	// 0 leaves that dimension unbounded.
+	ReplicaMaxLagObjects int
+	ReplicaMaxLagBytes   int64
 }
 
 func (o VolumeOptions) coreOptions() core.Options {
@@ -144,6 +157,10 @@ func (o VolumeOptions) coreOptions() core.Options {
 		FetchDepth:        o.FetchDepth,
 		OpenFanout:        o.OpenFanout,
 		Retry:             o.Retry,
+
+		ReplicaStore:         o.ReplicaStore,
+		ReplicaMaxLagObjects: o.ReplicaMaxLagObjects,
+		ReplicaMaxLagBytes:   o.ReplicaMaxLagBytes,
 	}
 	if o.PrefetchBytes > 0 {
 		opts.PrefetchSectors = uint32(o.PrefetchBytes / block.SectorSize)
@@ -238,9 +255,31 @@ func ServeNBD(ln net.Listener, name string, disk BlockDevice, more ...struct {
 	return srv.Serve(ln)
 }
 
-// Replicator lazily copies a volume's object stream to a second store
-// for asynchronous (geo-)replication.
-type Replicator = replica.Replicator
+// ReplicaStats reports a replicated volume's shipping progress and
+// live lag (Stats.Replica).
+type ReplicaStats = replica.Stats
+
+// OpenFromReplica recovers a volume from its replica store after the
+// primary is lost (§4.8). The replica is a crash-consistent prefix of
+// the primary, so this is exactly crash recovery against a surviving
+// backend. With promote, the replica becomes the new primary: the
+// volume opens writable against it, un-replicated (to re-replicate,
+// use Open with Store set to the old replica and ReplicaStore to a
+// fresh target). Without promote, the volume mounts read-only for
+// inspection, leaving the replica untouched.
+// o.Store is ignored; o.Cache is used for caching only — a stale
+// primary cache must NOT be replayed over the replica's history, so
+// pass a fresh cache device.
+func OpenFromReplica(ctx context.Context, o VolumeOptions, promote bool) (*Disk, error) {
+	if o.ReplicaStore == nil {
+		return nil, errors.New("lsvd: OpenFromReplica requires ReplicaStore")
+	}
+	o.Store, o.ReplicaStore = o.ReplicaStore, nil
+	if promote {
+		return Open(ctx, o)
+	}
+	return core.OpenReadOnly(ctx, o.coreOptions())
+}
 
 // Host packs many volumes onto one cache SSD and one backend bucket:
 // per-volume write-cache log slots, one shared read-cache arena with

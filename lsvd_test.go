@@ -146,30 +146,65 @@ func TestPublicAPINBD(t *testing.T) {
 func TestPublicAPIReplication(t *testing.T) {
 	primary := MemStore()
 	secondary := MemStore()
-	disk, err := Create(ctx, VolumeOptions{Name: "v", Store: primary, Cache: MemCacheDevice(64 * MiB), Size: 64 * MiB, BatchBytes: 256 * 1024})
+	disk, err := Create(ctx, VolumeOptions{
+		Name: "v", Store: primary, Cache: MemCacheDevice(64 * MiB),
+		Size: 64 * MiB, BatchBytes: 256 * 1024,
+		ReplicaStore: secondary, ReplicaMaxLagObjects: 4,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	data := make([]byte, 512*1024)
 	rand.New(rand.NewSource(4)).Read(data)
 	_ = disk.WriteAt(data, 0)
+	// Close drains the shipper: the replica ends at zero lag.
 	if err := disk.Close(); err != nil {
 		t.Fatal(err)
 	}
-	rep := &Replicator{Primary: primary, Replica: secondary, Volume: "v"}
-	if _, err := rep.Sync(ctx); err != nil {
-		t.Fatal(err)
+	if st := disk.Stats(); !st.ReplicaEnabled || st.Replica.LagObjects != 0 {
+		t.Fatalf("replica not drained: %+v", st.Replica)
 	}
-	// The replica opens as a volume with a fresh cache.
-	rdisk, err := Open(ctx, VolumeOptions{Name: "v", Store: secondary, Cache: MemCacheDevice(64 * MiB)})
+
+	// Read-only inspection mount of the replica.
+	ro, err := OpenFromReplica(ctx, VolumeOptions{
+		Name: "v", ReplicaStore: secondary, Cache: MemCacheDevice(64 * MiB),
+	}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := make([]byte, len(data))
+	if err := ro.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-only replica content differs")
+	}
+	if err := ro.WriteAt(data, 0); err == nil {
+		t.Fatal("read-only replica mount accepted a write")
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote: the replica becomes the new primary with a fresh cache.
+	rdisk, err := OpenFromReplica(ctx, VolumeOptions{
+		Name: "v", ReplicaStore: secondary, Cache: MemCacheDevice(64 * MiB),
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = make([]byte, len(data))
 	if err := rdisk.ReadAt(got, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("replica content differs")
+	}
+	// The promoted volume is writable (liveness after failover).
+	if err := rdisk.WriteAt(data, MiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := rdisk.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
