@@ -434,8 +434,14 @@ type Disk struct {
 	// shipper is the volume's replication goroutine (nil unless
 	// Options.ReplicaStore is set on a writable disk). replicaStalls
 	// counts foreground mutations that blocked on the RPO lag bound.
+	// replicaWake is the broadcast channel those stalled writers sleep
+	// on (awaitReplicaLag): notifyReplicaWake closes and replaces it
+	// whenever the shipper acks an object, the pipeline fails, or the
+	// disk closes. Nil unless the disk has a shipper.
 	shipper       *replica.Shipper
 	replicaStalls atomic.Uint64
+	replicaMu     sync.Mutex //lsvd:lock core.replicaWake
+	replicaWake   chan struct{}
 
 	volSectors block.LBA
 	readOnly   bool
@@ -735,11 +741,13 @@ func (d *Disk) startPipeline(ctx context.Context) {
 		if _, ok := rs.(*objstore.Retrier); !ok && d.opts.Retry.MaxAttempts >= 0 {
 			rs = objstore.NewRetrier(rs, d.opts.Retry)
 		}
+		d.replicaWake = make(chan struct{})
 		rcfg := replica.Config{
 			Backend:       d.bs,
 			Replica:       rs,
 			MaxLagObjects: d.opts.ReplicaMaxLagObjects,
 			MaxLagBytes:   d.opts.ReplicaMaxLagBytes,
+			OnAck:         d.notifyReplicaWake,
 		}
 		if d.res != nil {
 			rcfg.Gate = d.res.UploadGate
@@ -809,6 +817,7 @@ func (d *Disk) destage() {
 func (d *Disk) failPipeline(err error) {
 	d.perr.CompareAndSwap(nil, &err)
 	d.notifyDestage()
+	d.notifyReplicaWake()
 }
 
 // notifyDestage pulses the destage-progress channel. Non-blocking: a
@@ -832,13 +841,19 @@ func (d *Disk) pipelineErr() error {
 // mutations stall here — OUTSIDE wmu, so the destage pipeline keeps
 // committing and the shipper keeps acking — until the replica catches
 // up. "Bounded or blocked": the volume never silently accumulates more
-// unreplicated data than the configured exposure.
+// unreplicated data than the configured exposure. Stalled writers
+// sleep on the wake channel rather than polling; every shipper ack,
+// pipeline failure, and close broadcasts it.
 func (d *Disk) awaitReplicaLag() error {
 	if d.shipper == nil || !d.shipper.OverBound() {
 		return nil
 	}
 	d.replicaStalls.Add(1)
 	for {
+		// Capture the wake channel before checking the exit conditions:
+		// an ack (or failure/close) landing between a check and the wait
+		// has already closed this channel, so the wait cannot miss it.
+		wake := d.replicaWakeCh()
 		if err := d.pipelineErr(); err != nil {
 			return err
 		}
@@ -851,8 +866,28 @@ func (d *Disk) awaitReplicaLag() error {
 		if !d.shipper.OverBound() {
 			return nil
 		}
-		time.Sleep(time.Millisecond)
+		//lsvd:ignore RPO backpressure by design: every ack, failure and close broadcasts the wake channel
+		<-wake
 	}
+}
+
+// notifyReplicaWake broadcasts to every writer stalled in
+// awaitReplicaLag by closing the current wake channel and installing a
+// fresh one. No-op on disks without a shipper.
+func (d *Disk) notifyReplicaWake() {
+	d.replicaMu.Lock()
+	if d.replicaWake != nil {
+		close(d.replicaWake)
+		d.replicaWake = make(chan struct{})
+	}
+	d.replicaMu.Unlock()
+}
+
+func (d *Disk) replicaWakeCh() <-chan struct{} {
+	d.replicaMu.Lock()
+	ch := d.replicaWake
+	d.replicaMu.Unlock()
+	return ch
 }
 
 // enqueue hands a request to the destager, blocking while the queue is
@@ -1342,6 +1377,9 @@ func (d *Disk) Close() error {
 		return nil
 	}
 	d.closed = true
+	// Writers stalled on the RPO bound must observe closed — Close
+	// holds wmu, so they would otherwise sleep through the shutdown.
+	d.notifyReplicaWake()
 	// Stop the admitter on every exit path (queued windows are
 	// released); the happy paths drain it first so admissions land in
 	// the read cache before it is persisted. The host's OnClose fires
@@ -1411,6 +1449,9 @@ func (d *Disk) Kill() {
 		return
 	}
 	d.closed = true
+	// Wake writers stalled on the RPO bound so they see closed and
+	// error out instead of sleeping through the kill.
+	d.notifyReplicaWake()
 	// Stop replication before quiescing the backend: a late ack would
 	// advance the watermark and re-drive deferred deletions, mutating
 	// the backend after the kill point. Abort drops queued feed events —

@@ -50,6 +50,11 @@ type Config struct {
 	// shipper catches up. 0 disables that bound.
 	MaxLagObjects int
 	MaxLagBytes   int64
+	// OnAck, when set, is called after every ack (object copied,
+	// verified present, or deliberately skipped) — i.e. whenever the
+	// lag shrinks. Core uses it to wake writers stalled on the RPO
+	// bound instead of having them poll.
+	OnAck func()
 }
 
 // Stats reports replication progress and the current lag.
@@ -140,8 +145,14 @@ func (s *Shipper) processBatch(evs []blockstore.ShipEvent, probe bool) bool {
 			continue
 		}
 		if probe {
-			if _, err := s.cfg.Replica.Size(s.ctx, ev.Name); err == nil {
-				s.cfg.Backend.ShipAck(ev)
+			// Presence alone is not proof of a durable copy: a shipper
+			// killed between a torn PUT (the objstore fault model leaves
+			// prefix-torn objects) and its retry leaves a partial object
+			// on the replica. ev.Bytes is the committed object's exact
+			// backend size, so ack only on an exact match and re-ship
+			// otherwise — the PUT overwrites the torn copy.
+			if n, err := s.cfg.Replica.Size(s.ctx, ev.Name); err == nil && n == ev.Bytes {
+				s.acked(ev)
 				s.bump(func(st *Stats) { st.SkippedPresent++ })
 				continue
 			}
@@ -167,7 +178,7 @@ func (s *Shipper) shipObject(ev blockstore.ShipEvent) bool {
 		}
 		err := s.copyObject(ev)
 		if err == nil {
-			s.cfg.Backend.ShipAck(ev)
+			s.acked(ev)
 			return true
 		}
 		if errors.Is(err, objstore.ErrNotFound) {
@@ -176,7 +187,7 @@ func (s *Shipper) shipObject(ev blockstore.ShipEvent) bool {
 			// replication is armed, so this only covers streams whose
 			// history predates Config.Replicated; the recovery rules
 			// tolerate the hole exactly as they do for a GC'd object.
-			s.cfg.Backend.ShipAck(ev)
+			s.acked(ev)
 			s.bump(func(st *Stats) { st.SkippedGone++ })
 			return true
 		}
@@ -299,6 +310,16 @@ func (s *Shipper) Abort() {
 	<-s.done
 }
 
+// acked advances the blockstore's shipped watermark for ev and fires
+// the owner's wake hook — the lag just shrank, so writers stalled on
+// the RPO bound should re-check it.
+func (s *Shipper) acked(ev blockstore.ShipEvent) {
+	s.cfg.Backend.ShipAck(ev)
+	if s.cfg.OnAck != nil {
+		s.cfg.OnAck()
+	}
+}
+
 func (s *Shipper) stopped() bool {
 	select {
 	case <-s.quit:
@@ -341,6 +362,13 @@ func (s *Shipper) bump(f func(*Stats)) {
 // capped at 100ms — long enough to ride out a fault burst, short
 // enough that the lag bound reacts promptly once the backend heals.
 func backoff(attempt int) time.Duration {
+	// Clamp the exponent before shifting: attempt grows without bound
+	// during a long outage, and 1ms << 44+ overflows int64 to a
+	// negative (then zero) duration, which would bypass the cap below
+	// and turn the retry loop into a busy-spin.
+	if attempt > 8 {
+		return 100 * time.Millisecond
+	}
 	d := time.Millisecond << uint(attempt-1)
 	if d > 100*time.Millisecond {
 		d = 100 * time.Millisecond

@@ -246,6 +246,80 @@ func TestReattachIsIncremental(t *testing.T) {
 	}
 }
 
+// TestReattachRecopiesTornObject models a shipper killed between a
+// torn PUT (the objstore fault model leaves prefix-torn objects) and
+// its retry: the replica holds a partial object. The re-attach probe
+// must not trust presence alone — the size mismatch has to force a
+// re-copy, or the torn object would be acked into the replica's
+// committed prefix and restore-from-replica would read garbage.
+func TestReattachRecopiesTornObject(t *testing.T) {
+	primary := objstore.NewMem()
+	secondary := objstore.NewMem()
+	cfg := blockstore.Config{
+		Volume: "vol", Store: primary, VolSectors: 1 << 20,
+		BatchBytes: 64 * 1024, Replicated: true,
+	}
+	bs, err := blockstore.Create(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := Start(ctx, Config{Backend: bs, Replica: secondary})
+	for i := 0; i < 5; i++ {
+		ext := block.Extent{LBA: block.LBA(i * 512), Sectors: 64}
+		if err := bs.Append(uint64(i+1), ext, payload(int64(i), int(ext.Bytes()))); err != nil {
+			t.Fatal(err)
+		}
+		if err := bs.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.Close()
+
+	// Tear one shipped object: keep only a prefix, as a torn PUT would.
+	torn := blockstore.ObjName("vol", 2)
+	full, err := secondary.Get(ctx, torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := secondary.Put(ctx, torn, full[:len(full)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	bs2, err := blockstore.Open(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2 := Start(ctx, Config{Backend: bs2, Replica: secondary})
+	sh2.Close()
+	st := sh2.Stats()
+	if st.CopiedObjects != 1 {
+		t.Fatalf("probe re-copied %d objects, want exactly the torn one", st.CopiedObjects)
+	}
+	if st.LagObjects != 0 {
+		t.Fatalf("re-attach left lag %d", st.LagObjects)
+	}
+	if got, err := secondary.Get(ctx, torn); err != nil || !bytes.Equal(got, full) {
+		t.Fatalf("torn object not restored to full content (err %v)", err)
+	}
+}
+
+// TestBackoffClamped: attempt grows without bound during an outage;
+// the shift must clamp rather than overflow into a negative or zero
+// duration (which would turn the retry loop into a busy-spin).
+func TestBackoffClamped(t *testing.T) {
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 200; attempt++ {
+		d := backoff(attempt)
+		if d <= 0 || d > 100*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, outside (0, 100ms]", attempt, d)
+		}
+		if d < prev {
+			t.Fatalf("backoff(%d) = %v shrank below backoff(%d) = %v", attempt, d, attempt-1, prev)
+		}
+		prev = d
+	}
+}
+
 // TestWatermarkOutOfOrderAcks drives the feed API directly: the
 // watermark is the contiguously-shipped prefix, so acking a later
 // object before an earlier one must not advance it past the gap.
