@@ -32,7 +32,8 @@ type Analyzer struct {
 	Finish func(report func(pos token.Position, format string, args ...any))
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package, plus the shared
+// module-wide interprocedural context (call graph + effect summaries).
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -40,6 +41,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Ann      *Annotations
+	IP       *Interproc
 
 	diags *[]Diagnostic
 }
@@ -66,12 +68,13 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	for i, p := range pkgs {
 		anns[i] = buildAnnotations(l.Fset, p, reg)
 	}
+	ip := buildInterproc(l, pkgs, anns)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		for i, p := range pkgs {
 			pass := &Pass{
 				Analyzer: a, Fset: l.Fset, Files: p.Files,
-				Pkg: p.Pkg, Info: p.Info, Ann: anns[i], diags: &diags,
+				Pkg: p.Pkg, Info: p.Info, Ann: anns[i], IP: ip, diags: &diags,
 			}
 			a.Run(pass)
 		}
@@ -112,13 +115,21 @@ func dedupe(diags []Diagnostic) []Diagnostic {
 }
 
 // Registry is module-wide annotation state shared by all packages: the
-// set of declared lock names, so per-package passes can reason about
-// locks a caller in another package may hold.
+// set of declared lock names and the annotated field objects carrying
+// them, so per-package passes can reason about locks a caller in
+// another package may hold (or manipulate directly).
 type Registry struct {
 	LockNames []string
+	lockObjs  map[types.Object]string
 }
 
-func (r *Registry) addLock(name string) {
+func (r *Registry) addLock(name string, obj types.Object) {
+	if r.lockObjs == nil {
+		r.lockObjs = make(map[types.Object]string)
+	}
+	if obj != nil {
+		r.lockObjs[obj] = name
+	}
 	for _, n := range r.LockNames {
 		if n == name {
 			return
@@ -126,6 +137,20 @@ func (r *Registry) addLock(name string) {
 	}
 	r.LockNames = append(r.LockNames, name)
 	sort.Strings(r.LockNames)
+}
+
+func (r *Registry) lockObj(obj types.Object) (string, bool) {
+	name, ok := r.lockObjs[obj]
+	return name, ok
+}
+
+func (r *Registry) hasLock(name string) bool {
+	for _, n := range r.LockNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Annotations is the per-package index of lsvd directives:
@@ -136,16 +161,25 @@ func (r *Registry) addLock(name string) {
 //	//lsvd:classifies-errors        on a function or struct field: backend
 //	                                errors flowing through it are
 //	                                classified transient-vs-terminal.
+//	//lsvd:requires <lock>          on a function's doc comment: the
+//	                                function must only be called with
+//	                                the named //lsvd:lock mutex held
+//	                                (the `fooLocked` helper contract).
+//	                                Repeat the directive for multiple
+//	                                locks; tokens after the name are
+//	                                commentary.
 //	//lsvd:ignore <reason>          suppresses diagnostics on its own
 //	                                line and the following line; on a
 //	                                function's doc comment, on the whole
 //	                                function. The reason is mandatory.
 type Annotations struct {
 	Global     *Registry
-	Locks      map[types.Object]string // annotated mutex field -> lock name
-	Classifies map[types.Object]bool   // annotated funcs and fields
+	Locks      map[types.Object]string   // annotated mutex field -> lock name
+	Classifies map[types.Object]bool     // annotated funcs and fields
+	Requires   map[types.Object][]string // function -> locks that must be held by the caller
 
-	lineIgnores map[string]map[int]bool // file -> lines covered
+	requiresPos map[types.Object]token.Pos // directive position, for annform
+	lineIgnores map[string]map[int]bool    // file -> lines covered
 	fset        *token.FileSet
 	malformed   []token.Pos // directives missing required arguments
 }
@@ -165,6 +199,7 @@ const (
 	dirLock       = "lsvd:lock"
 	dirClassifies = "lsvd:classifies-errors"
 	dirIgnore     = "lsvd:ignore"
+	dirRequires   = "lsvd:requires"
 )
 
 // directive returns the argument of the named directive if the
@@ -186,11 +221,33 @@ func directive(g *ast.CommentGroup, name string) (arg string, found bool) {
 	return "", false
 }
 
+// directiveAll returns one entry per occurrence of the named directive
+// in the comment group ("" for bare ones), with positions.
+func directiveAll(g *ast.CommentGroup, name string) (args []string, poss []token.Pos) {
+	if g == nil {
+		return nil, nil
+	}
+	for _, c := range g.List {
+		t := strings.TrimPrefix(c.Text, "//")
+		t = strings.TrimSpace(t)
+		if t == name {
+			args, poss = append(args, ""), append(poss, c.Pos())
+			continue
+		}
+		if rest, ok := strings.CutPrefix(t, name+" "); ok {
+			args, poss = append(args, strings.TrimSpace(rest)), append(poss, c.Pos())
+		}
+	}
+	return args, poss
+}
+
 func buildAnnotations(fset *token.FileSet, p *Package, reg *Registry) *Annotations {
 	a := &Annotations{
 		Global:      reg,
 		Locks:       make(map[types.Object]string),
 		Classifies:  make(map[types.Object]bool),
+		Requires:    make(map[types.Object][]string),
+		requiresPos: make(map[types.Object]token.Pos),
 		lineIgnores: make(map[string]map[int]bool),
 		fset:        fset,
 	}
@@ -227,6 +284,25 @@ func buildAnnotations(fset *token.FileSet, p *Package, reg *Registry) *Annotatio
 						a.Classifies[obj] = true
 					}
 				}
+				if args, poss := directiveAll(n.Doc, dirRequires); len(args) > 0 {
+					obj := p.Info.Defs[n.Name]
+					for i, arg := range args {
+						// The lock name is the first token; anything
+						// after it is commentary.
+						name := ""
+						if fs := strings.Fields(arg); len(fs) > 0 {
+							name = fs[0]
+						}
+						if name == "" {
+							a.malformed = append(a.malformed, poss[i])
+							continue
+						}
+						if obj != nil {
+							a.Requires[obj] = append(a.Requires[obj], name)
+							a.requiresPos[obj] = poss[i]
+						}
+					}
+				}
 			case *ast.StructType:
 				for _, field := range n.Fields.List {
 					a.fieldDirectives(p, field)
@@ -254,7 +330,7 @@ func (a *Annotations) fieldDirectives(p *Package, field *ast.Field) {
 			for _, id := range field.Names {
 				if obj := p.Info.Defs[id]; obj != nil {
 					a.Locks[obj] = name
-					a.Global.addLock(name)
+					a.Global.addLock(name, obj)
 				}
 			}
 		}
@@ -276,12 +352,14 @@ func (a *Annotations) coverLine(file string, line int) {
 }
 
 // annform is the directives analyzer: it reports malformed lsvd
-// directives (an //lsvd:ignore without a reason, an //lsvd:lock
-// without a name), so suppressions always carry their justification.
+// directives (an //lsvd:ignore without a reason, an //lsvd:lock or
+// //lsvd:requires without a name, an //lsvd:requires naming a lock no
+// //lsvd:lock declares), so suppressions and contracts always carry a
+// resolvable justification.
 func newAnnform() *Analyzer {
 	a := &Analyzer{
 		Name: "annform",
-		Doc:  "lsvd directives must be well-formed (//lsvd:ignore requires a reason, //lsvd:lock a name)",
+		Doc:  "lsvd directives must be well-formed (//lsvd:ignore requires a reason, //lsvd:lock and //lsvd:requires a declared lock name)",
 	}
 	a.Run = func(pass *Pass) {
 		for _, pos := range pass.Ann.malformed {
@@ -290,8 +368,15 @@ func newAnnform() *Analyzer {
 			*pass.diags = append(*pass.diags, Diagnostic{
 				Pos:      pass.Fset.Position(pos),
 				Analyzer: a.Name,
-				Message:  "malformed lsvd directive: //lsvd:ignore requires a reason and //lsvd:lock a name",
+				Message:  "malformed lsvd directive: //lsvd:ignore requires a reason, //lsvd:lock and //lsvd:requires a name",
 			})
+		}
+		for obj, names := range pass.Ann.Requires {
+			for _, name := range names {
+				if !pass.Ann.Global.hasLock(name) {
+					pass.Reportf(pass.Ann.requiresPos[obj], "//lsvd:requires names unknown lock %q (no //lsvd:lock declares it)", name)
+				}
+			}
 		}
 	}
 	return a

@@ -7,10 +7,13 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		newAnnform(),
 		newChanleak(),
+		newCtxflow(),
+		newDeferorder(),
 		newErrclass(),
 		newGoroguard(),
 		newLockheld(),
 		newLockorder(),
 		newSectmath(),
+		newSpinwait(),
 	}
 }

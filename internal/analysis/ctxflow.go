@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxflow flags functions that accept a context.Context and then drop
+// it on the floor. Two shapes:
+//
+//   - The ctx parameter is never referenced anywhere in the body, yet
+//     the function (own goroutine) performs classified blocking
+//     operations — backend store calls, channel ops, sleeps. The
+//     caller's cancellation and deadline silently stop propagating at
+//     exactly the function most likely to need them. A parameter
+//     named `_` is an explicit discard and stays exempt.
+//
+//   - A direct time.Sleep inside a ctx-bearing function. The sleep
+//     runs to completion no matter what the context says, so a
+//     canceled caller waits out the full delay (the objstore fault
+//     injector did exactly this on every operation). The fix is a
+//     select on ctx.Done() and a timer.
+//
+// Blocking here is the same classification the lockheld walker uses;
+// plain file I/O is deliberately not in it, so Dir-style stores with
+// unused contexts on pure-disk paths do not trip the first rule.
+func newCtxflow() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "a context.Context parameter must flow into the blocking work it was passed for; time.Sleep must not ignore it",
+	}
+	a.Run = func(pass *Pass) {
+		for fn, fd := range declaredFuncs(pass) {
+			params := ctxParams(pass, fd)
+			if len(params) == 0 {
+				continue
+			}
+			used := make(map[types.Object]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						used[obj] = true
+					}
+				}
+				return true
+			})
+
+			var blocks []blockEntry
+			walkFunc(pass, fd.Body, nil, flowEvents{
+				onAnyBlocking: func(pos token.Pos, desc string) {
+					blocks = append(blocks, blockEntry{desc, pos})
+				},
+			})
+
+			for _, e := range blocks {
+				if e.desc == "time.Sleep" {
+					pass.Reportf(e.pos, "time.Sleep in %s ignores its ctx parameter: a canceled caller still waits out the full delay (select on ctx.Done() and a timer instead)", fn.Name())
+				}
+			}
+			if len(blocks) == 0 {
+				continue
+			}
+			for _, p := range params {
+				if !used[p.obj] {
+					pass.Reportf(p.pos, "%s accepts ctx but never uses it, and it blocks (%s): cancellation stops propagating here", fn.Name(), blocks[0].desc)
+				}
+			}
+		}
+	}
+	return a
+}
+
+type ctxParam struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// ctxParams returns the function's named context.Context parameters
+// (receiver excluded; `_` excluded).
+func ctxParams(pass *Pass, fd *ast.FuncDecl) []ctxParam {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	var out []ctxParam
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if isContextType(obj.Type()) {
+				out = append(out, ctxParam{obj: obj, pos: name.Pos()})
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

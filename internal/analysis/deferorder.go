@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// deferorder flags two defer mistakes around resource release:
+//
+//   - Inverted unlock order: `defer a.Unlock()` followed by
+//     `defer b.Unlock()` runs b's release FIRST (defers are LIFO). If
+//     a was acquired after b, the pair is idiomatic — releases invert
+//     acquisitions. If b was acquired first, the later defer releases
+//     the OUTER lock while the inner one is still held: waiters on b
+//     wake up, immediately contend on a, and the critical sections
+//     interleave in an order the acquire discipline never allowed.
+//     Only //lsvd:lock-annotated mutexes participate, and only when
+//     both acquisitions are visible in the same function.
+//
+//   - defer inside a loop: a deferred Unlock/RUnlock/Close in a for or
+//     range body does not run per iteration — every deferred call
+//     queues up until the function returns, so the lock is still held
+//     (or the handle still open) when the next iteration tries again.
+//
+// Both shapes type-check, run fine in small tests, and deadlock or
+// leak only under production iteration counts and contention.
+func newDeferorder() *Analyzer {
+	a := &Analyzer{
+		Name: "deferorder",
+		Doc:  "deferred releases must run in inverse acquisition order and must not sit inside loops",
+	}
+	a.Run = func(pass *Pass) {
+		for _, fd := range declaredFuncs(pass) {
+			checkDeferOrder(pass, fd)
+		}
+	}
+	return a
+}
+
+type deferredUnlock struct {
+	lock string
+	pos  token.Pos
+}
+
+func checkDeferOrder(pass *Pass, fd *ast.FuncDecl) {
+	// Per function-literal scope: defers queue on their own function's
+	// frame, so each FuncLit restarts the analysis.
+	type scope struct {
+		acquired map[string]token.Pos // lock -> first acquisition
+		defers   []deferredUnlock
+	}
+	var walk func(n ast.Node, sc *scope, loopDepth int)
+	flush := func(sc *scope) {
+		for i, d1 := range sc.defers {
+			for _, d2 := range sc.defers[i+1:] {
+				if d1.lock == d2.lock {
+					continue
+				}
+				a1, ok1 := sc.acquired[d1.lock]
+				a2, ok2 := sc.acquired[d2.lock]
+				if !ok1 || !ok2 {
+					continue
+				}
+				// d2 (deferred later) releases first. That is wrong
+				// when d2's lock was acquired before d1's.
+				if a2 < a1 && a1 < d1.pos && a2 < d2.pos {
+					pass.Reportf(d2.pos, "deferred unlock order inverted: defers run LIFO, so %s is released before %s even though %s was acquired first — swap the defer statements", d2.lock, d1.lock, d2.lock)
+				}
+			}
+		}
+	}
+	walk = func(n ast.Node, sc *scope, loopDepth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m == n {
+					return true
+				}
+				inner := &scope{acquired: make(map[string]token.Pos)}
+				walk(m.Body, inner, 0)
+				flush(inner)
+				return false
+			case *ast.ForStmt:
+				if m == n {
+					return true
+				}
+				walk(m.Body, sc, loopDepth+1)
+				return false
+			case *ast.RangeStmt:
+				if m == n {
+					return true
+				}
+				walk(m.Body, sc, loopDepth+1)
+				return false
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
+					switch sel.Sel.Name {
+					case "Lock", "RLock":
+						if name, isLock := lockNameOf(pass, sel.X); isLock {
+							if _, seen := sc.acquired[name]; !seen {
+								sc.acquired[name] = m.Pos()
+							}
+						}
+					}
+				}
+			case *ast.DeferStmt:
+				if loopDepth > 0 {
+					if sel, ok := ast.Unparen(m.Call.Fun).(*ast.SelectorExpr); ok {
+						switch sel.Sel.Name {
+						case "Unlock", "RUnlock", "Close":
+							pass.Reportf(m.Pos(), "defer %s.%s inside a loop runs only when the function returns, not per iteration — release it explicitly or hoist the loop body into a function", exprText(sel.X), sel.Sel.Name)
+						}
+					}
+				}
+				if sel, ok := ast.Unparen(m.Call.Fun).(*ast.SelectorExpr); ok &&
+					(sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock") && loopDepth == 0 {
+					if name, isLock := lockNameOf(pass, sel.X); isLock {
+						sc.defers = append(sc.defers, deferredUnlock{lock: name, pos: m.Pos()})
+					}
+				}
+			}
+			return true
+		})
+	}
+	sc := &scope{acquired: make(map[string]token.Pos)}
+	walk(fd.Body, sc, 0)
+	flush(sc)
+}
+
+// lockNameOf resolves an expression to an annotated lock name, exactly
+// as the flow walker does but without walker state.
+func lockNameOf(pass *Pass, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if o := pass.Info.Uses[e.Sel]; o != nil {
+			if name, ok := pass.Ann.Locks[o]; ok {
+				return name, true
+			}
+			return pass.Ann.Global.lockObj(o)
+		}
+	case *ast.Ident:
+		if o := pass.Info.Uses[e]; o != nil {
+			if name, ok := pass.Ann.Locks[o]; ok {
+				return name, true
+			}
+			return pass.Ann.Global.lockObj(o)
+		}
+	}
+	return "", false
+}
+
+// exprText renders a short receiver expression for messages (x.mu,
+// file). Falls back to "<expr>" for anything exotic.
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	}
+	return "<expr>"
+}

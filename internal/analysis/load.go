@@ -1,10 +1,12 @@
 // Package analysis is lsvd-vet's stdlib-only analyzer framework: a
 // package loader built on `go list -export` + go/importer (no
 // golang.org/x/tools), annotation parsing for the lsvd directive
-// grammar (//lsvd:lock, //lsvd:classifies-errors, //lsvd:ignore), a
-// lock-flow walker shared by the concurrency analyzers, and the five
-// analyzers themselves (lockheld, lockorder, errclass, sectmath,
-// goroguard). See DESIGN.md §5e.
+// grammar (//lsvd:lock, //lsvd:requires, //lsvd:classifies-errors,
+// //lsvd:ignore), a lock-flow walker and interprocedural effect
+// summaries shared by the concurrency analyzers, and the ten analyzers
+// themselves (annform, chanleak, ctxflow, deferorder, errclass,
+// goroguard, lockheld, lockorder, sectmath, spinwait). See DESIGN.md
+// §5e.
 package analysis
 
 import (
@@ -21,6 +23,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Package is one type-checked target package.
@@ -128,9 +131,15 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	}
 	var files []string
 	for _, e := range ents {
-		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
-			files = append(files, filepath.Join(dir, e.Name()))
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
 		}
+		// Self-test packages are analyzed, not tested; a stray _test.go
+		// would be a separate test package and break type-checking.
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no .go files in %s", dir)

@@ -30,19 +30,29 @@ type flowEvents struct {
 	// sync.WaitGroup.Wait, time.Sleep) while at least one annotated
 	// lock is held.
 	onBlocking func(pos token.Pos, desc string, held []string)
+	// onAnyBlocking fires for every potentially-blocking operation on
+	// the function's own goroutine (spawned-goroutine bodies excluded),
+	// regardless of the held set. The interprocedural summaries use it
+	// to decide whether a function can block at all.
+	onAnyBlocking func(pos token.Pos, desc string)
 	// onAcquire fires when an annotated lock is acquired; held is the
 	// set before the acquisition.
 	onAcquire func(pos token.Pos, lock string, held []string)
 	// onCall fires for a statically-resolved call to a module function.
 	onCall func(pos token.Pos, callee *types.Func, held []string)
+	// onAnyCall fires for a statically-resolved module call made on the
+	// function's own goroutine (spawned bodies excluded), regardless of
+	// locks: the call-graph edge set.
+	onAnyCall func(pos token.Pos, callee *types.Func)
 }
 
 type lockWalker struct {
-	pass   *Pass
-	ev     flowEvents
-	held   []string
-	inComm bool                  // inside a select comm clause: channel ops are the select's
-	synced map[*ast.FuncLit]bool // literals invoked in place: not independent roots
+	pass      *Pass
+	ev        flowEvents
+	held      []string
+	inComm    bool                  // inside a select comm clause: channel ops are the select's
+	rootDepth int                   // >0 while inside a spawned/escaping literal body
+	synced    map[*ast.FuncLit]bool // literals invoked in place: not independent roots
 }
 
 // walkFunc runs the walker over one function body with the given
@@ -200,6 +210,21 @@ func (w *lockWalker) walkStmt(s ast.Stmt) {
 				return
 			}
 		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			// Deferred literal (defer func() { mu.Unlock(); ... }()):
+			// the body runs at function exit under whatever is held
+			// there, so walk it against a snapshot of the current held
+			// set — a release inside it happens after the function's
+			// own flow and must not drain the main walk's held set.
+			for _, arg := range s.Call.Args {
+				w.walkExpr(arg)
+			}
+			w.synced[lit] = true
+			saved := cloneHeld(w.held)
+			w.walkStmt(lit.Body)
+			w.held = saved
+			return
+		}
 		w.walkExpr(s.Call)
 	case *ast.GoStmt:
 		// Arguments are evaluated on the spawning goroutine.
@@ -262,7 +287,9 @@ func (w *lockWalker) walkClauses(body *ast.BlockStmt) {
 func (w *lockWalker) walkRoot(lit *ast.FuncLit) {
 	saved, savedComm := w.held, w.inComm
 	w.held, w.inComm = nil, false
+	w.rootDepth++
 	w.walkStmt(lit.Body)
+	w.rootDepth--
 	w.held, w.inComm = saved, savedComm
 }
 
@@ -325,14 +352,24 @@ func (w *lockWalker) call(call *ast.CallExpr) {
 		w.blocking(call.Pos(), desc)
 		return
 	}
-	if w.ev.onCall != nil && fn.Pkg() != nil && isModulePath(fn.Pkg().Path()) &&
-		!w.pass.Ann.IgnoredAt(call.Pos()) {
-		w.ev.onCall(call.Pos(), fn, cloneHeld(w.held))
+	if fn.Pkg() != nil && isModulePath(fn.Pkg().Path()) && !w.pass.Ann.IgnoredAt(call.Pos()) {
+		if w.ev.onAnyCall != nil && w.rootDepth == 0 {
+			w.ev.onAnyCall(call.Pos(), fn)
+		}
+		if w.ev.onCall != nil {
+			w.ev.onCall(call.Pos(), fn, cloneHeld(w.held))
+		}
 	}
 }
 
 func (w *lockWalker) blocking(pos token.Pos, desc string) {
-	if w.ev.onBlocking != nil && len(w.held) > 0 && !w.pass.Ann.IgnoredAt(pos) {
+	if w.pass.Ann.IgnoredAt(pos) {
+		return
+	}
+	if w.ev.onAnyBlocking != nil && w.rootDepth == 0 {
+		w.ev.onAnyBlocking(pos, desc)
+	}
+	if w.ev.onBlocking != nil && len(w.held) > 0 {
 		w.ev.onBlocking(pos, desc, cloneHeld(w.held))
 	}
 }
@@ -340,7 +377,10 @@ func (w *lockWalker) blocking(pos token.Pos, desc string) {
 // lockName resolves an expression to an annotated lock's name: the
 // expression must (syntactically) select or name a struct field
 // carrying //lsvd:lock. Identity is the field object, so every
-// instance of the struct shares the name.
+// instance of the struct shares the name. Lookup goes through the
+// module-wide registry, so a target package manipulating another
+// target package's annotated mutex resolves too (source-loaded
+// packages share one type universe).
 func (w *lockWalker) lockName(e ast.Expr) (string, bool) {
 	var obj types.Object
 	switch e := ast.Unparen(e).(type) {
@@ -352,7 +392,10 @@ func (w *lockWalker) lockName(e ast.Expr) (string, bool) {
 	if obj == nil {
 		return "", false
 	}
-	name, ok := w.pass.Ann.Locks[obj]
+	if name, ok := w.pass.Ann.Locks[obj]; ok {
+		return name, ok
+	}
+	name, ok := w.pass.Ann.Global.lockObj(obj)
 	return name, ok
 }
 

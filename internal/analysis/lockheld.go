@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -15,126 +14,49 @@ import (
 // round-trip into a stall of every reader and writer behind the lock,
 // which is exactly the serialization the PR-3/PR-4 work removed.
 //
-// Detection is per package with transitive same-package call-graph
-// summaries: for each function F and annotated lock L, the flow walker
-// computes the blocking operations reachable in F assuming the caller
-// holds L (modeling F releasing and re-acquiring the caller's lock,
-// the blockstore's lock-drop protocol); a fixpoint propagates
-// summaries through same-package calls, and call sites made while a
-// lock is held report their callee's summary. Cross-package blocking
-// is governed by design rules and lockorder instead: the sanctioned
-// exceptions (sync-mode seals, GC PUTs under the seq-reservation
-// critical section) carry //lsvd:ignore annotations with reasons.
+// Detection is interprocedural over the whole target set: the shared
+// summaries (see interproc.go) record, for each function and annotated
+// lock L, the blocking operations reachable while the caller's L is
+// still held — modeling lock-drop protocols where the callee releases
+// and re-acquires the caller's mutex — propagated bottom-up over the
+// call-graph SCCs and across package boundaries. The reporting pass
+// walks each function from its entry, holding its declared
+// //lsvd:requires locks and nothing else, and fires on three shapes:
+//
+//   - a direct blocking operation with an annotated lock held;
+//   - a call site whose callee's summary blocks under a held lock;
+//   - a call site that fails the callee's //lsvd:requires contract —
+//     the `fooLocked` helper invoked on a path where the mutex it
+//     needs is not statically held, however many frames separate the
+//     helper from the missing acquisition.
+//
+// The sanctioned exceptions (sync-mode seals, GC PUTs under the
+// seq-reservation critical section, backpressure stalls) carry
+// //lsvd:ignore annotations with reasons; ignored operations also stay
+// out of the summaries, so a waiver at the origin covers every caller.
 func newLockheld() *Analyzer {
 	a := &Analyzer{
 		Name: "lockheld",
-		Doc:  "no potentially-blocking operation while holding an //lsvd:lock mutex",
+		Doc:  "no potentially-blocking operation while holding an //lsvd:lock mutex; //lsvd:requires contracts hold at every call site",
 	}
 	a.Run = func(pass *Pass) {
-		lockSet := make(map[string]bool)
-		for _, n := range pass.Ann.Locks {
-			lockSet[n] = true
-		}
-		var locks []string
-		for n := range lockSet {
-			locks = append(locks, n)
-		}
-		sort.Strings(locks)
-
-		decls := declaredFuncs(pass)
-		if len(decls) == 0 {
-			return
-		}
-
-		type entry struct {
-			desc string
-			pos  token.Pos
-		}
-		// summary[fn][L]: blocking ops reachable in fn while the
-		// caller's L is (still) held.
-		summary := make(map[*types.Func]map[string]map[entry]bool)
-		callsHeld := make(map[*types.Func]map[string]map[*types.Func]bool)
-		add2 := func(fn *types.Func, l string) (map[entry]bool, map[*types.Func]bool) {
-			if summary[fn] == nil {
-				summary[fn] = make(map[string]map[entry]bool)
-				callsHeld[fn] = make(map[string]map[*types.Func]bool)
-			}
-			if summary[fn][l] == nil {
-				summary[fn][l] = make(map[entry]bool)
-				callsHeld[fn][l] = make(map[*types.Func]bool)
-			}
-			return summary[fn][l], callsHeld[fn][l]
-		}
-
-		contains := func(held []string, l string) bool {
-			for _, h := range held {
-				if h == l {
-					return true
-				}
-			}
-			return false
-		}
-
-		for fn, fd := range decls {
-			for _, l := range locks {
-				lock := l
-				ents, calls := add2(fn, lock)
-				walkFunc(pass, fd.Body, []string{lock}, flowEvents{
-					onBlocking: func(pos token.Pos, desc string, held []string) {
-						if contains(held, lock) {
-							ents[entry{desc, pos}] = true
-						}
-					},
-					onCall: func(pos token.Pos, callee *types.Func, held []string) {
-						if contains(held, lock) && decls[callee] != nil {
-							calls[callee] = true
-						}
-					},
-				})
-			}
-		}
-
-		// Fixpoint: a call made while L is held imports the callee's
-		// L-summary.
-		for changed := true; changed; {
-			changed = false
-			for fn := range decls {
-				for _, l := range locks {
-					ents, calls := add2(fn, l)
-					for callee := range calls {
-						for e := range summary[callee][l] {
-							if !ents[e] {
-								ents[e] = true
-								changed = true
-							}
-						}
-					}
-				}
-			}
-		}
-
-		minEntry := func(ents map[entry]bool) (entry, bool) {
-			var best entry
-			found := false
-			for e := range ents {
-				if !found || e.pos < best.pos {
-					best, found = e, true
-				}
-			}
-			return best, found
-		}
-
-		// Reporting pass: normal entry (no caller locks). Direct
-		// violations fire on the blocking op; transitive ones on the
-		// call site whose callee's summary is non-empty.
-		for _, fd := range decls {
-			walkFunc(pass, fd.Body, nil, flowEvents{
+		ip := pass.IP
+		for fn, fd := range declaredFuncs(pass) {
+			key := funcKey(fn)
+			walkFunc(pass, fd.Body, ip.Requires[key], flowEvents{
 				onBlocking: func(pos token.Pos, desc string, held []string) {
 					pass.Reportf(pos, "%s while holding %s", desc, strings.Join(uniqStrings(held), ", "))
 				},
 				onCall: func(pos token.Pos, callee *types.Func, held []string) {
-					for _, l := range uniqStrings(held) {
-						if e, ok := minEntry(summary[callee][l]); ok {
+					ckey := funcKey(callee)
+					heldSet := uniqStrings(held)
+					for _, r := range ip.Requires[ckey] {
+						if !containsStr(heldSet, r) {
+							pass.Reportf(pos, "call to %s requires %s held (//lsvd:requires), but it is not held here", callee.Name(), r)
+						}
+					}
+					for _, l := range heldSet {
+						if e, ok := minBlockEntry(ip.Blocking[ckey][l]); ok {
 							pass.Reportf(pos, "call to %s may block while holding %s: reaches %s at %s",
 								callee.Name(), l, e.desc, pass.Fset.Position(e.pos))
 						}
@@ -144,6 +66,17 @@ func newLockheld() *Analyzer {
 		}
 	}
 	return a
+}
+
+func minBlockEntry(ents map[blockEntry]bool) (blockEntry, bool) {
+	var best blockEntry
+	found := false
+	for e := range ents {
+		if !found || e.pos < best.pos {
+			best, found = e, true
+		}
+	}
+	return best, found
 }
 
 // declaredFuncs maps the package's function objects to their

@@ -11,10 +11,13 @@ import (
 // //lsvd:lock mutexes and fails on cycles: two code paths taking the
 // same pair of locks in opposite orders is a deadlock waiting for the
 // right interleaving, and no test reliably produces it. Direct edges
-// come from acquisitions with another lock held; indirect edges from
-// a global fixpoint over per-function summaries ("locks acquired while
-// L is still held"), materialized only at call sites actually reached
-// with L held — so a helper that takes its own private lock does not
+// come from acquisitions with another lock held (including the locks a
+// function declares via //lsvd:requires — its callers hold them);
+// indirect edges come from the shared interprocedural summaries
+// (Acquired[fn][L]: locks acquired while the caller's L is still
+// held, propagated bottom-up over the call-graph SCCs and across
+// packages), materialized only at call sites actually reached with L
+// held — so a helper that takes its own private lock does not
 // manufacture edges for callers that never hold anything. The walker's
 // lock-drop modeling keeps release-then-call-then-reacquire protocols
 // (blockstore header fetch, GC writeback) out of the graph.
@@ -36,34 +39,13 @@ func newLockorder() *Analyzer {
 			edges[e] = pos
 		}
 	}
-	// awh[fn][L]: locks acquired while the caller's L is still held.
-	awh := make(map[string]map[string]map[string]bool)
-	// heldCalls[fn][L]: module callees invoked while L is still held.
-	heldCalls := make(map[string]map[string]map[string]bool)
 	var rootCalls []rootCall
-	at := func(m map[string]map[string]map[string]bool, fn, l string) map[string]bool {
-		if m[fn] == nil {
-			m[fn] = make(map[string]map[string]bool)
-		}
-		if m[fn][l] == nil {
-			m[fn][l] = make(map[string]bool)
-		}
-		return m[fn][l]
-	}
-	contains := func(held []string, l string) bool {
-		for _, h := range held {
-			if h == l {
-				return true
-			}
-		}
-		return false
-	}
+	var ip *Interproc
 
 	a.Run = func(pass *Pass) {
-		locks := pass.Ann.Global.LockNames
+		ip = pass.IP
 		for fn, fd := range declaredFuncs(pass) {
-			key := fn.FullName()
-			walkFunc(pass, fd.Body, nil, flowEvents{
+			walkFunc(pass, fd.Body, ip.Requires[funcKey(fn)], flowEvents{
 				onAcquire: func(pos token.Pos, lock string, held []string) {
 					for _, h := range uniqStrings(held) {
 						addEdge(edge{h, lock}, pass.Fset.Position(pos))
@@ -71,58 +53,22 @@ func newLockorder() *Analyzer {
 				},
 				onCall: func(pos token.Pos, callee *types.Func, held []string) {
 					for _, h := range uniqStrings(held) {
-						rootCalls = append(rootCalls, rootCall{h, callee.FullName(), pass.Fset.Position(pos)})
+						rootCalls = append(rootCalls, rootCall{h, funcKey(callee), pass.Fset.Position(pos)})
 					}
 				},
 			})
-			for _, l := range locks {
-				lock := l
-				acq := at(awh, key, lock)
-				calls := at(heldCalls, key, lock)
-				walkFunc(pass, fd.Body, []string{lock}, flowEvents{
-					onAcquire: func(pos token.Pos, acquired string, held []string) {
-						if contains(held, lock) {
-							acq[acquired] = true
-						}
-					},
-					onCall: func(pos token.Pos, callee *types.Func, held []string) {
-						if contains(held, lock) {
-							calls[callee.FullName()] = true
-						}
-					},
-				})
-			}
 		}
 	}
 
 	a.Finish = func(report func(pos token.Position, format string, args ...any)) {
-		// Global fixpoint: calling G while L is held imports G's
-		// L-summary (locks acquired, deeper calls).
-		for changed := true; changed; {
-			changed = false
-			for fn := range heldCalls {
-				for l, calls := range heldCalls[fn] {
-					for callee := range calls {
-						for acquired := range awh[callee][l] {
-							if !at(awh, fn, l)[acquired] {
-								at(awh, fn, l)[acquired] = true
-								changed = true
-							}
-						}
-						for deeper := range heldCalls[callee][l] {
-							if !calls[deeper] {
-								calls[deeper] = true
-								changed = true
-							}
-						}
-					}
-				}
-			}
-		}
 		// Materialize indirect edges only at call sites actually made
-		// with the lock held from a normal entry.
+		// with the lock held from a normal entry: the summaries carry
+		// the transitive acquired-while-held closure.
 		for _, rc := range rootCalls {
-			for acquired := range awh[rc.callee][rc.lock] {
+			if ip == nil {
+				break
+			}
+			for acquired := range ip.Acquired[rc.callee][rc.lock] {
 				addEdge(edge{rc.lock, acquired}, rc.pos)
 			}
 		}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Machine-readable findings. The CI gate works by set difference
+// against a checked-in baseline, so two properties matter more than
+// anything else:
+//
+//   - Stability: the same tree must serialize to byte-identical JSON
+//     on every run and every machine. Findings are sorted, paths are
+//     module-relative with forward slashes, and absolute paths are
+//     stripped out of messages.
+//
+//   - Churn resistance: the fingerprint identifies a finding across
+//     unrelated edits. It hashes analyzer, file, and the normalized
+//     message — NOT the line number — so inserting a function above a
+//     waived finding does not manufacture a "new" one. Moving a
+//     finding to another file, or the message changing (which means
+//     the defect itself changed), rotates the fingerprint and the gate
+//     fires; that is the intended tradeoff.
+
+// Finding is one diagnostic in stable, machine-readable form.
+type Finding struct {
+	Analyzer    string `json:"analyzer"`
+	File        string `json:"file"` // module-relative, forward slashes
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Message     string `json:"message"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Baseline is the checked-in vet-baseline.json: the set of findings
+// the tree is allowed to have. Empty is the steady state; entries are
+// parked debt, each visible in review when added.
+type Baseline struct {
+	// Comment is free-form documentation carried in the file.
+	Comment  string    `json:"comment,omitempty"`
+	Findings []Finding `json:"findings"`
+}
+
+// MakeFindings converts driver diagnostics into sorted findings.
+// absRoot is the module root used to relativize file paths; it is also
+// scrubbed from message text (lockheld's "reaches ... at <pos>" embeds
+// positions) so output does not vary with the checkout location.
+func MakeFindings(diags []Diagnostic, absRoot string) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, Finding{
+			Analyzer:    d.Analyzer,
+			File:        relPath(absRoot, d.Pos.Filename),
+			Line:        d.Pos.Line,
+			Col:         d.Pos.Column,
+			Message:     scrubRoot(d.Message, absRoot),
+			Fingerprint: "",
+		})
+	}
+	for i := range out {
+		out[i].Fingerprint = fingerprint(out[i])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+func relPath(absRoot, file string) string {
+	if absRoot != "" {
+		if r, err := filepath.Rel(absRoot, file); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+func scrubRoot(msg, absRoot string) string {
+	if absRoot == "" {
+		return msg
+	}
+	prefix := absRoot
+	if !strings.HasSuffix(prefix, string(os.PathSeparator)) {
+		prefix += string(os.PathSeparator)
+	}
+	msg = strings.ReplaceAll(msg, prefix, "")
+	return strings.ReplaceAll(msg, "\\", "/")
+}
+
+// fingerprint is a short content hash of (analyzer, file, message).
+// Line and column are deliberately excluded; see the package comment
+// above for why.
+func fingerprint(f Finding) string {
+	h := sha256.Sum256([]byte(f.Analyzer + "\x00" + f.File + "\x00" + f.Message))
+	return hex.EncodeToString(h[:8])
+}
+
+// EncodeFindings renders findings as the canonical JSON document:
+// two-space indent, sorted input, trailing newline. Byte-stable for
+// identical finding sets.
+func EncodeFindings(fs []Finding) []byte {
+	doc := struct {
+		Findings []Finding `json:"findings"`
+	}{Findings: fs}
+	if doc.Findings == nil {
+		doc.Findings = []Finding{}
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		panic(err) // plain structs cannot fail to marshal
+	}
+	return append(b, '\n')
+}
+
+// EncodeBaseline renders a baseline file with the same canonical
+// formatting as EncodeFindings.
+func EncodeBaseline(bl *Baseline) []byte {
+	if bl.Findings == nil {
+		bl.Findings = []Finding{}
+	}
+	b, err := json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// LoadBaseline reads a vet-baseline.json. A missing file is an empty
+// baseline, so bootstrapping a repo needs no ceremony.
+func LoadBaseline(path string) (*Baseline, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Baseline{}, nil
+		}
+		return nil, err
+	}
+	var bl Baseline
+	if err := json.Unmarshal(b, &bl); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &bl, nil
+}
+
+// DiffBaseline splits current findings against the baseline:
+// fresh = present now, not in the baseline (the gate fails on these);
+// stale = baseline entries no longer reported (debt that got paid —
+// the operator should regenerate the file so it cannot mask a future
+// regression at the same fingerprint).
+func DiffBaseline(current []Finding, bl *Baseline) (fresh []Finding, stale []Finding) {
+	known := make(map[string]bool, len(bl.Findings))
+	for _, f := range bl.Findings {
+		known[f.Fingerprint] = true
+	}
+	seen := make(map[string]bool, len(current))
+	for _, f := range current {
+		seen[f.Fingerprint] = true
+		if !known[f.Fingerprint] {
+			fresh = append(fresh, f)
+		}
+	}
+	for _, f := range bl.Findings {
+		if !seen[f.Fingerprint] {
+			stale = append(stale, f)
+		}
+	}
+	return fresh, stale
+}

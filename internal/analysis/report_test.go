@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{Pos: token.Position{Filename: "/mod/internal/b/b.go", Line: 9, Column: 2}, Analyzer: "spinwait", Message: "sleep-poll loop"},
+		{Pos: token.Position{Filename: "/mod/internal/a/a.go", Line: 4, Column: 1}, Analyzer: "lockheld", Message: "call to x may block: reaches Put at /mod/internal/a/a.go:7"},
+		{Pos: token.Position{Filename: "/mod/internal/a/a.go", Line: 4, Column: 1}, Analyzer: "ctxflow", Message: "ctx dropped"},
+	}
+}
+
+func TestMakeFindingsSortedAndRelative(t *testing.T) {
+	fs := MakeFindings(sampleDiags(), "/mod")
+	if len(fs) != 3 {
+		t.Fatalf("got %d findings", len(fs))
+	}
+	// Sorted by file, then line/col, then analyzer.
+	if fs[0].File != "internal/a/a.go" || fs[0].Analyzer != "ctxflow" {
+		t.Fatalf("sort order wrong: %+v", fs[0])
+	}
+	if fs[2].File != "internal/b/b.go" {
+		t.Fatalf("sort order wrong: %+v", fs[2])
+	}
+	// Paths are module-relative everywhere, including inside messages
+	// (lockheld embeds positions), so output does not depend on the
+	// checkout location.
+	for _, f := range fs {
+		if strings.Contains(f.File, "/mod") || strings.Contains(f.Message, "/mod") {
+			t.Fatalf("absolute path leaked: %+v", f)
+		}
+		if f.Fingerprint == "" {
+			t.Fatalf("missing fingerprint: %+v", f)
+		}
+	}
+	if fs[1].Message != "call to x may block: reaches Put at internal/a/a.go:7" {
+		t.Fatalf("message not scrubbed: %q", fs[1].Message)
+	}
+}
+
+func TestFingerprintIgnoresLine(t *testing.T) {
+	a := Finding{Analyzer: "spinwait", File: "x.go", Line: 10, Message: "m"}
+	b := Finding{Analyzer: "spinwait", File: "x.go", Line: 99, Message: "m"}
+	if fingerprint(a) != fingerprint(b) {
+		t.Fatal("fingerprint must not depend on line number")
+	}
+	c := Finding{Analyzer: "spinwait", File: "y.go", Line: 10, Message: "m"}
+	d := Finding{Analyzer: "lockheld", File: "x.go", Line: 10, Message: "m"}
+	if fingerprint(a) == fingerprint(c) || fingerprint(a) == fingerprint(d) {
+		t.Fatal("fingerprint must depend on file and analyzer")
+	}
+}
+
+func TestEncodeFindingsStable(t *testing.T) {
+	fs := MakeFindings(sampleDiags(), "/mod")
+	one := EncodeFindings(fs)
+	two := EncodeFindings(MakeFindings(sampleDiags(), "/mod"))
+	if !bytes.Equal(one, two) {
+		t.Fatal("EncodeFindings is not byte-stable across runs")
+	}
+	if !bytes.HasSuffix(one, []byte("\n")) {
+		t.Fatal("document must end in a newline")
+	}
+	empty := EncodeFindings(nil)
+	if !strings.Contains(string(empty), `"findings": []`) {
+		t.Fatalf("empty set must serialize as an empty array, got %s", empty)
+	}
+}
+
+func TestDiffBaseline(t *testing.T) {
+	fs := MakeFindings(sampleDiags(), "/mod")
+	// Full baseline: nothing fresh, nothing stale.
+	fresh, stale := DiffBaseline(fs, &Baseline{Findings: fs})
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("identical sets must diff clean: fresh=%v stale=%v", fresh, stale)
+	}
+	// Partial baseline: the missing one is fresh.
+	fresh, stale = DiffBaseline(fs, &Baseline{Findings: fs[:2]})
+	if len(fresh) != 1 || fresh[0].Fingerprint != fs[2].Fingerprint || len(stale) != 0 {
+		t.Fatalf("fresh detection wrong: fresh=%v stale=%v", fresh, stale)
+	}
+	// Baseline entry that no longer fires is stale, not an error.
+	gone := Finding{Analyzer: "errclass", File: "z.go", Message: "fixed long ago", Fingerprint: "deadbeef00000000"}
+	fresh, stale = DiffBaseline(fs, &Baseline{Findings: append(append([]Finding{}, fs...), gone)})
+	if len(fresh) != 0 || len(stale) != 1 || stale[0].Fingerprint != gone.Fingerprint {
+		t.Fatalf("stale detection wrong: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	// Missing file is an empty baseline.
+	bl, err := LoadBaseline(filepath.Join(dir, "nope.json"))
+	if err != nil || len(bl.Findings) != 0 {
+		t.Fatalf("missing baseline: bl=%+v err=%v", bl, err)
+	}
+	// Round trip.
+	fs := MakeFindings(sampleDiags(), "/mod")
+	path := filepath.Join(dir, "vet-baseline.json")
+	if err := os.WriteFile(path, EncodeBaseline(&Baseline{Comment: "c", Findings: fs}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bl, err = LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Comment != "c" || len(bl.Findings) != len(fs) || bl.Findings[0].Fingerprint != fs[0].Fingerprint {
+		t.Fatalf("round trip lost data: %+v", bl)
+	}
+	// Corrupt file is a real error, not an empty baseline.
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("corrupt baseline must error")
+	}
+}

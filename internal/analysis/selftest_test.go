@@ -82,11 +82,17 @@ func TestAnalyzerSelfTests(t *testing.T) {
 	}{
 		{"annform", newAnnform},
 		{"chanleak", newChanleak},
+		{"ctxflow", newCtxflow},
+		{"deferorder", newDeferorder},
 		{"errclass", newErrclass},
 		{"goroguard", newGoroguard},
 		{"lockheld", newLockheld},
 		{"lockorder", newLockorder},
 		{"sectmath", newSectmath},
+		{"spinwait", newSpinwait},
+		// interproc exercises the cross-function side of lockheld:
+		// //lsvd:requires contracts, per-lock summaries, SCC fixpoint.
+		{"interproc", newLockheld},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

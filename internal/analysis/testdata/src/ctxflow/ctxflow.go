@@ -1,0 +1,57 @@
+// Package ctxflow is the golden self-test for the ctxflow analyzer:
+// a context.Context parameter must reach the blocking work it was
+// passed for, and time.Sleep must never ignore one.
+package ctxflow
+
+import (
+	"context"
+	"time"
+
+	"lsvd/internal/objstore"
+)
+
+type svc struct {
+	be objstore.Store
+}
+
+// sleepy consults ctx once, then sleeps unconditionally: a canceled
+// caller still waits out the full delay.
+func (s *svc) sleepy(ctx context.Context, d time.Duration) {
+	if ctx.Err() != nil {
+		return
+	}
+	time.Sleep(d) // want "time.Sleep in sleepy ignores its ctx parameter"
+}
+
+// dropped takes ctx, never touches it, and blocks on the backend with
+// a context of its own making: cancellation stops propagating here.
+func (s *svc) dropped(ctx context.Context, key string) error { // want "dropped accepts ctx but never uses it, and it blocks"
+	return s.be.Put(context.Background(), key, nil)
+}
+
+// flows is the correct shape: the parameter reaches the blocking call.
+func (s *svc) flows(ctx context.Context, key string) error {
+	return s.be.Put(ctx, key, nil)
+}
+
+// discarded declares the drop explicitly with `_`; that is exempt.
+func (s *svc) discarded(_ context.Context, key string) error {
+	return s.be.Put(context.Background(), key, nil)
+}
+
+// pure takes ctx it never uses but performs no classified blocking
+// work, so there is nothing for cancellation to interrupt.
+func (s *svc) pure(ctx context.Context, n int) int {
+	return n * 2
+}
+
+// sleepyEvenWhenUsed shows the sleep rule is independent of the usage
+// rule: ctx flows into the Put, but the sleep between retries still
+// ignores it.
+func (s *svc) sleepyEvenWhenUsed(ctx context.Context, key string) error {
+	if err := s.be.Put(ctx, key, nil); err != nil {
+		time.Sleep(time.Second) // want "time.Sleep in sleepyEvenWhenUsed ignores its ctx parameter"
+		return s.be.Put(ctx, key, nil)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package deferorder is the golden self-test for the deferorder
+// analyzer: deferred releases must run in inverse acquisition order
+// (defers are LIFO), and a deferred release inside a loop body does
+// not run per iteration.
+package deferorder
+
+import "sync"
+
+type pair struct {
+	a  sync.Mutex //lsvd:lock test.a
+	b  sync.Mutex //lsvd:lock test.b
+	n  int
+	hs []handle
+}
+
+type handle struct{}
+
+func (handle) Close() error { return nil }
+
+// inverted acquires a then b, but defers a's release LAST — so it runs
+// FIRST, releasing the outer lock while the inner one is still held.
+func (p *pair) inverted() {
+	p.a.Lock()
+	p.b.Lock()
+	defer p.b.Unlock()
+	defer p.a.Unlock() // want "deferred unlock order inverted: defers run LIFO, so test.a is released before test.b"
+	p.n++
+}
+
+// nested is the idiomatic shape: each defer directly follows its
+// acquisition, so releases invert acquisitions on their own.
+func (p *pair) nested() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.n++
+}
+
+// loopDefer queues one deferred release per iteration; the lock is
+// still held when iteration two calls Lock again.
+func (p *pair) loopDefer() {
+	for i := 0; i < len(p.hs); i++ {
+		p.a.Lock()
+		defer p.a.Unlock() // want "defer p.a.Unlock inside a loop runs only when the function returns"
+		p.n++
+	}
+}
+
+// rangeClose leaks every handle until return.
+func (p *pair) rangeClose() {
+	for _, h := range p.hs {
+		defer h.Close() // want "defer h.Close inside a loop runs only when the function returns"
+	}
+}
+
+// hoisted is the fix for loopDefer: the loop body lives in its own
+// function literal, so each defer runs at the end of its iteration.
+func (p *pair) hoisted() {
+	for i := 0; i < len(p.hs); i++ {
+		func() {
+			p.a.Lock()
+			defer p.a.Unlock()
+			p.n++
+		}()
+	}
+}
+
+// halfVisible defers two releases but only one acquisition is in this
+// function; without both acquisition points the order is unknowable
+// and the analyzer stays quiet.
+func (p *pair) halfVisible() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	defer p.a.Unlock()
+	p.n++
+}

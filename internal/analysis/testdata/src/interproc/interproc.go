@@ -1,0 +1,137 @@
+// Package interproc is the golden self-test for the interprocedural
+// side of lockheld: //lsvd:requires contracts checked at every call
+// site across function boundaries, per-lock summaries that model
+// lock-drop helpers, recursion handled by the SCC fixpoint, and the
+// deferred-function-literal release idiom. Run under the lockheld
+// analyzer by the self-test harness.
+package interproc
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"lsvd/internal/objstore"
+)
+
+type store struct {
+	mu sync.Mutex //lsvd:lock test.mu
+	be objstore.Store
+	n  int
+}
+
+// leafLocked is the `fooLocked` helper contract: callers must hold
+// test.mu.
+//
+//lsvd:requires test.mu
+func (s *store) leafLocked() {
+	s.n++
+}
+
+// midLocked passes the contract through: it declares the same
+// requirement, so calling leafLocked is fine here.
+//
+//lsvd:requires test.mu
+func (s *store) midLocked() {
+	s.leafLocked()
+}
+
+// top calls the annotated helper with no lock anywhere in the chain.
+func (s *store) top() {
+	s.midLocked() // want "call to midLocked requires test.mu held"
+}
+
+// good satisfies the contract.
+func (s *store) good() {
+	s.mu.Lock()
+	s.midLocked()
+	s.mu.Unlock()
+}
+
+// midPlain is the frame between a lock-free entry point and the
+// annotated helper: it carries no contract of its own, so the missing
+// acquisition is reported here — the first frame where the contract
+// visibly breaks — however deep the chain above it.
+func (s *store) midPlain() {
+	s.leafLocked() // want "call to leafLocked requires test.mu held"
+}
+
+func (s *store) topTwoFramesUp() {
+	s.midPlain() // clean: midPlain carries no contract; its body is flagged
+}
+
+// goroutineCallsHelper: a spawned goroutine never inherits the
+// spawner's locks, so the contract fails inside the body even though
+// the spawner holds the mutex.
+func (s *store) goroutineCallsHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.leafLocked() // want "call to leafLocked requires test.mu held"
+	}()
+}
+
+// blockyLocked blocks under the caller's lock: with the contract in
+// the initial held set, the direct report fires without any caller.
+//
+//lsvd:requires test.mu
+func (s *store) blockyLocked(ctx context.Context) error {
+	return s.be.Put(ctx, "k", nil) // want "objstore.Put while holding test.mu"
+}
+
+// blockyCaller holds the lock (contract satisfied), but the callee's
+// summary says it blocks while test.mu is still held.
+func (s *store) blockyCaller(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blockyLocked(ctx) // want "call to blockyLocked may block while holding test.mu"
+}
+
+// dropperLocked is the lock-drop protocol with a declared contract:
+// the caller's mutex is released around the backend round-trip and
+// re-acquired. The per-lock summary records no blocking under test.mu,
+// so contract-satisfying callers stay clean.
+//
+//lsvd:requires test.mu
+func (s *store) dropperLocked(ctx context.Context) {
+	s.mu.Unlock()
+	_, _ = s.be.Get(ctx, "k")
+	s.mu.Lock()
+}
+
+func (s *store) dropCaller(ctx context.Context) {
+	s.mu.Lock()
+	s.dropperLocked(ctx)
+	s.mu.Unlock()
+}
+
+// Mutual recursion: the summary fixpoint must converge and still see
+// the sleep through the cycle.
+func (s *store) pingPong(n int) {
+	if n == 0 {
+		return
+	}
+	s.pong(n - 1)
+}
+
+func (s *store) pong(n int) {
+	time.Sleep(time.Millisecond)
+	s.pingPong(n)
+}
+
+func (s *store) callsRecursive() {
+	s.mu.Lock()
+	s.pingPong(3) // want "call to pingPong may block while holding test.mu"
+	s.mu.Unlock()
+}
+
+// deferredFuncLitUnlock releases through a deferred literal — the
+// cleanup-bundle idiom. The release runs at function exit, so the lock
+// is held across the body and the backend call must still be flagged.
+func (s *store) deferredFuncLitUnlock(ctx context.Context) error {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return s.be.Put(ctx, "k", nil) // want "objstore.Put while holding test.mu"
+}

@@ -1,0 +1,144 @@
+// Package spinwait is the golden self-test for the spinwait analyzer:
+// a loop whose only wait is time.Sleep between polls of shared state
+// is a latency bug waiting for load — wake latency is the poll
+// interval and shutdown cannot interrupt the sleeper.
+package spinwait
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsvd/internal/objstore"
+)
+
+var errClosed = errors.New("closed")
+
+type store struct {
+	mu     sync.Mutex //lsvd:lock spin.mu
+	closed bool
+	flag   uint32
+	lagErr error
+	over   bool
+	wake   chan struct{}
+	stop   chan struct{}
+	be     objstore.Store
+	n      int
+}
+
+func (s *store) pipelineErr() error { return s.lagErr }
+func (s *store) overBound() bool    { return s.over }
+func (s *store) ready() bool        { return s.n > 0 }
+func (s *store) doWork()            { s.n++ }
+
+// blockingPoll's interprocedural summary says it can block (backend
+// GetRange), so a loop polling it already waits on real events.
+func (s *store) blockingPoll() bool {
+	_, err := s.be.GetRange(context.Background(), "k", 0, 1)
+	return err == nil
+}
+
+// awaitLag is the replication-lag bound exactly as it first shipped:
+// poll the error, poll closed under the mutex, poll the bound, sleep a
+// millisecond, repeat. Wake latency is the poll interval and Kill had
+// to wait it out — the production fix blocks on a wake channel.
+func (s *store) awaitLag() error {
+	for {
+		if err := s.pipelineErr(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return errClosed
+		}
+		if !s.overBound() {
+			return nil
+		}
+		time.Sleep(time.Millisecond) // want "sleep-poll loop"
+	}
+}
+
+// waitReady polls a module getter in the loop condition.
+func (s *store) waitReady() {
+	for !s.ready() {
+		time.Sleep(10 * time.Millisecond) // want "sleep-poll loop"
+	}
+}
+
+// atomicSpin polls an atomic flag: still a spin, the atomic load is
+// just the cheapest possible poll.
+func (s *store) atomicSpin() {
+	for atomic.LoadUint32(&s.flag) == 0 {
+		time.Sleep(time.Millisecond) // want "sleep-poll loop"
+	}
+}
+
+// drainPoll polls a stop channel with a non-blocking select, then
+// sleeps: the select-with-default is a poll, not a wait.
+func (s *store) drainPoll() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		time.Sleep(time.Millisecond) // want "sleep-poll loop"
+	}
+}
+
+// leader is the group-commit leader's shape: a statement-position
+// module call does real work each round, so the sleep is pacing, not
+// the only wait. Clean.
+func (s *store) leader() {
+	for !s.ready() {
+		s.doWork()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// eventWait blocks on a channel: the loop already waits on events.
+// Clean.
+func (s *store) eventWait() {
+	for {
+		select {
+		case <-s.wake:
+			if s.ready() {
+				return
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// retrier calls an opaque function value: assume real work. Clean.
+func (s *store) retrier(op func() error) error {
+	for i := 0; i < 3; i++ {
+		if err := op(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return errClosed
+}
+
+// pacedForever has no exit at all: it is a pacing loop, not a wait for
+// a state change. Clean.
+func (s *store) pacedForever() {
+	for {
+		s.n++
+		time.Sleep(time.Second)
+	}
+}
+
+// blockingCond polls a helper whose summary can block: the loop
+// already waits inside the poll. Clean.
+func (s *store) blockingCond() {
+	for !s.blockingPoll() {
+		time.Sleep(time.Millisecond)
+	}
+}

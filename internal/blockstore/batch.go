@@ -189,6 +189,8 @@ func batchExtents(b *batch, seq uint32) (exts []journal.ExtentEntry, offs []int6
 
 // sealLocked builds the object for the pending batch, PUTs it, updates
 // the map and accounting, then runs checkpoint/GC policy.
+//
+//lsvd:requires bs.mu
 func (s *Store) sealLocked() error {
 	// A synchronous checkpoint may have dropped s.mu for its PUTs;
 	// reserving a sequence number during that window would defeat its
@@ -310,6 +312,8 @@ func (s *Store) buildObject(seq uint32, typ journal.Type, writeSeq uint64, exts 
 // object; GC zero-fill plugs (srcSeq == 0) fill still-unmapped holes
 // only. Both conditional forms hold for crash replay as well as the
 // live path, so a GC object can never clobber newer data.
+//
+//lsvd:requires bs.mu
 func (s *Store) installObject(info *objInfo, mapped []mappedExtent, trims []block.Extent) {
 	invariant.Assertf(s.objects[info.seq] == nil,
 		"blockstore: object %d installed twice", info.seq)

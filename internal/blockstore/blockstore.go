@@ -484,6 +484,8 @@ func (s *Store) Utilization() float64 {
 // or a snapshot pin cannot strand the counters out of sync with the
 // object table (the drift class the old subtract-at-clean-time scheme
 // allowed).
+//
+//lsvd:requires bs.mu
 func (s *Store) utilizationLocked() float64 {
 	live, data := s.utilLive, s.utilData
 	for seq := range s.cleaned {
@@ -545,6 +547,8 @@ func (s *Store) AuditUtilization() error {
 }
 
 // recomputeUtilLocked rebuilds the running counters from the table.
+//
+//lsvd:requires bs.mu
 func (s *Store) recomputeUtilLocked() {
 	s.utilLive, s.utilData = 0, 0
 	for _, o := range s.objects {

@@ -80,6 +80,8 @@ type ckptShot struct {
 // buffer. It is the only part of a checkpoint that runs under s.mu;
 // its duration is the foreground stall and is recorded for the
 // tooling.
+//
+//lsvd:requires bs.mu
 func (s *Store) fillCkptShotLocked(shot *ckptShot) error {
 	start := time.Now()
 	if err := s.sweepOrphansLocked(); err != nil {
@@ -168,6 +170,8 @@ func (s *Store) putCheckpoint(shot *ckptShot) error {
 // deferred list covers exactly those, so recovery can re-drive a
 // delete the crash interrupted; entries queued since wait for the next
 // checkpoint.
+//
+//lsvd:requires bs.mu
 func (s *Store) finalizeCheckpointLocked(shot *ckptShot) {
 	s.objects[shot.seq] = &objInfo{seq: shot.seq, typ: journal.TypeCheckpoint, totalBytes: int64(len(shot.rec))}
 	s.lastCkpt = shot.seq
@@ -222,6 +226,8 @@ func (s *Store) Checkpoint() error {
 // synchronous checkpoints and parks every sequence reservation (seals,
 // GC objects) for the duration of the lock drop, so on failure the
 // reserved sequence number can be returned with no gap left behind.
+//
+//lsvd:requires bs.mu
 func (s *Store) checkpointLocked() error {
 	for s.ckptActive {
 		s.commitCond.Wait()
@@ -263,6 +269,8 @@ func (s *Store) checkpointLocked() error {
 // keeps a lagging replica's checkpoints dereferenceable: the victim
 // stays on the primary until the shipper has acked it, then the
 // watermark advance re-drives this list (redriveShipDeferredLocked).
+//
+//lsvd:requires bs.mu
 func (s *Store) completeDelete(d deferredDelete) error {
 	if s.shipPinnedLocked(d.Obj) {
 		s.deferred = append(s.deferred, d)

@@ -73,6 +73,8 @@ func (s *Store) RunGC() error {
 // s.mu, so the gcBusy claim — shared with the commit-triggered trigger
 // in upload.go and the background service — is what keeps passes
 // single-flight; fences and Abort wait for it via commitCond.
+//
+//lsvd:requires bs.mu
 func (s *Store) gcLocked() error {
 	s.fenceEnterLocked()
 	for s.gcBusy {
@@ -146,11 +148,14 @@ func (s *Store) gcServiceRunning() bool { return s.gcDone != nil }
 // below the watermark. While any fence is pending the service loop
 // stays parked, so a yielded pass cannot spin-reclaim the slot and
 // starve the fence of s.mu.
+//
+//lsvd:requires bs.mu
 func (s *Store) fenceEnterLocked() {
 	s.fenceWaiters++
 	s.gcCond.Broadcast()
 }
 
+//lsvd:requires bs.mu
 func (s *Store) fenceExitLocked() {
 	s.fenceWaiters--
 	if s.fenceWaiters == 0 {
@@ -160,6 +165,8 @@ func (s *Store) fenceExitLocked() {
 
 // gcWantedLocked is the service wake condition: utilization fell below
 // the low-water mark.
+//
+//lsvd:requires bs.mu
 func (s *Store) gcWantedLocked() bool {
 	return s.cfg.GCLowWater > 0 && s.utilizationLocked() < s.cfg.GCLowWater
 }
@@ -239,6 +246,8 @@ func (s *Store) gcService() {
 // commit may also have dropped utilization below the low-water mark).
 // The bucket is capped at a few batches so a long quiet spell cannot
 // bank an unbounded copy burst.
+//
+//lsvd:requires bs.mu
 func (s *Store) gcRefillLocked(fg int64) {
 	if !s.gcServiceRunning() {
 		return
@@ -260,6 +269,8 @@ func (s *Store) gcRefillLocked(fg int64) {
 // gcIdleWait, the wait grants itself one batch of budget — the idle
 // trickle. The refill-epoch check keeps the trickle out of loaded
 // periods, so the WAF bound stays foreground-driven under traffic.
+//
+//lsvd:requires bs.mu
 func (s *Store) gcAwaitBudgetLocked(need int64) error {
 	for {
 		if s.aborting {
@@ -313,6 +324,8 @@ func (s *Store) gcAwaitBudgetLocked(need int64) error {
 // deletion is further deferred while a snapshot pins them (§3.6).
 // Caller owns the gcBusy claim. Paced passes pace each copy batch
 // against the WAF bucket and yield to fences.
+//
+//lsvd:requires bs.mu
 func (s *Store) gcPassLocked(paced bool) error {
 	if err := s.sweepOrphansLocked(); err != nil {
 		return err
@@ -361,6 +374,8 @@ func (s *Store) gcPassLocked(paced bool) error {
 // numbers — the log's own clock). The candidate list is consumed in
 // bulk by gcPassLocked so the O(objects) scan amortizes over many
 // collections.
+//
+//lsvd:requires bs.mu
 func (s *Store) victimCandidatesLocked() []uint32 {
 	type cand struct {
 		seq   uint32
@@ -414,6 +429,8 @@ type gcPiece struct {
 // GC objects, the rest stay live in the victim, and the victim is only
 // marked cleaned (entering the deferred-delete path) after its last
 // piece relocated.
+//
+//lsvd:requires bs.mu
 func (s *Store) collectLocked(seq uint32, paced bool) error {
 	hdr, err := s.headerGCLocked(seq)
 	if err != nil {
@@ -478,6 +495,8 @@ func (s *Store) collectLocked(seq uint32, paced bool) error {
 // retrieve the object header, which lists the live extents held in
 // that object at the time of its creation; only these ranges need be
 // examined").
+//
+//lsvd:requires bs.mu
 func (s *Store) livePiecesLocked(victim *objInfo, hdr *hdrEntry) []gcPiece {
 	var pieces []gcPiece
 	for _, e := range hdr.extents {
@@ -525,6 +544,8 @@ func (s *Store) livePiecesLocked(victim *objInfo, hdr *hdrEntry) []gcPiece {
 // paced collections additionally cap plugging at the spare WAF budget
 // beyond what the live bytes themselves will consume, so defrag is the
 // first thing sacrificed when the bucket runs dry.
+//
+//lsvd:requires bs.mu
 func (s *Store) plugHolesLocked(pieces []gcPiece, paced bool) []gcPiece {
 	if len(pieces) < 2 {
 		return pieces
@@ -597,6 +618,8 @@ func (s *Store) gcGateRelease() {
 // foreground lookups never wait behind the gate. The sequence number is
 // taken only after the read phase, under the same continuous critical
 // section as the PUT and install, exactly as before.
+//
+//lsvd:requires bs.mu
 func (s *Store) writeGCObjectLocked(pieces []gcPiece) error {
 	bufs := make([][]byte, len(pieces))
 	for i, p := range pieces {

@@ -132,6 +132,8 @@ func (s *Store) header(seq uint32) (*hdrEntry, error) {
 // revalidate any map/object state captured before the call (the gcBusy
 // claim keeps passes single-flight, but seals and commits proceed while
 // the lock is down).
+//
+//lsvd:requires bs.mu
 func (s *Store) headerGCLocked(seq uint32) (*hdrEntry, error) {
 	if h, ok := s.hdrCache[seq]; ok {
 		return h, nil

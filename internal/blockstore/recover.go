@@ -114,6 +114,7 @@ func open(ctx context.Context, cfg Config, limit uint32, readOnly bool) (*Store,
 	for _, d := range s.deferred {
 		s.cleaned[d.Obj] = true
 	}
+	//lsvd:ignore recovery runs single-goroutine before the store is published; bs.mu cannot be contended
 	s.recomputeUtilLocked()
 	if err := s.m.UnmarshalBinary(ckpt.mapBytes); err != nil {
 		return nil, fmt.Errorf("blockstore: checkpoint map: %w", err)
@@ -204,6 +205,7 @@ func open(ctx context.Context, cfg Config, limit uint32, readOnly bool) (*Store,
 		deferred := s.deferred
 		s.deferred = nil
 		for _, d := range deferred {
+			//lsvd:ignore recovery runs single-goroutine before the store is published; bs.mu cannot be contended
 			if err := s.completeDelete(d); err != nil {
 				s.pending = append(s.pending, d)
 			}
@@ -253,6 +255,8 @@ func runBounded(fanout, n int, fn func(i int)) {
 // prefix and recovery would resurrect its stale data. No new object
 // may be written while an orphan remains, so a persistently failing
 // sweep surfaces as a write-path error — never an Open failure.
+//
+//lsvd:requires bs.mu
 func (s *Store) sweepOrphansLocked() error {
 	for seq := range s.orphans {
 		if err := s.deleteObject(seq); err != nil {
@@ -370,6 +374,7 @@ func (s *Store) applyObjectMeta(seq uint32, m *objMeta, gets *atomic.Uint64) err
 		for _, d := range s.deferred {
 			s.cleaned[d.Obj] = true
 		}
+		//lsvd:ignore recovery runs single-goroutine before the store is published; bs.mu cannot be contended
 		s.recomputeUtilLocked()
 		if err := s.m.UnmarshalBinary(payload.mapBytes); err != nil {
 			return err
@@ -399,6 +404,7 @@ func (s *Store) applyObjectMeta(seq uint32, m *objMeta, gets *atomic.Uint64) err
 			info.dataSectors += e.Sectors
 		}
 		info.liveSectors = info.dataSectors
+		//lsvd:ignore recovery runs single-goroutine before the store is published; bs.mu cannot be contended
 		s.installObject(info, mapped, trims)
 		if h.WriteSeq > s.durableWriteSeq {
 			s.durableWriteSeq = h.WriteSeq

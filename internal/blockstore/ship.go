@@ -63,6 +63,8 @@ func (e ShipEvent) IsSuper() bool { return e.Typ == journal.TypeSuper }
 // the feed. No-op unless the volume is replicated and a shipper has
 // attached — recovery-time installs run before attach and are covered
 // by the ShipAttach backlog instead.
+//
+//lsvd:requires bs.mu
 func (s *Store) shipPublishLocked(seq uint32, typ journal.Type, bytes int64) {
 	if !s.cfg.Replicated || !s.shipAttached || s.shipClosed {
 		return
@@ -174,6 +176,8 @@ func (s *Store) ShipAck(ev ShipEvent) {
 // DeleteSnapshot or checkpoint sweep. Failures re-defer, as on the
 // checkpoint release path — deletion is space reclaim, not
 // correctness.
+//
+//lsvd:requires bs.mu
 func (s *Store) redriveShipDeferredLocked() {
 	// A late ack racing Abort must not mutate the backend after the
 	// kill point (crash modeling: the store is quiescing).
@@ -195,6 +199,8 @@ func (s *Store) redriveShipDeferredLocked() {
 // reference it. Before a shipper attaches the watermark is zero, so a
 // replicated volume conservatively pins everything — the attach
 // backlog probe acks already-shipped objects and unpins them promptly.
+//
+//lsvd:requires bs.mu
 func (s *Store) shipPinnedLocked(obj uint32) bool {
 	return s.cfg.Replicated && obj > s.shipMark
 }

@@ -71,6 +71,8 @@ type inflightObj struct {
 // checkpoint is queued as a pipeline marker, not taken inline: the old
 // design drained the pipeline and PUT the checkpoint under s.mu here,
 // which was the foreground p999 cliff this marker design removes.
+//
+//lsvd:requires bs.mu
 func (s *Store) sealAsyncLocked() error {
 	for s.ckptActive {
 		s.commitCond.Wait()
@@ -113,6 +115,8 @@ func (s *Store) sealAsyncLocked() error {
 // seals don't queue a second marker, and resets again at snapshot time
 // so objects that commit behind the marker (and are therefore inside
 // its snapshot) don't count toward the next interval.
+//
+//lsvd:requires bs.mu
 func (s *Store) queueCheckpointLocked() {
 	inf := &inflightObj{seq: s.nextSeq, ckpt: &ckptShot{seq: s.nextSeq}}
 	s.nextSeq++
@@ -131,6 +135,8 @@ func (s *Store) queueCheckpointLocked() {
 // marker, lastCkpt and the deferred-delete release are already applied
 // and no object after the marker can commit past an undurable
 // checkpoint.
+//
+//lsvd:requires bs.mu
 func (s *Store) startCheckpointLocked(inf *inflightObj) {
 	inf.done, inf.err = false, nil
 	inf.attempts++
@@ -169,6 +175,8 @@ func (s *Store) startCheckpointLocked(inf *inflightObj) {
 // commits lag), resubmitting failed uploads so a stuck front cannot
 // wedge the pipeline. Seals that block here are counted: a rising
 // SealStalls means the backend (or the upload share) is the wall.
+//
+//lsvd:requires bs.mu
 func (s *Store) reserveUploadSlotLocked() error {
 	maxInflight := 2 * s.cfg.UploadDepth
 	stalled := false
@@ -193,6 +201,8 @@ func (s *Store) reserveUploadSlotLocked() error {
 // inside the goroutine so the caller never blocks holding s.mu, and
 // the object marshal happens under the gate slot too — it is part of
 // the upload's cost, and keeping it off s.mu is the point.
+//
+//lsvd:requires bs.mu
 func (s *Store) startUploadLocked(inf *inflightObj) {
 	if inf.ckpt != nil {
 		s.startCheckpointLocked(inf)
@@ -247,6 +257,8 @@ func (s *Store) startUploadLocked(inf *inflightObj) {
 // cannot stall every later commit, and a callback that reaches back
 // into the store cannot deadlock. Called with s.mu held from the
 // upload completion path.
+//
+//lsvd:requires bs.mu
 func (s *Store) commitReadyLocked() func() {
 	var watermark uint64
 	var committed int64
@@ -333,6 +345,8 @@ func (s *Store) commitTriggeredGC() {
 }
 
 // resubmitFailedLocked reissues every failed upload.
+//
+//lsvd:requires bs.mu
 func (s *Store) resubmitFailedLocked() {
 	for _, inf := range s.inflight {
 		if inf.done && inf.err != nil {
@@ -346,6 +360,8 @@ func (s *Store) resubmitFailedLocked() {
 // resubmitting failures up to the fence attempt budget. On persistent
 // failure the object stays in the list so a later fence can retry it;
 // the error is returned to the caller.
+//
+//lsvd:requires bs.mu
 func (s *Store) waitInflightLocked() error {
 	// Announce the fence so a paced background pass holding gcBusy
 	// yields instead of sitting in a budget wait.
@@ -372,6 +388,8 @@ func (s *Store) waitInflightLocked() error {
 // sealAndWaitLocked is the synchronous fence: seal the pending batch
 // and wait for every in-flight object to commit. Failed uploads get a
 // fresh attempt budget. In synchronous mode it is exactly sealLocked.
+//
+//lsvd:requires bs.mu
 func (s *Store) sealAndWaitLocked() error {
 	if s.cfg.UploadDepth <= 0 {
 		return s.sealLocked()

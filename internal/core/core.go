@@ -866,7 +866,6 @@ func (d *Disk) awaitReplicaLag() error {
 		if !d.shipper.OverBound() {
 			return nil
 		}
-		//lsvd:ignore RPO backpressure by design: every ack, failure and close broadcasts the wake channel
 		<-wake
 	}
 }
@@ -1019,6 +1018,7 @@ func (d *Disk) writeInline(p []byte, ext block.Extent) error {
 	}
 	ws := d.writeSeq.Add(1)
 
+	//lsvd:ignore serialized baseline mode: writeInline holds wmu across the whole write by design (§3.7 prototype)
 	if err := d.logWithBackpressure(ws, ext, p, false); err != nil {
 		return err
 	}
@@ -1039,6 +1039,7 @@ func (d *Disk) writeInline(p []byte, ext block.Extent) error {
 		copy(src, p)
 	}
 	if d.opts.SyncDestage {
+		//lsvd:ignore serialized baseline mode: synchronous destage under wmu is the measured configuration
 		if err := d.bs.Append(ws, ext, src); err != nil {
 			return err
 		}
@@ -1055,12 +1056,16 @@ func (d *Disk) writeInline(p []byte, ext block.Extent) error {
 // pipeline — making everything logged so far durable remotely, which
 // unlocks FIFO eviction — and retries: §3.2's "no writes accepted
 // until cache space is freed". Write and trim share this policy.
+//
+//lsvd:requires core.wmu
 func (d *Disk) logWithBackpressure(ws uint64, ext block.Extent, p []byte, trim bool) error {
 	for attempt := 0; ; attempt++ {
 		var err error
 		if trim {
+			//lsvd:ignore serialized baseline mode: the cache-log append (group-commit wait included) runs under wmu by design
 			err = d.wc.AppendTrim(ws, ext)
 		} else {
+			//lsvd:ignore serialized baseline mode: the cache-log append (group-commit wait included) runs under wmu by design
 			err = d.wc.Append(ws, ext, p)
 		}
 		if err == nil {
@@ -1100,6 +1105,8 @@ const graceRounds = 3
 // than stop-and-go: the volume's upload pipeline keeps running (and
 // other volumes keep the shared backend busy) while this writer waits.
 // Only a stalled watermark escalates to the full destage fence.
+//
+//lsvd:requires core.wmu
 func (d *Disk) reserveWithBackpressure(ws uint64, typ journal.Type, ext block.Extent, dataLen int) (*writecache.Reservation, error) {
 	kicked := false
 	fences := 0
@@ -1171,6 +1178,7 @@ func (d *Disk) awaitDestage() bool {
 // pool — to complete.
 //
 //lsvd:ignore flush fence: the caller requires queued destage work durable before returning; blocking under wmu is the contract and quit unblocks it
+//lsvd:requires core.wmu
 func (d *Disk) drainLocked() error {
 	if d.ch == nil {
 		return d.bs.Seal()
@@ -1319,6 +1327,7 @@ func (d *Disk) trimInline(ext block.Extent) error {
 		return ErrClosed
 	}
 	ws := d.writeSeq.Add(1)
+	//lsvd:ignore serialized baseline mode: trimInline holds wmu across the whole trim by design
 	if err := d.logWithBackpressure(ws, ext, nil, true); err != nil {
 		return err
 	}
@@ -1346,6 +1355,7 @@ func (d *Disk) Drain() error {
 		return ErrClosed
 	}
 	if d.readOnly {
+		//lsvd:ignore drain fence: wmu held across the seal by design — no writes admitted until the pipeline is synchronized
 		return d.bs.Seal()
 	}
 	return d.drainLocked()
@@ -1363,6 +1373,7 @@ func (d *Disk) Checkpoint() error {
 			return err
 		}
 	}
+	//lsvd:ignore checkpoint fence: wmu held across both checkpoints by design — admitting writes mid-checkpoint would split the consistency point
 	if err := d.bs.Checkpoint(); err != nil {
 		return err
 	}
@@ -1412,11 +1423,14 @@ func (d *Disk) Close() error {
 	// Stop the background GC service before the final seal/checkpoint
 	// so the shutdown sequence races with no concurrent collector (on
 	// the error path too — the disk is going down either way).
+	//lsvd:ignore shutdown: Close holds wmu across GC stop by design; closed is set so nothing can queue behind it
 	d.bs.StopGC()
 	if derr == nil {
+		//lsvd:ignore shutdown: final seal under wmu by design — the disk is closed
 		derr = d.bs.Seal()
 	}
 	if derr == nil {
+		//lsvd:ignore shutdown: final checkpoint under wmu by design — the disk is closed
 		derr = d.bs.Checkpoint()
 	}
 	// Drain the shipper after the final seal+checkpoint so a clean close
@@ -1425,6 +1439,7 @@ func (d *Disk) Close() error {
 	// replica backend down, the per-object drain budget caps the wait
 	// and the replica simply stays at its last consistent watermark.
 	if d.shipper != nil {
+		//lsvd:ignore shutdown: replica drain under wmu by design — budget-capped, and the disk is closed
 		d.shipper.Close()
 	}
 	if derr != nil {
@@ -1457,6 +1472,7 @@ func (d *Disk) Kill() {
 	// the backend after the kill point. Abort drops queued feed events —
 	// the crash model — leaving the replica a consistent prefix.
 	if d.shipper != nil {
+		//lsvd:ignore kill path: Abort joins the shipper goroutine under wmu by design; it exits promptly without backend I/O
 		d.shipper.Abort()
 	}
 	if d.quit != nil {
@@ -1486,6 +1502,7 @@ func (d *Disk) Snapshot(name string) (blockstore.SnapshotInfo, error) {
 			return blockstore.SnapshotInfo{}, err
 		}
 	}
+	//lsvd:ignore snapshot fence: wmu held across snapshot creation by design — the snapshot must cover every acknowledged write
 	return d.bs.CreateSnapshot(name)
 }
 

@@ -309,6 +309,8 @@ func (h *Host) volStore(name string) (objstore.Store, error) {
 
 // leaseLocked reserves the volume's slot and marks it open (mu held).
 // assign controls whether a missing name gets a fresh slot.
+//
+//lsvd:requires host.mu
 func (h *Host) leaseLocked(name string, assign bool) (int, error) {
 	if h.closed {
 		return 0, fmt.Errorf("host: closed")

@@ -219,11 +219,29 @@ func (s *Faulty) decide(op faultOp, name string, putLen int) (delay time.Duratio
 	return delay, fail, tear
 }
 
+// ctxSleep blocks for d or until ctx is canceled, whichever comes
+// first, returning ctx.Err() on cancellation. Injected latency must
+// not outlive the caller: a canceled recovery or shutdown path would
+// otherwise sleep out the full fault-injection delay.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Put implements Store.
 func (s *Faulty) Put(ctx context.Context, name string, data []byte) error {
 	delay, fail, tear := s.decide(opPut, name, len(data))
-	if delay > 0 {
-		time.Sleep(delay)
+	if err := ctxSleep(ctx, delay); err != nil {
+		return err
 	}
 	if fail {
 		if tear >= 0 {
@@ -246,8 +264,8 @@ func (s *Faulty) Put(ctx context.Context, name string, data []byte) error {
 func (s *Faulty) PutV(ctx context.Context, name string, bufs [][]byte) error {
 	total := VecLen(bufs)
 	delay, fail, tear := s.decide(opPut, name, int(total))
-	if delay > 0 {
-		time.Sleep(delay)
+	if err := ctxSleep(ctx, delay); err != nil {
+		return err
 	}
 	if fail {
 		if tear >= 0 {
@@ -265,8 +283,8 @@ func (s *Faulty) PutV(ctx context.Context, name string, bufs [][]byte) error {
 // Get implements Store.
 func (s *Faulty) Get(ctx context.Context, name string) ([]byte, error) {
 	delay, fail, _ := s.decide(opGet, name, 0)
-	if delay > 0 {
-		time.Sleep(delay)
+	if err := ctxSleep(ctx, delay); err != nil {
+		return nil, err
 	}
 	if fail {
 		return nil, fmt.Errorf("%w: get %q", ErrInjected, name)
@@ -277,8 +295,8 @@ func (s *Faulty) Get(ctx context.Context, name string) ([]byte, error) {
 // GetRange implements Store.
 func (s *Faulty) GetRange(ctx context.Context, name string, off, length int64) ([]byte, error) {
 	delay, fail, _ := s.decide(opGetRange, name, 0)
-	if delay > 0 {
-		time.Sleep(delay)
+	if err := ctxSleep(ctx, delay); err != nil {
+		return nil, err
 	}
 	if fail {
 		return nil, fmt.Errorf("%w: getrange %q", ErrInjected, name)
@@ -289,8 +307,8 @@ func (s *Faulty) GetRange(ctx context.Context, name string, off, length int64) (
 // Delete implements Store.
 func (s *Faulty) Delete(ctx context.Context, name string) error {
 	delay, fail, _ := s.decide(opDelete, name, 0)
-	if delay > 0 {
-		time.Sleep(delay)
+	if err := ctxSleep(ctx, delay); err != nil {
+		return err
 	}
 	if fail {
 		return fmt.Errorf("%w: delete %q", ErrInjected, name)
@@ -301,8 +319,8 @@ func (s *Faulty) Delete(ctx context.Context, name string) error {
 // List implements Store.
 func (s *Faulty) List(ctx context.Context, prefix string) ([]string, error) {
 	delay, fail, _ := s.decide(opList, prefix, 0)
-	if delay > 0 {
-		time.Sleep(delay)
+	if err := ctxSleep(ctx, delay); err != nil {
+		return nil, err
 	}
 	if fail {
 		return nil, fmt.Errorf("%w: list %q", ErrInjected, prefix)
@@ -313,8 +331,8 @@ func (s *Faulty) List(ctx context.Context, prefix string) ([]string, error) {
 // Size implements Store.
 func (s *Faulty) Size(ctx context.Context, name string) (int64, error) {
 	delay, fail, _ := s.decide(opSize, name, 0)
-	if delay > 0 {
-		time.Sleep(delay)
+	if err := ctxSleep(ctx, delay); err != nil {
+		return 0, err
 	}
 	if fail {
 		return 0, fmt.Errorf("%w: size %q", ErrInjected, name)

@@ -288,6 +288,27 @@ func TestFaultyInjection(t *testing.T) {
 	}
 }
 
+// TestFaultyLatencyCanceled pins the ctxSleep behavior: a canceled
+// context cuts injected latency short instead of sleeping it out, so
+// shutdown paths are not held hostage by the fault injector.
+func TestFaultyLatencyCanceled(t *testing.T) {
+	s := NewFaulty(NewMem())
+	s.Arm(FaultConfig{Seed: 1, Latency: 30 * time.Second})
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := s.Put(cctx, "k", []byte("x"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("canceled Put slept %v through injected latency", d)
+	}
+	if _, err := s.Get(cctx, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from Get, got %v", err)
+	}
+}
+
 func TestConcurrentMem(t *testing.T) {
 	s := NewMem()
 	done := make(chan error, 8)

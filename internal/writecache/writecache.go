@@ -242,6 +242,7 @@ func Format(dev simdev.Device, cfg Config) (*Cache, error) {
 	}
 	c.head, c.tail = c.logStart, c.logStart
 	c.mapSeq = c.nextSeq
+	//lsvd:ignore construction runs single-goroutine before the cache is published; wcache.mu cannot be contended
 	if err := c.checkpointLocked(); err != nil {
 		return nil, err
 	}
@@ -423,6 +424,7 @@ func (c *Cache) Checkpoint() error {
 	return c.checkpointLocked()
 }
 
+//lsvd:requires wcache.mu
 func (c *Cache) checkpointLocked() error {
 	// Snapshot the written prefix: the map holds exactly the updates of
 	// records with seq < mapSeq, and the ring is in seq order, so the
@@ -859,6 +861,8 @@ func (c *Cache) writeGroup(batch []*pendingRec) {
 // application keeps the cache map and the (FIFO-destaged) backend
 // agreeing on the winner of overlapping writes, and defers every ack
 // behind its predecessors so an acknowledged write is always readable.
+//
+//lsvd:requires wcache.mu
 func (c *Cache) drainMapChainLocked() {
 	for {
 		pr, ok := c.pendingMap[c.mapSeq]
@@ -890,6 +894,8 @@ func (c *Cache) drainMapChainLocked() {
 // is written; the skipped length rides in the header's extent entry, so
 // no zero payload is materialized. Pads are written inline under the
 // metadata lock — they are rare and keep the ring geometry simple.
+//
+//lsvd:requires wcache.mu
 func (c *Cache) writePad() error {
 	padLen := c.logEnd - c.tail
 	h := &journal.Header{
@@ -1079,6 +1085,7 @@ func (c *Cache) ReadFullDestaged(ext block.Extent, buf []byte) bool {
 	return c.readFullLocked(ext, buf)
 }
 
+//lsvd:requires wcache.mu
 func (c *Cache) readFullLocked(ext block.Extent, buf []byte) bool {
 	runs := c.m.Lookup(ext)
 	for _, run := range runs {
